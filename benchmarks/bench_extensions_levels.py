@@ -1,0 +1,147 @@
+"""EXT — Sections 1/6: the extension levels (PL-2+, PL-SI, PL-CS).
+
+The paper points to Adya's thesis for Cursor Stability, Snapshot Isolation
+and PL-2+.  This bench asserts the separating corpus — each pair of
+distinct levels is separated by some anomaly — and drives the SI engine to
+show its emitted histories land exactly at PL-SI: every run provides PL-SI,
+and adversarial (write-skew-shaped) workloads produce runs that are PL-SI
+but not PL-3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.levels import IsolationLevel as L
+from repro.engine import Database, Program, Read, Simulator, SnapshotIsolationScheduler, Write
+from repro.workloads.anomalies import ALL_ANOMALIES
+
+N_SEEDS = 12
+EXT_LEVELS = (L.PL_CS, L.PL_2PLUS, L.PL_SI)
+
+
+def test_extension_admission_matrix(benchmark, record_table):
+    def classify():
+        return [
+            (entry, repro.check(entry.history, extensions=True))
+            for entry in ALL_ANOMALIES
+        ]
+
+    rows = benchmark(classify)
+    lines = [
+        "EXT — extension-level admission matrix",
+        "",
+        f"{'anomaly':28}" + "".join(f"{str(c):>8}" for c in EXT_LEVELS),
+    ]
+    for entry, report in rows:
+        cells = []
+        for level in EXT_LEVELS:
+            got = report.ok(level)
+            assert got == entry.provides[level], f"{entry.name} at {level}"
+            cells.append(f"{'Y' if got else '-':>8}")
+        lines.append(f"{entry.name:28}" + "".join(cells))
+    record_table("extensions_matrix", "\n".join(lines))
+
+
+def _skew_programs():
+    return [
+        Program("a", [Read("x", into="x"), Read("y", into="y"),
+                      Write("x", lambda r: r["x"] + r["y"])]),
+        Program("b", [Read("x", into="x"), Read("y", into="y"),
+                      Write("y", lambda r: r["x"] + r["y"])]),
+        Program("c", [Read("x", into="x"), Read("y", into="y"),
+                      Write("z", lambda r: r["x"] - r["y"])]),
+    ]
+
+
+def test_si_engine_lands_exactly_at_pl_si(benchmark, record_table):
+    def run_all():
+        pl_si, skew = 0, 0
+        for seed in range(N_SEEDS):
+            db = Database(SnapshotIsolationScheduler())
+            db.load({"x": 1, "y": 1, "z": 0})
+            Simulator(db, _skew_programs(), seed=seed).run()
+            report = repro.check(db.history(), extensions=True)
+            pl_si += report.ok(L.PL_SI)
+            skew += report.ok(L.PL_SI) and not report.ok(L.PL_3)
+        return pl_si, skew
+
+    pl_si, skew = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    assert pl_si == N_SEEDS  # SI never violates its own level
+    assert skew > 0  # and really exhibits write skew on some seeds
+    record_table(
+        "extensions_si_engine",
+        f"EXT — SI engine over write-skew workload: {pl_si}/{N_SEEDS} runs "
+        f"provide PL-SI; {skew}/{N_SEEDS} are PL-SI but NOT PL-3 "
+        "(write skew realized, the canonical SI/serializability gap)",
+    )
+
+
+def test_cursor_stability_separation(benchmark, record_table):
+    """PL-CS catches the cursor-read lost update and nothing weaker."""
+    from repro.workloads.anomalies import LOST_CURSOR_UPDATE, LOST_UPDATE
+
+    def run():
+        return (
+            repro.check(LOST_UPDATE.history, extensions=True),
+            repro.check(LOST_CURSOR_UPDATE.history, extensions=True),
+        )
+
+    plain, cursor = benchmark(run)
+    assert plain.ok(L.PL_CS) and not cursor.ok(L.PL_CS)
+    assert not plain.ok(L.PL_2PLUS)  # PL-2+ catches both
+    record_table(
+        "extensions_cursor",
+        "EXT — cursor stability: plain lost update passes PL-CS, the "
+        "cursor-read variant fails it (G-cursor); PL-2+ rejects both",
+    )
+
+
+def test_si_referential_integrity_skew(benchmark, record_table):
+    """The orders workload: SI's write skew as a real integrity bug.  An
+    order placement and an item discontinuation race; under SI some seeds
+    leave an orphan order (history PL-SI but not PL-3), while serializable
+    locking never does."""
+    from repro.engine import Database, LockingScheduler, Simulator
+    from repro.workloads.orders import (
+        discontinue,
+        initial_shop,
+        orphan_orders,
+        place_order,
+    )
+
+    def run():
+        si_orphans = ser_orphans = 0
+        for seed in range(N_SEEDS):
+            for factory, counter in (
+                (SnapshotIsolationScheduler, "si"),
+                (lambda: LockingScheduler("serializable"), "ser"),
+            ):
+                db = Database(factory())
+                db.load(initial_shop(2))
+                Simulator(
+                    db,
+                    [place_order("o", "item:1"), discontinue("d", "item:1")],
+                    seed=seed,
+                ).run()
+                history = db.history()
+                orphans = bool(orphan_orders(history))
+                if counter == "si":
+                    si_orphans += orphans
+                    if orphans:
+                        rep = repro.check(history, extensions=True)
+                        assert rep.ok(L.PL_SI) and not rep.ok(L.PL_3)
+                else:
+                    ser_orphans += orphans
+        return si_orphans, ser_orphans
+
+    si_orphans, ser_orphans = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert si_orphans > 0
+    assert ser_orphans == 0
+    record_table(
+        "extensions_si_integrity",
+        f"EXT — orders workload: SI produced orphan orders on "
+        f"{si_orphans}/{N_SEEDS} seeds (each such history PL-SI but not "
+        f"PL-3); serializable locking on 0/{N_SEEDS}",
+    )

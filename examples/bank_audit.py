@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Bank audit: the paper's x + y = 10 invariant, at scale, per scheduler.
+
+Concurrent transfers preserve a fixed total; audit transactions read every
+account and check the sum.  This script runs the workload under five
+concurrency-control schemes and correlates two views of the outcome:
+
+* the *application's* view — did any committed audit observe a broken
+  invariant?  was money conserved?
+* the *checker's* view — what PL level does the emitted history provide?
+
+The punchline is the paper's: audits only observe inconsistencies in
+histories the generalized definitions already classify below PL-3/PL-2+.
+
+Run:  python examples/bank_audit.py
+"""
+
+import repro
+from repro.engine import (
+    Database,
+    LockingScheduler,
+    OptimisticScheduler,
+    ReadCommittedMVScheduler,
+    Simulator,
+    SnapshotIsolationScheduler,
+)
+from repro.workloads import (
+    audit_violations,
+    bank_programs,
+    conserved,
+    initial_balances,
+)
+
+N_ACCOUNTS = 4
+N_SEEDS = 25
+
+SCHEDULERS = [
+    ("2PL serializable", lambda: LockingScheduler("serializable")),
+    ("2PL read-committed", lambda: LockingScheduler("read-committed")),
+    ("optimistic (OCC)", OptimisticScheduler),
+    ("snapshot isolation", SnapshotIsolationScheduler),
+    ("MV read-committed", ReadCommittedMVScheduler),
+]
+
+
+def main() -> None:
+    print(f"{N_SEEDS} seeded runs each; {N_ACCOUNTS} accounts, transfers + audits\n")
+    header = (
+        f"{'scheduler':22} {'bad audits':>10} {'lost money':>10} "
+        f"{'worst level':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, factory in SCHEDULERS:
+        bad_audits = 0
+        lost_money = 0
+        worst = None
+        for seed in range(N_SEEDS):
+            db = Database(factory())
+            db.load(initial_balances(N_ACCOUNTS))
+            result = Simulator(
+                db, bank_programs(n_accounts=N_ACCOUNTS, seed=seed), seed=seed
+            ).run()
+            bad_audits += len(audit_violations(result.outcomes, N_ACCOUNTS))
+            lost_money += not conserved(result.history, N_ACCOUNTS)
+            level = repro.classify(result.history)
+            if worst is None or (level is not None and worst is not None
+                                 and worst.implies(level) and worst is not level):
+                worst = level
+            if level is None:
+                worst = None
+        print(f"{name:22} {bad_audits:>10} {lost_money:>10} {str(worst):>12}")
+
+    print(
+        "\nSerializable locking, OCC and SI never show a bad audit; "
+        "read-committed schemes do, and their histories classify below "
+        "PL-3 — exactly the paper's trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Engine shootout: the Section 3 argument as a table.
+
+Every scheduler runs the same seeded contentious workloads.  For each we
+report (a) the strongest PL level its histories always provide, (b) whether
+the *preventative* P0–P3 definitions would accept those same histories, and
+(c) throughput proxies (commits, aborts, deadlocks).
+
+The table is the paper's case for implementation-independence: OCC and the
+multi-version schemes deliver their promised levels while flunking the
+locking-shaped P-phenomena on almost every run.
+
+Run:  python examples/engine_shootout.py
+"""
+
+import repro
+from repro.baseline import PreventativeAnalysis, PreventativePhenomenon
+from repro.core.levels import ANSI_CHAIN
+from repro.engine import (
+    Database,
+    LockingScheduler,
+    OptimisticScheduler,
+    ReadCommittedMVScheduler,
+    Simulator,
+    SnapshotIsolationScheduler,
+)
+from repro.workloads import WorkloadConfig, random_programs
+
+N_SEEDS = 20
+
+SCHEDULERS = [
+    ("2PL degree-0", lambda: LockingScheduler("degree-0")),
+    ("2PL read-uncommitted", lambda: LockingScheduler("read-uncommitted")),
+    ("2PL read-committed", lambda: LockingScheduler("read-committed")),
+    ("2PL repeatable-read", lambda: LockingScheduler("repeatable-read")),
+    ("2PL serializable", lambda: LockingScheduler("serializable")),
+    ("optimistic (OCC)", OptimisticScheduler),
+    ("snapshot isolation", SnapshotIsolationScheduler),
+    ("MV read-committed", ReadCommittedMVScheduler),
+]
+
+
+def guaranteed_level(histories):
+    """The strongest ANSI level provided by *every* history."""
+    best = None
+    for level in ANSI_CHAIN:
+        if all(repro.satisfies(h, level).ok for h in histories):
+            best = level
+    return best
+
+
+def main() -> None:
+    cfg = WorkloadConfig(
+        n_programs=5, steps_per_program=3, n_keys=4,
+        hot_fraction=0.7, write_fraction=0.6,
+    )
+    header = (
+        f"{'scheduler':22} {'guaranteed':>11} {'P-accepted':>10} "
+        f"{'commits':>8} {'aborts':>7} {'deadlocks':>9}"
+    )
+    print(f"contentious workload, {N_SEEDS} seeds each\n")
+    print(header)
+    print("-" * len(header))
+    for name, factory in SCHEDULERS:
+        histories, commits, aborts, deadlocks = [], 0, 0, 0
+        p_accepted = 0
+        for seed in range(N_SEEDS):
+            db = Database(factory())
+            db.load(cfg.initial_state())
+            result = Simulator(db, random_programs(cfg, seed=seed), seed=seed).run()
+            histories.append(result.history)
+            commits += result.committed_count
+            aborts += result.abort_count
+            deadlocks += result.deadlocks
+            analysis = PreventativeAnalysis(result.history)
+            p_accepted += not any(
+                analysis.exhibits(p) for p in PreventativePhenomenon
+            )
+        level = guaranteed_level(histories)
+        print(
+            f"{name:22} {str(level):>11} {p_accepted:>7}/{N_SEEDS:<2} "
+            f"{commits:>8} {aborts:>7} {deadlocks:>9}"
+        )
+
+    print(
+        "\n'guaranteed' = strongest PL level every emitted history provides."
+        "\n'P-accepted' = runs with no P0-P3 occurrence (the preventative"
+        "\n               definitions would admit only these)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Mixed isolation levels (Section 5.5): each transaction picks its level.
+
+A reporting transaction runs at PL-3 (SERIALIZABLE), bulk updaters run at
+PL-1 (READ UNCOMMITTED), and mid-tier transactions at PL-2 — all on one
+locking database using Figure 1's standard combination of short and long
+locks.  The script verifies Definition 9 (mixing-correctness) on the emitted
+history and prints the mixed serialization graph, whose edges are exactly
+the obligatory ones.
+
+It then shows a *non*-mixing-correct history (hand-written): a PL-3
+transaction whose read is overwritten by a PL-1 peer in a cycle — the
+anti-dependency edge out of the PL-3 node is obligatory, so the MSG catches
+the cycle even though one participant runs at the weakest level.
+
+Run:  python examples/mixed_levels.py
+"""
+
+import repro
+from repro.core.msg import MSG, mixing_correct
+from repro.engine import Database, LockingScheduler, Simulator
+from repro.workloads import WorkloadConfig, random_programs
+from repro.core.levels import IsolationLevel as L
+
+
+def engine_demo() -> None:
+    cfg = WorkloadConfig(n_programs=6, steps_per_program=3, n_keys=4,
+                         write_fraction=0.6, hot_fraction=0.6)
+    programs = random_programs(cfg, seed=11)
+    levels = [L.PL_1, L.PL_1, L.PL_2, L.PL_2, L.PL_3, L.PL_3]
+    for program, level in zip(programs, levels):
+        program.level = level
+
+    db = Database(LockingScheduler("serializable"))
+    db.load(cfg.initial_state())
+    result = Simulator(db, programs, seed=11).run()
+    history = db.history()
+
+    print("=== engine-emitted mixed history ===")
+    print(history)
+    report = mixing_correct(history)
+    print(f"\n{report.describe()}")
+
+    msg = MSG(history)
+    print("\nMSG edges (only the level-relevant / obligatory conflicts):")
+    for edge in msg.edges:
+        src_level = msg.levels[edge.src]
+        dst_level = msg.levels[edge.dst]
+        print(f"  {edge}   ({src_level} -> {dst_level})")
+    order = msg.topological_order()
+    print(f"\nserialization order: {', '.join(f'T{t}' for t in order)}")
+
+
+def hand_written_violation() -> None:
+    print("\n=== a history that is NOT mixing-correct ===")
+    text = (
+        "b1@PL-3 b2@PL-1 r1(x0, 1) w2(x2, 2) w2(y2, 2) c2 r1(y2, 2) c1 "
+        "[x0 << x2]"
+    )
+    history = repro.parse_history(text)
+    print(text)
+    report = mixing_correct(history)
+    print(report.describe())
+    print(
+        "\nT1 (PL-3) read x before T2 overwrote it, then read T2's y: the "
+        "obligatory rw edge T1->T2 and the wr edge T2->T1 form an MSG "
+        "cycle, so T1 is denied its serializability guarantee — the system "
+        "must abort one of them."
+    )
+
+
+if __name__ == "__main__":
+    engine_demo()
+    hand_written_violation()

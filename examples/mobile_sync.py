@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Mobile disconnected operation: the paper's H1' argument, live.
+
+Two field devices and a laptop share an inventory database.  While
+disconnected, each runs transactions against its local view, tentatively
+committing; later local transactions freely read those tentative writes —
+exactly the dirty reads the preventative P1 phenomenon outlaws.  On
+reconnect, the server certifies each device's log, aborting transactions
+whose reads went stale (and cascading to their dependents).
+
+The payoff, printed at the end: the committed history violates P1 on every
+run, yet the checker certifies it serializable — "the preventative approach
+... rules out histories that really occur in practical implementations"
+(Section 3).
+
+Run:  python examples/mobile_sync.py
+"""
+
+import random
+
+import repro
+from repro.baseline import PreventativeAnalysis, PreventativePhenomenon
+from repro.engine.mobile import MobileCluster
+
+
+def field_day(seed: int) -> MobileCluster:
+    """One simulated day: devices work offline, sync occasionally."""
+    rng = random.Random(seed)
+    cluster = MobileCluster()
+    cluster.load({f"item{i}": 20 for i in range(5)})
+    devices = [cluster.client(i) for i in range(3)]
+
+    for hour in range(8):
+        device = rng.choice(devices)
+        txn = device.begin()
+        # pick, restock, or stocktake
+        action = rng.random()
+        if action < 0.4:
+            item = f"item{rng.randrange(5)}"
+            stock = txn.read(item) or 0
+            txn.write(item, max(0, stock - rng.randrange(1, 4)))
+        elif action < 0.8:
+            item = f"item{rng.randrange(5)}"
+            txn.write(item, (txn.read(item) or 0) + 5)
+        else:
+            total = sum(txn.read(f"item{i}") or 0 for i in range(5))
+            txn.write("stocktake", total)
+        txn.tentative_commit()
+        if rng.random() < 0.35:
+            outcome = device.sync()
+            if outcome.aborted:
+                print(
+                    f"  device {device.client_id} sync: "
+                    f"{len(outcome.committed)} certified, "
+                    f"{len(outcome.aborted)} aborted "
+                    f"({len(outcome.cascaded)} cascaded)"
+                )
+    for device in devices:
+        device.sync()
+    return cluster
+
+
+def main() -> None:
+    print("simulating disconnected field work...\n")
+    p1_runs = 0
+    serializable_runs = 0
+    runs = 10
+    for seed in range(runs):
+        cluster = field_day(seed)
+        history = cluster.history()
+        report = repro.check(history)
+        serializable_runs += report.serializable
+        p1_runs += PreventativeAnalysis(history).exhibits(
+            PreventativePhenomenon.P1
+        )
+    print(f"\nruns: {runs}")
+    print(f"serializable (PL-3) committed histories: {serializable_runs}/{runs}")
+    print(f"runs the preventative P1 would reject:    {p1_runs}/{runs}")
+    print(
+        "\nEvery committed history is serializable; the locking-shaped "
+        "definitions would have outlawed the system outright."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — Generalized Isolation Level Definitions.
+
+A complete implementation of Adya, Liskov & O'Neil, *Generalized Isolation
+Level Definitions* (ICDE 2000): Adya-style multi-version transaction
+histories with predicates, direct serialization graphs, the generalized
+phenomena G0/G1/G2, the portable isolation levels PL-1 … PL-3 (plus the
+thesis extensions PL-2+, PL-SI, PL-CS), mixed-level correctness, the
+preventative P0–P3 baseline, an isolation checker, and a deterministic
+multi-scheduler transactional engine for generating real histories.
+
+Quick start::
+
+    import repro
+
+    report = repro.check("r1(x0, 5) w1(x1, 1) r2(x1, 1) r2(y0, 5) c2 "
+                         "r1(y0, 5) w1(y1, 9) c1")
+    print(report.strongest_level)   # PL-2: the history exhibits G2
+    print(report.explain())
+"""
+
+from .core import (
+    ANSI_CHAIN,
+    DSG,
+    MSG,
+    SSG,
+    Analysis,
+    Cycle,
+    DepKind,
+    Edge,
+    History,
+    IsolationLevel,
+    LevelVerdict,
+    Phenomenon,
+    PhenomenonReport,
+    PredicateDepMode,
+    Version,
+    VersionKind,
+    classify,
+    format_history,
+    mixing_correct,
+    parse_history,
+    satisfies,
+)
+from .checker import CheckReport, check, check_level
+from .exceptions import (
+    HistoryError,
+    MalformedHistoryError,
+    ParseError,
+    ReproError,
+    TransactionAborted,
+    VersionOrderError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANSI_CHAIN",
+    "DSG",
+    "MSG",
+    "SSG",
+    "Analysis",
+    "Cycle",
+    "DepKind",
+    "Edge",
+    "History",
+    "IsolationLevel",
+    "LevelVerdict",
+    "Phenomenon",
+    "PhenomenonReport",
+    "PredicateDepMode",
+    "Version",
+    "VersionKind",
+    "classify",
+    "format_history",
+    "mixing_correct",
+    "parse_history",
+    "satisfies",
+    "CheckReport",
+    "check",
+    "check_level",
+    "HistoryError",
+    "MalformedHistoryError",
+    "ParseError",
+    "ReproError",
+    "TransactionAborted",
+    "VersionOrderError",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Analyses built on top of the checker and engine."""
+
+from .permissiveness import PermissivenessResult, compare
+from .spectrum import (
+    AblationResult,
+    SpectrumPoint,
+    contention_spectrum,
+    predicate_mode_ablation,
+)
+from .repair import RepairResult, abort_transactions, repair
+from .report_gen import generate_report
+from .stats import HistoryStats, history_stats
+
+__all__ = [
+    "PermissivenessResult",
+    "compare",
+    "AblationResult",
+    "SpectrumPoint",
+    "contention_spectrum",
+    "predicate_mode_ablation",
+    "generate_report",
+    "RepairResult",
+    "abort_transactions",
+    "repair",
+    "HistoryStats",
+    "history_stats",
+]

@@ -1,0 +1,174 @@
+"""History repair: which transactions must abort to reach a level?
+
+An optimistic implementation *is* an online version of this question: "to
+keep the committed history at level L, which committing transactions must
+be refused?" (Section 3: "if necessary, some of them will be forced to
+abort so that serializability can be provided").  This module answers it
+offline for a recorded history:
+
+* :func:`abort_transactions` — rewrite a history with a set of commits
+  turned into aborts, *cascading* to committed readers of the aborted
+  transactions' versions (otherwise the rewrite would manufacture G1a) and
+  dropping the aborted versions from the version order;
+* :func:`repair` — greedily choose transactions to abort until the history
+  provides the target level: while a proscribed phenomenon has a witness
+  cycle, abort the cycle's most conflict-laden transaction; G1a/G1b
+  witnesses abort the offending reader.
+
+Greedy feedback-vertex-set is not guaranteed minimum (the exact problem is
+NP-hard), but it is sound — the result always provides the level
+(asserted), loader/setup transactions are never chosen, and the tests pin
+the classic cases (a lost update repairs by aborting one transaction, write
+skew by one, G0 by one).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..core.conflicts import PredicateDepMode
+from ..core.events import Abort, Commit, Event
+from ..core.history import History
+from ..core.levels import IsolationLevel, satisfies
+from ..core.phenomena import Analysis
+
+__all__ = ["RepairResult", "abort_transactions", "repair"]
+
+
+def abort_transactions(
+    history: History, tids: Iterable[int], *, cascade: bool = True
+) -> Tuple[History, FrozenSet[int]]:
+    """A copy of the history with the given transactions aborted.
+
+    Their commit events become aborts and their versions leave the version
+    order.  With ``cascade`` (default), committed transactions that read a
+    now-aborted transaction's version (directly or in a predicate read's
+    version set) are aborted too, transitively — the cascading aborts of
+    Section 5.2.  Returns the rewritten history and the full set of aborted
+    tids (including cascades).
+    """
+    doomed: Set[int] = set(tids)
+    if cascade:
+        changed = True
+        while changed:
+            changed = False
+            for _i, read in history.reads:
+                if (
+                    read.tid in history.committed
+                    and read.tid not in doomed
+                    and read.version.tid in doomed
+                ):
+                    doomed.add(read.tid)
+                    changed = True
+            for _i, pread in history.predicate_reads:
+                if pread.tid not in history.committed or pread.tid in doomed:
+                    continue
+                if any(v.tid in doomed for v in pread.vset.versions()):
+                    doomed.add(pread.tid)
+                    changed = True
+    events: List[Event] = []
+    for ev in history.events:
+        if isinstance(ev, Commit) and ev.tid in doomed:
+            events.append(Abort(ev.tid))
+        else:
+            events.append(ev)
+    order = {
+        obj: [v for v in chain if not v.is_unborn and v.tid not in doomed]
+        for obj, chain in history.version_order.items()
+    }
+    return (
+        History(events, order, default_level=history.default_level),
+        frozenset(doomed),
+    )
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of :func:`repair`."""
+
+    level: IsolationLevel
+    aborted: FrozenSet[int]
+    history: History
+    rounds: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.aborted
+
+    def describe(self) -> str:
+        if self.clean:
+            return f"already provides {self.level}; nothing to abort"
+        pretty = ", ".join(f"T{t}" for t in sorted(self.aborted))
+        return (
+            f"aborting {pretty} ({len(self.aborted)} transaction(s), "
+            f"{self.rounds} round(s)) yields {self.level}"
+        )
+
+
+def _pick_victim(analysis: Analysis, history: History) -> Optional[int]:
+    """The committed transaction implicated in the most conflict edges
+    among the violating witnesses (loader/setup transactions excluded)."""
+    votes: Counter = Counter()
+    protected = set(history.setup_tids) | {0}
+    for report in analysis._cache.values():
+        if not report.present:
+            continue
+        for witness in report.witnesses:
+            if witness.cycle is not None:
+                for node in witness.cycle.nodes:
+                    if node not in protected:
+                        votes[node] += 1
+            elif witness.tid is not None and witness.tid not in protected:
+                votes[witness.tid] += 1
+    if not votes:
+        return None
+    # Prefer the candidate whose abort cascades least (aborting a
+    # transaction others read from drags them down too), then the most
+    # implicated, then the youngest — the conventional victim choice.
+    def cascade_size(tid: int) -> int:
+        _rewritten, doomed = abort_transactions(history, {tid})
+        return len(doomed)
+
+    best = min(
+        votes.items(),
+        key=lambda item: (cascade_size(item[0]), -item[1], -item[0]),
+    )
+    return best[0]
+
+
+def repair(
+    history: History,
+    level: IsolationLevel = IsolationLevel.PL_3,
+    *,
+    mode: PredicateDepMode = PredicateDepMode.LATEST,
+    max_rounds: int = 1000,
+) -> RepairResult:
+    """Greedily abort committed transactions (with cascades) until the
+    history provides ``level``.  Always terminates: each round removes at
+    least one committed transaction, and the empty committed history
+    provides every level."""
+    current = history
+    doomed: Set[int] = set()
+    rounds = 0
+    while True:
+        analysis = Analysis(current, mode)
+        verdict = satisfies(current, level, analysis=analysis)
+        if verdict.ok:
+            return RepairResult(level, frozenset(doomed), current, rounds)
+        if rounds >= max_rounds:
+            raise RuntimeError(
+                f"repair did not converge after {max_rounds} rounds"
+            )
+        rounds += 1
+        victim = _pick_victim(analysis, current)
+        if victim is None:
+            # No attributable witness (should not happen: every violation
+            # carries one); abort the youngest committed transaction.
+            remaining = current.committed - {0}
+            if not remaining:
+                return RepairResult(level, frozenset(doomed), current, rounds)
+            victim = max(remaining)
+        current, newly = abort_transactions(current, {victim})
+        doomed |= newly

@@ -1,0 +1,174 @@
+"""Anomaly spectra and design-choice ablations.
+
+Two analyses used by the ablation benchmarks:
+
+* :func:`contention_spectrum` — how often each phenomenon appears in a
+  scheduler's histories as workload contention rises.  The shape the theory
+  predicts (and the benches assert): the phenomena a scheme proscribes stay
+  at zero across the whole sweep, the rest grow with contention.
+* :func:`predicate_mode_ablation` — the paper's Definition 3 quantification
+  choice ("we use the *latest* transaction where a change to Vset(P)
+  occurs"), measured: for each history, conflict-edge counts and per-level
+  acceptance under ``PredicateDepMode.LATEST`` versus the literal
+  ``PredicateDepMode.ALL`` reading.  Since the ALL edge set is a superset,
+  LATEST never rejects a history ALL accepts — the "minimum possible
+  conflicts" claim made quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.conflicts import PredicateDepMode, all_dependencies
+from ..core.history import History
+from ..core.levels import ANSI_CHAIN, IsolationLevel, satisfies
+from ..core.phenomena import Analysis, Phenomenon
+from ..engine.database import Database
+from ..engine.scheduler import Scheduler
+from ..engine.simulator import Simulator
+from ..workloads.generator import WorkloadConfig, random_programs
+
+__all__ = [
+    "SpectrumPoint",
+    "contention_spectrum",
+    "AblationResult",
+    "predicate_mode_ablation",
+]
+
+SPECTRUM_PHENOMENA: Tuple[Phenomenon, ...] = (
+    Phenomenon.G0,
+    Phenomenon.G1,
+    Phenomenon.G_SINGLE,
+    Phenomenon.G2_ITEM,
+    Phenomenon.G2,
+)
+
+
+@dataclass
+class SpectrumPoint:
+    """Phenomenon rates at one contention setting."""
+
+    hot_fraction: float
+    runs: int
+    rates: Dict[Phenomenon, float]
+
+    def describe(self) -> str:
+        cells = "  ".join(
+            f"{p}={self.rates[p]:.0%}" for p in SPECTRUM_PHENOMENA
+        )
+        return f"hot={self.hot_fraction:.1f}: {cells}"
+
+
+def contention_spectrum(
+    scheduler_factory: Callable[[], Scheduler],
+    *,
+    hot_fractions: Sequence[float] = (0.0, 0.3, 0.6, 0.9),
+    n_seeds: int = 10,
+    base: WorkloadConfig = WorkloadConfig(
+        n_programs=5, steps_per_program=3, n_keys=6, write_fraction=0.6
+    ),
+) -> List[SpectrumPoint]:
+    """Phenomenon occurrence rates across a contention sweep."""
+    points: List[SpectrumPoint] = []
+    for hot in hot_fractions:
+        cfg = WorkloadConfig(
+            n_programs=base.n_programs,
+            steps_per_program=base.steps_per_program,
+            n_keys=base.n_keys,
+            hot_keys=base.hot_keys,
+            hot_fraction=hot,
+            write_fraction=base.write_fraction,
+            predicate_fraction=base.predicate_fraction,
+            insert_fraction=base.insert_fraction,
+            delete_fraction=base.delete_fraction,
+        )
+        counts = {p: 0 for p in SPECTRUM_PHENOMENA}
+        for seed in range(n_seeds):
+            db = Database(scheduler_factory())
+            db.load(cfg.initial_state())
+            Simulator(db, random_programs(cfg, seed=seed), seed=seed).run()
+            analysis = Analysis(db.history())
+            for p in SPECTRUM_PHENOMENA:
+                counts[p] += analysis.exhibits(p)
+        points.append(
+            SpectrumPoint(
+                hot, n_seeds, {p: counts[p] / n_seeds for p in SPECTRUM_PHENOMENA}
+            )
+        )
+    return points
+
+
+@dataclass
+class AblationResult:
+    """LATEST-vs-ALL predicate-dependency comparison over a history set."""
+
+    histories: int
+    edges_latest: int
+    edges_all: int
+    accepted_latest: Dict[IsolationLevel, int]
+    accepted_all: Dict[IsolationLevel, int]
+    #: histories where the two modes disagree at some level
+    divergent: int
+
+    def describe(self) -> str:
+        lines = [
+            f"predicate-dependency ablation over {self.histories} histories:",
+            f"  conflict edges: LATEST={self.edges_latest}  ALL={self.edges_all}",
+        ]
+        for level in self.accepted_latest:
+            lines.append(
+                f"  {level}: accepted LATEST={self.accepted_latest[level]}"
+                f"  ALL={self.accepted_all[level]}"
+            )
+        lines.append(f"  divergent histories: {self.divergent}")
+        return "\n".join(lines)
+
+
+def predicate_mode_ablation(
+    histories: Sequence[History],
+    levels: Sequence[IsolationLevel] = ANSI_CHAIN,
+) -> AblationResult:
+    """Compare the two Definition 3 readings over given histories.
+
+    Asserts the structural containments the theory demands: ALL's edge set
+    contains LATEST's, and LATEST acceptance contains ALL acceptance.
+    """
+    edges_latest = edges_all = divergent = 0
+    accepted_latest = {level: 0 for level in levels}
+    accepted_all = {level: 0 for level in levels}
+    for history in histories:
+        latest_edges = all_dependencies(history, PredicateDepMode.LATEST)
+        all_edges = all_dependencies(history, PredicateDepMode.ALL)
+        edges_latest += len(latest_edges)
+        edges_all += len(all_edges)
+        keys = lambda edges: {
+            (e.src, e.dst, e.kind, e.obj, e.version, e.predicate) for e in edges
+        }
+        missing = keys(latest_edges) - keys(all_edges)
+        if missing:
+            raise AssertionError(
+                f"LATEST produced edges ALL lacks: {missing}"
+            )
+        latest_analysis = Analysis(history, PredicateDepMode.LATEST)
+        all_analysis = Analysis(history, PredicateDepMode.ALL)
+        diverged = False
+        for level in levels:
+            ok_latest = satisfies(history, level, analysis=latest_analysis).ok
+            ok_all = satisfies(history, level, analysis=all_analysis).ok
+            if ok_all and not ok_latest:
+                raise AssertionError(
+                    f"ALL accepted a history LATEST rejects at {level}"
+                )
+            accepted_latest[level] += ok_latest
+            accepted_all[level] += ok_all
+            diverged |= ok_latest != ok_all
+        divergent += diverged
+    return AblationResult(
+        len(histories),
+        edges_latest,
+        edges_all,
+        accepted_latest,
+        accepted_all,
+        divergent,
+    )

@@ -1,0 +1,84 @@
+"""Descriptive statistics over histories.
+
+``history_stats`` summarises one history — event mix, transaction outcomes,
+conflict-edge counts by kind, graph density — for experiment tables and
+report footers.  Nothing here affects verdicts; it is the observability
+layer the benchmarks and examples print from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.conflicts import all_dependencies
+from ..core.events import PredicateRead, Read, Write
+from ..core.history import History
+
+__all__ = ["HistoryStats", "history_stats"]
+
+
+@dataclass(frozen=True)
+class HistoryStats:
+    """Shape summary of one history."""
+
+    events: int
+    transactions: int
+    committed: int
+    aborted: int
+    reads: int
+    writes: int
+    deletes: int
+    predicate_reads: int
+    objects: int
+    #: conflict edges by kind tag: "ww", "wr", "pwr", "rw", "prw"
+    edges: Dict[str, int]
+
+    @property
+    def total_edges(self) -> int:
+        return sum(self.edges.values())
+
+    @property
+    def commit_ratio(self) -> float:
+        return self.committed / self.transactions if self.transactions else 0.0
+
+    def describe(self) -> str:
+        edge_text = ", ".join(f"{k}={v}" for k, v in sorted(self.edges.items()))
+        return (
+            f"{self.events} events, {self.transactions} txns "
+            f"({self.committed} committed / {self.aborted} aborted), "
+            f"{self.reads}r/{self.writes}w/{self.deletes}d/"
+            f"{self.predicate_reads}p over {self.objects} objects; "
+            f"edges: {edge_text or 'none'}"
+        )
+
+
+def history_stats(history: History) -> HistoryStats:
+    """Compute the summary (one pass over events + conflict extraction)."""
+    reads = writes = deletes = preads = 0
+    for ev in history.events:
+        if isinstance(ev, Read):
+            reads += 1
+        elif isinstance(ev, Write):
+            if ev.dead:
+                deletes += 1
+            else:
+                writes += 1
+        elif isinstance(ev, PredicateRead):
+            preads += 1
+    edges: Dict[str, int] = {}
+    for edge in all_dependencies(history):
+        tag = ("p" if edge.via_predicate else "") + edge.kind.value
+        edges[tag] = edges.get(tag, 0) + 1
+    return HistoryStats(
+        events=len(history.events),
+        transactions=len(history.tids),
+        committed=len(history.committed),
+        aborted=len(history.aborted),
+        reads=reads,
+        writes=writes,
+        deletes=deletes,
+        predicate_reads=preads,
+        objects=len(history.version_order),
+        edges=edges,
+    )

@@ -1,0 +1,217 @@
+"""The ambiguous ANSI SQL-92 phenomena, in their *strict* (anomaly)
+interpretation — the reading Berenson et al. [8] called A1–A3.
+
+The paper's Section 2 recounts the problem: the ANSI standard's English
+("Dirty read: T1 modifies a row.  T2 then reads that row before T1 performs
+a COMMIT ...") admits two readings.
+
+* The **strict / anomaly** interpretation (A1–A3, implemented here): the
+  phenomenon only occurs when the anomaly completes —
+
+  - A1: T2 reads T1's modified row and **T1 then aborts** (while T2
+    commits);
+  - A2: T1 reads a row, T2 modifies it **and commits**, and **T1 then
+    re-reads the row** observing a different value;
+  - A3: T1 reads a set of rows by predicate, T2 changes the set **and
+    commits**, and **T1 re-runs the predicate read** observing the change.
+
+* The **broad / preventative** interpretation (P1–P3, in
+  :mod:`repro.baseline.preventative`): the mere interleaving is proscribed.
+
+[8] showed the strict interpretation is *too weak*: histories such as the
+paper's H1 (an inconsistent read where T1 never re-reads and nobody aborts)
+exhibit no A-phenomenon at all, yet REPEATABLE READ ought to exclude them.
+That observation forced the locking-shaped P-interpretation, whose excessive
+strength is in turn this paper's Section 3 target.  The SEC2 benchmark
+regenerates the three-way comparison: A-interpretation (unsound — admits
+bad histories), P-interpretation (sound but over-restrictive), and the
+generalized G-phenomena (sound and permissive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.events import Read
+from ..core.history import History
+from ..core.levels import IsolationLevel
+
+__all__ = [
+    "AnsiPhenomenon",
+    "AnsiReport",
+    "AnsiAnalysis",
+    "ansi_strict_satisfies",
+]
+
+
+class AnsiPhenomenon(Enum):
+    A1 = "A1"  # dirty read, strict
+    A2 = "A2"  # fuzzy read, strict
+    A3 = "A3"  # phantom, strict
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class AnsiReport:
+    phenomenon: AnsiPhenomenon
+    present: bool
+    witnesses: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        head = f"{self.phenomenon}: {'EXHIBITED' if self.present else 'absent'}"
+        return head + "".join(f"\n  - {w}" for w in self.witnesses)
+
+    def __bool__(self) -> bool:
+        return self.present
+
+
+def _detect_a1(history: History) -> AnsiReport:
+    """T2 reads a row T1 modified; T1 aborts; T2 commits.
+
+    (Operationally identical to phenomenon G1a restricted to item reads —
+    the strict reading got *this* one right.)
+    """
+    witnesses = []
+    for _i, read in history.reads:
+        if (
+            read.tid in history.committed
+            and read.version.tid in history.aborted
+            and read.version.tid != read.tid
+        ):
+            witnesses.append(
+                f"T{read.tid} committed after reading {read.version} of "
+                f"aborted T{read.version.tid}"
+            )
+    return AnsiReport(AnsiPhenomenon.A1, bool(witnesses), tuple(witnesses))
+
+
+def _detect_a2(history: History) -> AnsiReport:
+    """T1 reads a row; T2 modifies it and commits; T1 re-reads it and sees
+    the change; both commit."""
+    witnesses = []
+    # For each committed transaction, look at successive reads of the same
+    # object observing versions of different committed writers, with the
+    # intervening writer's commit in between.
+    for tid in history.committed:
+        reads = [
+            (i, ev)
+            for i, ev in history.reads
+            if ev.tid == tid
+        ]
+        by_obj: Dict[str, List[Tuple[int, Read]]] = {}
+        for i, ev in reads:
+            by_obj.setdefault(ev.version.obj, []).append((i, ev))
+        for obj, items in by_obj.items():
+            for (i1, r1), (i2, r2) in zip(items, items[1:]):
+                if r1.version == r2.version or r2.version.tid == tid:
+                    continue
+                writer = r2.version.tid
+                commit_idx = history.commit_index(writer)
+                if (
+                    writer in history.committed
+                    and commit_idx is not None
+                    and i1 < commit_idx < i2
+                ):
+                    witnesses.append(
+                        f"T{tid} read {r1.version} then, after T{writer} "
+                        f"committed, re-read {obj!r} as {r2.version}"
+                    )
+    return AnsiReport(AnsiPhenomenon.A2, bool(witnesses), tuple(witnesses))
+
+
+def _detect_a3(history: History) -> AnsiReport:
+    """T1 performs a predicate read; T2 commits a change to the matched
+    set; T1 repeats the predicate read and its version set has changed."""
+    witnesses = []
+    for tid in history.committed:
+        preads = [
+            (i, ev)
+            for i, ev in history.predicate_reads
+            if ev.tid == tid
+        ]
+        for (i1, p1), (i2, p2) in zip(preads, preads[1:]):
+            if p1.predicate != p2.predicate:
+                continue
+            first = set(
+                history.vset_version(p1, obj)
+                for obj in history.vset_objects(p1)
+            )
+            second = set(
+                history.vset_version(p2, obj)
+                for obj in history.vset_objects(p2)
+            )
+            changed = {
+                v for v in second - first if not v.is_unborn and v.tid != tid
+            }
+            for v in changed:
+                commit_idx = history.commit_index(v.tid)
+                if (
+                    v.tid in history.committed
+                    and commit_idx is not None
+                    and i1 < commit_idx < i2
+                    and history.changes_matches(p1.predicate, v)
+                ):
+                    witnesses.append(
+                        f"T{tid}'s repeated read of {p1.predicate} saw "
+                        f"T{v.tid}'s committed change ({v})"
+                    )
+    return AnsiReport(AnsiPhenomenon.A3, bool(witnesses), tuple(witnesses))
+
+
+_DETECTORS: Dict[AnsiPhenomenon, Callable[[History], AnsiReport]] = {
+    AnsiPhenomenon.A1: _detect_a1,
+    AnsiPhenomenon.A2: _detect_a2,
+    AnsiPhenomenon.A3: _detect_a3,
+}
+
+_PROSCRIBED: Dict[IsolationLevel, Tuple[AnsiPhenomenon, ...]] = {
+    IsolationLevel.PL_2: (AnsiPhenomenon.A1,),
+    IsolationLevel.PL_2_99: (AnsiPhenomenon.A1, AnsiPhenomenon.A2),
+    IsolationLevel.PL_3: (
+        AnsiPhenomenon.A1,
+        AnsiPhenomenon.A2,
+        AnsiPhenomenon.A3,
+    ),
+}
+
+
+class AnsiAnalysis:
+    """A1–A3 detection with memoized reports."""
+
+    def __init__(self, history: History):
+        self.history = history
+        self._cache: Dict[AnsiPhenomenon, AnsiReport] = {}
+
+    def report(self, phenomenon: AnsiPhenomenon) -> AnsiReport:
+        if phenomenon not in self._cache:
+            self._cache[phenomenon] = _DETECTORS[phenomenon](self.history)
+        return self._cache[phenomenon]
+
+    def exhibits(self, phenomenon: AnsiPhenomenon) -> bool:
+        return self.report(phenomenon).present
+
+
+def ansi_strict_satisfies(
+    history: History,
+    level: IsolationLevel,
+    *,
+    analysis: Optional[AnsiAnalysis] = None,
+) -> bool:
+    """Would the strict (anomaly) reading of ANSI SQL-92 admit the history
+    at the analogue of ``level``?  READ UNCOMMITTED proscribes nothing in
+    this reading (ANSI had no dirty-write phenomenon at all — the missing
+    P0 the paper's Section 2 notes)."""
+    if level is IsolationLevel.PL_1:
+        return True
+    analysis = analysis or AnsiAnalysis(history)
+    try:
+        proscribed = _PROSCRIBED[level]
+    except KeyError:
+        raise KeyError(
+            f"the ANSI strict reading defines no analogue of {level}"
+        ) from None
+    return not any(analysis.exhibits(p) for p in proscribed)

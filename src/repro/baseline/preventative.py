@@ -1,0 +1,294 @@
+"""The preventative baseline: phenomena P0–P3 of Berenson et al. [8].
+
+The paper's Section 2 recounts how [8] repaired the ANSI definitions with
+the *preventative* phenomena::
+
+    P0: w1[x] ... w2[x]      ... (c1 or a1)      (dirty write)
+    P1: w1[x] ... r2[x]      ... (c1 or a1)      (dirty read)
+    P2: r1[x] ... w2[x]      ... (c1 or a1)      (fuzzy read)
+    P3: r1[P] ... w2[y in P] ... (c1 or a1)      (phantom)
+
+and how Section 3 shows these to be "disguised locking": they condemn any
+history in which conflicting operations interleave with an unfinished
+transaction, regardless of whether the commit order repairs the conflict.
+This module implements them faithfully so that the SEC3 experiment can
+measure exactly how many legal (PL-3-serializable) optimistic/multi-version
+histories the preventative approach rejects.
+
+The phenomena are single-version, object-level conditions: version numbers
+are ignored and only the event order matters.  ``P3`` uses the loose
+interpretation of [8]: T2 writes a version of an object covered by T1's
+predicate such that the object satisfied the predicate before or after the
+write (i.e. the write could change the predicate's result).
+
+Locking levels (Figure 1) proscribe prefixes of the list: Degree 1 / READ
+UNCOMMITTED proscribes P0; READ COMMITTED P0–P1; REPEATABLE READ P0–P2;
+SERIALIZABLE P0–P3.  ``preventative_satisfies`` maps the ANSI chain levels of
+:class:`~repro.core.levels.IsolationLevel` onto those prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..core.events import PredicateRead, Read, Write
+from ..core.history import History
+from ..core.levels import IsolationLevel
+from ..core.objects import Version
+
+__all__ = [
+    "PreventativePhenomenon",
+    "PreventativeReport",
+    "PreventativeAnalysis",
+    "preventative_proscribed",
+    "preventative_satisfies",
+    "preventative_classify",
+]
+
+
+class PreventativePhenomenon(Enum):
+    P0 = "P0"
+    P1 = "P1"
+    P2 = "P2"
+    P3 = "P3"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PreventativeReport:
+    phenomenon: PreventativePhenomenon
+    present: bool
+    witnesses: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        head = f"{self.phenomenon}: {'EXHIBITED' if self.present else 'absent'}"
+        return head + "".join(f"\n  - {w}" for w in self.witnesses)
+
+    def __bool__(self) -> bool:
+        return self.present
+
+
+_PROSCRIBED: Dict[IsolationLevel, Tuple[PreventativePhenomenon, ...]] = {
+    IsolationLevel.PL_1: (PreventativePhenomenon.P0,),
+    IsolationLevel.PL_2: (PreventativePhenomenon.P0, PreventativePhenomenon.P1),
+    IsolationLevel.PL_2_99: (
+        PreventativePhenomenon.P0,
+        PreventativePhenomenon.P1,
+        PreventativePhenomenon.P2,
+    ),
+    IsolationLevel.PL_3: (
+        PreventativePhenomenon.P0,
+        PreventativePhenomenon.P1,
+        PreventativePhenomenon.P2,
+        PreventativePhenomenon.P3,
+    ),
+}
+
+
+def preventative_proscribed(
+    level: IsolationLevel,
+) -> Tuple[PreventativePhenomenon, ...]:
+    """The P-phenomena the locking analogue of ``level`` proscribes."""
+    try:
+        return _PROSCRIBED[level]
+    except KeyError:
+        raise KeyError(
+            f"the preventative approach defines no analogue of {level}"
+        ) from None
+
+
+class PreventativeAnalysis:
+    """P0–P3 detection over one history, with memoized reports."""
+
+    def __init__(self, history: History):
+        self.history = history
+        self._cache: Dict[PreventativePhenomenon, PreventativeReport] = {}
+
+    def report(self, phenomenon: PreventativePhenomenon) -> PreventativeReport:
+        if phenomenon not in self._cache:
+            self._cache[phenomenon] = _DETECTORS[phenomenon](self.history)
+        return self._cache[phenomenon]
+
+    def exhibits(self, phenomenon: PreventativePhenomenon) -> bool:
+        return self.report(phenomenon).present
+
+
+def _finish(history: History, tid: int) -> int:
+    idx = history.finish_index(tid)
+    # Complete histories always have a finish; guard for validate=False use.
+    return len(history.events) if idx is None else idx
+
+
+def _detect_p0(history: History) -> PreventativeReport:
+    """w1[x] ... w2[x] before T1 finishes."""
+    witnesses: List[str] = []
+    for i, ev in enumerate(history.events):
+        if not isinstance(ev, Write):
+            continue
+        horizon = _finish(history, ev.tid)
+        for j in range(i + 1, horizon):
+            other = history.events[j]
+            if (
+                isinstance(other, Write)
+                and other.tid != ev.tid
+                and other.version.obj == ev.version.obj
+            ):
+                witnesses.append(
+                    f"T{other.tid} wrote {other.version.obj!r} at event {j} "
+                    f"while T{ev.tid}'s write at event {i} was unfinished"
+                )
+                break
+    return PreventativeReport(
+        PreventativePhenomenon.P0, bool(witnesses), tuple(witnesses)
+    )
+
+
+def _detect_p1(history: History) -> PreventativeReport:
+    """w1[x] ... r2[x] before T1 finishes.
+
+    In the single-version object-level model of [8] a predicate-based read
+    accesses every tuple of its relations, so a predicate read by T2 over a
+    relation containing an object T1 has written (and not yet finished)
+    also exhibits P1.
+    """
+    witnesses: List[str] = []
+    for i, ev in enumerate(history.events):
+        if not isinstance(ev, Write):
+            continue
+        horizon = _finish(history, ev.tid)
+        for j in range(i + 1, horizon):
+            other = history.events[j]
+            hit = False
+            if (
+                isinstance(other, Read)
+                and other.version.obj == ev.version.obj
+            ):
+                hit = True
+            elif isinstance(other, PredicateRead) and ev.version.obj in set(
+                history.vset_objects(other)
+            ):
+                hit = True
+            if hit and other.tid != ev.tid:
+                witnesses.append(
+                    f"T{other.tid} read {ev.version.obj!r} at event {j} "
+                    f"while T{ev.tid}'s write at event {i} was unfinished"
+                )
+                break
+    return PreventativeReport(
+        PreventativePhenomenon.P1, bool(witnesses), tuple(witnesses)
+    )
+
+
+def _detect_p2(history: History) -> PreventativeReport:
+    """r1[x] ... w2[x] before T1 finishes."""
+    witnesses: List[str] = []
+    for i, ev in enumerate(history.events):
+        if not isinstance(ev, Read):
+            continue
+        horizon = _finish(history, ev.tid)
+        for j in range(i + 1, horizon):
+            other = history.events[j]
+            if (
+                isinstance(other, Write)
+                and other.tid != ev.tid
+                and other.version.obj == ev.version.obj
+            ):
+                witnesses.append(
+                    f"T{other.tid} wrote {other.version.obj!r} at event {j} "
+                    f"while T{ev.tid}'s read at event {i} was unfinished"
+                )
+                break
+    return PreventativeReport(
+        PreventativePhenomenon.P2, bool(witnesses), tuple(witnesses)
+    )
+
+
+def _detect_p3(history: History) -> PreventativeReport:
+    """r1[P] ... w2[y in P] before T1 finishes.
+
+    ``y in P``: the written version matches P, or the version it replaces
+    (the latest earlier write of ``y``, else the predicate read's selection
+    for ``y``) matched P — the write could change P's result either way.
+    """
+    witnesses: List[str] = []
+    for i, ev in enumerate(history.events):
+        if not isinstance(ev, PredicateRead):
+            continue
+        horizon = _finish(history, ev.tid)
+        for j in range(i + 1, horizon):
+            other = history.events[j]
+            if (
+                isinstance(other, Write)
+                and other.tid != ev.tid
+                and ev.predicate.covers(other.version.obj)
+                and _write_in_predicate(history, ev, i, j, other)
+            ):
+                witnesses.append(
+                    f"T{other.tid} wrote {other.version.obj!r} (in predicate "
+                    f"{ev.predicate}) at event {j} while T{ev.tid}'s predicate "
+                    f"read at event {i} was unfinished"
+                )
+                break
+    return PreventativeReport(
+        PreventativePhenomenon.P3, bool(witnesses), tuple(witnesses)
+    )
+
+
+def _write_in_predicate(
+    history: History, pread: PredicateRead, read_idx: int, write_idx: int, write: Write
+) -> bool:
+    if history.version_matches(pread.predicate, write.version):
+        return True
+    before = _latest_write_before(history, write.version.obj, write_idx)
+    if before is None:
+        before = history.vset_version(pread, write.version.obj)
+    if before.is_unborn:
+        return False
+    return history.version_matches(pread.predicate, before)
+
+
+def _latest_write_before(
+    history: History, obj: str, idx: int
+) -> Optional[Version]:
+    for j in range(idx - 1, -1, -1):
+        ev = history.events[j]
+        if isinstance(ev, Write) and ev.version.obj == obj:
+            return ev.version
+    return None
+
+
+_DETECTORS = {
+    PreventativePhenomenon.P0: _detect_p0,
+    PreventativePhenomenon.P1: _detect_p1,
+    PreventativePhenomenon.P2: _detect_p2,
+    PreventativePhenomenon.P3: _detect_p3,
+}
+
+
+def preventative_satisfies(
+    history: History,
+    level: IsolationLevel,
+    *,
+    analysis: Optional[PreventativeAnalysis] = None,
+) -> bool:
+    """Whether the history would be admitted by the locking definitions of
+    [8] at the analogue of ``level``."""
+    analysis = analysis or PreventativeAnalysis(history)
+    return not any(
+        analysis.exhibits(p) for p in preventative_proscribed(level)
+    )
+
+
+def preventative_classify(history: History) -> Optional[IsolationLevel]:
+    """The strongest ANSI-chain level whose preventative analogue admits the
+    history; ``None`` when even Degree 1 rejects it (P0 occurs)."""
+    analysis = PreventativeAnalysis(history)
+    strongest: Optional[IsolationLevel] = None
+    for level in _PROSCRIBED:
+        if preventative_satisfies(history, level, analysis=analysis):
+            strongest = level
+    return strongest

@@ -1,0 +1,15 @@
+"""User-facing isolation checker built on the core formalism."""
+
+from .checker import as_history, check, check_level
+from .naming import NamedAnomaly, name_anomalies, name_cycle
+from .report import CheckReport
+
+__all__ = [
+    "as_history",
+    "check",
+    "check_level",
+    "NamedAnomaly",
+    "name_anomalies",
+    "name_cycle",
+    "CheckReport",
+]

@@ -1,0 +1,93 @@
+"""The isolation checker: the library's user-facing entry points.
+
+``check`` takes a history — either a :class:`~repro.core.history.History`
+or the textual notation — and returns a :class:`CheckReport` with every
+phenomenon, per-level verdicts, and the strongest level provided::
+
+    >>> import repro
+    >>> repro.check("w1(x1, 2) w2(x2, 5) w2(y2, 5) c2 w1(y1, 8) c1 "
+    ...             "[x1 << x2, y2 << y1]").strongest_level is None
+    True
+
+``check_level`` answers the single-level question and ``classify`` (from
+:mod:`repro.core.levels`) returns just the strongest ANSI level.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ..core.conflicts import PredicateDepMode
+from ..core.history import History
+from ..core.levels import ANSI_CHAIN, IsolationLevel, LevelVerdict, satisfies
+from ..core.parser import parse_history
+from ..core.phenomena import Analysis
+from .report import CheckReport
+
+__all__ = ["check", "check_level", "as_history"]
+
+HistoryLike = Union[History, str]
+
+
+def as_history(history: HistoryLike, *, auto_complete: bool = False) -> History:
+    """Coerce textual notation to a validated :class:`History`."""
+    if isinstance(history, History):
+        return history
+    return parse_history(history, auto_complete=auto_complete)
+
+
+def check(
+    history: HistoryLike,
+    *,
+    levels: Sequence[IsolationLevel] = ANSI_CHAIN,
+    extensions: bool = False,
+    mode: PredicateDepMode = PredicateDepMode.LATEST,
+    auto_complete: bool = False,
+) -> CheckReport:
+    """Full analysis of a history.
+
+    Parameters
+    ----------
+    history:
+        A :class:`History` or its textual notation.
+    levels:
+        Levels to test (default: the ANSI chain of Figure 6).
+    extensions:
+        Also test the thesis extension levels PL-CS, PL-2+, PL-SI and PL-SS.
+    mode:
+        Predicate-read-dependency quantification.
+    auto_complete:
+        Append aborts for unfinished transactions before checking
+        (Section 4.2's completion; only applies to textual input).
+    """
+    h = as_history(history, auto_complete=auto_complete)
+    wanted = list(levels)
+    if extensions:
+        for extra in (
+            IsolationLevel.PL_CS,
+            IsolationLevel.PL_2PLUS,
+            IsolationLevel.PL_SI,
+            IsolationLevel.PL_SS,
+        ):
+            if extra not in wanted:
+                wanted.append(extra)
+    analysis = Analysis(h, mode)
+    verdicts = {
+        level: satisfies(h, level, analysis=analysis) for level in wanted
+    }
+    return CheckReport(h, analysis, verdicts, tuple(wanted))
+
+
+def check_level(
+    history: HistoryLike,
+    level: Union[IsolationLevel, str],
+    *,
+    mode: PredicateDepMode = PredicateDepMode.LATEST,
+    auto_complete: bool = False,
+) -> LevelVerdict:
+    """Does the history provide one level?  Accepts level names (including
+    ANSI aliases such as ``"READ COMMITTED"``)."""
+    if isinstance(level, str):
+        level = IsolationLevel.from_string(level)
+    h = as_history(history, auto_complete=auto_complete)
+    return satisfies(h, level, mode=mode)

@@ -1,0 +1,120 @@
+"""Classical anomaly names for detected phenomena.
+
+The formalism speaks in cycles and phenomena; practitioners speak in
+anomaly names (dirty read, lost update, write skew, ...).  This module maps
+a history's witnesses to the classical vocabulary so checker reports read
+like an incident writeup instead of graph theory:
+
+* G1a → *dirty read* (aborted read) / *aborted predicate read*;
+* G1b → *intermediate read*;
+* G0 → *dirty write*;
+* G1c → *circular information flow*;
+* single-anti cycles → *lost update* (anti + ww on the same object),
+  *fuzzy read* (anti + wr on the same object), or *read skew* (across
+  objects); with a predicate anti edge, *phantom*;
+* multi-anti cycles → *write skew* (two antis over disjoint objects) or a
+  general *anti-dependency cycle*.
+
+Naming is heuristic in the best sense: every name is justified by the edge
+structure of an actual witness cycle, and the anomaly-corpus tests pin each
+classical anomaly to its expected name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.conflicts import DepKind
+from ..core.dsg import Cycle
+from ..core.phenomena import Analysis, Phenomenon, Witness
+
+__all__ = ["NamedAnomaly", "name_cycle", "name_anomalies"]
+
+
+@dataclass(frozen=True)
+class NamedAnomaly:
+    """A classical anomaly found in a history."""
+
+    name: str
+    phenomenon: Phenomenon
+    witness: Witness
+
+    def describe(self) -> str:
+        return f"{self.name} [{self.phenomenon}]: {self.witness.description}"
+
+
+def name_cycle(cycle: Cycle) -> str:
+    """The classical name for a witness cycle, from its edge structure."""
+    antis = [e for e in cycle.edges if e.kind is DepKind.RW]
+    wws = [e for e in cycle.edges if e.kind is DepKind.WW]
+    wrs = [e for e in cycle.edges if e.kind is DepKind.WR]
+    pred_antis = [e for e in antis if e.via_predicate]
+
+    if not antis:
+        if not wrs:
+            return "dirty write"
+        return "circular information flow"
+
+    if pred_antis:
+        return "phantom"
+
+    if len(antis) == 1:
+        anti = antis[0]
+        if any(e.obj == anti.obj for e in wws):
+            return "lost update"
+        if any(e.obj == anti.obj for e in wrs):
+            return "fuzzy read"
+        return "read skew"
+
+    objs = {e.obj for e in antis}
+    if len(antis) == 2 and len(objs) == 2 and not wws and not wrs:
+        return "write skew"
+    return "anti-dependency cycle"
+
+
+_READ_PHENOMENA = {
+    Phenomenon.G1A: "dirty read",
+    Phenomenon.G1B: "intermediate read",
+}
+
+#: Cycle phenomena consulted, most specific first so each distinct anomaly
+#: is reported once with its sharpest witness.
+_CYCLE_PHENOMENA: Tuple[Phenomenon, ...] = (
+    Phenomenon.G0,
+    Phenomenon.G1C,
+    Phenomenon.G_SINGLE,
+    Phenomenon.G2_ITEM,
+    Phenomenon.G2,
+)
+
+
+def name_anomalies(analysis: Analysis) -> List[NamedAnomaly]:
+    """Every named anomaly the analysis can justify, deduplicated by name.
+
+    Accepts an :class:`~repro.core.phenomena.Analysis` (so the expensive
+    graph work is shared with whatever else the caller is doing).
+    """
+    out: List[NamedAnomaly] = []
+    seen: set = set()
+
+    for phenomenon, base_name in _READ_PHENOMENA.items():
+        report = analysis.report(phenomenon)
+        for witness in report.witnesses:
+            name = base_name
+            if "predicate" in witness.description:
+                name = f"{base_name} (predicate)"
+            key = (name, witness.description)
+            if key not in seen:
+                seen.add(key)
+                out.append(NamedAnomaly(name, phenomenon, witness))
+
+    for phenomenon in _CYCLE_PHENOMENA:
+        report = analysis.report(phenomenon)
+        for witness in report.witnesses:
+            if witness.cycle is None:
+                continue
+            name = name_cycle(witness.cycle)
+            if name not in {a.name for a in out}:
+                out.append(NamedAnomaly(name, phenomenon, witness))
+    return out

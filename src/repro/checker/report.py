@@ -1,0 +1,122 @@
+"""Check reports: the user-facing result of analysing a history.
+
+A :class:`CheckReport` bundles the phenomenon analysis, per-level verdicts,
+the strongest ANSI level, and a rendered explanation.  It is what
+:func:`repro.check` returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.history import History
+from ..core.levels import IsolationLevel, LevelVerdict
+from ..core.phenomena import Analysis, Phenomenon, PhenomenonReport
+
+__all__ = ["CheckReport"]
+
+#: Phenomena shown in full reports, paper order.
+_REPORT_PHENOMENA: Tuple[Phenomenon, ...] = (
+    Phenomenon.G0,
+    Phenomenon.G1A,
+    Phenomenon.G1B,
+    Phenomenon.G1C,
+    Phenomenon.G2_ITEM,
+    Phenomenon.G2,
+)
+
+
+@dataclass
+class CheckReport:
+    """Everything the checker learned about one history."""
+
+    history: History
+    analysis: Analysis
+    verdicts: Dict[IsolationLevel, LevelVerdict]
+    levels: Tuple[IsolationLevel, ...]
+
+    @property
+    def strongest_level(self) -> Optional[IsolationLevel]:
+        """The strongest checked level the history provides (``None`` when
+        even the weakest checked level is violated)."""
+        strongest: Optional[IsolationLevel] = None
+        for level, verdict in self.verdicts.items():
+            if verdict.ok and (strongest is None or level.implies(strongest)):
+                strongest = level
+        return strongest
+
+    @property
+    def serializable(self) -> bool:
+        """Whether the history provides PL-3 (conflict-serializability)."""
+        verdict = self.verdicts.get(IsolationLevel.PL_3)
+        if verdict is None:
+            raise KeyError("PL-3 was not among the checked levels")
+        return verdict.ok
+
+    def ok(self, level: IsolationLevel) -> bool:
+        return self.verdicts[level].ok
+
+    def phenomena(self) -> Tuple[PhenomenonReport, ...]:
+        """Reports for all the standard phenomena (memoized analysis)."""
+        return tuple(self.analysis.report(p) for p in _REPORT_PHENOMENA)
+
+    def exhibited(self) -> Tuple[Phenomenon, ...]:
+        """The standard phenomena the history exhibits."""
+        return tuple(r.phenomenon for r in self.phenomena() if r.present)
+
+    def timeline(self) -> str:
+        """The history as a transaction/time grid (see
+        :func:`repro.core.timeline.timeline`)."""
+        from ..core.timeline import timeline
+
+        return timeline(self.history)
+
+    def named_anomalies(self):
+        """The classical anomaly names the history's witnesses justify
+        (dirty read, lost update, write skew, phantom, ...)."""
+        from .naming import name_anomalies
+
+        return name_anomalies(self.analysis)
+
+    def explain(self) -> str:
+        """Multi-line, human-readable account: the history, each phenomenon
+        with witnesses, each level verdict, and the strongest level."""
+        lines = [f"history: {self.history}"]
+        lines.append("")
+        lines.append("phenomena:")
+        for report in self.phenomena():
+            lines.append("  " + report.describe().replace("\n", "\n  "))
+        lines.append("")
+        lines.append("levels:")
+        for level in self.levels:
+            verdict = self.verdicts[level]
+            mark = "PROVIDED" if verdict.ok else "violated"
+            why = ""
+            if not verdict.ok:
+                names = ", ".join(str(r.phenomenon) for r in verdict.violations)
+                why = f" (exhibits {names})"
+            lines.append(f"  {level}: {mark}{why}")
+        anomalies = self.named_anomalies()
+        if anomalies:
+            lines.append("")
+            lines.append("named anomalies:")
+            for anomaly in anomalies:
+                lines.append(f"  - {anomaly.name} [{anomaly.phenomenon}]")
+        strongest = self.strongest_level
+        lines.append("")
+        if strongest is None:
+            lines.append("strongest level: none (below PL-1)")
+        else:
+            lines.append(f"strongest level: {strongest}")
+        if self.serializable_checked() and self.serializable:
+            order = self.analysis.dsg.topological_order()
+            pretty = ", ".join(f"T{t}" for t in order)
+            lines.append(f"serialization order: {pretty}")
+        return "\n".join(lines)
+
+    def serializable_checked(self) -> bool:
+        return IsolationLevel.PL_3 in self.verdicts
+
+    def __str__(self) -> str:
+        return self.explain()

@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``check``
+    Full analysis of a history: phenomena with witnesses, per-level
+    verdicts, strongest level.  ``--extensions`` adds PL-CS/PL-2+/PL-SI,
+    ``--level`` restricts to one level (exit status reflects the verdict).
+``classify``
+    Print just the strongest ANSI level (or ``none``).
+``dsg``
+    Emit the history's direct serialization graph as GraphViz dot.
+``phenomena``
+    One line per phenomenon: exhibited or absent.
+``mixing``
+    Test Definition 9 mixing-correctness (levels from ``bI@PL-x`` events).
+``preventative``
+    Run the Berenson et al. P0–P3 baseline for comparison.
+``repair``
+    Compute which transactions must abort (with cascades) for the history
+    to provide ``--level`` (default PL-3), and print the repaired history.
+``timeline``
+    Render the history as a transaction/time grid (one row per
+    transaction).
+``corpus``
+    Self-test: re-check every canonical paper history and anomaly against
+    its documented verdicts and print the admission matrix (no history
+    argument needed).
+``report``
+    Run a condensed version of every paper experiment and print a markdown
+    reproduction report (no history argument needed).
+
+The history is taken from the positional argument, from ``--file``, or from
+stdin, in the paper's notation::
+
+    python -m repro classify "w1(x1) c1 r2(x1) c2"
+    echo "w1(x1) r2(x1) c2 a1" | python -m repro check --auto-complete
+
+Exit status: 0 on success (and, with ``--level``, when the level is
+provided); 1 when a requested level is violated; 2 on bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .baseline.preventative import PreventativeAnalysis, PreventativePhenomenon
+from .checker import check
+from .core.dsg import DSG
+from .core.levels import IsolationLevel, classify
+from .core.msg import mixing_correct
+from .core.parser import parse_history
+from .exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Generalized isolation level checker (Adya/Liskov/O'Neil, ICDE 2000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_history_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "history",
+            nargs="?",
+            help="history in the paper's notation (default: read stdin)",
+        )
+        p.add_argument("--file", "-f", help="read the history from a file")
+        p.add_argument(
+            "--auto-complete",
+            action="store_true",
+            help="append aborts for unfinished transactions (Section 4.2)",
+        )
+
+    p_check = sub.add_parser("check", help="full phenomenon/level analysis")
+    add_history_args(p_check)
+    p_check.add_argument(
+        "--extensions",
+        action="store_true",
+        help="also test PL-CS, PL-2+ and PL-SI",
+    )
+    p_check.add_argument(
+        "--level",
+        help="test only this level (name or alias, e.g. 'PL-3', 'repeatable read')",
+    )
+
+    p_classify = sub.add_parser("classify", help="print the strongest ANSI level")
+    add_history_args(p_classify)
+
+    p_dsg = sub.add_parser("dsg", help="print the DSG as GraphViz dot")
+    add_history_args(p_dsg)
+
+    p_phen = sub.add_parser("phenomena", help="list exhibited phenomena")
+    add_history_args(p_phen)
+
+    p_mix = sub.add_parser("mixing", help="Definition 9 mixing-correctness")
+    add_history_args(p_mix)
+
+    p_prev = sub.add_parser(
+        "preventative", help="Berenson et al. P0-P3 baseline verdicts"
+    )
+    add_history_args(p_prev)
+
+    p_timeline = sub.add_parser(
+        "timeline", help="render the history as a transaction/time grid"
+    )
+    add_history_args(p_timeline)
+
+    p_repair = sub.add_parser(
+        "repair", help="abort set needed to certify the history at a level"
+    )
+    add_history_args(p_repair)
+    p_repair.add_argument(
+        "--level", default="PL-3", help="target level (default PL-3)"
+    )
+
+    sub.add_parser(
+        "corpus",
+        help="self-test against the paper corpus; print the admission matrix",
+    )
+
+    sub.add_parser(
+        "report",
+        help="condensed reproduction report for every paper artifact",
+    )
+
+    return parser
+
+
+def _read_history(args, out=sys.stdout):
+    if args.file:
+        with open(args.file, encoding="utf-8") as handle:
+            text = handle.read()
+    elif args.history is not None:
+        text = args.history
+    else:
+        text = sys.stdin.read()
+    return parse_history(text, auto_complete=args.auto_complete)
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit status."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "corpus":
+        return _run_corpus(out)
+
+    if args.command == "report":
+        from .analysis.report_gen import generate_report
+
+        text, all_ok = generate_report()
+        print(text, file=out)
+        return 0 if all_ok else 1
+
+    try:
+        history = _read_history(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "check":
+        if args.level:
+            try:
+                level = IsolationLevel.from_string(args.level)
+            except KeyError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            report = check(history, levels=(level,))
+            verdict = report.verdicts[level]
+            print(verdict.describe(), file=out)
+            return 0 if verdict.ok else 1
+        report = check(history, extensions=args.extensions)
+        print(report.explain(), file=out)
+        return 0
+
+    if args.command == "classify":
+        level = classify(history)
+        print(str(level) if level is not None else "none", file=out)
+        return 0
+
+    if args.command == "dsg":
+        print(DSG(history).to_dot(), file=out)
+        return 0
+
+    if args.command == "phenomena":
+        report = check(history)
+        for item in report.phenomena():
+            print(item.describe(), file=out)
+        return 0
+
+    if args.command == "mixing":
+        result = mixing_correct(history)
+        print(result.describe(), file=out)
+        return 0 if result.ok else 1
+
+    if args.command == "preventative":
+        analysis = PreventativeAnalysis(history)
+        for phenomenon in PreventativePhenomenon:
+            print(analysis.report(phenomenon).describe(), file=out)
+        return 0
+
+    if args.command == "timeline":
+        from .core.timeline import timeline
+
+        print(timeline(history), file=out)
+        return 0
+
+    if args.command == "repair":
+        from .analysis.repair import repair as run_repair
+
+        try:
+            level = IsolationLevel.from_string(args.level)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = run_repair(history, level)
+        print(result.describe(), file=out)
+        if not result.clean:
+            print(f"repaired history: {result.history}", file=out)
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _run_corpus(out) -> int:
+    """Check every documented verdict in the corpus; print the matrix."""
+    from .core.canonical import ALL_CANONICAL
+    from .workloads.anomalies import ALL_ANOMALIES
+
+    corpus = ALL_CANONICAL + ALL_ANOMALIES
+    columns = [
+        IsolationLevel.PL_1,
+        IsolationLevel.PL_2,
+        IsolationLevel.PL_CS,
+        IsolationLevel.PL_2PLUS,
+        IsolationLevel.PL_2_99,
+        IsolationLevel.PL_SI,
+        IsolationLevel.PL_3,
+    ]
+    mismatches = 0
+    checked = 0
+    print(f"{'history':28}" + "".join(f"{str(c):>9}" for c in columns), file=out)
+    for entry in corpus:
+        report = check(entry.history, extensions=True)
+        cells = []
+        for level in columns:
+            got = report.ok(level)
+            expected = entry.provides.get(level)
+            mark = "Y" if got else "-"
+            if expected is not None:
+                checked += 1
+                if got != expected:
+                    mismatches += 1
+                    mark = "!"
+            cells.append(f"{mark:>9}")
+        print(f"{entry.name:28}" + "".join(cells), file=out)
+    print(
+        f"\n{checked} documented verdicts checked, {mismatches} mismatches",
+        file=out,
+    )
+    return 0 if mismatches == 0 else 1

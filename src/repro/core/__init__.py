@@ -1,0 +1,95 @@
+"""The paper's formalism: histories, conflicts, DSGs, phenomena and levels.
+
+Import the commonly used names directly from :mod:`repro.core`::
+
+    from repro.core import parse_history, Analysis, IsolationLevel, classify
+"""
+
+from .conflicts import (
+    DepKind,
+    Edge,
+    PredicateDepMode,
+    all_dependencies,
+    anti_dependencies,
+    read_dependencies,
+    write_dependencies,
+)
+from .dsg import DSG, Cycle
+from .events import Abort, Begin, Commit, Event, PredicateRead, Read, Write
+from .formatting import format_event, format_history
+from .history import History
+from .levels import ANSI_CHAIN, IsolationLevel, LevelVerdict, classify, satisfies
+from .msg import MSG, MixingReport, mixing_correct
+from .objects import DEFAULT_RELATION, INIT_TID, Version, VersionKind, relation_of
+from .parser import parse_events, parse_history, parse_version
+from .phenomena import Analysis, Phenomenon, PhenomenonReport, Witness
+from .predicates import (
+    FieldPredicate,
+    FunctionPredicate,
+    MembershipPredicate,
+    Predicate,
+    VersionSet,
+)
+from .runtime import could_commit_at, running_satisfies, virtual_commit
+from .serialize import dumps, history_from_dict, history_to_dict, loads
+from .ssg import SSG, start_dependencies
+from .timeline import timeline
+from .validation import validate_history
+
+__all__ = [
+    "DepKind",
+    "Edge",
+    "PredicateDepMode",
+    "all_dependencies",
+    "anti_dependencies",
+    "read_dependencies",
+    "write_dependencies",
+    "DSG",
+    "Cycle",
+    "Abort",
+    "Begin",
+    "Commit",
+    "Event",
+    "PredicateRead",
+    "Read",
+    "Write",
+    "format_event",
+    "format_history",
+    "History",
+    "ANSI_CHAIN",
+    "IsolationLevel",
+    "LevelVerdict",
+    "classify",
+    "satisfies",
+    "MSG",
+    "MixingReport",
+    "mixing_correct",
+    "DEFAULT_RELATION",
+    "INIT_TID",
+    "Version",
+    "VersionKind",
+    "relation_of",
+    "parse_events",
+    "parse_history",
+    "parse_version",
+    "Analysis",
+    "Phenomenon",
+    "PhenomenonReport",
+    "Witness",
+    "FieldPredicate",
+    "FunctionPredicate",
+    "MembershipPredicate",
+    "Predicate",
+    "VersionSet",
+    "could_commit_at",
+    "running_satisfies",
+    "virtual_commit",
+    "dumps",
+    "history_from_dict",
+    "history_to_dict",
+    "loads",
+    "SSG",
+    "start_dependencies",
+    "timeline",
+    "validate_history",
+]

@@ -1,0 +1,283 @@
+"""Every example history from the paper, in library form (Sections 3–5).
+
+Each entry records the notation text, what the paper says about it, and the
+machine-checkable claims: which PL levels the history provides.  The FIG6
+benchmark and the integration tests assert every claim.
+
+Values and version orders are transcribed directly from the paper; versions
+like ``x0`` whose writer has no events are the paper's implicit initial
+state (setup versions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Mapping, Tuple
+
+from .history import History
+from .levels import IsolationLevel
+from .parser import parse_history
+
+__all__ = [
+    "CanonicalHistory",
+    "H1",
+    "H2",
+    "H1_PRIME",
+    "H2_PRIME",
+    "H_WRITE_ORDER",
+    "H_PRED_READ",
+    "H_INSERT",
+    "H_SERIAL",
+    "H_WCYCLE",
+    "H_PRED_UPDATE",
+    "H_PHANTOM",
+    "ALL_CANONICAL",
+]
+
+
+@dataclass(frozen=True)
+class CanonicalHistory:
+    """A named paper history with its stated properties.
+
+    ``provides`` maps levels to the paper's (or, where the paper is silent,
+    the formalism's direct) verdicts on whether the committed history
+    provides that level.  ``auto_complete`` mirrors Section 4.2's completion
+    of histories that leave transactions unfinished.
+    """
+
+    name: str
+    section: str
+    description: str
+    text: str
+    provides: Mapping[IsolationLevel, bool] = field(default_factory=dict)
+    auto_complete: bool = False
+
+    @cached_property
+    def history(self) -> History:
+        return parse_history(self.text, auto_complete=self.auto_complete)
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.section}): {self.description}"
+
+
+_PL = IsolationLevel
+
+
+H1 = CanonicalHistory(
+    name="H1",
+    section="Section 3",
+    description=(
+        "T2 observes the invariant x + y = 10 violated (it sees T1's new x "
+        "but the old y); non-serializable, ruled out by P1 in the "
+        "preventative approach and by G2 here"
+    ),
+    text="r1(x0, 5) w1(x1, 1) r2(x1, 1) r2(y0, 5) c2 r1(y0, 5) w1(y1, 9) c1",
+    provides={
+        _PL.PL_1: True,
+        _PL.PL_2: True,
+        _PL.PL_2_99: False,
+        _PL.PL_3: False,
+    },
+)
+
+H2 = CanonicalHistory(
+    name="H2",
+    section="Section 3",
+    description=(
+        "T2 sees old x and new y, again observing x + y = 10 violated; "
+        "non-serializable, ruled out by P2 in the preventative approach and "
+        "by G2 here"
+    ),
+    text="r2(x0, 5) r1(x0, 5) w1(x1, 1) r1(y0, 5) w1(y1, 9) c1 r2(y1, 9) c2",
+    provides={
+        _PL.PL_1: True,
+        _PL.PL_2: True,
+        _PL.PL_2_99: False,
+        _PL.PL_3: False,
+    },
+)
+
+H1_PRIME = CanonicalHistory(
+    name="H1'",
+    section="Section 3",
+    description=(
+        "T2 reads T1's values for both x and y and serializes after T1; "
+        "legal (e.g. in mobile systems with tentative commits) but "
+        "disallowed by P1 because T2 read uncommitted data"
+    ),
+    text="r1(x0, 5) w1(x1, 1) r1(y0, 5) w1(y1, 9) r2(x1, 1) r2(y1, 9) c1 c2",
+    provides={
+        _PL.PL_1: True,
+        _PL.PL_2: True,
+        _PL.PL_2_99: True,
+        _PL.PL_3: True,
+    },
+)
+
+H2_PRIME = CanonicalHistory(
+    name="H2'",
+    section="Section 3",
+    description=(
+        "T2 reads the old values of x and y and serializes before T1; legal "
+        "under optimistic schemes but disallowed by P2 because T1 "
+        "overwrites data read by the uncommitted T2"
+    ),
+    text="r2(x0, 5) r1(x0, 5) w1(x1, 1) r1(y0, 5) r2(y0, 5) w1(y1, 9) c2 c1",
+    provides={
+        _PL.PL_1: True,
+        _PL.PL_2: True,
+        _PL.PL_2_99: True,
+        _PL.PL_3: True,
+    },
+)
+
+H_WRITE_ORDER = CanonicalHistory(
+    name="H_write-order",
+    section="Section 4.2",
+    description=(
+        "the system chose version order x2 << x1 even though T1 committed "
+        "first — version order is independent of commit order; T3 is "
+        "unfinished (completed by an appended abort) and T4 aborted, so x3 "
+        "and y4 are unconstrained"
+    ),
+    text="w1(x1) w2(x2) w2(y2) c1 c2 r3(x1) w3(x3) w4(y4) a4  [x2 << x1]",
+    auto_complete=True,
+    provides={
+        _PL.PL_1: True,
+        _PL.PL_2: True,
+        _PL.PL_2_99: True,
+        _PL.PL_3: True,
+    },
+)
+
+H_PRED_READ = CanonicalHistory(
+    name="H_pred-read",
+    section="Section 4.4.1",
+    description=(
+        "T0 inserts x into Sales, T1 moves x to Legal, T2 changes x's phone "
+        "number; T3's query of Sales predicate-read-depends on T1 (the "
+        "latest match-changing transaction), not T2; serializable as "
+        "T0, T1, T3, T2"
+    ),
+    text=(
+        "w0(x0) c0 w1(x1) c1 w2(x2) r3(Dept=Sales: x2, y0) w2(y2) c2 c3 "
+        "[x0 << x1 << x2, y0 << y2] [Dept=Sales matches: x0]"
+    ),
+    provides={
+        _PL.PL_1: True,
+        _PL.PL_2: True,
+        _PL.PL_2_99: True,
+        _PL.PL_3: True,
+    },
+)
+
+H_INSERT = CanonicalHistory(
+    name="H_insert",
+    section="Section 4.3.2",
+    description=(
+        "the INSERT ... SELECT statement: T1's predicate read over "
+        "COMM > 0.25 * SAL matches x0, which it reads to generate the new "
+        "BONUS tuple y1"
+    ),
+    text="r1(CommGt25Sal: x0*, z0) r1(x0) w1(y1) c1",
+    provides={
+        _PL.PL_1: True,
+        _PL.PL_2: True,
+        _PL.PL_2_99: True,
+        _PL.PL_3: True,
+    },
+)
+
+H_SERIAL = CanonicalHistory(
+    name="H_serial",
+    section="Section 4.4.4 (Figure 3)",
+    description=(
+        "the DSG example: serializable in the order T1, T2, T3 with edges "
+        "T1-ww/wr->T2, T1-ww->T3, T2-wr/rw->T3"
+    ),
+    text=(
+        "w1(z1) w1(x1) w1(y1) w3(x3) c1 r2(x1) w2(y2) c2 r3(y2) w3(z3) c3 "
+        "[x1 << x3, y1 << y2, z1 << z3]"
+    ),
+    provides={
+        _PL.PL_1: True,
+        _PL.PL_2: True,
+        _PL.PL_2_99: True,
+        _PL.PL_3: True,
+    },
+)
+
+H_WCYCLE = CanonicalHistory(
+    name="H_wcycle",
+    section="Section 5.1 (Figure 4)",
+    description=(
+        "updates of x and y occur in opposite orders, a pure "
+        "write-dependency cycle (G0); disallowed even at PL-1"
+    ),
+    text="w1(x1, 2) w2(x2, 5) w2(y2, 5) c2 w1(y1, 8) c1  [x1 << x2, y2 << y1]",
+    provides={
+        _PL.PL_1: False,
+        _PL.PL_2: False,
+        _PL.PL_2_99: False,
+        _PL.PL_3: False,
+    },
+)
+
+H_PRED_UPDATE = CanonicalHistory(
+    name="H_pred-update",
+    section="Section 5.1",
+    description=(
+        "T1 adds employees x and y to Sales while T2 increments Sales "
+        "salaries; the interleaving updates x but misses y.  Allowed at "
+        "PL-1 (no write-dependency cycle) and even PL-2.99 (the cycle needs "
+        "a predicate-anti-dependency edge), but not at PL-3"
+    ),
+    text=(
+        "w1(x1) r2(Dept=Sales: x1*, yinit) w1(y1) w2(x2) c1 c2 "
+        "[xinit << x1 << x2, yinit << y1] [Dept=Sales matches: y1, x2]"
+    ),
+    provides={
+        _PL.PL_1: True,
+        _PL.PL_2: True,
+        _PL.PL_2_99: True,
+        _PL.PL_3: False,
+    },
+)
+
+H_PHANTOM = CanonicalHistory(
+    name="H_phantom",
+    section="Section 5.4 (Figure 5)",
+    description=(
+        "T1 sums Sales salaries while T2 inserts employee z and updates the "
+        "stored sum; T1 sees the new sum but not z — an anti-dependency "
+        "cycle that exists only through the predicate edge, so PL-2.99 "
+        "admits it and PL-3 rejects it"
+    ),
+    text=(
+        "r1(Dept=Sales: x0*, y0*) r1(x0, 10) r1(y0, 10) r2(Sum0, 20) "
+        "w2(z2, 10) w2(Sum2, 30) c2 r1(Sum2, 30) c1 "
+        "[Sum0 << Sum2, zinit << z2] [Dept=Sales matches: z2]"
+    ),
+    provides={
+        _PL.PL_1: True,
+        _PL.PL_2: True,
+        _PL.PL_2_99: True,
+        _PL.PL_3: False,
+    },
+)
+
+#: All canonical histories in paper order.
+ALL_CANONICAL: Tuple[CanonicalHistory, ...] = (
+    H1,
+    H2,
+    H1_PRIME,
+    H2_PRIME,
+    H_WRITE_ORDER,
+    H_PRED_READ,
+    H_INSERT,
+    H_SERIAL,
+    H_WCYCLE,
+    H_PRED_UPDATE,
+    H_PHANTOM,
+)

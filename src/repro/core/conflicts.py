@@ -1,0 +1,321 @@
+"""Direct conflicts between transactions (paper Section 4.4, Definitions 2–6).
+
+Three kinds of direct conflict produce the edges of the Direct Serialization
+Graph, each with an item flavour and a predicate flavour:
+
+* **write-dependency** (``ww``, Definition 6): ``T_j`` installs the version
+  immediately following a version installed by ``T_i``.
+* **read-dependency** (``wr``, Definition 3): ``T_j`` reads a version ``T_i``
+  installed, or ``T_i`` installed the version that *changed the matches*
+  (Definition 2) of a predicate read by ``T_j``.
+* **anti-dependency** (``rw``, Definition 5): ``T_j`` installs the next
+  version of an object ``T_i`` read, or ``T_j`` *overwrites* (Definition 4) a
+  predicate read by ``T_i``.
+
+Only committed transactions conflict (the DSG has only committed nodes);
+implicit setup transactions count as committed.  Reads of versions created by
+aborted or unfinished transactions yield no edges — phenomena G1a/G1b condemn
+those reads directly on the history.
+
+Predicate-read-dependency quantification.  Definition 3's prose ("of all the
+transactions that have caused the tuples to match (or not match) ... we use
+the *latest* transaction where a change to Vset(P) occurs") and the
+``H_pred-read`` example add a single edge per object, from the latest
+match-changing version at or before the selected version.  The literal
+formula ("``i = k`` or ``x_i << x_k``, and ``x_i`` changes the matches")
+quantifies over every such version.  :class:`PredicateDepMode` selects the
+reading; the default :attr:`PredicateDepMode.LATEST` follows the example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import List, Optional
+
+from .events import PredicateRead
+from .history import History
+from .objects import Version
+from .predicates import Predicate
+
+__all__ = [
+    "DepKind",
+    "PredicateDepMode",
+    "Edge",
+    "write_dependencies",
+    "read_dependencies",
+    "anti_dependencies",
+    "all_dependencies",
+]
+
+
+class DepKind(Enum):
+    """Edge kinds of Figure 2, plus the start-dependency edges used by the
+    start-ordered serialization graph of the Snapshot Isolation extension."""
+
+    WW = "ww"  # directly write-depends
+    WR = "wr"  # directly read-depends
+    RW = "rw"  # directly anti-depends
+    SO = "so"  # start-depends (SSG only; counts as a dependency edge)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class PredicateDepMode(Enum):
+    """Which match-changing transactions a predicate read depends on."""
+
+    #: Only the latest match-changing version at or before the selected one
+    #: (the paper's intent; minimal conflicts).
+    LATEST = "latest"
+    #: Every match-changing version at or before the selected one (the
+    #: literal quantifier reading of Definition 3; strictly more edges).
+    ALL = "all"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One direct conflict ``src --kind--> dst``.
+
+    ``version`` is the version that *creates* the conflict: the version
+    installed by ``dst`` for ``ww``/``rw`` edges, and the version read (or
+    the match-changing version) for ``wr`` edges.  ``predicate`` is set on
+    the predicate flavours; ``cursor`` marks item anti-dependencies whose
+    read went through a cursor (used only by the PL-CS extension level).
+    """
+
+    src: int
+    dst: int
+    kind: DepKind
+    obj: str = ""
+    version: Optional[Version] = None
+    predicate: Optional[Predicate] = None
+    cursor: bool = False
+
+    @property
+    def via_predicate(self) -> bool:
+        return self.predicate is not None
+
+    def describe(self) -> str:
+        """Human-readable one-line explanation, used in checker reports."""
+        if self.kind is DepKind.SO:
+            return (
+                f"T{self.dst} start-depends on T{self.src}: T{self.src} "
+                f"committed before T{self.dst} began"
+            )
+        if self.kind is DepKind.WW:
+            return (
+                f"T{self.dst} directly write-depends on T{self.src}: "
+                f"T{self.dst} installs {self.version}, the next version of "
+                f"{self.obj!r} after T{self.src}'s"
+            )
+        if self.kind is DepKind.WR:
+            if self.via_predicate:
+                return (
+                    f"T{self.dst} directly predicate-read-depends on T{self.src}: "
+                    f"{self.version} changed the matches of T{self.dst}'s read of "
+                    f"predicate {self.predicate}"
+                )
+            return (
+                f"T{self.dst} directly item-read-depends on T{self.src}: "
+                f"T{self.dst} reads {self.version}"
+            )
+        if self.via_predicate:
+            return (
+                f"T{self.dst} directly predicate-anti-depends on T{self.src}: "
+                f"T{self.dst} installs {self.version}, overwriting T{self.src}'s "
+                f"read of predicate {self.predicate}"
+            )
+        return (
+            f"T{self.dst} directly item-anti-depends on T{self.src}: "
+            f"T{self.dst} installs {self.version}, the next version of "
+            f"{self.obj!r} after the one T{self.src} read"
+        )
+
+    def __str__(self) -> str:
+        tag = f"{self.kind}"
+        if self.via_predicate:
+            tag = f"p{tag}"
+        return f"T{self.src} -{tag}-> T{self.dst}"
+
+
+# ----------------------------------------------------------------------
+# write dependencies (Definition 6)
+# ----------------------------------------------------------------------
+
+
+def write_dependencies(history: History) -> List[Edge]:
+    """``T_i`` installs ``x_i`` and ``T_j`` installs ``x``'s next version."""
+    edges: List[Edge] = []
+    for obj, chain in history.version_order.items():
+        for prev, nxt in zip(chain, chain[1:]):
+            if prev.is_unborn:
+                continue  # T_init is not a DSG node
+            if prev.tid != nxt.tid:
+                edges.append(Edge(prev.tid, nxt.tid, DepKind.WW, obj, nxt))
+    return edges
+
+
+# ----------------------------------------------------------------------
+# read dependencies (Definitions 2 and 3)
+# ----------------------------------------------------------------------
+
+
+def read_dependencies(
+    history: History,
+    mode: PredicateDepMode = PredicateDepMode.LATEST,
+) -> List[Edge]:
+    """Item and predicate read-dependency edges.
+
+    Item edges cover reads of any version created by another committed
+    transaction — including intermediate versions, where information
+    genuinely flowed; level classification is unaffected because G1b
+    independently condemns intermediate reads wherever read edges matter.
+    """
+    edges: List[Edge] = []
+    committed = history.committed_all
+    seen = set()
+
+    def add(edge: Edge) -> None:
+        key = (edge.src, edge.dst, edge.kind, edge.obj, edge.version, edge.predicate)
+        if key not in seen:
+            seen.add(key)
+            edges.append(edge)
+
+    for _i, read in history.reads:
+        writer = read.version.tid
+        if read.tid not in committed or writer not in committed:
+            continue
+        if writer == read.tid or read.version.is_unborn:
+            continue
+        add(Edge(writer, read.tid, DepKind.WR, read.version.obj, read.version))
+
+    for _i, pread in history.predicate_reads:
+        if pread.tid not in committed:
+            continue
+        for edge in _predicate_read_edges(history, pread, mode):
+            add(edge)
+    return edges
+
+
+def _predicate_read_edges(
+    history: History, pread: PredicateRead, mode: PredicateDepMode
+) -> List[Edge]:
+    edges: List[Edge] = []
+    for obj in history.vset_objects(pread):
+        if not pread.predicate.covers(obj):
+            continue
+        selected = history.vset_version(pread, obj)
+        idx = history.order_index.get(selected)
+        if idx is None or idx == 0:
+            # Unborn selection has no predecessors; an uninstalled selection
+            # (version of an aborted/unfinished transaction) yields no edge —
+            # G1a/G1b condemn the read itself.
+            continue
+        chain = history.order_of(obj)
+        changers = [
+            chain[k]
+            for k in range(1, idx + 1)
+            if history.changes_matches(pread.predicate, chain[k])
+        ]
+        if mode is PredicateDepMode.LATEST:
+            changers = changers[-1:]
+        for version in changers:
+            if version.tid != pread.tid:
+                edges.append(
+                    Edge(
+                        version.tid,
+                        pread.tid,
+                        DepKind.WR,
+                        obj,
+                        version,
+                        predicate=pread.predicate,
+                    )
+                )
+    return edges
+
+
+# ----------------------------------------------------------------------
+# anti-dependencies (Definitions 4 and 5)
+# ----------------------------------------------------------------------
+
+
+def anti_dependencies(history: History) -> List[Edge]:
+    """Item and predicate anti-dependency edges."""
+    edges: List[Edge] = []
+    committed = history.committed_all
+    seen = set()
+
+    def add(edge: Edge) -> None:
+        key = (edge.src, edge.dst, edge.kind, edge.obj, edge.version, edge.predicate)
+        if key not in seen:
+            seen.add(key)
+            edges.append(edge)
+        elif edge.cursor:
+            # Keep the cursor flag if any contributing read was a cursor read.
+            for k, existing in enumerate(edges):
+                if (
+                    existing.src == edge.src
+                    and existing.dst == edge.dst
+                    and existing.kind == edge.kind
+                    and existing.obj == edge.obj
+                    and existing.version == edge.version
+                    and existing.predicate == edge.predicate
+                ):
+                    edges[k] = replace(existing, cursor=True)
+                    break
+
+    for _i, read in history.reads:
+        if read.tid not in committed:
+            continue
+        nxt = history.next_installed(read.version)
+        if nxt is not None and nxt.tid != read.tid:
+            add(
+                Edge(
+                    read.tid,
+                    nxt.tid,
+                    DepKind.RW,
+                    read.version.obj,
+                    nxt,
+                    cursor=read.cursor,
+                )
+            )
+
+    for _i, pread in history.predicate_reads:
+        if pread.tid not in committed:
+            continue
+        for obj in history.vset_objects(pread):
+            if not pread.predicate.covers(obj):
+                continue
+            selected = history.vset_version(pread, obj)
+            idx = history.order_index.get(selected)
+            if idx is None:
+                continue  # uninstalled selection; see read_dependencies
+            chain = history.order_of(obj)
+            for later in chain[idx + 1 :]:
+                if later.tid == pread.tid:
+                    continue
+                if history.changes_matches(pread.predicate, later):
+                    add(
+                        Edge(
+                            pread.tid,
+                            later.tid,
+                            DepKind.RW,
+                            obj,
+                            later,
+                            predicate=pread.predicate,
+                        )
+                    )
+    return edges
+
+
+def all_dependencies(
+    history: History,
+    mode: PredicateDepMode = PredicateDepMode.LATEST,
+) -> List[Edge]:
+    """Every direct-conflict edge of the history (Figure 2's three rows)."""
+    return (
+        write_dependencies(history)
+        + read_dependencies(history, mode)
+        + anti_dependencies(history)
+    )

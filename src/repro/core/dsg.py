@@ -1,0 +1,301 @@
+"""The Direct Serialization Graph (paper Definition 7).
+
+``DSG(H)`` has one node per committed transaction of ``H`` (including the
+paper's implicit setup transactions, cf. Figure 5's "T0 is not shown") and
+one edge per direct conflict (:mod:`repro.core.conflicts`).  The class wraps
+a :class:`networkx.MultiDiGraph` and provides the cycle searches the
+phenomena need:
+
+* a cycle using only a restricted set of edge flavours (G0 uses only ``ww``,
+  G1c only dependency edges);
+* a cycle containing *at least one* edge of a flavour (G2, G2-item);
+* a cycle containing *exactly one* anti-dependency edge (the G-single
+  phenomenon of the PL-2+ extension level).
+
+All searches return a concrete :class:`Cycle` witness (the edge list), which
+the checker renders into explanations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .conflicts import DepKind, Edge, PredicateDepMode, all_dependencies
+from .history import History
+
+__all__ = ["DSG", "Cycle", "EdgeFilter"]
+
+#: Predicate over edges used to carve out subgraphs.
+EdgeFilter = Callable[[Edge], bool]
+
+
+def dependency_edge(edge: Edge) -> bool:
+    """Definition 8's *dependency* edges: read- or write-dependencies."""
+    return edge.kind in (DepKind.WW, DepKind.WR)
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """A directed cycle as a sequence of edges, each ending where the next
+    begins (and the last ending at the first's source)."""
+
+    edges: Tuple[Edge, ...]
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ValueError("a cycle has at least one edge")
+        for a, b in zip(self.edges, self.edges[1:] + self.edges[:1]):
+            if a.dst != b.src:
+                raise ValueError(f"edges do not chain: {a} then {b}")
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return tuple(e.src for e in self.edges)
+
+    def count(self, kind: DepKind, *, via_predicate: Optional[bool] = None) -> int:
+        return sum(
+            1
+            for e in self.edges
+            if e.kind is kind
+            and (via_predicate is None or e.via_predicate == via_predicate)
+        )
+
+    def describe(self) -> str:
+        path = " ".join(f"T{e.src} -{_tag(e)}->" for e in self.edges)
+        return f"{path} T{self.edges[0].src}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+def _tag(edge: Edge) -> str:
+    return ("p" if edge.via_predicate else "") + edge.kind.value
+
+
+class DSG:
+    """Direct serialization graph of a history.
+
+    Parameters
+    ----------
+    history:
+        The (validated) history.
+    mode:
+        Predicate-read-dependency quantification, see
+        :class:`~repro.core.conflicts.PredicateDepMode`.
+    extra_edges:
+        Additional edges mixed into the graph.  The start-ordered
+        serialization graph of the Snapshot Isolation extension passes
+        start-dependency edges here.
+    """
+
+    def __init__(
+        self,
+        history: History,
+        mode: PredicateDepMode = PredicateDepMode.LATEST,
+        extra_edges: Iterable[Edge] = (),
+    ):
+        self.history = history
+        self.edges: List[Edge] = list(all_dependencies(history, mode)) + list(extra_edges)
+        self.graph = nx.MultiDiGraph()
+        self.graph.add_nodes_from(history.committed_all)
+        for e in self.edges:
+            self.graph.add_edge(e.src, e.dst, edge=e)
+
+    # ------------------------------------------------------------------
+    # structure accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.graph.nodes))
+
+    def edges_between(self, src: int, dst: int) -> List[Edge]:
+        if not self.graph.has_edge(src, dst):
+            return []
+        return [d["edge"] for d in self.graph[src][dst].values()]
+
+    def edges_of(self, kind: DepKind, *, via_predicate: Optional[bool] = None) -> List[Edge]:
+        return [
+            e
+            for e in self.edges
+            if e.kind is kind
+            and (via_predicate is None or e.via_predicate == via_predicate)
+        ]
+
+    def to_dot(self) -> str:
+        """GraphViz rendering (labels match the paper's figures)."""
+        lines = ["digraph DSG {"]
+        for n in self.nodes:
+            lines.append(f'  T{n} [shape=circle, label="T{n}"];')
+        for e in self.edges:
+            style = "dashed" if e.kind is DepKind.RW else "solid"
+            lines.append(
+                f'  T{e.src} -> T{e.dst} [label="{_tag(e)}", style={style}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # cycle searches
+    # ------------------------------------------------------------------
+
+    def _filtered(self, keep: EdgeFilter) -> nx.MultiDiGraph:
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(self.graph.nodes)
+        for e in self.edges:
+            if keep(e):
+                g.add_edge(e.src, e.dst, edge=e)
+        return g
+
+    def find_cycle(self, keep: EdgeFilter) -> Optional[Cycle]:
+        """Any cycle using only edges passing ``keep``, or ``None``."""
+        g = self._filtered(keep)
+        for scc in nx.strongly_connected_components(g):
+            if len(scc) < 2:
+                continue
+            sub = g.subgraph(scc)
+            node_cycle = nx.find_cycle(sub)
+            return _to_cycle(sub, [u for u, _v, _k in node_cycle])
+        return None
+
+    def find_cycle_with(
+        self,
+        special: EdgeFilter,
+        keep: EdgeFilter,
+        *,
+        exactly_one: bool = False,
+    ) -> Optional[Cycle]:
+        """A cycle whose edges all pass ``keep`` and which contains at least
+        one edge passing ``special``.
+
+        With ``exactly_one=True``, the returned cycle contains exactly one
+        ``special`` edge and the rest of the cycle avoids them (the G-single
+        shape: one anti-dependency closed by dependency edges).
+        """
+        g = self._filtered(keep)
+        if exactly_one:
+            rest = self._filtered(lambda e: keep(e) and not special(e))
+            for e in self.edges:
+                if keep(e) and special(e):
+                    path = _shortest_edge_path(rest, e.dst, e.src)
+                    if path is not None:
+                        return Cycle((e, *path))
+            return None
+        sccs = {
+            node: i
+            for i, scc in enumerate(nx.strongly_connected_components(g))
+            for node in scc
+        }
+        for e in self.edges:
+            if not (keep(e) and special(e)):
+                continue
+            if sccs.get(e.src) is not None and sccs[e.src] == sccs.get(e.dst):
+                if e.src == e.dst:
+                    continue
+                path = _shortest_edge_path(g, e.dst, e.src)
+                if path is not None:
+                    return Cycle((e, *path))
+        return None
+
+    def find_cycles(
+        self,
+        keep: EdgeFilter,
+        *,
+        special: Optional[EdgeFilter] = None,
+        limit: int = 10,
+    ) -> List[Cycle]:
+        """Up to ``limit`` distinct simple cycles whose edges all pass
+        ``keep`` (and, if given, containing at least one ``special`` edge).
+
+        Cycle enumeration is exponential in general; the ``limit`` bounds
+        the work.  Distinctness is by node set, so parallel edges do not
+        inflate the list.  Used for multi-witness reports; the phenomena
+        themselves only need existence (:meth:`find_cycle`)."""
+        g = self._filtered(keep)
+        out: List[Cycle] = []
+        seen_nodesets = set()
+        for nodes in nx.simple_cycles(nx.DiGraph(g)):
+            if len(out) >= limit:
+                break
+            key = frozenset(nodes)
+            if key in seen_nodesets:
+                continue
+            cycle = _to_cycle_preferring(g, nodes, special)
+            if special is not None and not any(
+                special(e) for e in cycle.edges
+            ):
+                continue
+            seen_nodesets.add(key)
+            out.append(cycle)
+        return out
+
+    def directly_depends(self, ti: int, tj: int) -> bool:
+        """Definition 8, first half: ``T_j`` directly write- or
+        read-depends on ``T_i``."""
+        return any(
+            dependency_edge(e) for e in self.edges_between(ti, tj)
+        )
+
+    def depends(self, ti: int, tj: int) -> bool:
+        """Definition 8: ``T_j`` depends on ``T_i`` — a path of one or more
+        dependency (ww/wr) edges from ``T_i`` to ``T_j``."""
+        if ti == tj or ti not in self.graph or tj not in self.graph:
+            return False
+        dep = self._filtered(dependency_edge)
+        return nx.has_path(dep, ti, tj)
+
+    def is_acyclic(self) -> bool:
+        return nx.is_directed_acyclic_graph(self.graph)
+
+    def topological_order(self) -> List[int]:
+        """A serialization order of the committed transactions (only valid
+        when the graph is acyclic)."""
+        return list(nx.topological_sort(nx.DiGraph(self.graph)))
+
+
+def _to_cycle_preferring(
+    g: nx.MultiDiGraph, nodes: Sequence[int], special: Optional[EdgeFilter]
+) -> Cycle:
+    """Chain a node cycle into edges, preferring ``special`` edges among
+    parallels so the witness justifies the phenomenon when possible."""
+    edges = []
+    for u, v in zip(nodes, list(nodes[1:]) + [nodes[0]]):
+        parallel = [d["edge"] for d in g[u][v].values()]
+        if special is not None:
+            preferred = [e for e in parallel if special(e)]
+            edges.append((preferred or parallel)[0])
+        else:
+            edges.append(parallel[0])
+    return Cycle(tuple(edges))
+
+
+def _to_cycle(g: nx.MultiDiGraph, nodes: Sequence[int]) -> Cycle:
+    edges = []
+    for u, v in zip(nodes, list(nodes[1:]) + [nodes[0]]):
+        edges.append(next(iter(g[u][v].values()))["edge"])
+    return Cycle(tuple(edges))
+
+
+def _shortest_edge_path(
+    g: nx.MultiDiGraph, src: int, dst: int
+) -> Optional[Tuple[Edge, ...]]:
+    """Shortest path from ``src`` to ``dst`` as edges, or ``None``; a
+    zero-length path (``src == dst``) is the empty tuple."""
+    if src == dst:
+        return ()
+    if src not in g or dst not in g:
+        return None
+    try:
+        nodes = nx.shortest_path(g, src, dst)
+    except nx.NetworkXNoPath:
+        return None
+    edges = []
+    for u, v in zip(nodes, nodes[1:]):
+        edges.append(next(iter(g[u][v].values()))["edge"])
+    return tuple(edges)

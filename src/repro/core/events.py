@@ -1,0 +1,164 @@
+"""History events (paper Section 4.2).
+
+A history's first component is a partial order of *events*: reads, writes,
+predicate-based reads, commits and aborts, plus an optional ``begin`` event
+used for declaring a transaction's isolation level (Section 5.5 mixed
+systems) and for the start-ordering needed by Snapshot Isolation's
+start-ordered serialization graph (extension levels).
+
+Histories in this library store one linearization of the partial order — a
+tuple of these events.  Every example history in the paper is itself
+presented that way ("we will present event histories in examples as a total
+order ... consistent with the partial order").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from .objects import Version
+from .predicates import Predicate, VersionSet
+
+__all__ = [
+    "Event",
+    "Begin",
+    "Read",
+    "Write",
+    "PredicateRead",
+    "Commit",
+    "Abort",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: every event belongs to exactly one transaction."""
+
+    tid: int
+
+    def __post_init__(self) -> None:
+        if self.tid < 0:
+            raise ValueError("application transaction ids are non-negative")
+
+
+@dataclass(frozen=True)
+class Begin(Event):
+    """Optional explicit start of a transaction.
+
+    ``level`` is the isolation level the transaction requested (a
+    :class:`repro.core.levels.IsolationLevel` value), used when checking
+    mixed histories; ``None`` means "the history-wide default".  When a
+    history has no ``Begin`` for a transaction, the transaction is considered
+    to start at its first event.
+    """
+
+    level: Optional[object] = None
+
+    def __str__(self) -> str:
+        if self.level is None:
+            return f"b{self.tid}"
+        return f"b{self.tid}@{self.level}"
+
+
+@dataclass(frozen=True)
+class Read(Event):
+    """``r_i(x_{j:m})`` — transaction ``tid`` reads ``version``.
+
+    ``value`` is the value observed, if the history records one (the paper's
+    ``r_j(x_i, v)`` form).  ``cursor`` marks the read as made through a
+    cursor, which only matters for the Cursor Stability extension level.
+    """
+
+    version: Version
+    value: Any = None
+    cursor: bool = False
+
+    def __str__(self) -> str:
+        inner = self.version.label()
+        if self.value is not None:
+            inner += f", {self.value}"
+        op = "rc" if self.cursor else "r"
+        return f"{op}{self.tid}({inner})"
+
+
+@dataclass(frozen=True)
+class Write(Event):
+    """``w_i(x_{i:m})`` — transaction ``tid`` creates ``version``.
+
+    Inserts, updates, and deletes are all writes (Section 4.1); a delete
+    installs a *dead* version, flagged here with ``dead=True``.  ``value``
+    is the value written, if any (dead versions carry no value).
+    """
+
+    version: Version
+    value: Any = None
+    dead: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.version.tid != self.tid:
+            raise ValueError(
+                f"T{self.tid} cannot write version {self.version} owned by T{self.version.tid}"
+            )
+        if self.dead and self.value is not None:
+            raise ValueError("a dead version carries no value")
+
+    def __str__(self) -> str:
+        inner = self.version.label()
+        if self.dead:
+            inner += ", dead"
+        elif self.value is not None:
+            inner += f", {self.value}"
+        return f"w{self.tid}({inner})"
+
+
+@dataclass(frozen=True)
+class PredicateRead(Event):
+    """``r_i(P: Vset(P))`` — a read based on predicate ``predicate``.
+
+    ``vset`` holds the explicitly selected versions; objects of the
+    predicate's relations absent from it were selected at their unborn
+    version (see :class:`repro.core.predicates.VersionSet`).  Versions of the
+    version set that *match* the predicate and are actually read by the
+    transaction appear as separate :class:`Read` events after this one, as in
+    the paper; a COUNT-style query has no follow-up reads.
+    """
+
+    predicate: Predicate
+    vset: VersionSet
+
+    def matched_versions(self, kind_of, value_of) -> Tuple[Version, ...]:
+        """Versions in the explicit vset satisfying the predicate.
+
+        ``kind_of(version)`` and ``value_of(version)`` are lookups supplied by
+        the owning history; unborn and dead versions never match.
+        """
+        from .objects import VersionKind
+
+        out = []
+        for version in self.vset.versions():
+            if kind_of(version) is not VersionKind.VISIBLE:
+                continue
+            if self.predicate.matches(version, value_of(version)):
+                out.append(version)
+        return tuple(out)
+
+    def __str__(self) -> str:
+        return f"r{self.tid}({self.predicate}: {self.vset})"
+
+
+@dataclass(frozen=True)
+class Commit(Event):
+    """``c_i`` — the transaction's (single) successful final event."""
+
+    def __str__(self) -> str:
+        return f"c{self.tid}"
+
+
+@dataclass(frozen=True)
+class Abort(Event):
+    """``a_i`` — the transaction's (single) unsuccessful final event."""
+
+    def __str__(self) -> str:
+        return f"a{self.tid}"

@@ -1,0 +1,479 @@
+"""Transaction histories (paper Section 4.2).
+
+A :class:`History` is the pair the paper calls ``H``:
+
+* a sequence of :mod:`events <repro.core.events>` — one linearization of the
+  paper's partial order ``E``; and
+* a *version order* ``<<`` — for each object, a total order over the
+  committed versions of that object.
+
+The version order is deliberately independent of event order: a version may
+be ordered before another even though it was installed later (the paper's
+``H_write-order`` example), which is what admits multi-version and optimistic
+implementations.
+
+On construction the history is validated against every well-formedness
+constraint of Section 4.2 (see :mod:`repro.core.validation`); an invalid
+history raises :class:`~repro.exceptions.MalformedHistoryError` or
+:class:`~repro.exceptions.VersionOrderError`.  All conflict/phenomenon
+analysis assumes a validated history.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import MalformedHistoryError, VersionOrderError
+from .events import Abort, Begin, Commit, Event, PredicateRead, Read, Write
+from .objects import Version, VersionKind, relation_of
+from .predicates import Predicate
+
+__all__ = ["History"]
+
+
+class History:
+    """An immutable transaction history ``H = (E, <<)``.
+
+    Parameters
+    ----------
+    events:
+        The event sequence.  Must be *complete*: every transaction mentioned
+        has exactly one :class:`Commit` or :class:`Abort` as its last event.
+        Pass ``auto_complete=True`` to append aborts for unfinished
+        transactions, the completion rule of Section 4.2.
+    version_order:
+        ``{obj: [v1, v2, ...]}`` listing the committed visible (and at most
+        one final dead) versions of each object, *excluding* the unborn
+        version, which is prepended automatically.  If ``None``, the order
+        defaults to the order of the committed transactions' final write
+        events — correct for single-version implementations and for every
+        example in the paper that omits an explicit order.
+    default_level:
+        Isolation level assumed for transactions without a ``Begin`` event
+        declaring one (used by mixed-system checks; ``None`` means PL-3).
+    validate:
+        Whether to run full well-formedness validation (on by default;
+        generators that construct histories correct by construction may skip
+        it for speed).
+    """
+
+    def __init__(
+        self,
+        events: Iterable[Event],
+        version_order: Optional[Mapping[str, Sequence[Version]]] = None,
+        *,
+        default_level: Optional[object] = None,
+        auto_complete: bool = False,
+        validate: bool = True,
+    ):
+        evs = tuple(events)
+        if auto_complete:
+            evs = _complete(evs)
+        self.events: Tuple[Event, ...] = evs
+        self.default_level = default_level
+        self._explicit_order = version_order is not None
+        self.version_order: Dict[str, Tuple[Version, ...]] = self._build_order(version_order)
+        if validate:
+            from .validation import validate_history
+
+            validate_history(self)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_order(
+        self, supplied: Optional[Mapping[str, Sequence[Version]]]
+    ) -> Dict[str, Tuple[Version, ...]]:
+        order: Dict[str, List[Version]] = {}
+        if supplied is not None:
+            for obj, versions in supplied.items():
+                chain: List[Version] = []
+                for v in versions:
+                    if v.is_unborn:
+                        continue  # the unborn version is implicit
+                    if v.obj != obj:
+                        raise VersionOrderError(
+                            f"version order for {obj!r} contains version of {v.obj!r}"
+                        )
+                    chain.append(v)
+                order[obj] = chain
+        # Objects not covered by an explicit order default to the order of
+        # the committed transactions' final write events.
+        for ev in self.events:
+            if isinstance(ev, Write) and ev.tid in self.committed:
+                obj = ev.version.obj
+                if supplied is not None and obj in supplied:
+                    continue
+                v = self.final_version(obj, ev.tid)
+                if v == ev.version:
+                    order.setdefault(obj, []).append(v)
+        # Every object mentioned anywhere gets an order entry so lookups are
+        # uniform, and *setup versions* — versions that are read (directly or
+        # in a version set) but never written by any event, representing the
+        # paper's implicit initial database state (e.g. ``x0`` in
+        # ``H_phantom``, or ``y0`` in ``H_pred-read`` where T0 has events but
+        # no write of ``y``) — are installed right after the unborn version.
+        setup: Dict[str, List[Version]] = {}
+        written = {ev.version for ev in self.events if isinstance(ev, Write)}
+
+        def note(version: Version) -> None:
+            obj = version.obj
+            chain = order.setdefault(obj, [])
+            if (
+                not version.is_unborn
+                and version not in written
+                and version not in chain
+                and version not in setup.get(obj, ())
+            ):
+                setup.setdefault(obj, []).append(version)
+
+        for ev in self.events:
+            if isinstance(ev, (Read, Write)):
+                order.setdefault(ev.version.obj, [])
+                if isinstance(ev, Read):
+                    note(ev.version)
+            elif isinstance(ev, PredicateRead):
+                for v in ev.vset.versions():
+                    note(v)
+        return {
+            obj: (Version.unborn(obj),) + tuple(setup.get(obj, ())) + tuple(chain)
+            for obj, chain in order.items()
+        }
+
+    # ------------------------------------------------------------------
+    # basic indexes
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def tids(self) -> Tuple[int, ...]:
+        """All application transaction ids, in order of first appearance."""
+        seen: Dict[int, None] = {}
+        for ev in self.events:
+            seen.setdefault(ev.tid, None)
+        return tuple(seen)
+
+    @cached_property
+    def committed(self) -> frozenset[int]:
+        return frozenset(ev.tid for ev in self.events if isinstance(ev, Commit))
+
+    @cached_property
+    def aborted(self) -> frozenset[int]:
+        return frozenset(ev.tid for ev in self.events if isinstance(ev, Abort))
+
+    @cached_property
+    def writes(self) -> Dict[Version, Write]:
+        """Every write event indexed by the version it creates."""
+        out: Dict[Version, Write] = {}
+        for ev in self.events:
+            if isinstance(ev, Write):
+                out[ev.version] = ev
+        return out
+
+    @cached_property
+    def _final_seq(self) -> Dict[Tuple[str, int], int]:
+        out: Dict[Tuple[str, int], int] = {}
+        for v in self.writes:
+            key = (v.obj, v.tid)
+            if v.seq > out.get(key, 0):
+                out[key] = v.seq
+        return out
+
+    def final_version(self, obj: str, tid: int) -> Optional[Version]:
+        """``x_i``: the last version of ``obj`` written by ``T_tid``, or
+        ``None`` if it never wrote ``obj``."""
+        seq = self._final_seq.get((obj, tid))
+        if seq is None:
+            return None
+        return Version(obj, tid, seq)
+
+    def is_final(self, version: Version) -> bool:
+        """Whether ``version`` is its writer's final modification of the
+        object (i.e. ``x_{i:m}`` with maximal ``m``)."""
+        return self._final_seq.get((version.obj, version.tid)) == version.seq
+
+    @cached_property
+    def installed(self) -> frozenset[Version]:
+        """All versions that appear in some object's version order (the
+        committed versions, paper Section 4.2)."""
+        return frozenset(v for chain in self.version_order.values() for v in chain)
+
+    def order_of(self, obj: str) -> Tuple[Version, ...]:
+        """The full version order of ``obj`` including the unborn version."""
+        return self.version_order.get(obj, (Version.unborn(obj),))
+
+    @cached_property
+    def order_index(self) -> Dict[Version, int]:
+        """Position of every installed version within its object's version
+        order (unborn version at index 0)."""
+        return {
+            v: i
+            for chain in self.version_order.values()
+            for i, v in enumerate(chain)
+        }
+
+    def next_installed(self, version: Version) -> Optional[Version]:
+        """The version immediately following ``version`` in its object's
+        version order, or ``None`` if it is the last (or not installed)."""
+        idx = self.order_index.get(version)
+        if idx is None:
+            return None
+        chain = self.order_of(version.obj)
+        return chain[idx + 1] if idx + 1 < len(chain) else None
+
+    # ------------------------------------------------------------------
+    # version attributes
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def setup_versions(self) -> frozenset[Version]:
+        """Versions referenced by reads or version sets but never written by
+        any event — the paper's implicit initial database state (e.g. ``x0``
+        in ``H_phantom``).  They are installed right after the unborn version
+        and treated as visible versions of committed transactions."""
+        return frozenset(
+            v for v in self.installed if not v.is_unborn and v not in self.writes
+        )
+
+    @cached_property
+    def setup_tids(self) -> frozenset[int]:
+        """Transactions that install only setup versions and have no events
+        of their own (e.g. T0 in ``H_phantom``, whose DSG caption reads
+        "T0 is not shown")."""
+        return frozenset(v.tid for v in self.setup_versions) - {
+            ev.tid for ev in self.events
+        }
+
+    @cached_property
+    def committed_all(self) -> frozenset[int]:
+        """Committed application transactions plus implicit setup
+        transactions; the node set of the DSG."""
+        return self.committed | frozenset(
+            v.tid for v in self.installed if not v.is_unborn
+        ) - self.aborted
+
+    def kind_of(self, version: Version) -> VersionKind:
+        """Unborn / visible / dead classification of a version."""
+        if version.is_unborn:
+            return VersionKind.UNBORN
+        write = self.writes.get(version)
+        if write is None:
+            if version in self.installed:
+                return VersionKind.VISIBLE  # setup versions are visible
+            raise MalformedHistoryError(
+                f"version {version} was never written in this history"
+            )
+        return VersionKind.DEAD if write.dead else VersionKind.VISIBLE
+
+    def value_of(self, version: Version) -> Any:
+        """The value carried by the version's write; for setup versions with
+        no write event, the first value some read observed for it (``None``
+        if unrecorded either way)."""
+        if version.is_unborn:
+            return None
+        write = self.writes.get(version)
+        if write is not None:
+            return write.value
+        for _i, read in self.reads:
+            if read.version == version and read.value is not None:
+                return read.value
+        return None
+
+    def version_matches(self, predicate: Predicate, version: Version) -> bool:
+        """Predicate evaluation with the Section 4.3 guard: unborn and dead
+        versions never match.  Setup versions (no write event) are visible
+        and evaluated with their observed value."""
+        if version.is_unborn:
+            return False
+        write = self.writes.get(version)
+        if write is None:
+            if version not in self.setup_versions:
+                return False
+            return predicate.matches(version, self.value_of(version))
+        if write.dead:
+            return False
+        return predicate.matches(version, write.value)
+
+    def changes_matches(self, predicate: Predicate, version: Version) -> bool:
+        """Definition 2: whether installing ``version`` changed the matched
+        set of ``predicate`` relative to the immediately preceding version in
+        the object's version order.  Only meaningful for installed versions.
+        """
+        chain = self.order_of(version.obj)
+        idx = self.order_index.get(version)
+        if idx is None:
+            raise VersionOrderError(
+                f"{version} is not an installed version, cannot test match change"
+            )
+        if idx == 0:
+            return False  # the unborn version has no predecessor
+        before = self.version_matches(predicate, chain[idx - 1])
+        after = self.version_matches(predicate, version)
+        return before != after
+
+    # ------------------------------------------------------------------
+    # predicate version-set completion
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def objects_by_relation(self) -> Dict[str, Tuple[str, ...]]:
+        """Universe of objects per relation, in order of first appearance.
+
+        Conceptually ``T_init`` creates every object that will ever exist
+        (Section 4.1); in a finite history the universe is the set of objects
+        mentioned anywhere in it.
+        """
+        seen: Dict[str, Dict[str, None]] = {}
+        for obj in self._all_objects:
+            seen.setdefault(relation_of(obj), {}).setdefault(obj, None)
+        return {rel: tuple(objs) for rel, objs in seen.items()}
+
+    @cached_property
+    def _all_objects(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for ev in self.events:
+            if isinstance(ev, (Read, Write)):
+                seen.setdefault(ev.version.obj, None)
+            elif isinstance(ev, PredicateRead):
+                for obj in ev.vset.objects():
+                    seen.setdefault(obj, None)
+        return tuple(seen)
+
+    def vset_objects(self, pread: PredicateRead) -> Tuple[str, ...]:
+        """All objects conceptually covered by a predicate read's version
+        set: every object of the predicate's relations known to the history,
+        plus any explicitly selected ones."""
+        objs: Dict[str, None] = {}
+        for rel in pread.predicate.relations:
+            for obj in self.objects_by_relation.get(rel, ()):
+                objs.setdefault(obj, None)
+        for obj in pread.vset.objects():
+            objs.setdefault(obj, None)
+        return tuple(objs)
+
+    def vset_version(self, pread: PredicateRead, obj: str) -> Version:
+        """The version of ``obj`` selected by the predicate read: the explicit
+        entry if present, else the implicit unborn version (the paper shows
+        only visible versions in examples; everything else defaults to
+        unborn)."""
+        explicit = pread.vset.get(obj)
+        return explicit if explicit is not None else Version.unborn(obj)
+
+    # ------------------------------------------------------------------
+    # event/transaction structure
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def _event_positions(self) -> Dict[int, Dict[str, int]]:
+        pos: Dict[int, Dict[str, int]] = {}
+        for i, ev in enumerate(self.events):
+            slot = pos.setdefault(ev.tid, {})
+            slot.setdefault("first", i)
+            slot["last"] = i
+            if isinstance(ev, Begin):
+                slot["begin"] = i
+            elif isinstance(ev, Commit):
+                slot["commit"] = i
+            elif isinstance(ev, Abort):
+                slot["abort"] = i
+        return pos
+
+    def begin_index(self, tid: int) -> int:
+        """Index of the transaction's start: its ``Begin`` event if present,
+        else its first event."""
+        slot = self._event_positions[tid]
+        return slot.get("begin", slot["first"])
+
+    def commit_index(self, tid: int) -> Optional[int]:
+        return self._event_positions.get(tid, {}).get("commit")
+
+    def abort_index(self, tid: int) -> Optional[int]:
+        return self._event_positions.get(tid, {}).get("abort")
+
+    def finish_index(self, tid: int) -> Optional[int]:
+        """Index of the commit or abort event, ``None`` for ``T_init``."""
+        slot = self._event_positions.get(tid, {})
+        return slot.get("commit", slot.get("abort"))
+
+    def level_of(self, tid: int):
+        """The isolation level declared by the transaction's ``Begin`` event,
+        else the history default, else PL-3 (resolved lazily to avoid an
+        import cycle with :mod:`repro.core.levels`)."""
+        from .levels import IsolationLevel
+
+        for ev in self.events:
+            if isinstance(ev, Begin) and ev.tid == tid and ev.level is not None:
+                return ev.level
+        if self.default_level is not None:
+            return self.default_level
+        return IsolationLevel.PL_3
+
+    def events_of(self, tid: int) -> Tuple[Event, ...]:
+        return tuple(ev for ev in self.events if ev.tid == tid)
+
+    @cached_property
+    def reads(self) -> Tuple[Tuple[int, Read], ...]:
+        """All item reads with their event indexes."""
+        return tuple(
+            (i, ev) for i, ev in enumerate(self.events) if isinstance(ev, Read)
+        )
+
+    @cached_property
+    def predicate_reads(self) -> Tuple[Tuple[int, PredicateRead], ...]:
+        return tuple(
+            (i, ev) for i, ev in enumerate(self.events) if isinstance(ev, PredicateRead)
+        )
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+
+    def committed_state(self) -> Dict[str, Any]:
+        """The final committed database state: the value of the last visible
+        version in each object's version order (deleted and never-born
+        objects are omitted)."""
+        state: Dict[str, Any] = {}
+        for obj, chain in self.version_order.items():
+            last = chain[-1]
+            if last.is_unborn or self.kind_of(last) is not VersionKind.VISIBLE:
+                continue
+            state[obj] = self.value_of(last)
+        return state
+
+    def restricted_to_committed(self) -> "History":
+        """A copy containing only events of committed transactions (version
+        order unchanged).  Useful for displaying the committed projection."""
+        return History(
+            (ev for ev in self.events if ev.tid in self.committed),
+            {obj: chain[1:] for obj, chain in self.version_order.items()},
+            default_level=self.default_level,
+            validate=False,
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __str__(self) -> str:
+        from .formatting import format_history
+
+        return format_history(self)
+
+    def __repr__(self) -> str:
+        return f"History({len(self.events)} events, {len(self.tids)} txns)"
+
+
+def _complete(events: Tuple[Event, ...]) -> Tuple[Event, ...]:
+    """Append abort events for transactions without a final commit/abort
+    (Section 4.2's completion rule)."""
+    finished = {
+        ev.tid for ev in events if isinstance(ev, (Commit, Abort))
+    }
+    pending = []
+    seen: Dict[int, None] = {}
+    for ev in events:
+        seen.setdefault(ev.tid, None)
+    for tid in seen:
+        if tid not in finished:
+            pending.append(Abort(tid))
+    return events + tuple(pending)

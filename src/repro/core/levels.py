@@ -1,0 +1,240 @@
+"""The portable isolation levels (paper Section 5, Figure 6) and the
+extension levels of Adya's thesis referenced in Sections 1 and 6.
+
+Each level proscribes a set of phenomena; a history *provides* a level when
+it exhibits none of them:
+
+========  ==========================  =====================================
+Level     Proscribes                  ANSI / commercial analogue
+========  ==========================  =====================================
+PL-1      G0                          READ UNCOMMITTED (Degree 1)
+PL-2      G1                          READ COMMITTED (Degree 2)
+PL-CS     G1, G-cursor                Cursor Stability
+PL-2+     G1, G-single                (consistent reads, causal consistency)
+PL-2.99   G1, G2-item                 REPEATABLE READ (Degree 2.99)
+PL-SI     G1, G-SI                    Snapshot Isolation
+PL-3      G1, G2                      SERIALIZABLE (Degree 3)
+PL-SS     G1, G-SS                    strict serializability
+========  ==========================  =====================================
+
+The levels form a partial order under "provides at least the guarantees of"
+(:meth:`IsolationLevel.implies`): the ANSI chain PL-1 < PL-2 < PL-2.99 < PL-3
+is total; PL-2+ sits between PL-2 and both PL-SI and PL-3; PL-SI and PL-3
+are incomparable (snapshot isolation permits write skew, serializability
+permits non-start-ordered reads); PL-2.99 and PL-SI are incomparable;
+PL-SS (strict serializability) sits above PL-3 but does not imply PL-SI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from .conflicts import PredicateDepMode
+from .history import History
+from .phenomena import Analysis, Phenomenon, PhenomenonReport
+
+__all__ = ["IsolationLevel", "LevelVerdict", "satisfies", "classify", "ANSI_CHAIN"]
+
+
+class IsolationLevel(Enum):
+    """Portable ("PL") isolation levels."""
+
+    PL_1 = "PL-1"
+    PL_2 = "PL-2"
+    PL_CS = "PL-CS"
+    PL_2PLUS = "PL-2+"
+    PL_2_99 = "PL-2.99"
+    PL_SI = "PL-SI"
+    PL_3 = "PL-3"
+    PL_SS = "PL-SS"
+
+    def __str__(self) -> str:
+        return self.value
+
+    # ------------------------------------------------------------------
+
+    @property
+    def proscribed(self) -> Tuple[Phenomenon, ...]:
+        """The phenomena this level disallows (Figure 6)."""
+        return _PROSCRIBED[self]
+
+    def implies(self, other: "IsolationLevel") -> bool:
+        """Whether providing this level guarantees ``other`` as well."""
+        return other in _IMPLIES[self]
+
+    @classmethod
+    def from_string(cls, name: str) -> "IsolationLevel":
+        """Parse a level name; ANSI names and common aliases accepted."""
+        key = name.strip().upper().replace(" ", "-").replace("_", "-")
+        try:
+            return _ALIASES[key]
+        except KeyError:
+            raise KeyError(f"unknown isolation level {name!r}") from None
+
+
+_PROSCRIBED: Dict[IsolationLevel, Tuple[Phenomenon, ...]] = {
+    IsolationLevel.PL_1: (Phenomenon.G0,),
+    IsolationLevel.PL_2: (Phenomenon.G1,),
+    IsolationLevel.PL_CS: (Phenomenon.G1, Phenomenon.G_CURSOR),
+    IsolationLevel.PL_2PLUS: (Phenomenon.G1, Phenomenon.G_SINGLE),
+    IsolationLevel.PL_2_99: (Phenomenon.G1, Phenomenon.G2_ITEM),
+    IsolationLevel.PL_SI: (Phenomenon.G1, Phenomenon.G_SI),
+    IsolationLevel.PL_3: (Phenomenon.G1, Phenomenon.G2),
+    IsolationLevel.PL_SS: (Phenomenon.G1, Phenomenon.G_SS),
+}
+
+# "X implies Y" = proscribing X's phenomena proscribes Y's as well.  The
+# containments are: G1c ⊇ G0; G2 ⊇ G2-item ⊇ G-cursor; G2 ⊇ G-single;
+# G-SIb ⊇ G-single ⊇ (lost-update cycles) ⊇ G-cursor.
+_IMPLIES: Dict[IsolationLevel, FrozenSet[IsolationLevel]] = {
+    IsolationLevel.PL_1: frozenset({IsolationLevel.PL_1}),
+    IsolationLevel.PL_2: frozenset({IsolationLevel.PL_1, IsolationLevel.PL_2}),
+    IsolationLevel.PL_CS: frozenset(
+        {IsolationLevel.PL_1, IsolationLevel.PL_2, IsolationLevel.PL_CS}
+    ),
+    IsolationLevel.PL_2PLUS: frozenset(
+        {
+            IsolationLevel.PL_1,
+            IsolationLevel.PL_2,
+            IsolationLevel.PL_CS,
+            IsolationLevel.PL_2PLUS,
+        }
+    ),
+    IsolationLevel.PL_2_99: frozenset(
+        {
+            IsolationLevel.PL_1,
+            IsolationLevel.PL_2,
+            IsolationLevel.PL_CS,
+            IsolationLevel.PL_2_99,
+        }
+    ),
+    IsolationLevel.PL_SI: frozenset(
+        {
+            IsolationLevel.PL_1,
+            IsolationLevel.PL_2,
+            IsolationLevel.PL_CS,
+            IsolationLevel.PL_2PLUS,
+            IsolationLevel.PL_SI,
+        }
+    ),
+    IsolationLevel.PL_3: frozenset(
+        {
+            IsolationLevel.PL_1,
+            IsolationLevel.PL_2,
+            IsolationLevel.PL_CS,
+            IsolationLevel.PL_2PLUS,
+            IsolationLevel.PL_2_99,
+            IsolationLevel.PL_3,
+        }
+    ),
+    # G-SS covers every SSG cycle with an anti or start edge, which includes
+    # every G2 cycle and every G-single cycle; it does not cover G-SIa.
+    IsolationLevel.PL_SS: frozenset(
+        {
+            IsolationLevel.PL_1,
+            IsolationLevel.PL_2,
+            IsolationLevel.PL_CS,
+            IsolationLevel.PL_2PLUS,
+            IsolationLevel.PL_2_99,
+            IsolationLevel.PL_3,
+            IsolationLevel.PL_SS,
+        }
+    ),
+}
+
+_ALIASES: Dict[str, IsolationLevel] = {
+    "PL-1": IsolationLevel.PL_1,
+    "PL1": IsolationLevel.PL_1,
+    "READ-UNCOMMITTED": IsolationLevel.PL_1,
+    "DEGREE-1": IsolationLevel.PL_1,
+    "PL-2": IsolationLevel.PL_2,
+    "PL2": IsolationLevel.PL_2,
+    "READ-COMMITTED": IsolationLevel.PL_2,
+    "DEGREE-2": IsolationLevel.PL_2,
+    "PL-CS": IsolationLevel.PL_CS,
+    "CURSOR-STABILITY": IsolationLevel.PL_CS,
+    "PL-2+": IsolationLevel.PL_2PLUS,
+    "PL2+": IsolationLevel.PL_2PLUS,
+    "PL-2.99": IsolationLevel.PL_2_99,
+    "PL2.99": IsolationLevel.PL_2_99,
+    "REPEATABLE-READ": IsolationLevel.PL_2_99,
+    "DEGREE-2.99": IsolationLevel.PL_2_99,
+    "PL-SI": IsolationLevel.PL_SI,
+    "SNAPSHOT-ISOLATION": IsolationLevel.PL_SI,
+    "SI": IsolationLevel.PL_SI,
+    "PL-3": IsolationLevel.PL_3,
+    "PL3": IsolationLevel.PL_3,
+    "SERIALIZABLE": IsolationLevel.PL_3,
+    "DEGREE-3": IsolationLevel.PL_3,
+    "PL-SS": IsolationLevel.PL_SS,
+    "STRICT-SERIALIZABLE": IsolationLevel.PL_SS,
+    "STRICT-SERIALIZABILITY": IsolationLevel.PL_SS,
+}
+
+#: The ANSI chain of Figure 6, weakest first; ``classify`` walks it.
+ANSI_CHAIN: Tuple[IsolationLevel, ...] = (
+    IsolationLevel.PL_1,
+    IsolationLevel.PL_2,
+    IsolationLevel.PL_2_99,
+    IsolationLevel.PL_3,
+)
+
+
+@dataclass(frozen=True)
+class LevelVerdict:
+    """Whether a history provides a level, with the violating phenomena."""
+
+    level: IsolationLevel
+    ok: bool
+    violations: Tuple[PhenomenonReport, ...] = ()
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"{self.level}: PROVIDED"
+        lines = [f"{self.level}: VIOLATED"]
+        for report in self.violations:
+            lines.append("  " + report.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def satisfies(
+    history: History,
+    level: IsolationLevel,
+    *,
+    analysis: Optional[Analysis] = None,
+    mode: PredicateDepMode = PredicateDepMode.LATEST,
+) -> LevelVerdict:
+    """Test one level against one (committed-transaction) history.
+
+    These are the paper's *committed-transaction* guarantees (Section 5.6):
+    nothing constrains transactions while they run.
+    """
+    analysis = analysis or Analysis(history, mode)
+    violations = tuple(
+        report for p in level.proscribed if (report := analysis.report(p)).present
+    )
+    return LevelVerdict(level, not violations, violations)
+
+
+def classify(
+    history: History,
+    *,
+    levels: Sequence[IsolationLevel] = ANSI_CHAIN,
+    analysis: Optional[Analysis] = None,
+    mode: PredicateDepMode = PredicateDepMode.LATEST,
+) -> Optional[IsolationLevel]:
+    """The strongest level of ``levels`` (default: the ANSI chain, which is
+    totally ordered) that the history provides; ``None`` if even the weakest
+    fails (a history below PL-1, i.e. exhibiting G0)."""
+    analysis = analysis or Analysis(history, mode)
+    strongest: Optional[IsolationLevel] = None
+    for level in levels:
+        if satisfies(history, level, analysis=analysis).ok:
+            if strongest is None or level.implies(strongest):
+                strongest = level
+    return strongest

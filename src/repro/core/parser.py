@@ -1,0 +1,317 @@
+"""Parser for the paper's compact history notation.
+
+The textual form mirrors the paper's examples::
+
+    w0(x0) c0  w1(x1) c1  w2(x2)  r3(Dept=Sales: x2, y0)  w2(y2) c2 c3
+    [x0 << x1 << x2, y0 << y2]
+    [Dept=Sales matches: x0, y0]
+
+Grammar (whitespace separated; ``#`` starts a comment to end of line):
+
+* ``wI(xJ)`` / ``wI(xJ, v)`` / ``wI(xJ, dead)`` — write by ``T_I`` (``J`` must
+  equal ``I``); explicit sequence numbers as ``wI(xI.2)``.  ``dead`` installs
+  a dead version (a delete).
+* ``rI(xJ)`` / ``rI(xJ, v)`` — item read; ``rcI(...)`` is a cursor read.
+* ``rI(P: x0, y2*, zinit)`` — predicate read with predicate name ``P`` and
+  the explicit version set after the colon.  A trailing ``*`` marks a version
+  as *matching* the predicate; matches can also (or instead) be declared in a
+  ``[P matches: ...]`` block, and the union is used.
+* ``cI`` / ``aI`` — commit / abort.
+* ``bI`` / ``bI@PL-2`` — optional begin, optionally declaring the
+  transaction's isolation level (for mixed histories).
+* ``[x0 << x1, y0 << y1]`` — the version order; ``<`` and the Unicode ``≺``
+  are accepted too.  Objects without an explicit chain default to the order
+  of committed final writes.
+* ``[P matches: x0 y0]`` — declares versions satisfying predicate ``P``.
+
+Version tokens are ``<object><tid>`` with an optional ``.seq`` suffix
+(``x1``, ``Sum0``, ``x1.2``) or ``<object>init`` for the unborn version.
+Bare object names are alphabetic (trailing digits are the transaction id);
+names containing digits or punctuation — the engine's ``emp:3`` style — are
+written in braces: ``{emp:3}1``, ``{emp:3}init``.
+
+``parse_history`` returns a validated :class:`~repro.core.history.History`.
+Histories that mention versions of transactions with no events (the paper's
+implicit setup state, e.g. ``x0`` in ``H_phantom`` with no ``w0``) are
+supported; such versions are installed right after the unborn version.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ParseError
+from .events import Abort, Begin, Commit, Event, PredicateRead, Read, Write
+from .history import History
+from .objects import Version
+from .predicates import MembershipPredicate, VersionSet
+
+__all__ = ["parse_history", "parse_version", "parse_events"]
+
+_EVENT_RE = re.compile(
+    r"(?P<op>rc|r|w|c|a|b)(?P<tid>\d+)"
+    r"(?:@(?P<level>[\w.+-]+))?"
+    r"(?:\((?P<body>[^()]*)\))?"
+)
+_VERSION_RE = re.compile(
+    r"^(?:\{(?P<qobj>[^{}\s]+)\}|(?P<obj>[A-Za-z_]+?))"
+    r"(?P<tid>init|\d+)(?:\.(?P<seq>\d+))?$"
+)
+_BLOCK_RE = re.compile(r"\[([^\[\]]*)\]")
+_ORDER_SEP_RE = re.compile(r"<<|<|≺")  # <<, <, ≺
+
+
+def parse_version(token: str) -> Version:
+    """Parse a version token like ``x1``, ``Sum0``, ``x1.2`` or ``xinit``."""
+    m = _VERSION_RE.match(token.strip())
+    if not m:
+        raise ParseError("invalid version token", token=token)
+    obj = m.group("qobj") or m.group("obj")
+    if m.group("tid") == "init":
+        if m.group("seq") is not None:
+            raise ParseError("the unborn version has no sequence number", token=token)
+        return Version.unborn(obj)
+    tid = int(m.group("tid"))
+    seq = int(m.group("seq")) if m.group("seq") else 1
+    return Version(obj, tid, seq)
+
+
+def _parse_value(text: str):
+    text = text.strip()
+    if not text:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_level(name: str):
+    from .levels import IsolationLevel
+
+    try:
+        return IsolationLevel.from_string(name)
+    except KeyError:
+        raise ParseError(f"unknown isolation level {name!r}") from None
+
+
+def _strip_comments(text: str) -> str:
+    return "\n".join(line.split("#", 1)[0] for line in text.splitlines())
+
+
+def _split_blocks(text: str) -> Tuple[str, List[str]]:
+    blocks = [m.group(1).strip() for m in _BLOCK_RE.finditer(text)]
+    return _BLOCK_RE.sub(" ", text), blocks
+
+
+def _parse_order_block(
+    block: str, order: Dict[str, List[Version]]
+) -> None:
+    for chain_text in block.split(","):
+        chain_text = chain_text.strip()
+        if not chain_text:
+            continue
+        versions = [
+            parse_version(tok)
+            for tok in _ORDER_SEP_RE.split(chain_text)
+            if tok.strip()
+        ]
+        if not versions:
+            continue
+        obj = versions[0].obj
+        for v in versions:
+            if v.obj != obj:
+                raise ParseError(
+                    f"version order chain mixes objects {obj!r} and {v.obj!r}",
+                    token=chain_text,
+                )
+        chain = order.setdefault(obj, [])
+        for v in versions:
+            if not v.is_unborn and v not in chain:
+                chain.append(v)
+
+
+def _parse_matches_block(
+    block: str, matches: Dict[str, List[Version]]
+) -> None:
+    head, _, tail = block.partition("matches")
+    name = head.strip()
+    if not name:
+        raise ParseError("matches block lacks a predicate name", token=block)
+    tail = tail.lstrip(":").strip()
+    bucket = matches.setdefault(name, [])
+    for tok in re.split(r"[,\s]+", tail):
+        if tok:
+            bucket.append(parse_version(tok))
+
+
+def _scan_events(text: str):
+    """Yield (op, tid, level, body) tuples; raise on unconsumed junk."""
+    pos = 0
+    for m in _EVENT_RE.finditer(text):
+        gap = text[pos : m.start()].strip()
+        if gap:
+            raise ParseError("unrecognised input", token=gap, position=pos)
+        yield m.group("op"), int(m.group("tid")), m.group("level"), m.group("body")
+        pos = m.end()
+    trailing = text[pos:].strip()
+    if trailing:
+        raise ParseError("unrecognised trailing input", token=trailing, position=pos)
+
+
+def parse_events(
+    text: str,
+    matches: Optional[Dict[str, Sequence[Version]]] = None,
+) -> List[Event]:
+    """Parse just the event sequence of a (blockless) history text.
+
+    ``matches`` supplies extra matching versions per predicate name, merged
+    with inline ``*`` marks.  Sequence numbers for writes are inferred when
+    omitted (``w1(x1) ... w1(x1)`` becomes ``x_{1:1}, x_{1:2}``).
+    """
+    pending: List[Tuple[str, int, Optional[str], Optional[str]]] = list(_scan_events(text))
+
+    events: List[Event] = []
+    write_counts: Dict[Tuple[int, str], int] = {}
+    marks: Dict[str, List[Version]] = {
+        name: list(vs) for name, vs in (matches or {}).items()
+    }
+    pread_slots: List[Tuple[int, str]] = []  # (event index, predicate name)
+
+    def resolve(token: str) -> Version:
+        """A version token without an explicit ``.seq`` denotes the writer's
+        *latest write so far* to the object (so ``w1(x1) r2(x1) w1(x1)``
+        is an intermediate read of ``x_{1:1}``); before any write it denotes
+        sequence 1 (a setup version)."""
+        version = parse_version(token)
+        if version.is_unborn or "." in token:
+            return version
+        latest = write_counts.get((version.tid, version.obj), 0)
+        return Version(version.obj, version.tid, latest or 1)
+
+    for op, tid, level, body in pending:
+        if op == "c":
+            events.append(Commit(tid))
+        elif op == "a":
+            events.append(Abort(tid))
+        elif op == "b":
+            events.append(Begin(tid, _parse_level(level) if level else None))
+        elif op == "w":
+            if body is None:
+                raise ParseError(f"write w{tid} lacks a version", token=f"w{tid}")
+            vtext, _, val = body.partition(",")
+            version = parse_version(vtext)
+            if version.tid != tid:
+                raise ParseError(
+                    f"w{tid} writes a version of T{version.tid}", token=body
+                )
+            key = (tid, version.obj)
+            if "." not in vtext:
+                write_counts[key] = write_counts.get(key, 0) + 1
+                version = Version(version.obj, tid, write_counts[key])
+            else:
+                write_counts[key] = max(write_counts.get(key, 0), version.seq)
+            val = val.strip()
+            if val == "dead":
+                events.append(Write(tid, version, dead=True))
+            else:
+                events.append(Write(tid, version, value=_parse_value(val)))
+        elif op in ("r", "rc"):
+            if body is None:
+                raise ParseError(f"read r{tid} lacks a version", token=f"r{tid}")
+            if ":" in body:
+                name, _, tail = body.partition(":")
+                name = name.strip()
+                versions = []
+                for spec in tail.split(","):
+                    spec = spec.strip()
+                    if not spec:
+                        continue
+                    starred = spec.endswith("*")
+                    version = resolve(spec.rstrip("*"))
+                    versions.append(version)
+                    if starred:
+                        marks.setdefault(name, []).append(version)
+                pread_slots.append((len(events), name))
+                # Placeholder predicate; patched below once all marks are in.
+                events.append(
+                    PredicateRead(
+                        tid, MembershipPredicate(name), VersionSet.of(*versions)
+                    )
+                )
+            else:
+                vtext, _, val = body.partition(",")
+                events.append(
+                    Read(
+                        tid,
+                        resolve(vtext),
+                        value=_parse_value(val),
+                        cursor=(op == "rc"),
+                    )
+                )
+    # Patch predicate reads so every read of the same predicate name shares
+    # one predicate object carrying the union of all declared matches, with
+    # its relations inferred from the objects its version sets (and match
+    # declarations) mention — so engine histories with namespaced objects
+    # (``{emp:3}1``) round-trip with the right coverage.
+    from .objects import DEFAULT_RELATION, relation_of
+
+    relations: Dict[str, set] = {}
+    for idx, name in pread_slots:
+        ev = events[idx]
+        assert isinstance(ev, PredicateRead)
+        bucket = relations.setdefault(name, set())
+        for obj in ev.vset.objects():
+            bucket.add(relation_of(obj))
+        for version in marks.get(name, ()):
+            bucket.add(relation_of(version.obj))
+    predicates = {
+        name: MembershipPredicate(
+            name,
+            frozenset(marks.get(name, ())),
+            frozenset(relations.get(name) or {DEFAULT_RELATION}),
+        )
+        for _idx, name in pread_slots
+    }
+    for idx, name in pread_slots:
+        old = events[idx]
+        assert isinstance(old, PredicateRead)
+        events[idx] = PredicateRead(old.tid, predicates[name], old.vset)
+    return events
+
+
+def parse_history(
+    text: str,
+    *,
+    auto_complete: bool = False,
+    default_level: Optional[object] = None,
+    validate: bool = True,
+) -> History:
+    """Parse a complete history (events plus optional bracket blocks).
+
+    Parameters mirror :class:`~repro.core.history.History`; in particular
+    ``auto_complete=True`` appends aborts for unfinished transactions, which
+    is how the paper completes partial histories.
+    """
+    body, blocks = _split_blocks(_strip_comments(text))
+    order: Dict[str, List[Version]] = {}
+    matches: Dict[str, List[Version]] = {}
+    for block in blocks:
+        if "matches" in block:
+            _parse_matches_block(block, matches)
+        else:
+            _parse_order_block(block, order)
+    events = parse_events(body, matches)
+    return History(
+        events,
+        order or None,
+        default_level=default_level,
+        auto_complete=auto_complete,
+        validate=validate,
+    )

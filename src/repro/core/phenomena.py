@@ -1,0 +1,259 @@
+"""The generalized phenomena G0, G1a, G1b, G1c, G2 and G2-item (Section 5).
+
+Each detector returns a :class:`PhenomenonReport` stating whether the history
+*exhibits* the phenomenon, with concrete witnesses: an offending cycle of the
+DSG for the graph-based phenomena, or the offending read events for G1a/G1b.
+
+Isolation levels (:mod:`repro.core.levels`) are defined by proscribing these
+phenomena, exactly as in Figure 6:
+
+========  =====================  ==========================================
+Level     Proscribed             Informal guarantee
+========  =====================  ==========================================
+PL-1      G0                     writes completely isolated
+PL-2      G1 (= G1a ∪ G1b ∪ G1c) no dirty reads
+PL-2.99   G1, G2-item            repeatable reads, phantoms possible
+PL-3      G1, G2                 (conflict-)serializability
+========  =====================  ==========================================
+
+:class:`Analysis` computes the DSG once and memoizes per-phenomenon reports;
+use it when checking several phenomena of one history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from .conflicts import DepKind, PredicateDepMode
+from .dsg import DSG, Cycle, dependency_edge
+from .history import History
+
+__all__ = ["Phenomenon", "Witness", "PhenomenonReport", "Analysis"]
+
+
+class Phenomenon(Enum):
+    """The phenomena of Section 5 (plus the thesis extensions, detected by
+    :mod:`repro.core.extensions`)."""
+
+    G0 = "G0"  # write cycles
+    G1A = "G1a"  # aborted reads
+    G1B = "G1b"  # intermediate reads
+    G1C = "G1c"  # circular information flow
+    G1 = "G1"  # G1a ∪ G1b ∪ G1c
+    G2_ITEM = "G2-item"  # item anti-dependency cycles
+    G2 = "G2"  # anti-dependency cycles
+    # Extension-level phenomena (Adya's thesis, referenced in Sections 1, 6):
+    G_SINGLE = "G-single"  # single anti-dependency cycles (PL-2+)
+    G_SIA = "G-SIa"  # interference (Snapshot Isolation)
+    G_SIB = "G-SIb"  # missed effects (Snapshot Isolation)
+    G_SI = "G-SI"  # G-SIa ∪ G-SIb
+    G_CURSOR = "G-cursor"  # labeled lost update (Cursor Stability)
+    G_SS = "G-SS"  # real-time violations (strict serializability, PL-SS)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Witness:
+    """One concrete occurrence of a phenomenon.
+
+    ``tid`` identifies the transaction the phenomenon condemns (the reader
+    for G1a/G1b); cycle-based witnesses carry the offending ``cycle``.
+    """
+
+    description: str
+    cycle: Optional[Cycle] = None
+    tid: Optional[int] = None
+
+    def __str__(self) -> str:
+        return self.description
+
+
+@dataclass(frozen=True)
+class PhenomenonReport:
+    """Result of testing one phenomenon against one history."""
+
+    phenomenon: Phenomenon
+    present: bool
+    witnesses: Tuple[Witness, ...] = ()
+
+    def describe(self) -> str:
+        head = f"{self.phenomenon}: {'EXHIBITED' if self.present else 'absent'}"
+        if not self.witnesses:
+            return head
+        lines = [head]
+        for w in self.witnesses:
+            lines.append(f"  - {w.description}")
+        return "\n".join(lines)
+
+    def __bool__(self) -> bool:
+        return self.present
+
+
+class Analysis:
+    """Phenomenon analysis of one history with a shared, memoized DSG."""
+
+    def __init__(
+        self,
+        history: History,
+        mode: PredicateDepMode = PredicateDepMode.LATEST,
+    ):
+        self.history = history
+        self.mode = mode
+        self._dsg: Optional[DSG] = None
+        self._cache: Dict[Phenomenon, PhenomenonReport] = {}
+
+    @property
+    def dsg(self) -> DSG:
+        if self._dsg is None:
+            self._dsg = DSG(self.history, self.mode)
+        return self._dsg
+
+    def report(self, phenomenon: Phenomenon) -> PhenomenonReport:
+        """The (memoized) report for one phenomenon."""
+        if phenomenon not in self._cache:
+            self._cache[phenomenon] = self._detect(phenomenon)
+        return self._cache[phenomenon]
+
+    def exhibits(self, phenomenon: Phenomenon) -> bool:
+        return self.report(phenomenon).present
+
+    def reports(self, phenomena) -> List[PhenomenonReport]:
+        return [self.report(p) for p in phenomena]
+
+    # ------------------------------------------------------------------
+    # detectors
+    # ------------------------------------------------------------------
+
+    def _detect(self, phenomenon: Phenomenon) -> PhenomenonReport:
+        if phenomenon is Phenomenon.G0:
+            return self._cycle_report(
+                Phenomenon.G0,
+                self.dsg.find_cycle(lambda e: e.kind is DepKind.WW),
+                "directed cycle of write-dependency edges",
+            )
+        if phenomenon is Phenomenon.G1A:
+            return self._g1a()
+        if phenomenon is Phenomenon.G1B:
+            return self._g1b()
+        if phenomenon is Phenomenon.G1C:
+            return self._cycle_report(
+                Phenomenon.G1C,
+                self.dsg.find_cycle(dependency_edge),
+                "directed cycle of dependency (ww/wr) edges",
+            )
+        if phenomenon is Phenomenon.G1:
+            parts = [self.report(p) for p in (Phenomenon.G1A, Phenomenon.G1B, Phenomenon.G1C)]
+            witnesses = tuple(w for r in parts for w in r.witnesses)
+            return PhenomenonReport(Phenomenon.G1, any(parts), witnesses)
+        if phenomenon is Phenomenon.G2:
+            return self._cycle_report(
+                Phenomenon.G2,
+                self.dsg.find_cycle_with(
+                    special=lambda e: e.kind is DepKind.RW,
+                    keep=lambda e: True,
+                ),
+                "directed cycle with one or more anti-dependency edges",
+            )
+        if phenomenon is Phenomenon.G2_ITEM:
+            return self._cycle_report(
+                Phenomenon.G2_ITEM,
+                self.dsg.find_cycle_with(
+                    special=lambda e: e.kind is DepKind.RW and not e.via_predicate,
+                    keep=lambda e: not (e.kind is DepKind.RW and e.via_predicate),
+                ),
+                "directed cycle with one or more item-anti-dependency edges",
+            )
+        if phenomenon in (
+            Phenomenon.G_SINGLE,
+            Phenomenon.G_SIA,
+            Phenomenon.G_SIB,
+            Phenomenon.G_SI,
+            Phenomenon.G_CURSOR,
+            Phenomenon.G_SS,
+        ):
+            from .extensions import detect_extension
+
+            return detect_extension(self, phenomenon)
+        raise ValueError(f"unknown phenomenon {phenomenon}")
+
+    def _cycle_report(
+        self, phenomenon: Phenomenon, cycle: Optional[Cycle], what: str
+    ) -> PhenomenonReport:
+        if cycle is None:
+            return PhenomenonReport(phenomenon, False)
+        detail = "; ".join(e.describe() for e in cycle.edges)
+        witness = Witness(f"{what}: {cycle.describe()} ({detail})", cycle)
+        return PhenomenonReport(phenomenon, True, (witness,))
+
+    def _g1a(self) -> PhenomenonReport:
+        """Aborted reads: a committed transaction read a version (directly or
+        in a predicate read's version set) created by an aborted
+        transaction."""
+        h = self.history
+        witnesses: List[Witness] = []
+        for _i, read in h.reads:
+            if read.tid in h.committed and read.version.tid in h.aborted:
+                witnesses.append(
+                    Witness(
+                        f"committed T{read.tid} read {read.version}, "
+                        f"written by aborted T{read.version.tid}",
+                        tid=read.tid,
+                    )
+                )
+        for _i, pread in h.predicate_reads:
+            if pread.tid not in h.committed:
+                continue
+            for v in pread.vset.versions():
+                if v.tid in h.aborted:
+                    witnesses.append(
+                        Witness(
+                            f"committed T{pread.tid}'s read of predicate "
+                            f"{pread.predicate} selected {v}, written by "
+                            f"aborted T{v.tid}",
+                            tid=pread.tid,
+                        )
+                    )
+        return PhenomenonReport(Phenomenon.G1A, bool(witnesses), tuple(witnesses))
+
+    def _g1b(self) -> PhenomenonReport:
+        """Intermediate reads: a committed transaction read a version of an
+        object that was not the writer's final modification of it."""
+        h = self.history
+        witnesses: List[Witness] = []
+
+        def intermediate(v) -> bool:
+            return (
+                not v.is_unborn
+                and v not in h.setup_versions
+                and not h.is_final(v)
+            )
+
+        for _i, read in h.reads:
+            v = read.version
+            if read.tid in h.committed and v.tid != read.tid and intermediate(v):
+                final = h.final_version(v.obj, v.tid)
+                witnesses.append(
+                    Witness(
+                        f"committed T{read.tid} read intermediate version {v.label(explicit_seq=True)}; "
+                        f"T{v.tid}'s final modification of {v.obj!r} is {final}",
+                        tid=read.tid,
+                    )
+                )
+        for _i, pread in h.predicate_reads:
+            if pread.tid not in h.committed:
+                continue
+            for v in pread.vset.versions():
+                if v.tid != pread.tid and intermediate(v):
+                    witnesses.append(
+                        Witness(
+                            f"committed T{pread.tid}'s read of predicate "
+                            f"{pread.predicate} selected intermediate version "
+                            f"{v.label(explicit_seq=True)}",
+                            tid=pread.tid,
+                        )
+                    )
+        return PhenomenonReport(Phenomenon.G1B, bool(witnesses), tuple(witnesses))

@@ -1,0 +1,230 @@
+"""Predicates and version sets (paper Section 4.3).
+
+A predicate names a Boolean condition together with the relations it ranges
+over.  When a transaction performs a predicate-based read, the system selects
+one version of *every* tuple in those relations — the *version set*
+``Vset(P)`` (Definition 1) — and evaluates the condition on each selected
+version.  Unborn and dead versions never match.
+
+Two concrete predicate families are provided:
+
+* :class:`MembershipPredicate` — the predicate is *defined* by the set of
+  versions that satisfy it.  This is how parsed paper histories express
+  matching: the history text declares which versions are in the department,
+  exceed the salary bound, etc.  It is the fully general form: any predicate
+  over a finite history can be expressed this way.
+* :class:`FieldPredicate` — evaluates a comparison against a field of the
+  row value carried by the version's write event.  The engine's SQL-like
+  operations (``SELECT ... WHERE dept = 'Sales'``) use these.
+
+Matching is always consulted through
+:meth:`Predicate.matches`, which receives both the version identity and the
+value written (``None`` for versions whose write carried no value), and which
+is *never* called for unborn or dead versions — the framework short-circuits
+those to "no match" per Section 4.3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, FrozenSet, Mapping, Tuple
+
+from ..exceptions import PredicateError
+from .objects import DEFAULT_RELATION, Version
+
+__all__ = [
+    "Predicate",
+    "MembershipPredicate",
+    "FieldPredicate",
+    "FunctionPredicate",
+    "VersionSet",
+]
+
+
+class Predicate:
+    """Abstract predicate: a named Boolean condition over relations.
+
+    Subclasses implement :meth:`matches`.  Equality and hashing are by
+    ``(name, relations)``; histories treat two predicate reads with equal
+    predicates as reads of the same predicate.
+    """
+
+    name: str
+    relations: FrozenSet[str]
+
+    def __init__(self, name: str, relations: FrozenSet[str] | None = None):
+        if not name or any(ch in name for ch in ":()[]{}"):
+            raise PredicateError(
+                f"predicate name {name!r} must be non-empty and free of "
+                "':', parentheses, brackets and braces (notation delimiters)"
+            )
+        self.name = name
+        self.relations = frozenset(relations) if relations else frozenset({DEFAULT_RELATION})
+
+    def matches(self, version: Version, value: Any) -> bool:
+        """Whether ``version`` (with write value ``value``) satisfies the
+        condition.  Only called for visible versions."""
+        raise NotImplementedError
+
+    def covers(self, obj: str) -> bool:
+        """Whether the predicate ranges over ``obj``'s relation."""
+        from .objects import relation_of
+
+        return relation_of(obj) in self.relations
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Predicate)
+            and self.name == other.name
+            and self.relations == other.relations
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.relations))
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class MembershipPredicate(Predicate):
+    """Predicate defined extensionally by its set of matching versions.
+
+    This is the parser's representation: the history text marks matching
+    versions with ``*`` inside a version set (``r1(P: x0*, y0)``) and/or in
+    a declaration block (``[P matches: x0 y0]``); the union of those marks is
+    the ``matching`` set here.  Any version not in the set does not satisfy
+    the predicate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        matching: FrozenSet[Version] | None = None,
+        relations: FrozenSet[str] | None = None,
+    ):
+        super().__init__(name, relations)
+        self.matching: FrozenSet[Version] = frozenset(matching or ())
+
+    def matches(self, version: Version, value: Any) -> bool:
+        return version in self.matching
+
+    def with_matching(self, extra: FrozenSet[Version]) -> "MembershipPredicate":
+        """A copy whose matching set also includes ``extra``."""
+        return MembershipPredicate(self.name, self.matching | frozenset(extra), self.relations)
+
+
+_OPS: Mapping[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "in": lambda a, b: a in b,
+}
+
+
+class FieldPredicate(Predicate):
+    """``row[field] <op> operand`` over rows of one relation.
+
+    Row values are mappings (the engine stores each tuple as a dict).  A
+    version whose value is not a mapping, or lacks the field, does not match;
+    this mirrors SQL's treatment of NULLs in comparisons.
+    """
+
+    def __init__(self, relation: str, fieldname: str, op: str, operand: Any, name: str | None = None):
+        if op not in _OPS:
+            raise PredicateError(f"unsupported predicate operator {op!r}")
+        self.fieldname = fieldname
+        self.op = op
+        self.operand = operand
+        label = name or f"{relation}.{fieldname}{op}{operand}"
+        super().__init__(label, frozenset({relation}))
+
+    def matches(self, version: Version, value: Any) -> bool:
+        if not isinstance(value, Mapping) or self.fieldname not in value:
+            return False
+        try:
+            return _OPS[self.op](value[self.fieldname], self.operand)
+        except TypeError:
+            return False
+
+
+class FunctionPredicate(Predicate):
+    """Predicate evaluated by an arbitrary callable ``fn(version, value)``.
+
+    Useful for engine workloads with conditions that are awkward as a single
+    field comparison (conjunctions, arithmetic such as the paper's
+    ``COMM > 0.25 * SAL``).  The name is the identity, so give semantically
+    distinct predicates distinct names.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Version, Any], bool],
+        relations: FrozenSet[str] | None = None,
+    ):
+        super().__init__(name, relations)
+        self._fn = fn
+
+    def matches(self, version: Version, value: Any) -> bool:
+        return bool(self._fn(version, value))
+
+
+@dataclass(frozen=True)
+class VersionSet:
+    """The explicit part of a ``Vset(P)`` (Definition 1).
+
+    Maps each object to the version the system selected for it when
+    evaluating the predicate.  Objects of the predicate's relations that do
+    not appear here were implicitly selected at their *unborn* version —
+    the paper's convention of "only showing visible versions".
+    :meth:`repro.core.history.History.vset_version` performs that completion.
+    """
+
+    selected: Mapping[str, Version] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for obj, version in self.selected.items():
+            if version.obj != obj:
+                raise PredicateError(
+                    f"version set maps object {obj!r} to a version of {version.obj!r}"
+                )
+        # Freeze into a plain dict so the dataclass is safely hashable by id
+        # of contents; we expose item access and iteration only.
+        object.__setattr__(self, "selected", dict(self.selected))
+
+    @classmethod
+    def of(cls, *versions: Version) -> "VersionSet":
+        """Build from explicit versions (one per object)."""
+        sel: dict[str, Version] = {}
+        for v in versions:
+            if v.obj in sel:
+                raise PredicateError(f"duplicate object {v.obj!r} in version set")
+            sel[v.obj] = v
+        return cls(sel)
+
+    def get(self, obj: str) -> Version | None:
+        return self.selected.get(obj)
+
+    def objects(self) -> Tuple[str, ...]:
+        return tuple(self.selected)
+
+    def versions(self) -> Tuple[Version, ...]:
+        return tuple(self.selected.values())
+
+    def __contains__(self, version: Version) -> bool:
+        return self.selected.get(version.obj) == version
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+    def __str__(self) -> str:
+        return ", ".join(str(v) for v in self.selected.values())
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.selected.items()))

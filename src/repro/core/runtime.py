@@ -1,0 +1,142 @@
+"""Guarantees for *executing* transactions (paper Section 5.6).
+
+The paper defines its levels "to impose constraints only when transactions
+commit" and points to Adya's thesis for analogs that constrain running
+transactions, built on "slightly different graphs, containing nodes for
+committed transactions plus a node for the executing transaction".
+
+This module implements that idea as a **commit test**: given the events of
+an execution in progress and a running transaction ``T``, could ``T`` commit
+*right now* with level ``L``?  The test builds the *virtual-commit
+projection*:
+
+* events of committed transactions are kept;
+* ``T``'s events are kept and a commit for ``T`` is appended;
+* every other in-flight transaction is completed by an abort (the
+  Section 4.2 completion rule) — so if ``T`` has read from a still-running
+  peer, the projection exhibits G1a and the test fails at PL-2 and above,
+  matching the paper's reading that such a commit "must be delayed until
+  [the peer]'s commit has succeeded";
+* ``T``'s final writes are installed at the tail of each object's version
+  order (the natural install point for a commit happening now).
+
+An optimistic implementation *is* essentially this test run at commit time;
+:meth:`repro.engine.database.Database.could_commit` exposes it against a
+live engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from ..exceptions import MalformedHistoryError
+from .events import Abort, Commit, Event, Write
+from .history import History
+from .levels import IsolationLevel, LevelVerdict, satisfies
+from .phenomena import Analysis
+from .conflicts import PredicateDepMode
+
+__all__ = ["virtual_commit", "running_satisfies", "could_commit_at"]
+
+
+def virtual_commit(
+    events: Union[History, Iterable[Event]],
+    tid: int,
+    *,
+    validate: bool = True,
+) -> History:
+    """The virtual-commit projection of an execution for transaction ``tid``.
+
+    ``events`` may be a raw (possibly incomplete) event sequence, or a
+    :class:`History` whose auto-completion aborted the still-running
+    transactions — in that case ``tid``'s trailing abort is stripped before
+    the virtual commit is appended.
+
+    Raises :class:`~repro.exceptions.MalformedHistoryError` if ``tid``
+    already finished for real (committed, or aborted before its last event).
+    """
+    if isinstance(events, History):
+        seq: List[Event] = list(events.events)
+        base_order = {
+            obj: [v for v in chain if not v.is_unborn]
+            for obj, chain in events.version_order.items()
+        }
+    else:
+        seq = list(events)
+        # Derive the committed version order from a completed copy (the
+        # completion aborts all in-flight transactions, including tid, so
+        # only real committed versions are installed).
+        completed = History(seq, None, auto_complete=True, validate=False)
+        base_order = {
+            obj: [v for v in chain if not v.is_unborn]
+            for obj, chain in completed.version_order.items()
+        }
+    # Strip a trailing abort of `tid` (auto-completion artifact): a real
+    # abort would be followed by nothing anyway, so the only legal place is
+    # at the end of tid's events, which is exactly where completion put it.
+    for ev in seq:
+        if isinstance(ev, Commit) and ev.tid == tid:
+            raise MalformedHistoryError(
+                f"T{tid} already committed; the running-transaction test "
+                "applies to in-flight transactions"
+            )
+    abort_positions = [
+        i for i, ev in enumerate(seq) if isinstance(ev, Abort) and ev.tid == tid
+    ]
+    if abort_positions:
+        idx = abort_positions[0]
+        if any(ev.tid == tid for ev in seq[idx + 1 :]):
+            raise MalformedHistoryError(f"T{tid} has events after its abort")
+        later = [ev.tid for ev in seq[idx + 1 :]]
+        if later:
+            # The abort is not last overall; stripping it is still sound
+            # because no other event refers to it positionally.
+            pass
+        del seq[idx]
+    seq.append(Commit(tid))
+    # Install tid's final writes at the tail of each object's order (the
+    # natural install point for a commit happening now), in the order of
+    # their final write events for determinism.
+    finals: dict = {}
+    for ev in seq:
+        if isinstance(ev, Write) and ev.tid == tid:
+            finals[ev.version.obj] = ev.version
+    order = {obj: list(chain) for obj, chain in base_order.items()}
+    for ev in seq:
+        if isinstance(ev, Write) and ev.tid == tid:
+            obj = ev.version.obj
+            if finals.get(obj) == ev.version:
+                order.setdefault(obj, []).append(ev.version)
+    return History(seq, order, auto_complete=True, validate=validate)
+
+
+def running_satisfies(
+    events: Union[History, Iterable[Event]],
+    tid: int,
+    level: IsolationLevel,
+    *,
+    mode: PredicateDepMode = PredicateDepMode.LATEST,
+) -> LevelVerdict:
+    """Whether the running transaction ``tid`` could commit now at ``level``.
+
+    The verdict's violations explain what blocks the commit: a read from a
+    still-uncommitted peer shows up as G1a ("must wait"), an overwritten
+    read as G2 ("must abort under PL-3"), and so on.
+    """
+    projection = virtual_commit(events, tid)
+    return satisfies(projection, level, analysis=Analysis(projection, mode))
+
+
+def could_commit_at(
+    events: Union[History, Iterable[Event]],
+    tid: int,
+    *,
+    mode: PredicateDepMode = PredicateDepMode.LATEST,
+) -> Optional[IsolationLevel]:
+    """The strongest ANSI level at which ``tid`` could commit right now
+    (``None`` if not even PL-1 — e.g. its writes already form a G0 cycle
+    with committed peers)."""
+    from .levels import classify
+
+    projection = virtual_commit(events, tid)
+    return classify(projection, analysis=Analysis(projection, mode))

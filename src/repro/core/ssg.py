@@ -1,0 +1,64 @@
+"""Start-ordered serialization graphs (Adya's thesis, Chapter 4).
+
+Snapshot Isolation constrains not just what committed transactions read and
+wrote but *when they started* relative to each other's commits.  The
+start-ordered serialization graph ``SSG(H)`` is ``DSG(H)`` plus a
+*start-dependency* edge ``T_i --so--> T_j`` whenever ``T_i``'s commit event
+precedes ``T_j``'s start.
+
+A transaction's start is its ``Begin`` event if it has one, else its first
+event; histories written without ``Begin`` events therefore still have a
+well-defined (if late) start point.  Implicit setup transactions committed
+before the history began, so they start-precede every event transaction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .conflicts import DepKind, Edge, PredicateDepMode
+from .dsg import DSG
+from .history import History
+
+__all__ = ["start_dependencies", "SSG", "starts_before"]
+
+
+def starts_before(history: History, ti: int, tj: int) -> bool:
+    """Whether committed ``T_i``'s commit precedes ``T_j``'s start.
+
+    Setup transactions (no events) precede everything; nothing precedes a
+    setup transaction.
+    """
+    if tj in history.setup_tids:
+        return False
+    if ti in history.setup_tids:
+        return True
+    ci = history.commit_index(ti)
+    if ci is None:
+        return False
+    return ci < history.begin_index(tj)
+
+
+def start_dependencies(history: History) -> List[Edge]:
+    """All start-dependency edges among committed transactions."""
+    committed = sorted(history.committed_all)
+    edges = []
+    for ti in committed:
+        for tj in committed:
+            if ti != tj and starts_before(history, ti, tj):
+                edges.append(Edge(ti, tj, DepKind.SO))
+    return edges
+
+
+class SSG(DSG):
+    """``DSG(H)`` augmented with start-dependency edges."""
+
+    def __init__(
+        self,
+        history: History,
+        mode: PredicateDepMode = PredicateDepMode.LATEST,
+    ):
+        super().__init__(history, mode, extra_edges=start_dependencies(history))
+
+    def start_edge(self, src: int, dst: int) -> bool:
+        return any(e.kind is DepKind.SO for e in self.edges_between(src, dst))

@@ -1,0 +1,64 @@
+"""ASCII timeline rendering of histories.
+
+One row per transaction, one column per event, time flowing left to right —
+the way concurrency papers draw executions on a whiteboard::
+
+    >>> from repro.core import parse_history
+    >>> from repro.core.timeline import timeline
+    >>> print(timeline(parse_history(
+    ...     "r1(x0, 5) w1(x1, 1) r2(x1, 1) r2(y0, 5) c2 r1(y0, 5) w1(y1, 9) c1"
+    ... )))
+    T1 | r(x0)  w(x1)  .      .      .  r(y0)  w(y1)  c
+    T2 | .      .      r(x1)  r(y0)  c  .      .      .
+
+Purely cosmetic: the renderer never affects verdicts.  Used by the CLI's
+``timeline`` command and handy in reports and teaching material.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .events import Abort, Begin, Commit, Event, PredicateRead, Read, Write
+from .history import History
+
+__all__ = ["timeline", "event_glyph"]
+
+
+def event_glyph(event: Event) -> str:
+    """A compact per-event cell label."""
+    if isinstance(event, Begin):
+        return f"b@{event.level}" if event.level is not None else "b"
+    if isinstance(event, Commit):
+        return "c"
+    if isinstance(event, Abort):
+        return "a"
+    if isinstance(event, Write):
+        tag = "del" if event.dead else "w"
+        return f"{tag}({event.version.label()})"
+    if isinstance(event, PredicateRead):
+        return f"r[{event.predicate.name}]"
+    if isinstance(event, Read):
+        op = "rc" if event.cursor else "r"
+        return f"{op}({event.version.label()})"
+    raise TypeError(type(event).__name__)
+
+
+def timeline(history: History, *, gap: str = "  ", idle: str = ".") -> str:
+    """Render the history as a transaction/time grid.
+
+    ``gap`` separates columns; ``idle`` fills cells where the transaction
+    has no event.  Transactions appear in order of first activity.
+    """
+    tids = list(history.tids)
+    glyphs = [event_glyph(ev) for ev in history.events]
+    widths = [max(len(g), len(idle)) for g in glyphs]
+    label_width = max((len(f"T{t}") for t in tids), default=2)
+    lines: List[str] = []
+    for tid in tids:
+        cells = []
+        for i, ev in enumerate(history.events):
+            cell = glyphs[i] if ev.tid == tid else idle
+            cells.append(cell.ljust(widths[i]))
+        lines.append(f"T{tid}".ljust(label_width) + " | " + gap.join(cells).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Well-formedness validation for histories (paper Section 4.2).
+
+A :class:`~repro.core.history.History` must satisfy:
+
+**Event constraints**
+
+* E1 — each transaction has exactly one commit or abort event, and it is the
+  transaction's last event (Section 4.2: the history is *complete*).
+* E2 — a ``Begin`` event, if present, is its transaction's first event.
+* E3 — a read ``r_j(x_{i:m})`` is preceded by the write ``w_i(x_{i:m})``
+  (unless the version is an implicit *setup version* whose writer has no
+  events — the paper's unstated initial-state transactions).  The same holds
+  for every non-unborn version selected in a predicate read's version set.
+* E4 — read-your-own-writes: if ``w_i(x_{i:m})`` is followed by ``r_i(x_j)``
+  with no intervening ``w_i(x_{i:n})``, then ``x_j = x_{i:m}``.
+* E5 — item reads only observe *visible* versions (never unborn or dead).
+  Version sets may select unborn/dead versions; those are ghost reads.
+* E6 — a transaction's successive writes to an object are numbered
+  ``1, 2, ...`` in event order (the paper's ``x_{i:1}, x_{i:2}, ...``).
+* E7 — after a transaction writes a dead version of ``x`` (deletes it), that
+  transaction performs no further operation on ``x`` ("a dead version ...
+  cannot be used further").
+
+**Version-order constraints**
+
+* V1 — the order of each object starts with the unborn version (enforced by
+  construction) and contains at most one dead version, which must be last.
+* V2 — the order contains exactly the *final* versions of the committed
+  transactions that wrote the object (one each), plus any setup versions;
+  never versions of aborted or unfinished transactions, and never
+  intermediate versions.
+
+``validate_history`` raises :class:`~repro.exceptions.MalformedHistoryError`
+or :class:`~repro.exceptions.VersionOrderError` with a message naming the
+violated rule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Set, Tuple
+
+from ..exceptions import MalformedHistoryError, VersionOrderError
+from .events import Abort, Begin, Commit, PredicateRead, Read, Write
+from .objects import Version, VersionKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .history import History
+
+__all__ = ["validate_history"]
+
+
+def validate_history(history: "History") -> None:
+    """Validate all Section 4.2 constraints; raise on the first violation."""
+    _check_event_structure(history)
+    _check_reads(history)
+    _check_write_numbering(history)
+    _check_dead_usage(history)
+    _check_version_order(history)
+
+
+# ----------------------------------------------------------------------
+# event constraints
+# ----------------------------------------------------------------------
+
+
+def _check_event_structure(history: "History") -> None:
+    finished: Set[int] = set()
+    started: Set[int] = set()
+    seen: Set[int] = set()
+    for ev in history.events:
+        if ev.tid in finished:
+            raise MalformedHistoryError(
+                f"E1: event {ev} follows T{ev.tid}'s commit/abort"
+            )
+        if isinstance(ev, Begin):
+            if ev.tid in seen:
+                raise MalformedHistoryError(
+                    f"E2: begin of T{ev.tid} is not its first event"
+                )
+            if ev.tid in started:
+                raise MalformedHistoryError(f"E2: duplicate begin for T{ev.tid}")
+            started.add(ev.tid)
+        if isinstance(ev, (Commit, Abort)):
+            finished.add(ev.tid)
+        seen.add(ev.tid)
+    unfinished = seen - finished
+    if unfinished:
+        pretty = ", ".join(f"T{t}" for t in sorted(unfinished))
+        raise MalformedHistoryError(
+            f"E1: history is not complete — {pretty} never commit or abort "
+            "(pass auto_complete=True to append aborts)"
+        )
+
+
+def _check_reads(history: "History") -> None:
+    written: Set[Version] = set()
+    setup_ok = history.setup_versions
+    for i, ev in enumerate(history.events):
+        if isinstance(ev, Write):
+            written.add(ev.version)
+            continue
+        if isinstance(ev, Read):
+            v = ev.version
+            if v.is_unborn:
+                raise MalformedHistoryError(f"E5: read of unborn version at {ev}")
+            if v not in written:
+                if v not in setup_ok:
+                    raise MalformedHistoryError(
+                        f"E3: {ev} reads version {v} before it is written"
+                    )
+                if v.tid in history.aborted:
+                    raise MalformedHistoryError(
+                        f"E3: {ev} reads setup version {v} attributed to an "
+                        "aborted transaction"
+                    )
+            elif history.kind_of(v) is VersionKind.DEAD:
+                raise MalformedHistoryError(f"E5: read of dead version at {ev}")
+        elif isinstance(ev, PredicateRead):
+            for v in ev.vset.versions():
+                if v.is_unborn or v in setup_ok:
+                    continue
+                if v not in written:
+                    raise MalformedHistoryError(
+                        f"E3: version set of {ev} selects {v} before it is written"
+                    )
+    _check_read_own_writes(history)
+
+
+def _check_read_own_writes(history: "History") -> None:
+    # Last own write per (tid, obj) as the scan proceeds.
+    last_own: Dict[Tuple[int, str], Version] = {}
+    for ev in history.events:
+        if isinstance(ev, Write):
+            last_own[(ev.tid, ev.version.obj)] = ev.version
+        elif isinstance(ev, Read):
+            own = last_own.get((ev.tid, ev.version.obj))
+            if own is not None and ev.version != own:
+                raise MalformedHistoryError(
+                    f"E4: {ev} must observe the transaction's own last write {own}"
+                )
+
+
+def _check_write_numbering(history: "History") -> None:
+    counters: Dict[Tuple[int, str], int] = {}
+    for ev in history.events:
+        if not isinstance(ev, Write):
+            continue
+        key = (ev.tid, ev.version.obj)
+        expected = counters.get(key, 0) + 1
+        if ev.version.seq != expected:
+            raise MalformedHistoryError(
+                f"E6: {ev} has sequence {ev.version.seq}, expected {expected} "
+                f"(T{ev.tid}'s writes to {ev.version.obj!r} must be numbered in order)"
+            )
+        counters[key] = expected
+
+
+def _check_dead_usage(history: "History") -> None:
+    deleted: Set[Tuple[int, str]] = set()
+    for ev in history.events:
+        if isinstance(ev, Write):
+            key = (ev.tid, ev.version.obj)
+            if key in deleted:
+                raise MalformedHistoryError(
+                    f"E7: {ev} operates on {ev.version.obj!r} after T{ev.tid} deleted it"
+                )
+            if ev.dead:
+                deleted.add(key)
+        elif isinstance(ev, Read):
+            if (ev.tid, ev.version.obj) in deleted:
+                raise MalformedHistoryError(
+                    f"E7: {ev} reads {ev.version.obj!r} after T{ev.tid} deleted it"
+                )
+
+
+# ----------------------------------------------------------------------
+# version-order constraints
+# ----------------------------------------------------------------------
+
+
+def _check_version_order(history: "History") -> None:
+    setup = history.setup_versions
+    for obj, chain in history.version_order.items():
+        assert chain[0].is_unborn  # by construction
+        seen: Set[Version] = set()
+        dead_seen = False
+        for v in chain[1:]:
+            if v in seen:
+                raise VersionOrderError(f"V2: duplicate version {v} in order of {obj!r}")
+            seen.add(v)
+            if v in setup:
+                if v.tid in history.aborted:
+                    raise VersionOrderError(
+                        f"V2: setup version {v} attributed to aborted T{v.tid}"
+                    )
+                kind = VersionKind.VISIBLE
+            else:
+                write = history.writes.get(v)
+                if write is None:
+                    raise VersionOrderError(
+                        f"V2: version order of {obj!r} contains {v}, which is "
+                        "never written"
+                    )
+                if v.tid not in history.committed:
+                    raise VersionOrderError(
+                        f"V2: version order of {obj!r} contains {v} of an "
+                        "uncommitted or aborted transaction"
+                    )
+                if not history.is_final(v):
+                    raise VersionOrderError(
+                        f"V2: version order of {obj!r} contains intermediate "
+                        f"version {v}; only final versions are installed"
+                    )
+                kind = VersionKind.DEAD if write.dead else VersionKind.VISIBLE
+            if dead_seen:
+                raise VersionOrderError(
+                    f"V1: version order of {obj!r} places {v} after a dead version"
+                )
+            if kind is VersionKind.DEAD:
+                dead_seen = True
+        # every committed final write must be installed
+        for tid in history.committed:
+            final = history.final_version(obj, tid)
+            if final is not None and final not in seen:
+                raise VersionOrderError(
+                    f"V2: committed version {final} missing from version order of {obj!r}"
+                )

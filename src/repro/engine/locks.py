@@ -1,0 +1,139 @@
+"""Lock manager: item locks plus relation-granularity predicate locks.
+
+Implements the lock vocabulary of Figure 1:
+
+* **item locks** on single objects, in READ or WRITE mode.  READ is shared;
+  WRITE is exclusive (and conflicts with READ).  Upgrades (READ→WRITE by the
+  same holder) are granted when no other transaction holds the lock.
+* **predicate (phantom) locks**, modelled at relation granularity — the
+  "granular locks" variant the paper cites from Gray & Reuter.  A predicate
+  read takes a shared relation lock; it conflicts with *item WRITE locks held
+  by other transactions on objects of that relation*, and, conversely, an
+  item WRITE acquisition conflicts with other transactions' relation locks.
+  This is coarser than precision locking (it may block writers that would
+  not change the predicate's matches) but is sound, which is all Figure 1
+  needs.
+
+Lock *durations* (``LONG`` = held to commit, ``SHORT`` = released after the
+operation, ``NONE`` = not acquired) are the scheduler's business; the manager
+only tracks ownership.  Conflicts raise :class:`~repro.exceptions.WouldBlock`
+carrying the holders, from which the simulator builds its waits-for graph.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Set, Tuple
+
+from ..core.objects import relation_of
+from ..exceptions import WouldBlock
+
+__all__ = ["LockMode", "LockDuration", "LockManager"]
+
+
+class LockMode(Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class LockDuration(Enum):
+    NONE = "none"
+    SHORT = "short"
+    LONG = "long"
+
+
+class LockManager:
+    """Ownership tables for item and relation locks."""
+
+    def __init__(self) -> None:
+        #: obj -> {tid -> mode}
+        self._items: Dict[str, Dict[int, LockMode]] = {}
+        #: relation -> set of tids holding the shared predicate lock
+        self._relations: Dict[str, Set[int]] = {}
+        #: relation -> objs with any WRITE lock (for predicate conflicts)
+        self._write_locked: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # item locks
+    # ------------------------------------------------------------------
+
+    def acquire_item(self, tid: int, obj: str, mode: LockMode) -> None:
+        """Grant or raise :class:`WouldBlock` with the conflicting holders."""
+        holders = self._items.setdefault(obj, {})
+        if mode is LockMode.READ:
+            blockers = {
+                t for t, m in holders.items() if t != tid and m is LockMode.WRITE
+            }
+        else:
+            blockers = {t for t in holders if t != tid}
+            # WRITE also conflicts with other transactions' predicate locks
+            # on the object's relation (phantom protection).
+            blockers |= {
+                t
+                for t in self._relations.get(relation_of(obj), ())
+                if t != tid
+            }
+        if blockers:
+            raise WouldBlock(tid, f"{mode.value} lock on {obj!r}", blockers)
+        current = holders.get(tid)
+        if current is None or (current is LockMode.READ and mode is LockMode.WRITE):
+            holders[tid] = mode
+        if holders[tid] is LockMode.WRITE:
+            self._write_locked.setdefault(relation_of(obj), set()).add(obj)
+
+    def release_item(self, tid: int, obj: str) -> None:
+        holders = self._items.get(obj)
+        if not holders:
+            return
+        holders.pop(tid, None)
+        if not any(m is LockMode.WRITE for m in holders.values()):
+            self._write_locked.get(relation_of(obj), set()).discard(obj)
+
+    def downgrade_or_release_read(self, tid: int, obj: str) -> None:
+        """Release a short read lock, preserving a WRITE lock the
+        transaction may also hold (reads after own writes)."""
+        holders = self._items.get(obj)
+        if holders and holders.get(tid) is LockMode.READ:
+            holders.pop(tid)
+
+    # ------------------------------------------------------------------
+    # predicate (relation) locks
+    # ------------------------------------------------------------------
+
+    def acquire_relation(self, tid: int, relation: str) -> None:
+        blockers = set()
+        for obj in self._write_locked.get(relation, ()):
+            blockers |= {
+                t
+                for t, m in self._items.get(obj, {}).items()
+                if t != tid and m is LockMode.WRITE
+            }
+        if blockers:
+            raise WouldBlock(
+                tid, f"predicate lock on relation {relation!r}", blockers
+            )
+        self._relations.setdefault(relation, set()).add(tid)
+
+    def release_relation(self, tid: int, relation: str) -> None:
+        self._relations.get(relation, set()).discard(tid)
+
+    # ------------------------------------------------------------------
+    # bulk release and introspection
+    # ------------------------------------------------------------------
+
+    def release_all(self, tid: int) -> None:
+        """Drop every lock the transaction holds (commit/abort)."""
+        for obj, holders in list(self._items.items()):
+            if tid in holders:
+                self.release_item(tid, obj)
+        for rel, holders in self._relations.items():
+            holders.discard(tid)
+
+    def holders_of(self, obj: str) -> Dict[int, LockMode]:
+        return dict(self._items.get(obj, {}))
+
+    def held_by(self, tid: int) -> Tuple[str, ...]:
+        """Objects on which the transaction holds any item lock."""
+        return tuple(
+            obj for obj, holders in self._items.items() if tid in holders
+        )

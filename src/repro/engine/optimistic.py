@@ -1,0 +1,171 @@
+"""Backward-validation optimistic concurrency control.
+
+This is the scheme family the paper motivates in Section 3 — transactions
+read the committed state, buffer writes privately, and validate at commit:
+if any concurrently committed transaction wrote something this transaction
+read (an item or a predicate's matched set), the committing transaction
+aborts (:class:`~repro.exceptions.ValidationFailure`).  Successful commits
+install versions in commit order, so committed histories are serializable in
+commit order — the emitted histories provide PL-3 while freely violating the
+preventative P1/P2 (e.g. they realize the paper's ``H2'`` shape, where a
+transaction's read is later overwritten by an uncommitted peer yet commit
+order repairs the conflict).
+
+Reads observe the *latest committed* version at read time.  This is the
+loosely-synchronized-clocks style of validation [2] simplified to a single
+site: start/commit timestamps come from the store's commit sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from ..core.objects import Version
+from ..core.predicates import Predicate, VersionSet
+from ..exceptions import ValidationFailure
+from .scheduler import PredicateResult, Scheduler
+from .transaction import BufferedWrite, Transaction, TxnState
+
+__all__ = ["OptimisticScheduler"]
+
+
+@dataclass(frozen=True)
+class _CommittedRecord:
+    """What the validator needs to know about a committed transaction."""
+
+    tid: int
+    commit_seq: int
+    write_set: frozenset[str]
+    #: (version, value, dead) of every installed write, for predicate
+    #: validation ("did this commit change the matches of P?").
+    writes: Tuple[Tuple[Version, Any, bool], ...]
+
+
+class OptimisticScheduler(Scheduler):
+    """Kung–Robinson-style backward validation against committed peers."""
+
+    name = "optimistic"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._log: List[_CommittedRecord] = []
+
+    # ------------------------------------------------------------------
+
+    def on_begin(self, txn: Transaction) -> None:
+        txn.snapshot_seq = self.store.commit_seq
+
+    def read(
+        self,
+        txn: Transaction,
+        obj: str,
+        *,
+        cursor: bool = False,
+        for_update: bool = False,
+    ) -> Any:
+        txn.require_active()
+        own = txn.buffer.get(obj)
+        if own is not None:
+            if own.dead:
+                return None
+            self.recorder.read(txn.tid, own.version, own.value, cursor=cursor)
+            txn.read_set.add(obj)
+            return own.value
+        stored = self.store.latest(obj)
+        if stored is None or stored.dead:
+            return None
+        self.recorder.read(txn.tid, stored.version, stored.value, cursor=cursor)
+        txn.read_set.add(obj)
+        return stored.value
+
+    def write(
+        self, txn: Transaction, obj: str, value: Any, *, dead: bool = False
+    ) -> None:
+        txn.require_active()
+        self.store.register(obj)
+        version = txn.next_version(obj)
+        self.recorder.write(txn.tid, version, None if dead else value, dead=dead)
+        txn.buffer[obj] = BufferedWrite(
+            version, None if dead else value, dead, len(self.recorder.events) - 1
+        )
+        txn.write_set.add(obj)
+
+    def predicate_read(
+        self, txn: Transaction, predicate: Predicate
+    ) -> PredicateResult:
+        txn.require_active()
+        selected: Dict[str, Version] = {}
+        matched: List[Tuple[str, Any]] = []
+        for relation in sorted(predicate.relations):
+            for obj in self.store.objects_in(relation):
+                own = txn.buffer.get(obj)
+                if own is not None:
+                    selected[obj] = own.version
+                    if not own.dead and predicate.matches(own.version, own.value):
+                        matched.append((obj, own.value))
+                    continue
+                stored = self.store.latest(obj)
+                if stored is None:
+                    continue  # implicitly unborn
+                selected[obj] = stored.version
+                if not stored.dead and predicate.matches(
+                    stored.version, stored.value
+                ):
+                    matched.append((obj, stored.value))
+        self.recorder.predicate_read(txn.tid, predicate, VersionSet(selected))
+        txn.predicates.append(predicate)
+        return PredicateResult(tuple(sorted(matched)))
+
+    # ------------------------------------------------------------------
+
+    def commit(self, txn: Transaction) -> None:
+        txn.require_active()
+        self._validate(txn)
+        self.store.install(txn.final_values())
+        self._log.append(
+            _CommittedRecord(
+                txn.tid,
+                self.store.commit_seq,
+                frozenset(txn.write_set),
+                tuple((bw.version, bw.value, bw.dead) for bw in txn.buffer.values()),
+            )
+        )
+        self.recorder.commit(txn.tid, txn.finals())
+        txn.state = TxnState.COMMITTED
+
+    def abort(self, txn: Transaction) -> None:
+        if txn.state is not TxnState.ACTIVE:
+            return
+        self.recorder.abort(txn.tid)
+        txn.state = TxnState.ABORTED
+
+    # ------------------------------------------------------------------
+
+    def _validate(self, txn: Transaction) -> None:
+        """Backward validation: conflicts with transactions that committed
+        after this transaction began."""
+        for record in reversed(self._log):
+            if record.commit_seq <= txn.snapshot_seq:
+                break
+            clash = record.write_set & txn.read_set
+            if clash:
+                self.abort(txn)
+                raise ValidationFailure(txn.tid, record.tid)
+            for predicate in txn.predicates:
+                if self._changes_predicate(record, predicate):
+                    self.abort(txn)
+                    raise ValidationFailure(txn.tid, record.tid)
+
+    @staticmethod
+    def _changes_predicate(record: _CommittedRecord, predicate: Predicate) -> bool:
+        """Whether a committed peer's writes could have changed the matches
+        of a predicate this transaction read.  Conservative — any write into
+        the predicate's relations counts (an insert/matching update adds a
+        match; a delete or update away removes one, and the overwritten
+        value is not at hand) — like a granular predicate lock.  Soundness
+        is what matters for PL-3; the checker measures the histories, not
+        the abort rate."""
+        return any(
+            predicate.covers(version.obj) for version, _value, _dead in record.writes
+        )

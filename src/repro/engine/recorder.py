@@ -1,0 +1,106 @@
+"""History recording for the engine.
+
+Every scheduler narrates its execution through a :class:`HistoryRecorder`:
+each operation appends the corresponding Adya event, and each commit appends
+the transaction's final versions to the per-object install order.  At the
+end, :meth:`HistoryRecorder.history` materialises a validated
+:class:`~repro.core.history.History` — the artifact the checker consumes.
+
+This is the bridge that makes the paper's thesis testable: locking, OCC and
+MVCC executions all reduce to the same history formalism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.events import Abort, Begin, Commit, Event, PredicateRead, Read, Write
+from ..core.history import History
+from ..core.objects import Version
+from ..core.predicates import Predicate, VersionSet
+
+__all__ = ["HistoryRecorder"]
+
+
+class HistoryRecorder:
+    """Accumulates events and the version (install) order of an execution."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self._install: Dict[str, List[tuple]] = {}
+        self._install_counter = 0
+
+    # ------------------------------------------------------------------
+    # event emission
+    # ------------------------------------------------------------------
+
+    def begin(self, tid: int, level: Optional[object] = None) -> None:
+        self.events.append(Begin(tid, level))
+
+    def read(self, tid: int, version: Version, value: Any = None, *, cursor: bool = False) -> None:
+        self.events.append(Read(tid, version, value=value, cursor=cursor))
+
+    def write(self, tid: int, version: Version, value: Any = None, *, dead: bool = False) -> None:
+        self.events.append(Write(tid, version, value=value, dead=dead))
+
+    def predicate_read(
+        self, tid: int, predicate: Predicate, vset: VersionSet
+    ) -> None:
+        self.events.append(PredicateRead(tid, predicate, vset))
+
+    def commit(
+        self,
+        tid: int,
+        finals: Dict[str, Version],
+        positions: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Emit the commit event and install the transaction's final
+        versions.
+
+        By default versions are installed in commit order (multi-version
+        schedulers choose that order).  ``positions`` overrides the sort key
+        per object — the single-version locking scheduler passes the write
+        *event* index so that in-place overwrites order versions by when the
+        write actually happened (which matters at Degree 0, where short
+        write locks let writes of concurrent transactions interleave).
+        """
+        for obj in sorted(finals):
+            self._install_counter += 1
+            key = self._install_counter if positions is None else positions[obj]
+            self._install.setdefault(obj, []).append((key, finals[obj]))
+        self.events.append(Commit(tid))
+
+    @property
+    def install_order(self) -> Dict[str, List[Version]]:
+        """The version order installed so far (sorted by install key)."""
+        return {
+            obj: [v for _k, v in sorted(entries, key=lambda e: e[0])]
+            for obj, entries in self._install.items()
+        }
+
+    def abort(self, tid: int) -> None:
+        self.events.append(Abort(tid))
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+
+    def history(
+        self,
+        *,
+        default_level: Optional[object] = None,
+        validate: bool = True,
+    ) -> History:
+        """The execution as a validated history.  Unfinished transactions
+        (programs cut off by a step budget) are completed with aborts, the
+        paper's completion rule."""
+        return History(
+            self.events,
+            self.install_order,
+            default_level=default_level,
+            auto_complete=True,
+            validate=validate,
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,112 @@
+"""Scheduler interface: the concurrency-control seam of the engine.
+
+A scheduler decides the semantics of the five primitive operations —
+``read``, ``write`` (update/insert/delete), ``predicate_read``, ``commit``
+and ``abort`` — against the shared :class:`MultiVersionStore`, narrating
+everything it does through the :class:`HistoryRecorder`.
+
+Three families are provided, mirroring the implementation space the paper
+insists its definitions must admit (Sections 1, 3):
+
+* :class:`~repro.engine.locking.LockingScheduler` — single-version strict
+  locking, parameterized by the Figure 1 lock profiles;
+* :class:`~repro.engine.optimistic.OptimisticScheduler` — backward-validation
+  OCC in the style the paper's authors built in Thor;
+* :class:`~repro.engine.mvcc.SnapshotIsolationScheduler` and
+  :class:`~repro.engine.mvcc.ReadCommittedMVScheduler` — multi-version
+  schemes in the style of Oracle.
+
+Operations raise :class:`~repro.exceptions.WouldBlock` when a lock must be
+waited for and :class:`~repro.exceptions.TransactionAborted` (subclasses)
+when the scheduler kills the transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..core.predicates import Predicate
+from .recorder import HistoryRecorder
+from .storage import MultiVersionStore
+from .transaction import Transaction
+
+__all__ = ["PredicateResult", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class PredicateResult:
+    """Outcome of a predicate read: the matched objects and their values,
+    in deterministic (sorted) object order."""
+
+    matched: Tuple[Tuple[str, Any], ...]
+
+    def objects(self) -> Tuple[str, ...]:
+        return tuple(obj for obj, _v in self.matched)
+
+    def values(self) -> Dict[str, Any]:
+        return dict(self.matched)
+
+    def __len__(self) -> int:
+        return len(self.matched)
+
+
+class Scheduler:
+    """Base class wiring store and recorder; subclasses implement the
+    operations."""
+
+    #: Human-readable scheme name (reports, benchmarks).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.store = MultiVersionStore()
+        self.recorder = HistoryRecorder()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def on_begin(self, txn: Transaction) -> None:
+        """Hook: called by the database right after a transaction starts."""
+
+    def read(
+        self,
+        txn: Transaction,
+        obj: str,
+        *,
+        cursor: bool = False,
+        for_update: bool = False,
+    ) -> Any:
+        """Read ``obj``; returns the value and records the read event.
+
+        ``for_update`` is the SQL ``SELECT ... FOR UPDATE`` hint: locking
+        schedulers take the write lock immediately (avoiding upgrade
+        deadlocks on read-modify-write); other schedulers ignore it."""
+        raise NotImplementedError
+
+    def write(
+        self, txn: Transaction, obj: str, value: Any, *, dead: bool = False
+    ) -> None:
+        """Write (or, with ``dead=True``, delete) ``obj``."""
+        raise NotImplementedError
+
+    def predicate_read(
+        self, txn: Transaction, predicate: Predicate
+    ) -> PredicateResult:
+        """Evaluate ``predicate`` over the transaction's view, recording the
+        version set; item reads of matched tuples are the caller's choice
+        (``select`` issues them, ``count``/``update_where`` do not)."""
+        raise NotImplementedError
+
+    def commit(self, txn: Transaction) -> None:
+        """Validate (scheme-specific) and install; may raise
+        :class:`~repro.exceptions.TransactionAborted`."""
+        raise NotImplementedError
+
+    def abort(self, txn: Transaction) -> None:
+        """Undo and release; always succeeds."""
+        raise NotImplementedError
+
+    # -- introspection ---------------------------------------------------
+
+    def waits_of(self, txn: Transaction):
+        """Transactions ``txn`` is currently waiting for (locking only)."""
+        return frozenset()

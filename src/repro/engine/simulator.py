@@ -1,0 +1,238 @@
+"""Deterministic interleaved execution of transaction programs.
+
+The simulator runs a set of :class:`~repro.engine.programs.Program` instances
+against one :class:`~repro.engine.database.Database`, interleaving their
+steps under a seeded RNG — same seed, same history, bit for bit.  It models
+the concurrency a real system gets from threads without any actual threads:
+
+* each scheduling round picks a random unfinished program and runs its next
+  step;
+* a step that raises :class:`~repro.exceptions.WouldBlock` leaves the
+  program *waiting* on the lock holders; waiting programs are retried once
+  a holder finishes;
+* deadlocks (cycles in the waits-for graph assembled from the ``WouldBlock``
+  holders) abort the youngest transaction of the cycle, which restarts with
+  a fresh tid if retries remain — so histories genuinely contain the abort
+  and the rerun, as a real system's would;
+* scheduler-initiated aborts (OCC validation failures, SI first-committer
+  losses) likewise restart the program up to ``max_retries`` times.
+
+``Simulator.run`` returns a :class:`SimulationResult` with the history, the
+per-program outcomes, and counters the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from ..core.history import History
+from ..exceptions import TransactionAborted, WouldBlock
+from .database import Database, TransactionHandle
+from .programs import Program, Step
+
+__all__ = ["Simulator", "SimulationResult", "ProgramOutcome"]
+
+
+@dataclass
+class ProgramOutcome:
+    """How one program fared across its attempts."""
+
+    program: str
+    tids: List[int] = field(default_factory=list)
+    committed_tid: Optional[int] = None
+    aborts: int = 0
+    regs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> bool:
+        return self.committed_tid is not None
+
+
+@dataclass
+class SimulationResult:
+    history: History
+    outcomes: List[ProgramOutcome]
+    steps_executed: int
+    deadlocks: int
+
+    @property
+    def committed_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.committed)
+
+    @property
+    def abort_count(self) -> int:
+        return sum(o.aborts for o in self.outcomes)
+
+
+class _Run:
+    """One program's execution state."""
+
+    def __init__(self, program: Program, index: int):
+        self.program = program
+        self.index = index
+        self.outcome = ProgramOutcome(program.name)
+        self.queue: List[Step] = []
+        self.regs: Dict[str, Any] = {}
+        self.txn: Optional[TransactionHandle] = None
+        self.waiting_on: Optional[frozenset[int]] = None
+        self.done = False
+        self.failed = False
+
+    @property
+    def active(self) -> bool:
+        return not self.done and not self.failed
+
+    def start(self, db: Database) -> None:
+        self.txn = db.begin(self.program.level)
+        self.outcome.tids.append(self.txn.tid)
+        self.queue = list(self.program.steps)
+        self.regs = {}
+        self.waiting_on = None
+
+
+class Simulator:
+    """Seeded round-based interleaver."""
+
+    def __init__(
+        self,
+        db: Database,
+        programs: Sequence[Program],
+        *,
+        seed: int = 0,
+        max_retries: int = 20,
+        max_steps: int = 100_000,
+    ):
+        self.db = db
+        self.programs = list(programs)
+        self.rng = random.Random(seed)
+        self.max_retries = max_retries
+        self.max_steps = max_steps
+        self.deadlocks = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        runs = [_Run(p, i) for i, p in enumerate(self.programs)]
+        for run in runs:
+            run.start(self.db)
+        steps = 0
+        while steps < self.max_steps:
+            candidates = [r for r in runs if r.active]
+            if not candidates:
+                break
+            run = self.rng.choice(candidates)
+            steps += 1
+            self._step(run, runs)
+            if all(r.waiting_on is not None for r in runs if r.active):
+                # Everyone is blocked but no waits-for cycle was found — the
+                # blockers must be committed/aborted already; clear waits and
+                # retry (lock tables are re-consulted on the next attempt).
+                for r in runs:
+                    if r.active:
+                        r.waiting_on = None
+        # Step budget exhausted: abort whatever is still running so the
+        # history is complete.
+        for run in runs:
+            if run.active and run.txn is not None:
+                run.txn.abort()
+                run.failed = True
+        return SimulationResult(
+            self.db.history(),
+            [r.outcome for r in runs],
+            steps,
+            self.deadlocks,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _step(self, run: _Run, runs: List["_Run"]) -> None:
+        assert run.txn is not None
+        try:
+            if run.queue:
+                step = run.queue[0]
+                extra = step.run(run.txn, run.regs)
+                run.queue.pop(0)
+                if extra:
+                    run.queue[:0] = list(extra)
+            else:
+                run.txn.commit()
+                run.outcome.committed_tid = run.txn.tid
+                run.outcome.regs = dict(run.regs)
+                run.done = True
+            run.waiting_on = None
+        except WouldBlock as block:
+            run.waiting_on = block.holders
+            self._resolve_deadlock(run, runs)
+        except TransactionAborted:
+            self._handle_abort(run)
+
+    def _handle_abort(self, run: _Run) -> None:
+        run.outcome.aborts += 1
+        run.waiting_on = None
+        if run.outcome.aborts > self.max_retries:
+            run.failed = True
+            return
+        run.start(self.db)
+
+    # ------------------------------------------------------------------
+
+    def _resolve_deadlock(self, blocked: _Run, runs: List["_Run"]) -> None:
+        """Abort the *originally* youngest transaction on a waits-for cycle.
+
+        Age is the tid of the program's first attempt, not the current one:
+        a restarted victim keeps its seniority, so it cannot be selected
+        forever (the naive abort-the-current-youngest rule starves restarts,
+        which always re-enter with the largest tid — measured live in
+        ``bench_scaling_engine``'s history).
+        """
+        waits: Dict[int, frozenset[int]] = {}
+        by_tid: Dict[int, _Run] = {}
+        for r in runs:
+            if r.active and r.txn is not None:
+                by_tid[r.txn.tid] = r
+                if r.waiting_on:
+                    waits[r.txn.tid] = r.waiting_on
+        cycle = _find_cycle(waits)
+        if not cycle:
+            return
+        candidates = [by_tid[tid] for tid in cycle if tid in by_tid]
+        if not candidates:
+            return
+        victim = max(candidates, key=lambda r: r.outcome.tids[0])
+        if victim.txn is None:
+            return
+        self.deadlocks += 1
+        victim.txn.abort()
+        victim.waiting_on = None
+        self._handle_abort(victim)
+
+
+def _find_cycle(waits: Dict[int, frozenset[int]]) -> Optional[Set[int]]:
+    """Nodes of some cycle in the waits-for graph, or ``None``."""
+    visiting: Set[int] = set()
+    visited: Set[int] = set()
+    stack: List[int] = []
+
+    def dfs(node: int) -> Optional[Set[int]]:
+        visiting.add(node)
+        stack.append(node)
+        for nxt in waits.get(node, ()):
+            if nxt in visiting:
+                return set(stack[stack.index(nxt) :])
+            if nxt not in visited:
+                found = dfs(nxt)
+                if found:
+                    return found
+        visiting.discard(node)
+        visited.add(node)
+        stack.pop()
+        return None
+
+    for start in list(waits):
+        if start not in visited:
+            found = dfs(start)
+            if found:
+                return found
+    return None

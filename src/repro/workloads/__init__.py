@@ -1,0 +1,61 @@
+"""Workloads: anomaly corpus, random generators, and the paper's scenarios."""
+
+from .anomalies import ALL_ANOMALIES
+from .bank import (
+    accounts,
+    audit_program,
+    audit_violations,
+    bank_programs,
+    conserved,
+    initial_balances,
+    transfer_program,
+)
+from .employees import (
+    RELATION,
+    SUM_OBJECT,
+    dept_predicate,
+    employee_programs,
+    fire,
+    hire,
+    initial_employees,
+    move_department,
+    raise_sales,
+    sum_salaries,
+)
+from .generator import WorkloadConfig, random_programs, synthetic_history
+from .orders import (
+    initial_shop,
+    discontinue,
+    orphan_orders,
+    place_order,
+    shop_programs,
+)
+
+__all__ = [
+    "ALL_ANOMALIES",
+    "accounts",
+    "audit_program",
+    "audit_violations",
+    "bank_programs",
+    "conserved",
+    "initial_balances",
+    "transfer_program",
+    "RELATION",
+    "SUM_OBJECT",
+    "dept_predicate",
+    "employee_programs",
+    "fire",
+    "hire",
+    "initial_employees",
+    "move_department",
+    "raise_sales",
+    "sum_salaries",
+    "WorkloadConfig",
+    "random_programs",
+    "synthetic_history",
+    "initial_shop",
+    "discontinue",
+    "orphan_orders",
+    "place_order",
+    "shop_programs",
+]

@@ -1,0 +1,275 @@
+"""The classical anomaly corpus, expressed as Adya histories.
+
+Each entry is a minimal history exhibiting exactly one textbook anomaly,
+with the full matrix of level verdicts (ANSI chain plus the extension
+levels).  The corpus drives the FIG6 benchmark's admission matrix and a
+large slice of the test suite: every verdict here is a consequence the
+formalism must reproduce —
+
+* lost update fails PL-2+ (G-single) and PL-SI but *passes* PL-CS unless the
+  read went through a cursor;
+* read skew fails PL-SI through G-SIa while write skew passes PL-SI (the
+  canonical SI ≠ serializability separation);
+* the phantom fails only levels that look at predicate anti-dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.canonical import CanonicalHistory
+from ..core.levels import IsolationLevel as L
+
+__all__ = [
+    "DIRTY_WRITE",
+    "DIRTY_READ",
+    "ABORTED_READ_PREDICATE",
+    "INTERMEDIATE_READ",
+    "CIRCULAR_FLOW",
+    "LOST_UPDATE",
+    "LOST_CURSOR_UPDATE",
+    "FUZZY_READ",
+    "READ_SKEW",
+    "WRITE_SKEW",
+    "PHANTOM_INSERT",
+    "THREE_WAY_FLOW",
+    "SPECULATIVE_READ",
+    "NON_SNAPSHOT_READ",
+    "CLEAN_SERIAL",
+    "ALL_ANOMALIES",
+]
+
+
+def _levels(**kw: bool) -> Dict[L, bool]:
+    mapping = {
+        "pl1": L.PL_1,
+        "pl2": L.PL_2,
+        "plcs": L.PL_CS,
+        "pl2plus": L.PL_2PLUS,
+        "pl299": L.PL_2_99,
+        "plsi": L.PL_SI,
+        "pl3": L.PL_3,
+    }
+    return {mapping[k]: v for k, v in kw.items()}
+
+
+DIRTY_WRITE = CanonicalHistory(
+    name="dirty-write",
+    section="anomaly",
+    description="interleaved writes leave x and y ordered oppositely (G0)",
+    text="w1(x1, 1) w2(x2, 2) w2(y2, 2) c2 w1(y1, 1) c1  [x1 << x2, y2 << y1]",
+    provides=_levels(
+        pl1=False, pl2=False, plcs=False, pl2plus=False, pl299=False,
+        plsi=False, pl3=False,
+    ),
+)
+
+DIRTY_READ = CanonicalHistory(
+    name="dirty-read",
+    section="anomaly",
+    description="T2 commits having read a version of an aborted T1 (G1a)",
+    text="w1(x1, 10) r2(x1, 10) w2(y2, 10) c2 a1",
+    provides=_levels(
+        pl1=True, pl2=False, plcs=False, pl2plus=False, pl299=False,
+        plsi=False, pl3=False,
+    ),
+)
+
+ABORTED_READ_PREDICATE = CanonicalHistory(
+    name="aborted-read-predicate",
+    section="anomaly",
+    description=(
+        "T2's predicate read selected a version of the aborted T1 "
+        "(G1a via a version set)"
+    ),
+    text="w1(x1) r2(Dept=Sales: x1*) c2 a1",
+    provides=_levels(
+        pl1=True, pl2=False, plcs=False, pl2plus=False, pl299=False,
+        plsi=False, pl3=False,
+    ),
+)
+
+INTERMEDIATE_READ = CanonicalHistory(
+    name="intermediate-read",
+    section="anomaly",
+    description="T2 commits having read a non-final version of x (G1b)",
+    text="w1(x1.1, 1) r2(x1.1, 1) c2 w1(x1.2, 2) c1",
+    provides=_levels(
+        pl1=True, pl2=False, plcs=False, pl2plus=False, pl299=False,
+        plsi=False, pl3=False,
+    ),
+)
+
+CIRCULAR_FLOW = CanonicalHistory(
+    name="circular-information-flow",
+    section="anomaly",
+    description="T1 and T2 each read the other's write (G1c)",
+    text="w1(x1, 1) w2(y2, 2) r1(y2, 2) r2(x1, 1) c1 c2",
+    provides=_levels(
+        pl1=True, pl2=False, plcs=False, pl2plus=False, pl299=False,
+        plsi=False, pl3=False,
+    ),
+)
+
+LOST_UPDATE = CanonicalHistory(
+    name="lost-update",
+    section="anomaly",
+    description=(
+        "both transactions read x0 and write x; T1's increment silently "
+        "overwrites T2's (one anti-dependency closed by a write-dependency)"
+    ),
+    text="r1(x0, 10) r2(x0, 10) w2(x2, 15) c2 w1(x1, 11) c1  [x0 << x2 << x1]",
+    provides=_levels(
+        pl1=True, pl2=True, plcs=True, pl2plus=False, pl299=False,
+        plsi=False, pl3=False,
+    ),
+)
+
+LOST_CURSOR_UPDATE = CanonicalHistory(
+    name="lost-cursor-update",
+    section="anomaly",
+    description="the same lost update, but T1 read x through a cursor, so PL-CS catches it (G-cursor)",
+    text="rc1(x0, 10) r2(x0, 10) w2(x2, 15) c2 w1(x1, 11) c1  [x0 << x2 << x1]",
+    provides=_levels(
+        pl1=True, pl2=True, plcs=False, pl2plus=False, pl299=False,
+        plsi=False, pl3=False,
+    ),
+)
+
+FUZZY_READ = CanonicalHistory(
+    name="fuzzy-read",
+    section="anomaly",
+    description="T1 reads x twice and sees two different committed values",
+    text="r1(x0, 10) w2(x2, 15) c2 r1(x2, 15) c1  [x0 << x2]",
+    provides=_levels(
+        pl1=True, pl2=True, plcs=True, pl2plus=False, pl299=False,
+        plsi=False, pl3=False,
+    ),
+)
+
+READ_SKEW = CanonicalHistory(
+    name="read-skew",
+    section="anomaly",
+    description=(
+        "T1 reads old x and new y — an inconsistent (non-snapshot) view; "
+        "fails PL-2+ (G-single) and PL-SI (G-SIa)"
+    ),
+    text="r1(x0, 5) w2(x2, 4) w2(y2, 6) c2 r1(y2, 6) c1  [x0 << x2]",
+    provides=_levels(
+        pl1=True, pl2=True, plcs=True, pl2plus=False, pl299=False,
+        plsi=False, pl3=False,
+    ),
+)
+
+WRITE_SKEW = CanonicalHistory(
+    name="write-skew",
+    section="anomaly",
+    description=(
+        "T1 and T2 each read both x and y from a consistent snapshot and "
+        "write disjoint objects; the cycle has two anti-dependency edges, "
+        "so Snapshot Isolation and PL-2+ admit it while PL-2.99/PL-3 do not"
+    ),
+    text=(
+        "r1(x0, 1) r1(y0, 1) r2(x0, 1) r2(y0, 1) w1(x1, -1) w2(y2, -1) "
+        "c1 c2  [x0 << x1, y0 << y2]"
+    ),
+    provides=_levels(
+        pl1=True, pl2=True, plcs=True, pl2plus=True, pl299=False,
+        plsi=True, pl3=False,
+    ),
+)
+
+PHANTOM_INSERT = CanonicalHistory(
+    name="phantom-insert",
+    section="anomaly",
+    description=(
+        "T2 inserts a row matching T1's earlier predicate read and T1 then "
+        "reads T2's row: the anti-dependency cycle exists only through the "
+        "predicate edge, so PL-2.99 admits it and PL-3 rejects it"
+    ),
+    text=(
+        "r1(Dept=Sales: x0*) w2(y2) c2 r1(y2) c1 "
+        "[Dept=Sales matches: y2]"
+    ),
+    provides=_levels(
+        pl1=True, pl2=True, plcs=True, pl2plus=False, pl299=True,
+        plsi=False, pl3=False,
+    ),
+)
+
+THREE_WAY_FLOW = CanonicalHistory(
+    name="three-way-information-ring",
+    section="anomaly",
+    description=(
+        "three transactions each read the next one's write — circular "
+        "information flow needs no pair to be mutual (G1c at ring size 3)"
+    ),
+    text=(
+        "w1(x1, 1) w2(y2, 2) w3(z3, 3) r1(y2, 2) r2(z3, 3) r3(x1, 1) "
+        "c1 c2 c3"
+    ),
+    provides=_levels(
+        pl1=True, pl2=False, plcs=False, pl2plus=False, pl299=False,
+        plsi=False, pl3=False,
+    ),
+)
+
+SPECULATIVE_READ = CanonicalHistory(
+    name="speculative-read",
+    section="anomaly",
+    description=(
+        "T2 reads T1's *uncommitted* final write and serializes after it — "
+        "the read the preventative P1 bans outright; legal at every level "
+        "except PL-SI (no start ordering) and caught by nothing else"
+    ),
+    text="w1(x1, 1) r2(x1, 1) w2(y2, 2) c1 c2",
+    provides=_levels(
+        pl1=True, pl2=True, plcs=True, pl2plus=True, pl299=True,
+        plsi=False, pl3=True,
+    ),
+)
+
+NON_SNAPSHOT_READ = CanonicalHistory(
+    name="non-snapshot-read",
+    section="anomaly",
+    description=(
+        "T2 began before T1 committed yet reads T1's write — perfectly "
+        "serializable, but not something a begin-time snapshot could "
+        "produce: G-SIa (interference) without any cycle.  Separates PL-SI "
+        "from PL-3 in the other direction from write skew"
+    ),
+    text="b2 w1(x1, 1) c1 r2(x1, 1) c2",
+    provides=_levels(
+        pl1=True, pl2=True, plcs=True, pl2plus=True, pl299=True,
+        plsi=False, pl3=True,
+    ),
+)
+
+CLEAN_SERIAL = CanonicalHistory(
+    name="clean-serial",
+    section="anomaly",
+    description="a serial two-transaction history providing every level",
+    text="w1(x1, 1) r1(x1, 1) c1 r2(x1, 1) w2(x2, 2) c2  [x1 << x2]",
+    provides=_levels(
+        pl1=True, pl2=True, plcs=True, pl2plus=True, pl299=True,
+        plsi=True, pl3=True,
+    ),
+)
+
+ALL_ANOMALIES: Tuple[CanonicalHistory, ...] = (
+    DIRTY_WRITE,
+    DIRTY_READ,
+    ABORTED_READ_PREDICATE,
+    INTERMEDIATE_READ,
+    CIRCULAR_FLOW,
+    LOST_UPDATE,
+    LOST_CURSOR_UPDATE,
+    FUZZY_READ,
+    READ_SKEW,
+    WRITE_SKEW,
+    PHANTOM_INSERT,
+    THREE_WAY_FLOW,
+    SPECULATIVE_READ,
+    NON_SNAPSHOT_READ,
+    CLEAN_SERIAL,
+)

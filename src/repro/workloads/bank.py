@@ -1,0 +1,135 @@
+"""Bank-transfer workload: the multi-object invariant of Section 3.
+
+The paper's running example is a pair of objects with the invariant
+``x + y = 10`` that weakly isolated readers observe violated (histories H1
+and H2).  This workload generalises it: ``n_accounts`` accounts with a fixed
+total balance, concurrent transfers that preserve the invariant, and audit
+transactions that read every account and record the sum they saw.
+
+Helpers then judge the run the way the paper does:
+
+* :func:`conserved` — did committed transfers preserve the total?
+* :func:`audit_violations` — which committed audits observed a total
+  different from the invariant (the H1/H2 inconsistent read, made
+  measurable)?
+
+The FIG6/SEC3 benchmarks correlate those observations with the checker's
+verdicts: audits that observe broken invariants appear exactly in histories
+that fail PL-2+/PL-3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..core.history import History
+from ..core.levels import IsolationLevel
+from ..engine.programs import Compute, Program, Read, Write
+from ..engine.simulator import ProgramOutcome
+
+__all__ = [
+    "accounts",
+    "initial_balances",
+    "transfer_program",
+    "audit_program",
+    "bank_programs",
+    "conserved",
+    "audit_violations",
+]
+
+DEFAULT_BALANCE = 100
+
+
+def accounts(n: int) -> List[str]:
+    return [f"acct{i}" for i in range(n)]
+
+
+def initial_balances(n: int, balance: int = DEFAULT_BALANCE) -> Dict[str, int]:
+    """``Database.load`` payload giving each account ``balance``."""
+    return {a: balance for a in accounts(n)}
+
+
+def transfer_program(
+    name: str,
+    src: str,
+    dst: str,
+    amount: int,
+    level: Optional[IsolationLevel] = None,
+) -> Program:
+    """Move ``amount`` from ``src`` to ``dst`` (read both, write both)."""
+    return Program(
+        name,
+        [
+            Read(src, into="src"),
+            Read(dst, into="dst"),
+            Write(src, lambda regs: regs["src"] - amount),
+            Write(dst, lambda regs: regs["dst"] + amount),
+        ],
+        level=level,
+    )
+
+
+def audit_program(
+    name: str,
+    n_accounts: int,
+    level: Optional[IsolationLevel] = None,
+) -> Program:
+    """Read every account and store the observed total in ``regs['total']``."""
+    steps: List[object] = [Read(a, into=a) for a in accounts(n_accounts)]
+    steps.append(
+        Compute(
+            lambda regs: regs.__setitem__(
+                "total", sum(regs[a] or 0 for a in accounts(n_accounts))
+            )
+        )
+    )
+    return Program(name, steps, level=level)
+
+
+def bank_programs(
+    *,
+    n_accounts: int = 4,
+    n_transfers: int = 4,
+    n_audits: int = 2,
+    amount: int = 10,
+    seed: int = 0,
+    level: Optional[IsolationLevel] = None,
+) -> List[Program]:
+    """A seeded mix of transfers between random distinct accounts and
+    full-scan audits."""
+    rng = random.Random(seed)
+    names = accounts(n_accounts)
+    programs: List[Program] = []
+    for i in range(n_transfers):
+        src, dst = rng.sample(names, 2)
+        programs.append(
+            transfer_program(f"transfer{i}", src, dst, amount, level=level)
+        )
+    for i in range(n_audits):
+        programs.append(audit_program(f"audit{i}", n_accounts, level=level))
+    return programs
+
+
+def conserved(history: History, n_accounts: int, balance: int = DEFAULT_BALANCE) -> bool:
+    """Whether the final committed state preserves the total balance."""
+    state = history.committed_state()
+    total = sum(state.get(a, 0) or 0 for a in accounts(n_accounts))
+    return total == n_accounts * balance
+
+
+def audit_violations(
+    outcomes: Sequence[ProgramOutcome],
+    n_accounts: int,
+    balance: int = DEFAULT_BALANCE,
+) -> List[ProgramOutcome]:
+    """Committed audits whose observed total differs from the invariant —
+    the measurable form of the paper's 'T2 observes x + y = 10 violated'."""
+    expected = n_accounts * balance
+    return [
+        o
+        for o in outcomes
+        if o.committed
+        and o.program.startswith("audit")
+        and o.regs.get("total") != expected
+    ]

@@ -1,0 +1,214 @@
+"""Employee/department workload: the paper's predicate examples, runnable.
+
+Sections 4.3–5.4 revolve around an ``Employee`` relation queried by
+department — salary raises over ``Dept = Sales`` (``H_pred-update``),
+department moves (``H_pred-read``), and the sum-of-salaries phantom
+(``H_phantom``).  This module provides those as engine programs:
+
+* :func:`raise_sales` — ``UPDATE EMPLOYEE SET SAL = SAL + d WHERE
+  DEPT = 'Sales'``;
+* :func:`hire` / :func:`fire` / :func:`move_department` — inserts, deletes
+  and updates that change the matched set (phantom generators);
+* :func:`sum_salaries` — the Figure 5 audit: read the department through the
+  predicate, total the salaries, and compare against a maintained ``Sum``
+  row, storing the discrepancy in the program's registers.
+
+Predicates are :class:`~repro.core.predicates.FieldPredicate` over the
+``emp`` relation, so engine-emitted histories exercise the full predicate
+machinery (version sets, match changes, predicate anti-dependencies).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+from ..core.levels import IsolationLevel
+from ..core.predicates import FieldPredicate, Predicate
+from ..engine.programs import (
+    Compute,
+    Count,
+    Delete,
+    Insert,
+    Program,
+    Read,
+    Select,
+    UpdateWhere,
+    Write,
+)
+
+__all__ = [
+    "RELATION",
+    "dept_predicate",
+    "initial_employees",
+    "raise_sales",
+    "hire",
+    "fire",
+    "move_department",
+    "sum_salaries",
+    "employee_programs",
+]
+
+RELATION = "emp"
+SUM_OBJECT = "sums:sales"
+
+
+def dept_predicate(dept: str) -> Predicate:
+    """``DEPT = <dept>`` over the employee relation."""
+    return FieldPredicate(RELATION, "dept", "==", dept, name=f"Dept={dept}")
+
+
+def initial_employees(
+    n: int = 4, *, dept: str = "Sales", salary: int = 10
+) -> Dict[str, Any]:
+    """``Database.load`` payload: ``n`` employees in ``dept`` plus the
+    maintained sum-of-salaries row (Figure 5's ``Sum``)."""
+    state: Dict[str, Any] = {
+        f"{RELATION}:{i}": {"name": f"e{i}", "dept": dept, "sal": salary}
+        for i in range(1, n + 1)
+    }
+    state[SUM_OBJECT] = n * salary
+    return state
+
+
+def raise_sales(
+    name: str = "raise",
+    *,
+    dept: str = "Sales",
+    delta: int = 10,
+    level: Optional[IsolationLevel] = None,
+) -> Program:
+    """The Section 4.3.2 statement: raise every salary in the department,
+    and keep the maintained sum consistent."""
+    return Program(
+        name,
+        [
+            Count(dept_predicate(dept), into="n"),
+            UpdateWhere(
+                dept_predicate(dept), lambda row: {**row, "sal": row["sal"] + delta}
+            ),
+            Read(SUM_OBJECT, into="sum"),
+            Write(SUM_OBJECT, lambda regs: regs["sum"] + delta * regs["n"]),
+        ],
+        level=level,
+    )
+
+
+def hire(
+    name: str,
+    *,
+    dept: str = "Sales",
+    salary: int = 10,
+    level: Optional[IsolationLevel] = None,
+) -> Program:
+    """Insert a new employee and update the maintained sum (Figure 5's T2)."""
+    return Program(
+        name,
+        [
+            Insert(RELATION, {"name": name, "dept": dept, "sal": salary}, into="obj"),
+            Read(SUM_OBJECT, into="sum"),
+            Write(SUM_OBJECT, lambda regs: regs["sum"] + salary),
+        ],
+        level=level,
+    )
+
+
+def fire(
+    name: str,
+    employee: str,
+    *,
+    level: Optional[IsolationLevel] = None,
+) -> Program:
+    """Delete an employee and update the maintained sum."""
+    return Program(
+        name,
+        [
+            Read(employee, into="row"),
+            Delete(employee),
+            Read(SUM_OBJECT, into="sum"),
+            Write(
+                SUM_OBJECT,
+                lambda regs: regs["sum"]
+                - (regs["row"]["sal"] if regs["row"] else 0),
+            ),
+        ],
+        level=level,
+    )
+
+
+def move_department(
+    name: str,
+    employee: str,
+    new_dept: str,
+    *,
+    level: Optional[IsolationLevel] = None,
+) -> Program:
+    """Update one employee's department (the H_pred-read mutation)."""
+    return Program(
+        name,
+        [
+            Read(employee, into="row"),
+            Write(
+                employee,
+                lambda regs: {**regs["row"], "dept": new_dept}
+                if regs["row"]
+                else {"dept": new_dept},
+            ),
+        ],
+        level=level,
+    )
+
+
+def sum_salaries(
+    name: str = "audit",
+    *,
+    dept: str = "Sales",
+    level: Optional[IsolationLevel] = None,
+) -> Program:
+    """Figure 5's T1: read the department by predicate, total the salaries,
+    and compare with the maintained sum.  ``regs['consistent']`` records the
+    verdict; a False here is the phantom observed."""
+
+    def check(regs: Dict[str, Any]) -> None:
+        observed = sum(row["sal"] for row in regs.get("rows", {}).values())
+        regs["observed"] = observed
+        regs["consistent"] = observed == regs.get("stored")
+
+    return Program(
+        name,
+        [
+            Select(dept_predicate(dept), into="rows"),
+            Read(SUM_OBJECT, into="stored"),
+            Compute(check),
+        ],
+        level=level,
+    )
+
+
+def employee_programs(
+    *,
+    n_hires: int = 1,
+    n_raises: int = 1,
+    n_audits: int = 1,
+    n_moves: int = 0,
+    seed: int = 0,
+    level: Optional[IsolationLevel] = None,
+) -> List[Program]:
+    """A seeded mix of the programs above (audits interleaved with
+    match-changing writers — the phantom crucible)."""
+    rng = random.Random(seed)
+    programs: List[Program] = []
+    for i in range(n_hires):
+        programs.append(hire(f"hire{i}", level=level))
+    for i in range(n_raises):
+        programs.append(raise_sales(f"raise{i}", level=level))
+    for i in range(n_moves):
+        programs.append(
+            move_department(
+                f"move{i}", f"{RELATION}:{rng.randrange(1, 4)}", "Legal", level=level
+            )
+        )
+    for i in range(n_audits):
+        programs.append(sum_salaries(f"audit{i}", level=level))
+    rng.shuffle(programs)
+    return programs

@@ -1,0 +1,152 @@
+"""Orders/items workload: referential integrity under weak isolation.
+
+A small shop: an ``item`` relation and an ``order`` relation, with the
+application invariant *every committed order references an item that still
+exists*.  Order placement checks the item before inserting; discontinuation
+deletes the item together with its existing orders.  Run serializably, the
+invariant holds by construction.  Run under snapshot isolation, the two
+transactions form a real-world **write skew**: the placer checked the item
+in its snapshot, the discontinuer swept orders in *its* snapshot, their
+write sets are disjoint — both commit, and an orphan order survives,
+referencing a dead item.
+
+This is the predicate-flavoured sibling of the bank workload: the anomaly
+is observed at the application level (:func:`orphan_orders`) and by the
+checker (such histories fail PL-3 while still providing PL-SI), tying the
+formalism to a concrete integrity bug, as the paper's Section 3 does with
+``x + y = 10``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+from ..core.history import History
+from ..core.levels import IsolationLevel
+from ..core.predicates import FieldPredicate, Predicate
+from ..engine.programs import (
+    Compute,
+    Conditional,
+    Delete,
+    DeleteWhere,
+    Insert,
+    Program,
+    Read,
+)
+
+__all__ = [
+    "ITEM_RELATION",
+    "ORDER_RELATION",
+    "orders_for",
+    "initial_shop",
+    "place_order",
+    "discontinue",
+    "shop_programs",
+    "orphan_orders",
+]
+
+ITEM_RELATION = "item"
+ORDER_RELATION = "order"
+
+
+def orders_for(item_obj: str) -> Predicate:
+    """``SELECT * FROM order WHERE item = <item_obj>``."""
+    return FieldPredicate(
+        ORDER_RELATION, "item", "==", item_obj, name=f"orders-of-{item_obj.replace(':', '.')}"
+    )
+
+
+def initial_shop(n_items: int = 3, *, stock: int = 10) -> Dict[str, Any]:
+    """``Database.load`` payload: ``n_items`` active items, no orders."""
+    return {
+        f"{ITEM_RELATION}:{i}": {"name": f"item{i}", "stock": stock}
+        for i in range(1, n_items + 1)
+    }
+
+
+def place_order(
+    name: str,
+    item_obj: str,
+    qty: int = 1,
+    *,
+    level: Optional[IsolationLevel] = None,
+) -> Program:
+    """Check the item exists, then insert an order referencing it."""
+    return Program(
+        name,
+        [
+            Read(item_obj, into="item"),
+            Conditional(
+                lambda regs: regs.get("item") is not None,
+                Insert(
+                    ORDER_RELATION,
+                    {"item": item_obj, "qty": qty},
+                    into="order",
+                ),
+            ),
+        ],
+        level=level,
+    )
+
+
+def discontinue(
+    name: str,
+    item_obj: str,
+    *,
+    level: Optional[IsolationLevel] = None,
+) -> Program:
+    """Remove an item and sweep its existing orders (keeping referential
+    integrity — when the scheduler lets it).  The delete is guarded by an
+    existence check, as a real application's ``DELETE ... WHERE id = ?``
+    would be: deleting an already-deleted object would be a reincarnation,
+    which the model forbids (a new incarnation is a distinct object)."""
+    return Program(
+        name,
+        [
+            Read(item_obj, into="_item"),
+            DeleteWhere(orders_for(item_obj)),
+            Conditional(
+                lambda regs: regs.get("_item") is not None,
+                Delete(item_obj),
+            ),
+        ],
+        level=level,
+    )
+
+
+def shop_programs(
+    *,
+    n_items: int = 3,
+    n_orders: int = 3,
+    n_discontinues: int = 1,
+    seed: int = 0,
+    level: Optional[IsolationLevel] = None,
+) -> List[Program]:
+    """A seeded mix of order placements and discontinuations."""
+    rng = random.Random(seed)
+    programs: List[Program] = []
+    for i in range(n_orders):
+        item = f"{ITEM_RELATION}:{rng.randrange(1, n_items + 1)}"
+        programs.append(place_order(f"order{i}", item, level=level))
+    for i in range(n_discontinues):
+        item = f"{ITEM_RELATION}:{rng.randrange(1, n_items + 1)}"
+        programs.append(discontinue(f"discontinue{i}", item, level=level))
+    rng.shuffle(programs)
+    return programs
+
+
+def orphan_orders(history: History) -> List[str]:
+    """Committed orders whose referenced item no longer exists in the final
+    committed state — the observable integrity violation."""
+    state = history.committed_state()
+    live_items = {
+        obj for obj in state if obj.startswith(f"{ITEM_RELATION}:")
+    }
+    return sorted(
+        obj
+        for obj, row in state.items()
+        if obj.startswith(f"{ORDER_RELATION}:")
+        and isinstance(row, dict)
+        and row.get("item") not in live_items
+    )

@@ -1,0 +1,77 @@
+"""Hypothesis strategies for property-based testing against the library.
+
+Downstream users writing their own property tests (e.g. for a new scheduler
+or an alternative checker) can draw well-formed histories directly::
+
+    from hypothesis import given
+    from repro.workloads.strategies import histories
+
+    @given(histories())
+    def test_my_invariant(history):
+        ...
+
+Strategies wrap the deterministic :func:`~repro.workloads.generator.
+synthetic_history` generator, so every drawn history is well-formed by
+construction (and shrinkable through its integer parameters).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from .generator import synthetic_history
+
+__all__ = ["histories", "serializable_histories", "conflicted_histories"]
+
+
+def histories(
+    *,
+    max_txns: int = 25,
+    max_objects: int = 8,
+    max_ops: int = 6,
+    stale_reads: bool = True,
+):
+    """Arbitrary well-formed histories.
+
+    With ``stale_reads`` (default) the generator may serve reads from older
+    committed versions, producing genuinely anomalous multi-version
+    histories; without it reads observe the latest committed version and the
+    results always provide PL-2.
+    """
+
+    stale = (
+        st.floats(min_value=0.0, max_value=1.0)
+        if stale_reads
+        else st.just(0.0)
+    )
+    return st.builds(
+        synthetic_history,
+        n_txns=st.integers(min_value=1, max_value=max_txns),
+        n_objects=st.integers(min_value=1, max_value=max_objects),
+        ops_per_txn=st.integers(min_value=1, max_value=max_ops),
+        write_fraction=st.floats(min_value=0.0, max_value=1.0),
+        abort_fraction=st.floats(min_value=0.0, max_value=0.5),
+        stale_read_fraction=stale,
+        seed=st.integers(min_value=0, max_value=100_000),
+    )
+
+
+def serializable_histories(**kw):
+    """Histories whose reads always observe the latest committed version —
+    commit-order serializable by construction (and PL-2 guaranteed)."""
+    return histories(stale_reads=False, **kw)
+
+
+def conflicted_histories(**kw):
+    """Histories biased toward anomalies: heavy staleness and writes over a
+    small keyspace."""
+    return st.builds(
+        synthetic_history,
+        n_txns=st.integers(min_value=4, max_value=kw.get("max_txns", 25)),
+        n_objects=st.integers(min_value=1, max_value=4),
+        ops_per_txn=st.integers(min_value=2, max_value=6),
+        write_fraction=st.floats(min_value=0.4, max_value=0.9),
+        abort_fraction=st.floats(min_value=0.0, max_value=0.2),
+        stale_read_fraction=st.floats(min_value=0.5, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=100_000),
+    )

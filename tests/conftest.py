@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parse_history
+from repro.core.canonical import ALL_CANONICAL
+from repro.workloads.anomalies import ALL_ANOMALIES
+
+
+@pytest.fixture(params=ALL_CANONICAL, ids=lambda ch: ch.name)
+def canonical_history(request):
+    """Each paper history in turn."""
+    return request.param
+
+
+@pytest.fixture(params=ALL_ANOMALIES, ids=lambda ch: ch.name)
+def anomaly_history(request):
+    """Each anomaly-corpus history in turn."""
+    return request.param
+
+
+def parse(text: str, **kw):
+    """Shorthand used across the suite."""
+    return parse_history(text, **kw)

@@ -1,0 +1,65 @@
+"""Tests for the permissiveness analysis (repro.analysis.permissiveness)."""
+
+import pytest
+
+from repro.analysis import compare
+from repro.core.levels import IsolationLevel as L
+from repro.engine import (
+    LockingScheduler,
+    OptimisticScheduler,
+    ReadCommittedMVScheduler,
+    SnapshotIsolationScheduler,
+)
+from repro.workloads import bank_programs, initial_balances
+
+
+def bank(seed):
+    return bank_programs(n_accounts=3, n_transfers=3, n_audits=1, seed=seed)
+
+
+class TestPermissiveness:
+    def test_locking_accepted_by_both(self):
+        res = compare(
+            lambda: LockingScheduler("serializable"),
+            bank,
+            initial_balances(3),
+            n_seeds=6,
+        )
+        assert res.generalized_rate == 1.0
+        assert res.preventative_rate == 1.0
+        assert res.gap == 0
+
+    def test_occ_gap(self):
+        """The Section 3 headline: every OCC history is PL-3, almost none
+        pass P0–P3."""
+        res = compare(OptimisticScheduler, bank, initial_balances(3), n_seeds=8)
+        assert res.generalized_rate == 1.0
+        assert res.preventative_rate < 1.0
+        assert res.gap > 0
+        assert res.example_gap_history is not None
+
+    def test_mvrc_at_pl2(self):
+        res = compare(
+            ReadCommittedMVScheduler,
+            bank,
+            initial_balances(3),
+            level=L.PL_2,
+            n_seeds=8,
+        )
+        assert res.generalized_rate == 1.0
+        assert res.preventative_rate < 1.0
+
+    def test_si_gap_at_pl2(self):
+        res = compare(
+            SnapshotIsolationScheduler,
+            bank,
+            initial_balances(3),
+            level=L.PL_2,
+            n_seeds=8,
+        )
+        assert res.generalized_rate == 1.0
+
+    def test_describe(self):
+        res = compare(OptimisticScheduler, bank, initial_balances(3), n_seeds=2)
+        text = res.describe()
+        assert "optimistic" in text and "PL-3" in text

@@ -1,0 +1,107 @@
+"""Tests for the strict ANSI A1–A3 baseline (repro.baseline.ansi)."""
+
+import pytest
+
+import repro
+from repro.baseline import (
+    AnsiAnalysis,
+    AnsiPhenomenon as A,
+    ansi_strict_satisfies,
+)
+from repro.core import parse_history
+from repro.core.canonical import H1, H2, H1_PRIME, H2_PRIME
+from repro.core.levels import IsolationLevel as L
+
+
+def analysis(text, **kw):
+    return AnsiAnalysis(parse_history(text, **kw))
+
+
+class TestA1:
+    def test_completed_dirty_read(self):
+        assert analysis("w1(x1) r2(x1) c2 a1").exhibits(A.A1)
+
+    def test_writer_commits_no_a1(self):
+        assert not analysis("w1(x1) r2(x1) c1 c2").exhibits(A.A1)
+
+    def test_reader_aborts_no_a1(self):
+        assert not analysis("w1(x1) r2(x1) a2 a1").exhibits(A.A1)
+
+
+class TestA2:
+    def test_completed_fuzzy_read(self):
+        a = analysis("r1(x0, 10) w2(x2, 15) c2 r1(x2, 15) c1 [x0 << x2]")
+        assert a.exhibits(A.A2)
+
+    def test_no_reread_no_a2(self):
+        """H1: T2 never re-reads x, so strict ANSI sees nothing — the
+        ambiguity that forced the P-interpretation."""
+        assert not AnsiAnalysis(H1.history).exhibits(A.A2)
+
+    def test_uncommitted_writer_no_a2(self):
+        # T2 never commits: the strict reading requires the full anomaly.
+        a = analysis("r1(x0) w2(x2) r1(x0) c1 a2")
+        assert not a.exhibits(A.A2)
+
+    def test_own_rewrite_not_a2(self):
+        a = analysis("r1(x0) w1(x1) r1(x1) c1")
+        assert not a.exhibits(A.A2)
+
+
+class TestA3:
+    def test_completed_phantom(self):
+        a = analysis(
+            "r1(P: x0*) w2(y2) c2 r1(P: x0*, y2*) c1 [P matches: y2]"
+        )
+        assert a.exhibits(A.A3)
+
+    def test_single_predicate_read_no_a3(self):
+        a = analysis("r1(P: x0*) w2(y2) c2 c1 [P matches: y2]")
+        assert not a.exhibits(A.A3)
+
+    def test_irrelevant_change_no_a3(self):
+        # y2 does not match: the second read's version set changed but the
+        # matched set did not.
+        a = analysis("r1(P: x0*) w2(y2) c2 r1(P: x0*, y2) c1")
+        assert not a.exhibits(A.A3)
+
+
+class TestUnsoundness:
+    """The Section 2 story: strict ANSI admits non-serializable histories."""
+
+    @pytest.mark.parametrize("entry", [H1, H2], ids=lambda e: e.name)
+    def test_bad_histories_show_no_a_phenomenon(self, entry):
+        a = AnsiAnalysis(entry.history)
+        assert not any(a.exhibits(p) for p in A)
+        assert ansi_strict_satisfies(entry.history, L.PL_3)
+        assert not repro.satisfies(entry.history, L.PL_3).ok
+
+    def test_dirty_write_invisible_to_strict_ansi(self):
+        h = parse_history(
+            "w1(x1) w2(x2) w2(y2) c2 w1(y1) c1 [x1 << x2, y2 << y1]"
+        )
+        assert ansi_strict_satisfies(h, L.PL_3)  # missing P0
+        assert repro.classify(h) is None
+
+    def test_read_uncommitted_always_admits(self):
+        h = parse_history("w1(x1) r2(x1) c2 a1")
+        assert ansi_strict_satisfies(h, L.PL_1)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(KeyError):
+            ansi_strict_satisfies(H1.history, L.PL_SI)
+
+
+class TestLevelPrefixes:
+    def test_read_committed_proscribes_a1_only(self):
+        dirty = parse_history("w1(x1) r2(x1) c2 a1")
+        fuzzy = parse_history(
+            "r1(x0, 10) w2(x2, 15) c2 r1(x2, 15) c1 [x0 << x2]"
+        )
+        assert not ansi_strict_satisfies(dirty, L.PL_2)
+        assert ansi_strict_satisfies(fuzzy, L.PL_2)
+        assert not ansi_strict_satisfies(fuzzy, L.PL_2_99)
+
+    def test_good_histories_admitted_everywhere(self):
+        for entry in (H1_PRIME, H2_PRIME):
+            assert ansi_strict_satisfies(entry.history, L.PL_3)

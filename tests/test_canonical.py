@@ -1,0 +1,178 @@
+"""Integration tests: every in-text claim the paper makes about its example
+histories, machine-checked (repro.core.canonical)."""
+
+import pytest
+
+import repro
+from repro.core import DSG, Analysis, parse_history
+from repro.core.canonical import (
+    H1,
+    H2,
+    H1_PRIME,
+    H2_PRIME,
+    H_INSERT,
+    H_PHANTOM,
+    H_PRED_READ,
+    H_PRED_UPDATE,
+    H_SERIAL,
+    H_WCYCLE,
+    H_WRITE_ORDER,
+)
+from repro.core.conflicts import DepKind
+from repro.core.levels import IsolationLevel as L
+from repro.core.phenomena import Phenomenon as G
+
+
+def edge_set(history):
+    return {
+        (e.src, e.dst, ("p" if e.via_predicate else "") + e.kind.value)
+        for e in DSG(history).edges
+    }
+
+
+def test_every_canonical_level_claim(canonical_history):
+    """The headline: all level verdicts match the paper."""
+    rep = repro.check(canonical_history.history)
+    for level, expected in canonical_history.provides.items():
+        assert rep.ok(level) == expected, (
+            f"{canonical_history.name} at {level}: got {rep.ok(level)}, "
+            f"paper says {expected}"
+        )
+
+
+class TestH1H2:
+    def test_h1_t2_observes_broken_invariant(self):
+        """T2 sees x=1 (new) and y=5 (old): x + y != 10."""
+        h = H1.history
+        values = [e.value for _i, e in h.reads if e.tid == 2]
+        assert sum(values) != 10
+
+    def test_h2_t2_observes_broken_invariant(self):
+        h = H2.history
+        values = [e.value for _i, e in h.reads if e.tid == 2]
+        assert sum(values) != 10
+
+    def test_h1_prime_t2_sees_consistent_state(self):
+        values = [e.value for _i, e in H1_PRIME.history.reads if e.tid == 2]
+        assert sum(values) == 10
+
+    def test_h2_prime_t2_sees_consistent_state(self):
+        values = [e.value for _i, e in H2_PRIME.history.reads if e.tid == 2]
+        assert sum(values) == 10
+
+    def test_h1_prime_serializes_t2_after_t1(self):
+        order = DSG(H1_PRIME.history).topological_order()
+        assert order.index(1) < order.index(2)
+
+    def test_h2_prime_serializes_t2_before_t1(self):
+        order = DSG(H2_PRIME.history).topological_order()
+        assert order.index(2) < order.index(1)
+
+
+class TestHWriteOrder:
+    def test_version_order_contradicts_commit_order(self):
+        """T1 commits before T2 yet x2 << x1 — the multi-version freedom."""
+        h = H_WRITE_ORDER.history
+        assert h.commit_index(1) < h.commit_index(2)
+        order = h.order_of("x")
+        assert order.index(h.final_version("x", 2)) < order.index(
+            h.final_version("x", 1)
+        )
+
+    def test_t2_serialized_before_t1(self):
+        order = DSG(H_WRITE_ORDER.history).topological_order()
+        assert order.index(2) < order.index(1)
+
+    def test_uncommitted_and_aborted_versions_unconstrained(self):
+        h = H_WRITE_ORDER.history
+        assert h.final_version("x", 3) not in h.installed
+        assert h.final_version("y", 4) not in h.installed
+
+
+class TestHPredRead:
+    def test_dependency_comes_from_t1_not_t2(self):
+        """T2's phone-number update is irrelevant to T3's Sales query; the
+        predicate-read-dependency comes from T1 (Section 4.4.1)."""
+        pred_edges = {
+            (e.src, e.dst)
+            for e in DSG(H_PRED_READ.history).edges
+            if e.via_predicate and e.kind is DepKind.WR
+        }
+        assert pred_edges == {(1, 3)}
+
+    def test_serializable_in_paper_order(self):
+        order = DSG(H_PRED_READ.history).topological_order()
+        assert order.index(0) < order.index(1) < order.index(3)
+        assert order.index(1) < order.index(2)
+
+
+class TestHSerial:
+    def test_figure3_edges(self):
+        assert edge_set(H_SERIAL.history) == {
+            (1, 2, "ww"),
+            (1, 2, "wr"),
+            (1, 3, "ww"),
+            (2, 3, "wr"),
+            (2, 3, "rw"),
+        }
+
+    def test_serializable_t1_t2_t3(self):
+        assert DSG(H_SERIAL.history).topological_order() == [1, 2, 3]
+
+
+class TestHWcycle:
+    def test_figure4_pure_write_cycle(self):
+        assert edge_set(H_WCYCLE.history) == {(1, 2, "ww"), (2, 1, "ww")}
+
+    def test_g0_exhibited(self):
+        assert Analysis(H_WCYCLE.history).exhibits(G.G0)
+
+
+class TestHPredUpdate:
+    def test_interleaving_misses_y(self):
+        """T2's salary raise updated x but not y (y was unborn in T2's
+        version set)."""
+        h = H_PRED_UPDATE.history
+        _i, pread = h.predicate_reads[0]
+        from repro.core.objects import Version
+
+        assert h.vset_version(pread, "y") == Version.unborn("y")
+
+    def test_allowed_at_pl1_no_write_cycle(self):
+        assert not Analysis(H_PRED_UPDATE.history).exhibits(G.G0)
+
+    def test_rejected_at_pl3_via_predicate_anti(self):
+        a = Analysis(H_PRED_UPDATE.history)
+        assert a.exhibits(G.G2)
+        assert not a.exhibits(G.G2_ITEM)
+
+
+class TestHPhantom:
+    def test_figure5_cycle_shape(self):
+        """T2 -wr-> T1 and T1 -predicate-rw-> T2 (T0 'not shown' but
+        present as a setup node)."""
+        edges = edge_set(H_PHANTOM.history)
+        assert (2, 1, "wr") in edges
+        assert (1, 2, "prw") in edges
+
+    def test_inconsistency_t1_observed(self):
+        """T1 summed 20 from individual reads but read Sum = 30."""
+        h = H_PHANTOM.history
+        item_values = [
+            e.value for _i, e in h.reads if e.tid == 1 and e.version.obj != "Sum"
+        ]
+        sum_read = [e.value for _i, e in h.reads if e.tid == 1 and e.version.obj == "Sum"]
+        assert sum(item_values) == 20
+        assert sum_read == [30]
+
+    def test_pl299_admits_pl3_rejects(self):
+        rep = repro.check(H_PHANTOM.history)
+        assert rep.ok(L.PL_2_99) and not rep.ok(L.PL_3)
+
+
+class TestHInsert:
+    def test_insert_select_shape(self):
+        """The read of x0 feeds the inserted y1 (Section 4.3.2)."""
+        h = H_INSERT.history
+        assert [str(e) for e in h.events][-2] == "w1(y1)"
+        assert repro.classify(h) is L.PL_3

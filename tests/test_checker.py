@@ -1,0 +1,108 @@
+"""Tests for the user-facing checker API (repro.checker)."""
+
+import pytest
+
+import repro
+from repro.checker import as_history, check, check_level
+from repro.core import parse_history
+from repro.core.levels import IsolationLevel as L
+from repro.core.phenomena import Phenomenon as G
+
+
+class TestCheck:
+    def test_accepts_text(self):
+        rep = check("w1(x1) c1 r2(x1) c2")
+        assert rep.serializable
+
+    def test_accepts_history(self):
+        rep = check(parse_history("w1(x1) c1"))
+        assert rep.strongest_level is L.PL_3
+
+    def test_strongest_level_none_below_pl1(self):
+        rep = check(
+            "w1(x1) w2(x2) w2(y2) c2 w1(y1) c1 [x1 << x2, y2 << y1]"
+        )
+        assert rep.strongest_level is None
+
+    def test_exhibited_lists_phenomena(self):
+        rep = check("w1(x1) r2(x1) c2 a1")
+        assert G.G1A in rep.exhibited()
+
+    def test_extensions_flag_adds_levels(self):
+        rep = check("w1(x1) c1", extensions=True)
+        assert L.PL_SI in rep.verdicts
+        assert L.PL_2PLUS in rep.verdicts
+        assert L.PL_CS in rep.verdicts
+
+    def test_auto_complete_flag(self):
+        rep = check("w1(x1) c1 w2(x2)", auto_complete=True)
+        assert 2 in rep.history.aborted
+
+    def test_custom_levels_only(self):
+        rep = check("w1(x1) c1", levels=(L.PL_2,))
+        assert list(rep.verdicts) == [L.PL_2]
+        with pytest.raises(KeyError):
+            rep.serializable
+
+
+class TestExplain:
+    def test_mentions_each_level(self):
+        text = check("w1(x1) c1 r2(x1) c2").explain()
+        for name in ("PL-1", "PL-2", "PL-2.99", "PL-3"):
+            assert name in text
+
+    def test_serialization_order_shown_when_serializable(self):
+        text = check("w1(x1) c1 r2(x1) c2").explain()
+        assert "serialization order: T1, T2" in text
+
+    def test_violations_explained_with_witnesses(self):
+        text = check("w1(x1) r2(x1) c2 a1").explain()
+        assert "aborted" in text
+        assert "G1a" in text
+
+    def test_str_is_explain(self):
+        rep = check("w1(x1) c1")
+        assert str(rep) == rep.explain()
+
+
+class TestCheckLevel:
+    def test_level_object(self):
+        assert check_level("w1(x1) c1", L.PL_3).ok
+
+    def test_level_name_string(self):
+        assert check_level("w1(x1) c1", "serializable").ok
+        assert check_level("w1(x1) c1", "READ COMMITTED").ok
+
+    def test_violation_reported(self):
+        verdict = check_level("w1(x1) r2(x1) c2 a1", "PL-2")
+        assert not verdict.ok
+
+
+class TestAsHistory:
+    def test_passthrough(self):
+        h = parse_history("w1(x1) c1")
+        assert as_history(h) is h
+
+    def test_parse(self):
+        assert len(as_history("w1(x1) c1")) == 2
+
+
+class TestTopLevelApi:
+    def test_module_exports(self):
+        assert repro.check is check
+        assert callable(repro.classify)
+        assert callable(repro.parse_history)
+
+    def test_quickstart_docstring_example(self):
+        rep = repro.check(
+            "r1(x0, 5) w1(x1, 1) r2(x1, 1) r2(y0, 5) c2 "
+            "r1(y0, 5) w1(y1, 9) c1"
+        )
+        assert rep.strongest_level is L.PL_2
+
+
+class TestReportExtras:
+    def test_timeline_method(self):
+        rep = check("w1(x1) c1 r2(x1) c2")
+        grid = rep.timeline()
+        assert grid.splitlines()[0].startswith("T1 |")

@@ -1,0 +1,164 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import io
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+H_SERIAL = "w1(x1) c1 r2(x1) c2"
+H_DIRTY = "w1(x1) r2(x1) c2 a1"
+H_WCYCLE = "w1(x1) w2(x2) w2(y2) c2 w1(y1) c1 [x1 << x2, y2 << y1]"
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    status = main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+class TestClassify:
+    def test_serial(self):
+        status, text = run_cli("classify", H_SERIAL)
+        assert status == 0
+        assert text.strip() == "PL-3"
+
+    def test_below_pl1(self):
+        status, text = run_cli("classify", H_WCYCLE)
+        assert status == 0
+        assert text.strip() == "none"
+
+
+class TestCheck:
+    def test_full_report(self):
+        status, text = run_cli("check", H_DIRTY)
+        assert status == 0
+        assert "G1a" in text and "strongest level: PL-1" in text
+
+    def test_single_level_ok(self):
+        status, text = run_cli("check", "--level", "PL-3", H_SERIAL)
+        assert status == 0
+        assert "PROVIDED" in text
+
+    def test_single_level_violated_exit_1(self):
+        status, text = run_cli("check", "--level", "serializable", H_DIRTY)
+        assert status == 1
+        assert "VIOLATED" in text
+
+    def test_extensions_flag(self):
+        status, text = run_cli("check", "--extensions", H_SERIAL)
+        assert status == 0
+        assert "PL-SI" in text
+
+    def test_unknown_level_exit_2(self):
+        status, _text = run_cli("check", "--level", "chaos", H_SERIAL)
+        assert status == 2
+
+    def test_parse_error_exit_2(self):
+        status, _text = run_cli("check", "w1(x1) garbage")
+        assert status == 2
+
+    def test_auto_complete(self):
+        status, text = run_cli("check", "--auto-complete", "w1(x1) c1 w2(x2)")
+        assert status == 0
+
+
+class TestOtherCommands:
+    def test_dsg_outputs_dot(self):
+        status, text = run_cli("dsg", H_SERIAL)
+        assert status == 0
+        assert "digraph" in text and "T1 -> T2" in text
+
+    def test_phenomena(self):
+        status, text = run_cli("phenomena", H_DIRTY)
+        assert status == 0
+        assert "G1a: EXHIBITED" in text
+        assert "G0: absent" in text
+
+    def test_mixing_ok(self):
+        status, text = run_cli("mixing", H_SERIAL)
+        assert status == 0
+        assert "mixing-correct" in text
+
+    def test_mixing_violation_exit_1(self):
+        history = (
+            "b1@PL-3 b2@PL-1 r1(x0, 1) w2(x2, 2) w2(y2, 2) c2 r1(y2, 2) c1 "
+            "[x0 << x2]"
+        )
+        status, text = run_cli("mixing", history)
+        assert status == 1
+        assert "NOT mixing-correct" in text
+
+    def test_preventative(self):
+        status, text = run_cli("preventative", "w1(x1) r2(x1) c1 c2")
+        assert status == 0
+        assert "P1: EXHIBITED" in text
+
+
+class TestFileInput:
+    def test_reads_file(self, tmp_path):
+        path = tmp_path / "h.txt"
+        path.write_text(H_SERIAL)
+        status, text = run_cli("classify", "--file", str(path))
+        assert status == 0
+        assert text.strip() == "PL-3"
+
+    def test_missing_file_exit_2(self):
+        status, _ = run_cli("classify", "--file", "/nonexistent/h.txt")
+        assert status == 2
+
+
+class TestModuleEntrypoint:
+    def test_python_dash_m(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "classify", H_SERIAL],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == "PL-3"
+
+
+class TestCorpusCommand:
+    def test_self_test_passes(self):
+        status, text = run_cli("corpus")
+        assert status == 0
+        assert "0 mismatches" in text
+        assert "H_phantom" in text and "write-skew" in text
+
+
+class TestRepairCommand:
+    def test_repair_lost_update(self):
+        status, text = run_cli(
+            "repair",
+            "r1(x0, 10) r2(x0, 10) w2(x2, 15) c2 w1(x1, 11) c1 [x0 << x2 << x1]",
+        )
+        assert status == 0
+        assert "yields PL-3" in text
+        assert "repaired history:" in text
+
+    def test_repair_clean_history(self):
+        status, text = run_cli("repair", H_SERIAL)
+        assert status == 0
+        assert "nothing to abort" in text
+
+    def test_repair_custom_level(self):
+        status, text = run_cli("repair", "--level", "PL-2", H_DIRTY)
+        assert status == 0
+        assert "yields PL-2" in text
+
+    def test_repair_bad_level(self):
+        status, _text = run_cli("repair", "--level", "chaos", H_SERIAL)
+        assert status == 2
+
+
+class TestReportCommand:
+    def test_report_reproduces_everything(self):
+        status, text = run_cli("report")
+        assert status == 0
+        assert "Overall: all artifacts reproduce" in text
+        for section in ("FIG3", "FIG4", "FIG5", "FIG6", "SEC2", "SEC3", "SEC55"):
+            assert f"{section} " in text
+        assert "FAIL" not in text

@@ -1,0 +1,184 @@
+"""Tests for direct-conflict extraction, one class per Figure 2 row
+(repro.core.conflicts)."""
+
+import pytest
+
+from repro.core import parse_history
+from repro.core.conflicts import (
+    DepKind,
+    PredicateDepMode,
+    all_dependencies,
+    anti_dependencies,
+    read_dependencies,
+    write_dependencies,
+)
+from repro.core.objects import Version
+
+
+def edges(found):
+    return {(e.src, e.dst, e.kind, e.via_predicate) for e in found}
+
+
+class TestWriteDependencies:
+    def test_consecutive_installs(self):
+        h = parse_history("w1(x1) c1 w2(x2) c2")
+        assert edges(write_dependencies(h)) == {(1, 2, DepKind.WW, False)}
+
+    def test_version_order_not_commit_order(self):
+        h = parse_history("w1(x1) w2(x2) c1 c2 [x2 << x1]")
+        assert edges(write_dependencies(h)) == {(2, 1, DepKind.WW, False)}
+
+    def test_unborn_predecessor_yields_no_edge(self):
+        h = parse_history("w1(x1) c1")
+        assert write_dependencies(h) == []
+
+    def test_setup_version_predecessor(self):
+        h = parse_history("r2(x0) w2(x2) c2")
+        assert edges(write_dependencies(h)) == {(0, 2, DepKind.WW, False)}
+
+    def test_aborted_writes_produce_no_edges(self):
+        h = parse_history("w1(x1) a1 w2(x2) c2")
+        assert write_dependencies(h) == []
+
+    def test_dead_version_still_orders(self):
+        h = parse_history("w1(x1) c1 w2(x2, dead) c2")
+        assert edges(write_dependencies(h)) == {(1, 2, DepKind.WW, False)}
+
+
+class TestItemReadDependencies:
+    def test_simple_wr(self):
+        h = parse_history("w1(x1) c1 r2(x1) c2")
+        assert edges(read_dependencies(h)) == {(1, 2, DepKind.WR, False)}
+
+    def test_own_reads_excluded(self):
+        h = parse_history("w1(x1) r1(x1) c1")
+        assert read_dependencies(h) == []
+
+    def test_uncommitted_reader_excluded(self):
+        h = parse_history("w1(x1) c1 r2(x1) a2")
+        assert read_dependencies(h) == []
+
+    def test_aborted_writer_yields_no_edge(self):
+        # (G1a condemns the read; the DSG has no node for aborted T1.)
+        h = parse_history("w1(x1) r2(x1) c2 a1")
+        assert read_dependencies(h) == []
+
+    def test_read_of_uncommitted_then_committed_writer(self):
+        h = parse_history("w1(x1) r2(x1) c1 c2")
+        assert edges(read_dependencies(h)) == {(1, 2, DepKind.WR, False)}
+
+    def test_duplicate_reads_one_edge(self):
+        h = parse_history("w1(x1) c1 r2(x1) r2(x1) c2")
+        assert len(read_dependencies(h)) == 1
+
+
+class TestPredicateReadDependencies:
+    H = (
+        "w0(x0) c0 w1(x1) c1 w2(x2) r3(Dept=Sales: x2, y0) w2(y2) c2 c3 "
+        "[x0 << x1 << x2, y0 << y2] [Dept=Sales matches: x0]"
+    )
+
+    def test_latest_mode_uses_last_change(self):
+        # The paper's H_pred-read: the edge comes from T1 (moved x out of
+        # Sales), not T2 (irrelevant phone-number update).
+        h = parse_history(self.H)
+        preds = [e for e in read_dependencies(h) if e.via_predicate]
+        assert edges(preds) == {(1, 3, DepKind.WR, True)}
+
+    def test_all_mode_adds_every_changer(self):
+        h = parse_history(self.H)
+        preds = [
+            e
+            for e in read_dependencies(h, PredicateDepMode.ALL)
+            if e.via_predicate
+        ]
+        assert edges(preds) == {
+            (0, 3, DepKind.WR, True),  # x0 put x into Sales
+            (1, 3, DepKind.WR, True),  # x1 took it out
+        }
+
+    def test_unborn_selection_yields_no_read_edge(self):
+        h = parse_history("w1(x1) r2(P: yinit) c1 c2")
+        assert [e for e in read_dependencies(h) if e.via_predicate] == []
+
+    def test_own_changes_excluded(self):
+        h = parse_history("w1(x1) r1(P: x1*) c1")
+        assert [e for e in read_dependencies(h) if e.via_predicate] == []
+
+
+class TestItemAntiDependencies:
+    def test_simple_rw(self):
+        h = parse_history("w1(x1) c1 r2(x1) c2 w3(x3) c3")
+        assert edges(anti_dependencies(h)) == {(2, 3, DepKind.RW, False)}
+
+    def test_overwrite_of_setup_read(self):
+        h = parse_history("r1(x0) c1 w2(x2) c2")
+        assert edges(anti_dependencies(h)) == {(1, 2, DepKind.RW, False)}
+
+    def test_own_overwrite_excluded(self):
+        h = parse_history("w1(x1) c1 r2(x1) w2(x2) c2")
+        assert anti_dependencies(h) == []
+
+    def test_only_next_version_counts(self):
+        # T2 reads x1; x's order is x1 << x3 << x4 — only T3 anti-depends.
+        h = parse_history("w1(x1) c1 r2(x1) c2 w3(x3) c3 w4(x4) c4")
+        assert edges(anti_dependencies(h)) == {(2, 3, DepKind.RW, False)}
+
+    def test_cursor_flag_propagates(self):
+        h = parse_history("w1(x1) c1 rc2(x1) c2 w3(x3) c3")
+        (edge,) = anti_dependencies(h)
+        assert edge.cursor
+
+    def test_uncommitted_reader_excluded(self):
+        h = parse_history("w1(x1) c1 r2(x1) a2 w3(x3) c3")
+        assert anti_dependencies(h) == []
+
+
+class TestPredicateAntiDependencies:
+    def test_insert_phantom(self):
+        # T1's predicate read selected y's unborn version; T2's insert of a
+        # matching y overwrites the read.
+        h = parse_history("r1(P: x0*) c1 w2(y2) c2 [P matches: y2]")
+        preds = [e for e in anti_dependencies(h) if e.via_predicate]
+        assert edges(preds) == {(1, 2, DepKind.RW, True)}
+
+    def test_non_matching_insert_is_not_a_phantom(self):
+        h = parse_history("r1(P: x0*) c1 w2(y2) c2")
+        assert [e for e in anti_dependencies(h) if e.via_predicate] == []
+
+    def test_delete_phantom(self):
+        # Deleting a matching tuple changes the matches.
+        h = parse_history("r1(P: x0*) c1 w2(x2, dead) c2")
+        preds = [e for e in anti_dependencies(h) if e.via_predicate]
+        assert edges(preds) == {(1, 2, DepKind.RW, True)}
+
+    def test_every_later_changer_counts(self):
+        # Unlike item-anti (next version only), predicate-anti covers any
+        # later match-changing version (Definition 4).
+        h = parse_history(
+            "r1(P: x0*) c1 w2(x2) c2 w3(x3) c3 "
+            "[x0 << x2 << x3] [P matches: x3]"
+        )
+        preds = [e for e in anti_dependencies(h) if e.via_predicate]
+        assert edges(preds) == {
+            (1, 2, DepKind.RW, True),  # x2 removed the match
+            (1, 3, DepKind.RW, True),  # x3 restored it
+        }
+
+    def test_irrelevant_update_is_not_a_phantom(self):
+        # x stays matching across x0 -> x2: no predicate-anti edge.
+        h = parse_history("r1(P: x0*) c1 w2(x2) c2 [P matches: x2]")
+        assert [e for e in anti_dependencies(h) if e.via_predicate] == []
+
+
+class TestAllDependencies:
+    def test_union_of_three_kinds(self):
+        h = parse_history("w1(x1) c1 r2(x1) w2(y2) c2 w3(x3) c3")
+        kinds = {e.kind for e in all_dependencies(h)}
+        assert kinds == {DepKind.WW, DepKind.WR, DepKind.RW}
+
+    def test_edge_descriptions_mention_parties(self):
+        h = parse_history("w1(x1) c1 r2(x1) c2")
+        (edge,) = read_dependencies(h)
+        text = edge.describe()
+        assert "T2" in text and "T1" in text and "read" in text

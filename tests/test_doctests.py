@@ -1,0 +1,49 @@
+"""Run the doctests embedded in module docstrings (the documented examples
+must actually work)."""
+
+import doctest
+
+import pytest
+
+import importlib
+
+import repro
+import repro.checker.checker
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    ["repro.checker.checker", "repro.core.timeline"],
+)
+def test_module_doctests(module_name):
+    # importlib avoids the package attribute shadowing the submodule
+    # (repro.core re-exports the `timeline` *function* under that name).
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_package_docstring_example():
+    """The quickstart in ``repro``'s package docstring, executed."""
+    report = repro.check(
+        "r1(x0, 5) w1(x1, 1) r2(x1, 1) r2(y0, 5) c2 r1(y0, 5) w1(y1, 9) c1"
+    )
+    assert str(report.strongest_level) == "PL-2"
+    assert "PL-2" in report.explain()
+
+
+def test_readme_quickstart_block():
+    """The README's engine quickstart, executed."""
+    from repro.engine import Database, SnapshotIsolationScheduler
+
+    db = Database(SnapshotIsolationScheduler())
+    db.load({"x": 1, "y": 1})
+    t1, t2 = db.begin(), db.begin()
+    t1.write("x", t1.read("x") + t1.read("y"))
+    t2.write("y", t2.read("x") + t2.read("y"))
+    t1.commit()
+    t2.commit()
+    report = repro.check(db.history(), extensions=True)
+    assert report.ok(repro.IsolationLevel.PL_SI)
+    assert not report.ok(repro.IsolationLevel.PL_3)

@@ -1,0 +1,73 @@
+"""Tests for event types and their notation forms (repro.core.events)."""
+
+import pytest
+
+from repro.core.events import Abort, Begin, Commit, PredicateRead, Read, Write
+from repro.core.levels import IsolationLevel
+from repro.core.objects import Version
+from repro.core.predicates import MembershipPredicate, VersionSet
+
+
+def v(obj, tid, seq=1):
+    return Version(obj, tid, seq)
+
+
+class TestStringForms:
+    def test_write(self):
+        assert str(Write(1, v("x", 1))) == "w1(x1)"
+        assert str(Write(1, v("x", 1), value=5)) == "w1(x1, 5)"
+        assert str(Write(1, v("x", 1), dead=True)) == "w1(x1, dead)"
+        assert str(Write(1, v("x", 1, 2))) == "w1(x1.2)"
+
+    def test_read(self):
+        assert str(Read(2, v("x", 1))) == "r2(x1)"
+        assert str(Read(2, v("x", 1), value=5)) == "r2(x1, 5)"
+        assert str(Read(2, v("x", 1), cursor=True)) == "rc2(x1)"
+
+    def test_commit_abort(self):
+        assert str(Commit(3)) == "c3"
+        assert str(Abort(4)) == "a4"
+
+    def test_begin(self):
+        assert str(Begin(1)) == "b1"
+        assert str(Begin(1, IsolationLevel.PL_2)) == "b1@PL-2"
+
+    def test_predicate_read(self):
+        pread = PredicateRead(
+            1, MembershipPredicate("P"), VersionSet.of(v("x", 0), v("y", 2))
+        )
+        assert str(pread) == "r1(P: x0, y2)"
+
+
+class TestInvariants:
+    def test_negative_tid_rejected(self):
+        with pytest.raises(ValueError):
+            Commit(-1)
+
+    def test_write_ownership_checked(self):
+        with pytest.raises(ValueError):
+            Write(1, v("x", 2))
+
+    def test_dead_with_value_rejected(self):
+        with pytest.raises(ValueError):
+            Write(1, v("x", 1), value=1, dead=True)
+
+    def test_events_are_hashable_and_frozen(self):
+        a = Read(1, v("x", 0))
+        b = Read(1, v("x", 0))
+        assert a == b and hash(a) == hash(b)
+        with pytest.raises(AttributeError):
+            a.tid = 2
+
+
+class TestMatchedVersions:
+    def test_matched_respects_kind_guards(self):
+        from repro.core import parse_history
+        from repro.core.objects import VersionKind
+
+        h = parse_history(
+            "w1(x1) w2(y2, dead) r3(P: x1*, y2, zinit) c1 c2 c3"
+        )
+        _i, pread = h.predicate_reads[0]
+        matched = pread.matched_versions(h.kind_of, h.value_of)
+        assert matched == (v("x", 1),)

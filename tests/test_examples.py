@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs clean and tells its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: script name -> substring its output must contain
+EXPECTATIONS = {
+    "quickstart.py": "strongest level: PL-2",
+    "bank_audit.py": "2PL serializable",
+    "phantom_hunt.py": "PL-2.99 admits the history",
+    "engine_shootout.py": "optimistic (OCC)",
+    "mixed_levels.py": "NOT mixing-correct",
+    "audit_pipeline.py": "lost update",
+    "mobile_sync.py": "serializable (PL-3) committed histories: 10/10",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS), ids=lambda s: s[:-3])
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert EXPECTATIONS[script] in proc.stdout
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(EXPECTATIONS)

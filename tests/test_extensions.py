@@ -1,0 +1,107 @@
+"""Tests for the extension-level phenomena (repro.core.extensions)."""
+
+import pytest
+
+from repro.core import Analysis, parse_history
+from repro.core.phenomena import Phenomenon as G
+
+
+def analysis(text, **kw):
+    return Analysis(parse_history(text, **kw))
+
+
+class TestGSingle:
+    def test_read_skew(self):
+        a = analysis("r1(x0, 5) w2(x2, 4) w2(y2, 6) c2 r1(y2, 6) c1 [x0 << x2]")
+        assert a.exhibits(G.G_SINGLE)
+
+    def test_lost_update(self):
+        a = analysis(
+            "r1(x0) r2(x0) w2(x2) c2 w1(x1) c1 [x0 << x2 << x1]"
+        )
+        assert a.exhibits(G.G_SINGLE)
+
+    def test_write_skew_not_g_single(self):
+        a = analysis(
+            "r1(x0) r1(y0) r2(x0) r2(y0) w1(x1) w2(y2) c1 c2 "
+            "[x0 << x1, y0 << y2]"
+        )
+        assert not a.exhibits(G.G_SINGLE)
+        assert a.exhibits(G.G2)
+
+    def test_serial_history_clean(self):
+        assert not analysis("w1(x1) c1 r2(x1) c2").exhibits(G.G_SINGLE)
+
+
+class TestGSIa:
+    def test_read_without_start_order(self):
+        # T1 reads T2's write but began before T2 committed: interference.
+        a = analysis("r1(x0, 5) w2(x2, 4) w2(y2, 6) c2 r1(y2, 6) c1 [x0 << x2]")
+        assert a.exhibits(G.G_SIA)
+
+    def test_start_ordered_read_is_clean(self):
+        # T2 begins after T1's commit: the wr edge has its start edge.
+        a = analysis("w1(x1) c1 b2 r2(x1) c2")
+        assert not a.exhibits(G.G_SIA)
+
+    def test_implicit_start_at_first_event(self):
+        # No begin events: T2's first event is after c1, so start-ordered.
+        a = analysis("w1(x1) c1 r2(x1) c2")
+        assert not a.exhibits(G.G_SIA)
+
+    def test_begin_event_pins_early_start(self):
+        # The begin event places T2's start before T1's commit even though
+        # its first operation comes later: interference.
+        a = analysis("b2 w1(x1) c1 r2(x1) c2")
+        assert a.exhibits(G.G_SIA)
+
+
+class TestGSIb:
+    def test_lost_update_is_missed_effects(self):
+        a = analysis(
+            "r1(x0) r2(x0) w2(x2) c2 w1(x1) c1 [x0 << x2 << x1]"
+        )
+        assert a.exhibits(G.G_SIB)
+
+    def test_write_skew_is_not_g_si(self):
+        a = analysis(
+            "r1(x0) r1(y0) r2(x0) r2(y0) w1(x1) w2(y2) c1 c2 "
+            "[x0 << x1, y0 << y2]"
+        )
+        assert not a.exhibits(G.G_SIB)
+        assert not a.exhibits(G.G_SI)
+
+    def test_serial_clean(self):
+        assert not analysis("w1(x1) c1 r2(x1) w2(x2) c2").exhibits(G.G_SIB)
+
+
+class TestGSIComposite:
+    def test_either_part_triggers(self):
+        read_skew = analysis(
+            "r1(x0, 5) w2(x2, 4) w2(y2, 6) c2 r1(y2, 6) c1 [x0 << x2]"
+        )
+        assert read_skew.exhibits(G.G_SI)
+
+
+class TestGCursor:
+    def test_cursor_lost_update(self):
+        a = analysis(
+            "rc1(x0) r2(x0) w2(x2) c2 w1(x1) c1 [x0 << x2 << x1]"
+        )
+        assert a.exhibits(G.G_CURSOR)
+
+    def test_plain_lost_update_not_cursor(self):
+        a = analysis(
+            "r1(x0) r2(x0) w2(x2) c2 w1(x1) c1 [x0 << x2 << x1]"
+        )
+        assert not a.exhibits(G.G_CURSOR)
+
+    def test_cursor_read_without_cycle_clean(self):
+        a = analysis("w1(x1) c1 rc2(x1) c2")
+        assert not a.exhibits(G.G_CURSOR)
+
+    def test_witness_names_the_object(self):
+        a = analysis(
+            "rc1(x0) r2(x0) w2(x2) c2 w1(x1) c1 [x0 << x2 << x1]"
+        )
+        assert "'x'" in a.report(G.G_CURSOR).witnesses[0].description

@@ -1,0 +1,184 @@
+"""Tests for History construction and derived structure (repro.core.history)."""
+
+import pytest
+
+from repro.core import parse_history
+from repro.core.events import Commit, Read, Write
+from repro.core.history import History
+from repro.core.objects import Version, VersionKind
+from repro.core.predicates import MembershipPredicate
+from repro.exceptions import MalformedHistoryError, VersionOrderError
+
+
+def v(obj, tid, seq=1):
+    return Version(obj, tid, seq)
+
+
+class TestConstruction:
+    def test_events_preserved(self):
+        h = parse_history("w1(x1) c1")
+        assert len(h) == 2
+
+    def test_auto_complete_appends_aborts(self):
+        h = History([Write(1, v("x", 1))], auto_complete=True)
+        assert 1 in h.aborted
+
+    def test_incomplete_history_rejected(self):
+        with pytest.raises(MalformedHistoryError, match="E1"):
+            History([Write(1, v("x", 1))])
+
+    def test_default_version_order_follows_final_writes(self):
+        h = parse_history("w1(x1) c1 w2(x2) c2")
+        assert h.order_of("x") == (Version.unborn("x"), v("x", 1), v("x", 2))
+
+    def test_explicit_version_order_wins(self):
+        h = parse_history("w1(x1) w2(x2) c1 c2 [x2 << x1]")
+        assert h.order_of("x") == (Version.unborn("x"), v("x", 2), v("x", 1))
+
+    def test_aborted_writes_not_installed(self):
+        h = parse_history("w1(x1) a1 w2(x2) c2")
+        assert v("x", 1) not in h.installed
+        assert v("x", 2) in h.installed
+
+
+class TestTransactionSets:
+    def test_committed_and_aborted(self):
+        h = parse_history("w1(x1) c1 w2(x2) a2")
+        assert h.committed == {1}
+        assert h.aborted == {2}
+
+    def test_tids_in_first_appearance_order(self):
+        h = parse_history("w2(x2) w1(y1) c2 c1")
+        assert h.tids == (2, 1)
+
+    def test_setup_versions_detected(self):
+        h = parse_history("r1(x0, 5) c1")
+        assert v("x", 0) in h.setup_versions
+        assert 0 in h.setup_tids
+        assert 0 in h.committed_all
+
+    def test_setup_version_with_active_writer_tid(self):
+        # y0 read while T0 has events but never writes y (H_pred-read shape).
+        h = parse_history("w0(x0) c0 r1(y0) c1")
+        assert v("y", 0) in h.setup_versions
+        assert 0 in h.committed_all
+        assert 0 not in h.setup_tids  # T0 has events
+
+
+class TestVersionAttributes:
+    def test_kind_of_visible(self):
+        h = parse_history("w1(x1) c1")
+        assert h.kind_of(v("x", 1)) is VersionKind.VISIBLE
+
+    def test_kind_of_dead(self):
+        h = parse_history("w1(x1, dead) c1")
+        assert h.kind_of(v("x", 1)) is VersionKind.DEAD
+
+    def test_kind_of_unborn(self):
+        h = parse_history("w1(x1) c1")
+        assert h.kind_of(Version.unborn("x")) is VersionKind.UNBORN
+
+    def test_kind_of_setup_is_visible(self):
+        h = parse_history("r1(x0) c1")
+        assert h.kind_of(v("x", 0)) is VersionKind.VISIBLE
+
+    def test_value_of_write(self):
+        h = parse_history("w1(x1, 42) c1")
+        assert h.value_of(v("x", 1)) == 42
+
+    def test_value_of_setup_from_read(self):
+        h = parse_history("r1(x0, 7) c1")
+        assert h.value_of(v("x", 0)) == 7
+
+    def test_final_version_tracks_last_write(self):
+        h = parse_history("w1(x1) w1(x1) c1")
+        assert h.final_version("x", 1) == v("x", 1, 2)
+        assert h.is_final(v("x", 1, 2))
+        assert not h.is_final(v("x", 1, 1))
+
+    def test_next_installed(self):
+        h = parse_history("w1(x1) c1 w2(x2) c2")
+        assert h.next_installed(v("x", 1)) == v("x", 2)
+        assert h.next_installed(v("x", 2)) is None
+        assert h.next_installed(Version.unborn("x")) == v("x", 1)
+
+
+class TestPredicateStructure:
+    def test_vset_version_explicit_and_implicit(self):
+        h = parse_history("w1(x1) w1(y1) r2(P: x1) c1 c2")
+        _i, pread = h.predicate_reads[0]
+        assert h.vset_version(pread, "x") == v("x", 1)
+        assert h.vset_version(pread, "y") == Version.unborn("y")
+
+    def test_vset_objects_cover_relation_universe(self):
+        h = parse_history("w1(x1) w1(y1) r2(P: x1) c1 c2")
+        _i, pread = h.predicate_reads[0]
+        assert set(h.vset_objects(pread)) == {"x", "y"}
+
+    def test_version_matches_guards_unborn_and_dead(self):
+        h = parse_history("w1(x1) w2(y2, dead) r3(P: x1*) c1 c2 c3")
+        _i, pread = h.predicate_reads[0]
+        assert h.version_matches(pread.predicate, v("x", 1))
+        assert not h.version_matches(pread.predicate, Version.unborn("x"))
+        assert not h.version_matches(pread.predicate, v("y", 2))
+
+    def test_changes_matches_relative_to_predecessor(self):
+        # x0 matches, x1 does not: both change; x2 does not change.
+        h = parse_history(
+            "w0(x0) c0 w1(x1) c1 w2(x2) r3(P: x2, y0) c2 c3 "
+            "[x0 << x1 << x2] [P matches: x0]"
+        )
+        _i, pread = h.predicate_reads[0]
+        p = pread.predicate
+        assert h.changes_matches(p, v("x", 0))
+        assert h.changes_matches(p, v("x", 1))
+        assert not h.changes_matches(p, v("x", 2))
+
+
+class TestCommittedState:
+    def test_final_values(self):
+        h = parse_history("w1(x1, 1) c1 w2(x2, 2) w2(y2, 3) c2")
+        assert h.committed_state() == {"x": 2, "y": 3}
+
+    def test_deleted_objects_omitted(self):
+        h = parse_history("w1(x1, 1) c1 w2(x2, dead) c2")
+        assert h.committed_state() == {}
+
+    def test_aborted_writes_invisible(self):
+        h = parse_history("w1(x1, 1) c1 w2(x2, 9) a2")
+        assert h.committed_state() == {"x": 1}
+
+
+class TestLevels:
+    def test_level_of_from_begin_event(self):
+        from repro.core.levels import IsolationLevel
+
+        h = parse_history("b1@PL-2 w1(x1) c1 w2(x2) c2")
+        assert h.level_of(1) is IsolationLevel.PL_2
+        assert h.level_of(2) is IsolationLevel.PL_3  # default
+
+    def test_default_level_parameter(self):
+        from repro.core.levels import IsolationLevel
+
+        h = parse_history("w1(x1) c1", default_level=IsolationLevel.PL_1)
+        assert h.level_of(1) is IsolationLevel.PL_1
+
+
+class TestIndexes:
+    def test_begin_index_defaults_to_first_event(self):
+        h = parse_history("w1(x1) c1 w2(x2) c2")
+        assert h.begin_index(2) == 2
+
+    def test_begin_index_uses_begin_event(self):
+        h = parse_history("b1 w1(x1) c1")
+        assert h.begin_index(1) == 0
+
+    def test_commit_and_finish_index(self):
+        h = parse_history("w1(x1) c1 w2(x2) a2")
+        assert h.commit_index(1) == 1
+        assert h.abort_index(2) == 3
+        assert h.finish_index(2) == 3
+
+    def test_events_of(self):
+        h = parse_history("w1(x1) w2(x2) c1 c2")
+        assert [str(e) for e in h.events_of(1)] == ["w1(x1)", "c1"]

@@ -1,0 +1,168 @@
+"""Cross-system integration tests: engines → histories → checkers.
+
+These encode the paper's central implementation-independence claims as
+executable statements over many seeds and workloads.
+"""
+
+import pytest
+
+import repro
+from repro.baseline import PreventativeAnalysis, PreventativePhenomenon as P
+from repro.core.levels import IsolationLevel as L
+from repro.core.msg import mixing_correct
+from repro.engine import (
+    Database,
+    LockingScheduler,
+    OptimisticScheduler,
+    ReadCommittedMVScheduler,
+    Simulator,
+    SnapshotIsolationScheduler,
+)
+from repro.workloads import (
+    WorkloadConfig,
+    bank_programs,
+    initial_balances,
+    random_programs,
+)
+
+SEEDS = range(6)
+
+
+def run(scheduler, programs, initial, seed):
+    db = Database(scheduler)
+    db.load(initial)
+    Simulator(db, programs, seed=seed).run()
+    return db.history()
+
+
+def contentious(seed, level=None):
+    cfg = WorkloadConfig(
+        n_programs=5,
+        steps_per_program=3,
+        n_keys=4,
+        hot_fraction=0.7,
+        write_fraction=0.6,
+        level=level,
+    )
+    return random_programs(cfg, seed=seed), cfg.initial_state()
+
+
+class TestLockingGuarantees:
+    """Each Figure 1 row provides exactly its PL level (lower rows may
+    incidentally do better on a lucky interleaving, never worse)."""
+
+    @pytest.mark.parametrize(
+        "profile,level",
+        [
+            ("serializable", L.PL_3),
+            ("repeatable-read", L.PL_2_99),
+            ("read-committed", L.PL_2),
+            ("read-uncommitted", L.PL_1),
+        ],
+    )
+    def test_profile_guarantees_level(self, profile, level):
+        for seed in SEEDS:
+            programs, initial = contentious(seed)
+            h = run(LockingScheduler(profile), programs, initial, seed)
+            verdict = repro.satisfies(h, level)
+            assert verdict.ok, f"{profile} seed {seed}:\n{verdict.describe()}"
+
+    def test_serializable_locking_passes_preventative_too(self):
+        for seed in SEEDS:
+            programs, initial = contentious(seed)
+            h = run(LockingScheduler("serializable"), programs, initial, seed)
+            a = PreventativeAnalysis(h)
+            assert not any(a.exhibits(p) for p in P)
+
+
+class TestOptimisticGuarantees:
+    def test_occ_always_serializable(self):
+        for seed in SEEDS:
+            programs, initial = contentious(seed)
+            h = run(OptimisticScheduler(), programs, initial, seed)
+            assert repro.classify(h) is L.PL_3
+
+    def test_occ_violates_preventative(self):
+        violations = 0
+        for seed in SEEDS:
+            programs, initial = contentious(seed)
+            h = run(OptimisticScheduler(), programs, initial, seed)
+            a = PreventativeAnalysis(h)
+            violations += any(a.exhibits(p) for p in P)
+        assert violations > 0
+
+
+class TestMultiVersionGuarantees:
+    def test_si_always_pl_si(self):
+        for seed in SEEDS:
+            programs, initial = contentious(seed)
+            h = run(SnapshotIsolationScheduler(), programs, initial, seed)
+            assert repro.satisfies(h, L.PL_SI).ok
+
+    def test_mvrc_always_pl2(self):
+        for seed in SEEDS:
+            programs, initial = contentious(seed)
+            h = run(ReadCommittedMVScheduler(), programs, initial, seed)
+            assert repro.satisfies(h, L.PL_2).ok
+
+
+class TestMixedSystems:
+    """Section 5.5: the locking scheduler with the standard short/long lock
+    combination is mixing-correct for any level assignment."""
+
+    @pytest.mark.parametrize("levels", [
+        (L.PL_1, L.PL_3),
+        (L.PL_2, L.PL_2_99),
+        (L.PL_1, L.PL_2, L.PL_3),
+    ])
+    def test_mixed_locking_is_mixing_correct(self, levels):
+        for seed in SEEDS:
+            cfg = WorkloadConfig(
+                n_programs=len(levels) * 2,
+                steps_per_program=3,
+                n_keys=4,
+                write_fraction=0.6,
+            )
+            programs = random_programs(cfg, seed=seed)
+            for i, program in enumerate(programs):
+                program.level = levels[i % len(levels)]
+            db = Database(LockingScheduler("serializable"))
+            db.load(cfg.initial_state())
+            Simulator(db, programs, seed=seed).run()
+            report = mixing_correct(db.history())
+            assert report.ok, report.describe()
+
+    def test_mixed_history_gives_pl3_transactions_their_guarantee(self):
+        """In a mixing-correct history the PL-3 transactions' obligatory
+        edges are acyclic even though PL-1 peers run amok."""
+        for seed in SEEDS:
+            cfg = WorkloadConfig(
+                n_programs=4, steps_per_program=3, n_keys=3, write_fraction=0.7
+            )
+            programs = random_programs(cfg, seed=seed)
+            for i, program in enumerate(programs):
+                program.level = L.PL_1 if i % 2 else L.PL_3
+            db = Database(LockingScheduler("serializable"))
+            db.load(cfg.initial_state())
+            Simulator(db, programs, seed=seed).run()
+            assert mixing_correct(db.history()).ok
+
+
+class TestBankInvariantCorrelation:
+    """Observed invariant violations correlate exactly with checker
+    verdicts: a PL-3 history never shows a violated audit."""
+
+    def test_pl3_histories_never_violate_audits(self):
+        from repro.workloads import audit_violations
+
+        for scheduler_factory in (
+            lambda: LockingScheduler("serializable"),
+            OptimisticScheduler,
+            SnapshotIsolationScheduler,
+        ):
+            for seed in SEEDS:
+                db = Database(scheduler_factory())
+                db.load(initial_balances(4))
+                res = Simulator(db, bank_programs(seed=seed), seed=seed).run()
+                if repro.check(res.history).serializable:
+                    assert audit_violations(res.outcomes, 4) == []

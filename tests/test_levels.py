@@ -1,0 +1,115 @@
+"""Tests for isolation levels and classification (repro.core.levels)."""
+
+import pytest
+
+from repro.core import parse_history
+from repro.core.levels import (
+    ANSI_CHAIN,
+    IsolationLevel as L,
+    classify,
+    satisfies,
+)
+from repro.core.phenomena import Phenomenon as G
+
+
+class TestProscriptions:
+    def test_figure6_table(self):
+        assert L.PL_1.proscribed == (G.G0,)
+        assert L.PL_2.proscribed == (G.G1,)
+        assert L.PL_2_99.proscribed == (G.G1, G.G2_ITEM)
+        assert L.PL_3.proscribed == (G.G1, G.G2)
+
+    def test_extension_proscriptions(self):
+        assert L.PL_2PLUS.proscribed == (G.G1, G.G_SINGLE)
+        assert L.PL_SI.proscribed == (G.G1, G.G_SI)
+        assert L.PL_CS.proscribed == (G.G1, G.G_CURSOR)
+
+
+class TestImplication:
+    def test_ansi_chain_totally_ordered(self):
+        for i, weaker in enumerate(ANSI_CHAIN):
+            for stronger in ANSI_CHAIN[i:]:
+                assert stronger.implies(weaker)
+
+    def test_reflexive(self):
+        for level in L:
+            assert level.implies(level)
+
+    def test_si_and_serializability_incomparable(self):
+        assert not L.PL_SI.implies(L.PL_3)
+        assert not L.PL_3.implies(L.PL_SI)
+
+    def test_si_implies_2plus(self):
+        assert L.PL_SI.implies(L.PL_2PLUS)
+
+    def test_299_implies_cursor_stability(self):
+        assert L.PL_2_99.implies(L.PL_CS)
+
+    def test_2plus_and_299_incomparable(self):
+        assert not L.PL_2PLUS.implies(L.PL_2_99)
+        assert not L.PL_2_99.implies(L.PL_2PLUS)
+
+
+class TestFromString:
+    def test_pl_names(self):
+        assert L.from_string("PL-2.99") is L.PL_2_99
+        assert L.from_string("pl-3") is L.PL_3
+        assert L.from_string("PL-2+") is L.PL_2PLUS
+
+    def test_ansi_names(self):
+        assert L.from_string("READ COMMITTED") is L.PL_2
+        assert L.from_string("repeatable read") is L.PL_2_99
+        assert L.from_string("SERIALIZABLE") is L.PL_3
+        assert L.from_string("snapshot isolation") is L.PL_SI
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            L.from_string("chaos")
+
+
+class TestSatisfies:
+    def test_verdict_lists_violations(self):
+        h = parse_history("w1(x1) r2(x1) c2 a1")
+        verdict = satisfies(h, L.PL_2)
+        assert not verdict.ok
+        assert any(r.phenomenon is G.G1 for r in verdict.violations)
+
+    def test_verdict_describe(self):
+        h = parse_history("w1(x1) c1")
+        assert "PROVIDED" in satisfies(h, L.PL_3).describe()
+
+    def test_bool_protocol(self):
+        h = parse_history("w1(x1) c1")
+        assert satisfies(h, L.PL_3)
+
+
+class TestClassify:
+    def test_serial_history_is_pl3(self):
+        assert classify(parse_history("w1(x1) c1 r2(x1) c2")) is L.PL_3
+
+    def test_dirty_read_is_pl1(self):
+        assert classify(parse_history("w1(x1) r2(x1) c2 a1")) is L.PL_1
+
+    def test_write_cycle_is_below_pl1(self):
+        h = parse_history("w1(x1) w2(x2) w2(y2) c2 w1(y1) c1 [x1 << x2, y2 << y1]")
+        assert classify(h) is None
+
+    def test_classification_is_monotone_on_chain(self, canonical_history):
+        """If a history provides a level, it provides every weaker level
+        (the ANSI chain is a chain)."""
+        h = canonical_history.history
+        verdicts = [satisfies(h, level).ok for level in ANSI_CHAIN]
+        # once False, never True again going up the chain
+        seen_false = False
+        for ok in verdicts:
+            if not ok:
+                seen_false = True
+            assert not (seen_false and ok)
+
+    def test_custom_level_set(self):
+        h = parse_history(
+            "r1(x0) r1(y0) r2(x0) r2(y0) w1(x1) w2(y2) c1 c2 [x0 << x1, y0 << y2]"
+        )
+        # write skew: PL-SI holds, PL-3 does not.
+        result = classify(h, levels=(L.PL_2, L.PL_SI, L.PL_3))
+        assert result is L.PL_SI

@@ -1,0 +1,138 @@
+"""Tests for the mixing-correct optimistic scheduler
+(repro.engine.mixed_optimistic)."""
+
+import pytest
+
+import repro
+from repro.core.levels import IsolationLevel as L
+from repro.core.msg import mixing_correct
+from repro.engine import Database, MixedOptimisticScheduler, Simulator
+from repro.exceptions import ValidationFailure
+from repro.workloads import WorkloadConfig, random_programs
+
+
+def make_db(initial=None, default=L.PL_3):
+    db = Database(MixedOptimisticScheduler(default))
+    db.load(initial or {"x": 5, "y": 5})
+    return db
+
+
+class TestPerLevelValidation:
+    def test_pl3_transaction_validates_reads(self):
+        db = make_db()
+        t1 = db.begin(level=L.PL_3)
+        t2 = db.begin(level=L.PL_3)
+        t1.read("x")
+        t2.write("x", 6)
+        t2.commit()
+        t1.write("y", 0)
+        with pytest.raises(ValidationFailure):
+            t1.commit()
+
+    def test_pl2_transaction_skips_validation(self):
+        """The same interleaving commits at PL-2: its anti-dependencies are
+        not relevant at its level."""
+        db = make_db()
+        t1 = db.begin(level=L.PL_2)
+        t2 = db.begin(level=L.PL_3)
+        t1.read("x")
+        t2.write("x", 6)
+        t2.commit()
+        t1.write("y", 0)
+        t1.commit()  # no exception
+        assert mixing_correct(db.history()).ok
+
+    def test_pl299_validates_items_not_predicates(self):
+        from repro.core.predicates import FieldPredicate
+
+        db = make_db({"emp:1": {"dept": "Sales", "sal": 1}})
+        pred = FieldPredicate("emp", "dept", "==", "Sales")
+        t1 = db.begin(level=L.PL_2_99)
+        t2 = db.begin(level=L.PL_3)
+        t1.count(pred)
+        t2.insert("emp", {"dept": "Sales", "sal": 2})
+        t2.commit()
+        t1.write("x", 0)
+        t1.commit()  # phantom tolerated at PL-2.99
+
+    def test_pl3_validates_predicates(self):
+        from repro.core.predicates import FieldPredicate
+
+        db = make_db({"emp:1": {"dept": "Sales", "sal": 1}})
+        pred = FieldPredicate("emp", "dept", "==", "Sales")
+        t1 = db.begin(level=L.PL_3)
+        t2 = db.begin(level=L.PL_3)
+        t1.count(pred)
+        t2.insert("emp", {"dept": "Sales", "sal": 2})
+        t2.commit()
+        t1.write("x", 0)
+        with pytest.raises(ValidationFailure):
+            t1.commit()
+
+    def test_default_level_applies_to_undeclared(self):
+        db = make_db(default=L.PL_2)
+        t1 = db.begin()  # no declared level -> PL-2 validation rules
+        t2 = db.begin()
+        t1.read("x")
+        t2.write("x", 6)
+        t2.commit()
+        t1.write("y", 0)
+        t1.commit()  # PL-2: no read validation
+
+
+class TestEmittedHistories:
+    def _mixed_run(self, seed, levels):
+        cfg = WorkloadConfig(
+            n_programs=6, steps_per_program=3, n_keys=4,
+            write_fraction=0.6, hot_fraction=0.6,
+        )
+        programs = random_programs(cfg, seed=seed)
+        for i, program in enumerate(programs):
+            program.level = levels[i % len(levels)]
+        db = Database(MixedOptimisticScheduler())
+        db.load(cfg.initial_state())
+        Simulator(db, programs, seed=seed).run()
+        return db.history()
+
+    @pytest.mark.parametrize("levels", [
+        [L.PL_1, L.PL_3],
+        [L.PL_2, L.PL_2_99, L.PL_3],
+        [L.PL_3],
+        [L.PL_1],
+    ])
+    def test_always_mixing_correct(self, levels):
+        for seed in range(6):
+            history = self._mixed_run(seed, levels)
+            report = mixing_correct(history)
+            assert report.ok, report.describe()
+
+    def test_all_pl3_runs_are_serializable(self):
+        for seed in range(6):
+            history = self._mixed_run(seed, [L.PL_3])
+            assert repro.classify(history) is L.PL_3
+
+    def test_all_pl2_runs_provide_pl2(self):
+        for seed in range(6):
+            history = self._mixed_run(seed, [L.PL_2])
+            assert repro.satisfies(history, L.PL_2).ok
+
+    def test_weak_levels_abort_less(self):
+        """Skipping validation at weak levels buys fewer aborts — the
+        performance trade the paper's introduction motivates."""
+        def total_aborts(levels):
+            aborts = 0
+            for seed in range(8):
+                cfg = WorkloadConfig(
+                    n_programs=6, steps_per_program=3, n_keys=3,
+                    write_fraction=0.7, hot_fraction=0.8,
+                )
+                programs = random_programs(cfg, seed=seed)
+                for program in programs:
+                    program.level = levels[0]
+                db = Database(MixedOptimisticScheduler())
+                db.load(cfg.initial_state())
+                result = Simulator(db, programs, seed=seed).run()
+                aborts += result.abort_count
+            return aborts
+
+        assert total_aborts([L.PL_2]) <= total_aborts([L.PL_3])

@@ -1,0 +1,198 @@
+"""Tests for the mobile tentative-commit system (repro.engine.mobile)."""
+
+import pytest
+
+import repro
+from repro.baseline import PreventativeAnalysis, PreventativePhenomenon as P
+from repro.core.levels import IsolationLevel as L
+from repro.engine.mobile import MobileCluster
+
+
+def cluster_with(initial=None):
+    cluster = MobileCluster()
+    cluster.load(initial or {"x": 5, "y": 5})
+    return cluster
+
+
+class TestTentativeVisibility:
+    def test_later_local_txn_reads_tentative_write(self):
+        cluster = cluster_with()
+        client = cluster.client(0)
+        t1 = client.begin()
+        t1.write("x", 1)
+        t1.tentative_commit()
+        t2 = client.begin()
+        assert t2.read("x") == 1  # uncommitted data, the H1' pattern
+
+    def test_other_clients_do_not_see_tentative_writes(self):
+        cluster = cluster_with()
+        a, b = cluster.client(0), cluster.client(1)
+        t1 = a.begin()
+        t1.write("x", 1)
+        t1.tentative_commit()
+        t2 = b.begin()
+        assert t2.read("x") == 5
+
+    def test_sync_publishes(self):
+        cluster = cluster_with()
+        a, b = cluster.client(0), cluster.client(1)
+        t1 = a.begin()
+        t1.write("x", 1)
+        t1.tentative_commit()
+        a.sync()
+        t2 = b.begin()
+        assert t2.read("x") == 1
+
+
+class TestH1PrimeScenario:
+    def test_paper_h1_prime_realized(self):
+        """T2 reads both of T1's tentative values, both certify: the exact
+        history P1 forbids and the paper defends."""
+        cluster = cluster_with()
+        client = cluster.client(0)
+        t1 = client.begin()
+        t1.write("x", t1.read("x") - 4)   # 5 -> 1
+        t1.write("y", t1.read("y") + 4)   # 5 -> 9
+        t1.tentative_commit()
+        t2 = client.begin()
+        assert (t2.read("x"), t2.read("y")) == (1, 9)
+        t2.tentative_commit()
+        result = client.sync()
+        assert result.committed == [t1.tid, t2.tid]
+
+        history = cluster.history()
+        assert repro.classify(history) is L.PL_3
+        assert PreventativeAnalysis(history).exhibits(P.P1)  # P1 rejects it
+
+
+class TestCertification:
+    def test_conflicting_server_commit_aborts(self):
+        cluster = cluster_with()
+        a, b = cluster.client(0), cluster.client(1)
+        ta = a.begin()
+        ta.write("x", ta.read("x") + 1)
+        ta.tentative_commit()
+        tb = b.begin()
+        tb.write("x", tb.read("x") + 10)
+        tb.tentative_commit()
+        assert b.sync().committed == [tb.tid]
+        result = a.sync()  # A's read of x is stale now
+        assert result.aborted == [ta.tid]
+        assert cluster.history().committed_state()["x"] == 15
+
+    def test_cascading_abort(self):
+        """T2 read the failed T1's tentative write: T2 must abort too —
+        the cascading aborts the paper describes."""
+        cluster = cluster_with()
+        a, b = cluster.client(0), cluster.client(1)
+        t1 = a.begin()
+        t1.write("x", t1.read("x") + 1)
+        t1.tentative_commit()
+        t2 = a.begin()
+        t2.write("y", t2.read("x") * 10)  # reads T1's tentative x
+        t2.tentative_commit()
+        spoiler = b.begin()
+        spoiler.write("x", 0)
+        spoiler.tentative_commit()
+        b.sync()
+        result = a.sync()
+        assert result.aborted == [t1.tid, t2.tid]
+        assert result.cascaded == [t2.tid]
+
+    def test_no_g1a_ever(self):
+        """Cascades guarantee no committed transaction read aborted data."""
+        from repro.core.phenomena import Analysis, Phenomenon
+
+        cluster = cluster_with()
+        a, b = cluster.client(0), cluster.client(1)
+        t1 = a.begin()
+        t1.write("x", t1.read("x") + 1)
+        t1.tentative_commit()
+        t2 = a.begin()
+        t2.write("y", (t2.read("x") or 0) * 10)
+        t2.tentative_commit()
+        spoiler = b.begin()
+        spoiler.write("x", 0)
+        spoiler.tentative_commit()
+        b.sync()
+        a.sync()
+        assert not Analysis(cluster.history()).exhibits(Phenomenon.G1A)
+
+    def test_independent_transaction_survives_cascade(self):
+        cluster = cluster_with()
+        a, b = cluster.client(0), cluster.client(1)
+        t1 = a.begin()
+        t1.write("x", t1.read("x") + 1)
+        t1.tentative_commit()
+        t3 = a.begin()
+        t3.write("z", 7)  # touches nothing of T1's
+        t3.tentative_commit()
+        spoiler = b.begin()
+        spoiler.write("x", 0)
+        spoiler.tentative_commit()
+        b.sync()
+        result = a.sync()
+        assert t3.tid in result.committed
+        assert t1.tid in result.aborted
+
+
+class TestRandomisedRuns:
+    def test_histories_always_serializable(self):
+        """Whatever the disconnection pattern, committed mobile histories
+        are PL-3 — while violating P1 on most runs."""
+        import random
+
+        p1_violations = 0
+        for seed in range(10):
+            rng = random.Random(seed)
+            cluster = cluster_with({f"k{i}": 10 for i in range(4)})
+            clients = [cluster.client(i) for i in range(3)]
+            for _round in range(6):
+                client = rng.choice(clients)
+                txn = client.begin()
+                for _op in range(rng.randrange(1, 4)):
+                    key = f"k{rng.randrange(4)}"
+                    if rng.random() < 0.5:
+                        txn.read(key)
+                    else:
+                        txn.write(key, rng.randrange(100))
+                txn.tentative_commit()
+                if rng.random() < 0.4:
+                    client.sync()
+            for client in clients:
+                client.sync()
+            history = cluster.history()
+            assert repro.classify(history) is L.PL_3, f"seed {seed}"
+            p1_violations += PreventativeAnalysis(history).exhibits(P.P1)
+        assert p1_violations > 0
+
+
+class TestPredicates:
+    def test_predicate_over_merged_view(self):
+        from repro.core.predicates import FieldPredicate
+
+        cluster = cluster_with({"emp:1": {"dept": "Sales", "sal": 1}})
+        client = cluster.client(0)
+        t1 = client.begin()
+        t1.write("emp:2", {"dept": "Sales", "sal": 2})
+        t1.tentative_commit()
+        t2 = client.begin()
+        pred = FieldPredicate("emp", "dept", "==", "Sales")
+        assert t2.count(pred) == 2  # sees the tentative insert
+
+    def test_predicate_conflict_aborts_at_sync(self):
+        from repro.core.predicates import FieldPredicate
+
+        cluster = cluster_with({"emp:1": {"dept": "Sales", "sal": 1}})
+        a, b = cluster.client(0), cluster.client(1)
+        pred = FieldPredicate("emp", "dept", "==", "Sales")
+        ta = a.begin()
+        ta.count(pred)
+        ta.write("summary", 1)
+        ta.tentative_commit()
+        tb = b.begin()
+        tb.write("emp:2", {"dept": "Sales", "sal": 9})
+        tb.tentative_commit()
+        b.sync()
+        result = a.sync()
+        assert result.aborted == [ta.tid]

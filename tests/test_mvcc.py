@@ -1,0 +1,177 @@
+"""Tests for the multi-version schedulers (repro.engine.mvcc)."""
+
+import pytest
+
+import repro
+from repro.core.levels import IsolationLevel as L
+from repro.core.phenomena import Analysis, Phenomenon as G
+from repro.core.predicates import FieldPredicate
+from repro.engine import (
+    Database,
+    ReadCommittedMVScheduler,
+    SnapshotIsolationScheduler,
+)
+from repro.exceptions import WriteConflict
+
+
+def si_db(initial=None):
+    db = Database(SnapshotIsolationScheduler())
+    db.load(initial or {"x": 5, "y": 5})
+    return db
+
+
+def rc_db(initial=None):
+    db = Database(ReadCommittedMVScheduler())
+    db.load(initial or {"x": 5, "y": 5})
+    return db
+
+
+class TestSnapshotReads:
+    def test_snapshot_frozen_at_begin(self):
+        db = si_db()
+        t1 = db.begin()
+        t2 = db.begin()
+        t2.write("x", 99)
+        t2.commit()
+        assert t1.read("x") == 5  # T1's snapshot predates T2
+
+    def test_new_transaction_sees_commit(self):
+        db = si_db()
+        t2 = db.begin()
+        t2.write("x", 99)
+        t2.commit()
+        assert db.begin().read("x") == 99
+
+    def test_snapshot_predicate_read(self):
+        db = si_db({"emp:1": {"dept": "Sales", "sal": 1}})
+        pred = FieldPredicate("emp", "dept", "==", "Sales")
+        t1 = db.begin()
+        t2 = db.begin()
+        t2.insert("emp", {"dept": "Sales", "sal": 2})
+        t2.commit()
+        assert t1.count(pred) == 1  # insert invisible to T1's snapshot
+
+    def test_deleted_object_invisible_after_snapshot(self):
+        db = si_db()
+        t1 = db.begin()
+        t1.delete("x")
+        t1.commit()
+        assert db.begin().read("x") is None
+
+
+class TestFirstCommitterWins:
+    def test_concurrent_write_conflict(self):
+        db = si_db()
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", 1)
+        t2.write("x", 2)
+        t1.commit()
+        with pytest.raises(WriteConflict):
+            t2.commit()
+
+    def test_loser_identified(self):
+        db = si_db()
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", 1)
+        t2.write("x", 2)
+        t1.commit()
+        with pytest.raises(WriteConflict) as exc:
+            t2.commit()
+        assert exc.value.conflicting_tid == t1.tid
+        assert exc.value.obj == "x"
+
+    def test_disjoint_writes_both_commit(self):
+        db = si_db()
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", 1)
+        t2.write("y", 2)
+        t1.commit()
+        t2.commit()
+
+    def test_si_prevents_lost_update(self):
+        db = si_db()
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", t1.read("x") + 1)
+        t2.write("x", t2.read("x") + 1)
+        t1.commit()
+        with pytest.raises(WriteConflict):
+            t2.commit()
+        h = db.history()
+        assert not Analysis(h).exhibits(G.G_SI)
+
+
+class TestWriteSkew:
+    def test_si_admits_write_skew(self):
+        db = si_db({"x": 1, "y": 1})
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", t1.read("x") + t1.read("y"))
+        t2.write("y", t2.read("x") + t2.read("y"))
+        t1.commit()
+        t2.commit()  # disjoint write sets: both commit
+        rep = repro.check(db.history(), extensions=True)
+        assert rep.ok(L.PL_SI)
+        assert not rep.ok(L.PL_3)
+
+    def test_emitted_histories_always_pl_si(self):
+        from repro.engine import Program, Read, Simulator, Write
+
+        def programs():
+            return [
+                Program("a", [Read("x", into="x"), Read("y", into="y"),
+                              Write("x", lambda r: r["x"] + r["y"])]),
+                Program("b", [Read("x", into="x"), Read("y", into="y"),
+                              Write("y", lambda r: r["x"] + r["y"])]),
+                Program("c", [Read("x", into="x"), Write("z", lambda r: r["x"])]),
+            ]
+
+        for seed in range(5):
+            db = si_db({"x": 1, "y": 1, "z": 0})
+            Simulator(db, programs(), seed=seed).run()
+            rep = repro.check(db.history(), levels=(L.PL_SI,))
+            assert rep.ok(L.PL_SI)
+
+
+class TestReadCommittedMV:
+    def test_statement_level_reads(self):
+        db = rc_db()
+        t1 = db.begin()
+        assert t1.read("x") == 5
+        t2 = db.begin()
+        t2.write("x", 99)
+        t2.commit()
+        assert t1.read("x") == 99  # fuzzy read allowed
+
+    def test_lost_update_possible(self):
+        db = rc_db()
+        t1, t2 = db.begin(), db.begin()
+        v1 = t1.read("x")
+        v2 = t2.read("x")
+        t1.write("x", v1 + 1)
+        t2.write("x", v2 + 1)
+        t1.commit()
+        t2.commit()  # no validation: T1's update lost
+        assert db.begin().read("x") == 6
+
+    def test_no_dirty_reads(self):
+        db = rc_db()
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", 99)
+        assert t2.read("x") == 5
+
+    def test_emitted_histories_always_pl2(self):
+        from repro.engine import Program, Read, Simulator, Write
+
+        def programs():
+            return [
+                Program(
+                    f"p{i}",
+                    [Read("x", into="x"), Write("x", lambda r: r["x"] + 1)],
+                )
+                for i in range(4)
+            ]
+
+        for seed in range(5):
+            db = rc_db()
+            Simulator(db, programs(), seed=seed).run()
+            rep = repro.check(db.history(), levels=(L.PL_2,))
+            assert rep.ok(L.PL_2)

@@ -1,0 +1,115 @@
+"""Tests for classical anomaly naming (repro.checker.naming)."""
+
+import pytest
+
+import repro
+from repro.checker.naming import name_anomalies, name_cycle
+from repro.core.phenomena import Analysis
+from repro.workloads import anomalies as corpus
+
+
+EXPECTED_NAMES = {
+    "dirty-write": "dirty write",
+    "dirty-read": "dirty read",
+    "aborted-read-predicate": "dirty read (predicate)",
+    "intermediate-read": "intermediate read",
+    "circular-information-flow": "circular information flow",
+    "lost-update": "lost update",
+    "lost-cursor-update": "lost update",
+    "fuzzy-read": "fuzzy read",
+    "read-skew": "read skew",
+    "write-skew": "write skew",
+    "phantom-insert": "phantom",
+}
+
+
+class TestCorpusNames:
+    @pytest.mark.parametrize("entry_name,expected", sorted(EXPECTED_NAMES.items()))
+    def test_each_anomaly_gets_its_classical_name(self, entry_name, expected):
+        entry = next(
+            a for a in corpus.ALL_ANOMALIES if a.name == entry_name
+        )
+        names = [a.name for a in repro.check(entry.history).named_anomalies()]
+        assert expected in names
+
+    def test_clean_histories_name_nothing(self):
+        for entry in (corpus.CLEAN_SERIAL, corpus.NON_SNAPSHOT_READ):
+            assert repro.check(entry.history).named_anomalies() == []
+
+    def test_names_deduplicated(self):
+        rep = repro.check(corpus.LOST_UPDATE.history)
+        names = [a.name for a in rep.named_anomalies()]
+        assert len(names) == len(set(names))
+
+
+class TestNameCycle:
+    def cycle_of(self, text, phenomenon):
+        analysis = Analysis(repro.parse_history(text))
+        report = analysis.report(phenomenon)
+        assert report.present
+        return report.witnesses[0].cycle
+
+    def test_paper_h1_is_read_skew(self):
+        from repro.core.canonical import H1
+        from repro.core.phenomena import Phenomenon
+
+        analysis = Analysis(H1.history)
+        cycle = analysis.report(Phenomenon.G2).witnesses[0].cycle
+        assert name_cycle(cycle) == "read skew"
+
+    def test_h_phantom_is_phantom(self):
+        from repro.core.canonical import H_PHANTOM
+        from repro.core.phenomena import Phenomenon
+
+        analysis = Analysis(H_PHANTOM.history)
+        cycle = analysis.report(Phenomenon.G2).witnesses[0].cycle
+        assert name_cycle(cycle) == "phantom"
+
+
+class TestExplainIntegration:
+    def test_explain_lists_named_anomalies(self):
+        text = repro.check(corpus.LOST_UPDATE.history.events and corpus.LOST_UPDATE.history).explain()
+        assert "named anomalies" in text
+        assert "lost update" in text
+
+    def test_clean_history_omits_section(self):
+        text = repro.check("w1(x1) c1").explain()
+        assert "named anomalies" not in text
+
+
+class TestEngineIntegration:
+    def test_mvrc_lost_update_named(self):
+        from repro.engine import Database, ReadCommittedMVScheduler
+
+        db = Database(ReadCommittedMVScheduler())
+        db.load({"x": 0})
+        t1, t2 = db.begin(), db.begin()
+        v1, v2 = t1.read("x"), t2.read("x")
+        t1.write("x", v1 + 1)
+        t2.write("x", v2 + 1)
+        t1.commit()
+        t2.commit()
+        names = [a.name for a in repro.check(db.history()).named_anomalies()]
+        assert "lost update" in names
+
+
+class TestGeneralCycleNames:
+    def test_three_transaction_anti_cycle(self):
+        # Three rw edges around a triangle: not write skew (that needs
+        # exactly two antis over two objects), so the general name applies.
+        h = repro.parse_history(
+            "r1(x0) r2(y0) r3(z0) w1(y1) w2(z2) w3(x3) c1 c2 c3 "
+            "[x0 << x3, y0 << y1, z0 << z2]"
+        )
+        from repro.core.phenomena import Analysis, Phenomenon
+
+        analysis = Analysis(h)
+        cycle = analysis.report(Phenomenon.G2).witnesses[0].cycle
+        assert name_cycle(cycle) == "anti-dependency cycle"
+
+    def test_dirty_write_name_from_cycle(self):
+        from repro.workloads.anomalies import DIRTY_WRITE
+        from repro.core.phenomena import Analysis, Phenomenon
+
+        cycle = Analysis(DIRTY_WRITE.history).report(Phenomenon.G0).witnesses[0].cycle
+        assert name_cycle(cycle) == "dirty write"

@@ -1,0 +1,88 @@
+"""Tests for versions and object identity (repro.core.objects)."""
+
+import pytest
+
+from repro.core.objects import (
+    DEFAULT_RELATION,
+    INIT_TID,
+    Version,
+    VersionKind,
+    relation_of,
+)
+
+
+class TestVersionIdentity:
+    def test_equality_is_structural(self):
+        assert Version("x", 1) == Version("x", 1, 1)
+        assert Version("x", 1) != Version("x", 2)
+        assert Version("x", 1) != Version("y", 1)
+        assert Version("x", 1, 1) != Version("x", 1, 2)
+
+    def test_versions_are_hashable(self):
+        assert len({Version("x", 1), Version("x", 1, 1), Version("x", 2)}) == 2
+
+    def test_default_sequence_is_one(self):
+        assert Version("x", 3).seq == 1
+
+    def test_ordering_is_total(self):
+        versions = [Version("x", 2), Version("x", 1, 2), Version("x", 1, 1)]
+        assert sorted(versions) == [
+            Version("x", 1, 1),
+            Version("x", 1, 2),
+            Version("x", 2),
+        ]
+
+
+class TestUnbornVersion:
+    def test_unborn_constructor(self):
+        v = Version.unborn("x")
+        assert v.tid == INIT_TID
+        assert v.seq == 0
+        assert v.is_unborn
+
+    def test_application_versions_are_not_unborn(self):
+        assert not Version("x", 0).is_unborn  # T0 is an app transaction
+
+    def test_unborn_requires_seq_zero(self):
+        with pytest.raises(ValueError):
+            Version("x", INIT_TID, 1)
+
+    def test_application_version_requires_positive_seq(self):
+        with pytest.raises(ValueError):
+            Version("x", 1, 0)
+
+    def test_empty_object_rejected(self):
+        with pytest.raises(ValueError):
+            Version("", 1)
+
+
+class TestLabels:
+    def test_simple_label(self):
+        assert Version("x", 1).label() == "x1"
+
+    def test_multi_write_label(self):
+        assert Version("x", 1, 2).label() == "x1.2"
+
+    def test_explicit_seq_label(self):
+        assert Version("x", 1).label(explicit_seq=True) == "x1.1"
+
+    def test_unborn_label(self):
+        assert Version.unborn("x").label() == "xinit"
+
+    def test_str_matches_label(self):
+        assert str(Version("Sum", 0)) == "Sum0"
+
+
+class TestRelations:
+    def test_bare_objects_use_default_relation(self):
+        assert relation_of("x") == DEFAULT_RELATION
+
+    def test_namespaced_objects(self):
+        assert relation_of("emp:3") == "emp"
+
+    def test_version_relation_property(self):
+        assert Version("emp:3", 1).relation == "emp"
+        assert Version("x", 1).relation == DEFAULT_RELATION
+
+    def test_kind_enum_values(self):
+        assert {k.value for k in VersionKind} == {"unborn", "visible", "dead"}

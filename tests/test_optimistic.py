@@ -1,0 +1,129 @@
+"""Tests for the OCC scheduler (repro.engine.optimistic)."""
+
+import pytest
+
+import repro
+from repro.core.levels import IsolationLevel as L
+from repro.core.predicates import FieldPredicate
+from repro.engine import Database, OptimisticScheduler
+from repro.exceptions import ValidationFailure
+
+
+def make_db(initial=None):
+    db = Database(OptimisticScheduler())
+    db.load(initial or {"x": 5, "y": 5})
+    return db
+
+
+class TestReads:
+    def test_reads_latest_committed(self):
+        db = make_db()
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", 10)  # buffered privately
+        assert t2.read("x") == 5  # T2 cannot see it
+
+    def test_read_your_own_writes(self):
+        db = make_db()
+        t1 = db.begin()
+        t1.write("x", 10)
+        assert t1.read("x") == 10
+
+    def test_nonexistent_object(self):
+        db = make_db()
+        assert db.begin().read("ghost") is None
+
+
+class TestValidation:
+    def test_read_overwritten_by_concurrent_commit_aborts(self):
+        db = make_db()
+        t1, t2 = db.begin(), db.begin()
+        assert t1.read("x") == 5
+        t2.write("x", 6)
+        t2.commit()
+        t1.write("y", 0)
+        with pytest.raises(ValidationFailure):
+            t1.commit()
+
+    def test_blind_write_conflict_commits(self):
+        # Write-write with no reads is serializable in commit order.
+        db = make_db()
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", 1)
+        t2.write("x", 2)
+        t1.commit()
+        t2.commit()
+        assert repro.classify(db.history()) is L.PL_3
+
+    def test_transaction_that_started_after_commit_is_safe(self):
+        db = make_db()
+        t1 = db.begin()
+        t1.write("x", 6)
+        t1.commit()
+        t2 = db.begin()
+        assert t2.read("x") == 6
+        t2.write("y", 1)
+        t2.commit()
+
+    def test_h2_prime_shape_commits(self):
+        """The paper's H2': T2 reads old values, T1 overwrites, T2 commits
+        first — OCC admits it, P2 would not."""
+        db = make_db()
+        t2 = db.begin()
+        t1 = db.begin()
+        assert t2.read("x") == 5
+        t1.write("x", 1)
+        assert t2.read("y") == 5
+        t1.write("y", 9)
+        t2.commit()  # read set untouched by committed peers: fine
+        t1.commit()
+        h = db.history()
+        assert repro.classify(h) is L.PL_3
+        from repro.baseline import PreventativeAnalysis, PreventativePhenomenon
+
+        assert PreventativeAnalysis(h).exhibits(PreventativePhenomenon.P2)
+
+    def test_predicate_read_validated(self):
+        db = make_db({"emp:1": {"dept": "Sales", "sal": 10}})
+        pred = FieldPredicate("emp", "dept", "==", "Sales")
+        t1, t2 = db.begin(), db.begin()
+        assert t1.count(pred) == 1
+        t2.insert("emp", {"dept": "Sales", "sal": 5})
+        t2.commit()
+        t1.write("x", 0)
+        with pytest.raises(ValidationFailure):
+            t1.commit()  # T2 changed the predicate's matches
+
+    def test_failed_validation_emits_abort(self):
+        db = make_db()
+        t1, t2 = db.begin(), db.begin()
+        t1.read("x")
+        t2.write("x", 6)
+        t2.commit()
+        with pytest.raises(ValidationFailure):
+            t1.commit()
+        assert t1.tid in db.history().aborted
+
+
+class TestEmittedHistories:
+    def test_concurrent_runs_always_pl3(self):
+        """Whatever the interleaving, committed OCC histories provide PL-3."""
+        from repro.engine import Program, Read, Simulator, Write
+
+        def programs():
+            return [
+                Program(
+                    f"p{i}",
+                    [
+                        Read("x", into="x"),
+                        Write("y", lambda r: (r["x"] or 0) + 1),
+                        Read("y", into="y"),
+                        Write("x", lambda r: (r["y"] or 0) + 1),
+                    ],
+                )
+                for i in range(3)
+            ]
+
+        for seed in range(5):
+            db = make_db()
+            Simulator(db, programs(), seed=seed).run()
+            assert repro.classify(db.history()) is L.PL_3

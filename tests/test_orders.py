@@ -1,0 +1,132 @@
+"""Tests for the orders/referential-integrity workload (repro.workloads.orders)."""
+
+import pytest
+
+import repro
+from repro.core.levels import IsolationLevel as L
+from repro.engine import (
+    Database,
+    LockingScheduler,
+    OptimisticScheduler,
+    Simulator,
+    SnapshotIsolationScheduler,
+)
+from repro.workloads.orders import (
+    discontinue,
+    initial_shop,
+    orphan_orders,
+    place_order,
+    shop_programs,
+)
+
+
+def run(scheduler, programs, seed=0, n_items=3):
+    db = Database(scheduler)
+    db.load(initial_shop(n_items))
+    result = Simulator(db, programs, seed=seed).run()
+    return db.history(), result
+
+
+class TestProgramsDirect:
+    def test_order_placed_when_item_exists(self):
+        h, result = run(SnapshotIsolationScheduler(), [place_order("o", "item:1")])
+        assert orphan_orders(h) == []
+        assert any(obj.startswith("order:") for obj in h.committed_state())
+
+    def test_no_order_when_item_missing(self):
+        h, _ = run(SnapshotIsolationScheduler(), [place_order("o", "item:9")])
+        assert not any(obj.startswith("order:") for obj in h.committed_state())
+
+    def test_discontinue_sweeps_orders(self):
+        db = Database(SnapshotIsolationScheduler())
+        db.load(initial_shop(2))
+        Simulator(db, [place_order("o", "item:1")], seed=0).run()
+        Simulator2 = Simulator(db, [discontinue("d", "item:1")], seed=0)
+        # new programs against the same db: fresh simulator
+        Simulator2.run()
+        h = db.history()
+        assert orphan_orders(h) == []
+        assert "item:1" not in h.committed_state()
+
+
+class TestSerializableIntegrity:
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: LockingScheduler("serializable"), OptimisticScheduler],
+        ids=["2PL", "OCC"],
+    )
+    def test_no_orphans_ever(self, factory):
+        for seed in range(10):
+            h, _ = run(
+                factory(),
+                shop_programs(n_orders=3, n_discontinues=2, seed=seed),
+                seed=seed,
+            )
+            assert orphan_orders(h) == [], f"seed {seed}"
+            assert repro.check(h).serializable
+
+
+class TestSnapshotIsolationWriteSkew:
+    def targeted_programs(self):
+        # Placement and discontinuation of the same item, maximally racy.
+        return [place_order("o", "item:1"), discontinue("d", "item:1")]
+
+    def test_orphans_occur_under_si(self):
+        orphaned = 0
+        for seed in range(20):
+            h, _ = run(SnapshotIsolationScheduler(), self.targeted_programs(), seed=seed)
+            orphaned += bool(orphan_orders(h))
+        assert orphaned > 0  # the write skew really happens
+
+    def test_orphan_histories_fail_pl3_but_provide_pl_si(self):
+        for seed in range(20):
+            h, _ = run(SnapshotIsolationScheduler(), self.targeted_programs(), seed=seed)
+            if orphan_orders(h):
+                report = repro.check(h, extensions=True)
+                assert report.ok(L.PL_SI)
+                assert not report.ok(L.PL_3)
+
+    def test_serializable_never_orphans_same_programs(self):
+        for seed in range(20):
+            h, _ = run(
+                LockingScheduler("serializable"), self.targeted_programs(), seed=seed
+            )
+            assert orphan_orders(h) == []
+
+
+class TestConditionalStep:
+    def test_condition_false_skips(self):
+        from repro.engine import Conditional, Program, Read, Write
+
+        program = Program(
+            "p",
+            [
+                Read("item:9", into="item"),
+                Conditional(
+                    lambda regs: regs["item"] is not None,
+                    Write("flag", 1),
+                ),
+            ],
+        )
+        db = Database(SnapshotIsolationScheduler())
+        db.load(initial_shop(1))
+        Simulator(db, [program], seed=0).run()
+        assert "flag" not in db.history().committed_state()
+
+    def test_condition_true_runs(self):
+        from repro.engine import Conditional, Program, Read, Write
+
+        program = Program(
+            "p",
+            [
+                Read("item:1", into="item"),
+                Conditional(
+                    lambda regs: regs["item"] is not None,
+                    Write("flag", 1),
+                ),
+            ],
+        )
+        db = Database(SnapshotIsolationScheduler())
+        db.load(initial_shop(1))
+        Simulator(db, [program], seed=0).run()
+        assert db.history().committed_state()["flag"] == 1

@@ -1,0 +1,174 @@
+"""Tests for the history notation parser (repro.core.parser)."""
+
+import pytest
+
+from repro.core import parse_history
+from repro.core.events import Abort, Begin, Commit, PredicateRead, Read, Write
+from repro.core.levels import IsolationLevel
+from repro.core.objects import Version
+from repro.core.parser import parse_version
+from repro.exceptions import ParseError
+
+
+def v(obj, tid, seq=1):
+    return Version(obj, tid, seq)
+
+
+class TestVersionTokens:
+    def test_simple(self):
+        assert parse_version("x1") == v("x", 1)
+
+    def test_multi_digit_tid(self):
+        assert parse_version("x12") == v("x", 12)
+
+    def test_multi_letter_object(self):
+        assert parse_version("Sum0") == v("Sum", 0)
+
+    def test_explicit_sequence(self):
+        assert parse_version("x1.2") == v("x", 1, 2)
+
+    def test_unborn(self):
+        assert parse_version("xinit") == Version.unborn("x")
+
+    def test_unborn_with_seq_rejected(self):
+        with pytest.raises(ParseError):
+            parse_version("xinit.2")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_version("123")
+
+
+class TestEventParsing:
+    def test_write_read_commit(self):
+        h = parse_history("w1(x1) r2(x1) c1 c2")
+        kinds = [type(e).__name__ for e in h.events]
+        assert kinds == ["Write", "Read", "Commit", "Commit"]
+
+    def test_values(self):
+        h = parse_history("w1(x1, 5) r2(x1, 5) c1 c2")
+        assert h.events[0].value == 5
+        assert h.events[1].value == 5
+
+    def test_float_and_string_values(self):
+        h = parse_history("w1(x1, 2.5) w1(y1, hello) c1")
+        assert h.events[0].value == 2.5
+        assert h.events[1].value == "hello"
+
+    def test_dead_write(self):
+        h = parse_history("w1(x1, dead) c1")
+        assert h.events[0].dead
+
+    def test_abort(self):
+        h = parse_history("w1(x1) a1")
+        assert isinstance(h.events[-1], Abort)
+
+    def test_begin_with_level(self):
+        h = parse_history("b1@PL-2.99 w1(x1) c1")
+        assert isinstance(h.events[0], Begin)
+        assert h.events[0].level is IsolationLevel.PL_2_99
+
+    def test_cursor_read(self):
+        h = parse_history("w1(x1) c1 rc2(x1) c2")
+        assert h.events[2].cursor
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ParseError):
+            parse_history("b1@PL-9 c1")
+
+    def test_unrecognised_token_rejected(self):
+        with pytest.raises(ParseError):
+            parse_history("w1(x1) foo c1")
+
+    def test_write_of_foreign_version_rejected(self):
+        with pytest.raises(ParseError):
+            parse_history("w1(x2) c1")
+
+    def test_comments_stripped(self):
+        h = parse_history("w1(x1) c1  # trailing comment\n# whole line\n")
+        assert len(h) == 2
+
+
+class TestSequenceInference:
+    def test_repeated_writes_numbered(self):
+        h = parse_history("w1(x1) w1(x1) c1")
+        assert h.events[0].version == v("x", 1, 1)
+        assert h.events[1].version == v("x", 1, 2)
+
+    def test_read_resolves_to_latest_so_far(self):
+        # A read between the two writes is an intermediate read of x1.1.
+        h = parse_history("w1(x1) r2(x1) w1(x1) c1 c2")
+        assert h.events[1].version == v("x", 1, 1)
+
+    def test_read_after_both_writes_is_final(self):
+        h = parse_history("w1(x1) w1(x1) c1 r2(x1) c2")
+        assert h.events[3].version == v("x", 1, 2)
+
+    def test_explicit_sequence_respected(self):
+        h = parse_history("w1(x1.1) r2(x1.1) w1(x1.2) c1 c2")
+        assert h.events[1].version == v("x", 1, 1)
+
+
+class TestPredicateReads:
+    def test_version_set_parsed(self):
+        h = parse_history("w1(x1) w2(y2) c1 c2 r3(P: x1, y2) c3")
+        pread = h.events[4]
+        assert isinstance(pread, PredicateRead)
+        assert pread.vset.get("x") == v("x", 1)
+        assert pread.vset.get("y") == v("y", 2)
+
+    def test_inline_star_marks_matching(self):
+        h = parse_history("w1(x1) w2(y2) c1 c2 r3(P: x1*, y2) c3")
+        pread = h.events[4]
+        assert h.version_matches(pread.predicate, v("x", 1))
+        assert not h.version_matches(pread.predicate, v("y", 2))
+
+    def test_matches_block_merges(self):
+        h = parse_history("w1(x1) w2(y2) c1 c2 r3(P: x1) c3 [P matches: y2]")
+        pread = h.events[4]
+        assert h.version_matches(pread.predicate, v("y", 2))
+
+    def test_same_name_shares_predicate(self):
+        h = parse_history("w1(x1) c1 r2(P: x1*) c2 r3(P: x1) c3")
+        p1 = h.events[2].predicate
+        p2 = h.events[4].predicate
+        assert p1 is p2
+
+    def test_unborn_in_vset(self):
+        h = parse_history("w1(x1) r2(P: x1, yinit) c1 c2")
+        assert h.events[1].vset.get("y") == Version.unborn("y")
+
+    def test_predicate_name_with_equals(self):
+        h = parse_history("w1(x1) c1 r2(Dept=Sales: x1*) c2")
+        assert h.events[2].predicate.name == "Dept=Sales"
+
+
+class TestVersionOrderBlocks:
+    def test_double_angle(self):
+        h = parse_history("w1(x1) w2(x2) c1 c2 [x2 << x1]")
+        assert h.order_of("x")[1:] == (v("x", 2), v("x", 1))
+
+    def test_single_angle_and_unicode(self):
+        h1 = parse_history("w1(x1) w2(x2) c1 c2 [x2 < x1]")
+        h2 = parse_history("w1(x1) w2(x2) c1 c2 [x2 ≺ x1]")
+        assert h1.order_of("x") == h2.order_of("x")
+
+    def test_multiple_chains(self):
+        h = parse_history("w1(x1) w1(y1) w2(x2) w2(y2) c1 c2 [x2 << x1, y1 << y2]")
+        assert h.order_of("x")[1:] == (v("x", 2), v("x", 1))
+        assert h.order_of("y")[1:] == (v("y", 1), v("y", 2))
+
+    def test_init_in_chain_ignored(self):
+        h = parse_history("w1(x1) c1 [xinit << x1]")
+        assert h.order_of("x") == (Version.unborn("x"), v("x", 1))
+
+    def test_mixed_objects_in_chain_rejected(self):
+        with pytest.raises(ParseError):
+            parse_history("w1(x1) w1(y1) c1 [x1 << y1]")
+
+
+class TestAutoComplete:
+    def test_flag_appends_aborts(self):
+        h = parse_history("w1(x1) w2(x2) c2", auto_complete=True)
+        assert 1 in h.aborted
+        assert 2 in h.committed

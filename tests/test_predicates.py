@@ -1,0 +1,136 @@
+"""Tests for predicates and version sets (repro.core.predicates)."""
+
+import pytest
+
+from repro.core.objects import Version
+from repro.core.predicates import (
+    FieldPredicate,
+    FunctionPredicate,
+    MembershipPredicate,
+    Predicate,
+    VersionSet,
+)
+from repro.exceptions import PredicateError
+
+
+class TestMembershipPredicate:
+    def test_matches_declared_versions_only(self):
+        p = MembershipPredicate("P", frozenset({Version("x", 1)}))
+        assert p.matches(Version("x", 1), None)
+        assert not p.matches(Version("x", 2), None)
+
+    def test_with_matching_extends(self):
+        p = MembershipPredicate("P", frozenset({Version("x", 1)}))
+        q = p.with_matching(frozenset({Version("y", 2)}))
+        assert q.matches(Version("y", 2), None)
+        assert q.matches(Version("x", 1), None)
+        assert not p.matches(Version("y", 2), None)  # original unchanged
+
+    def test_empty_matching_set(self):
+        p = MembershipPredicate("P")
+        assert not p.matches(Version("x", 1), None)
+
+
+class TestFieldPredicate:
+    def test_equality_operator(self):
+        p = FieldPredicate("emp", "dept", "==", "Sales")
+        assert p.matches(Version("emp:1", 1), {"dept": "Sales"})
+        assert not p.matches(Version("emp:1", 1), {"dept": "Legal"})
+
+    def test_comparison_operators(self):
+        p = FieldPredicate("emp", "sal", ">", 10)
+        assert p.matches(Version("emp:1", 1), {"sal": 11})
+        assert not p.matches(Version("emp:1", 1), {"sal": 10})
+
+    def test_missing_field_does_not_match(self):
+        p = FieldPredicate("emp", "dept", "==", "Sales")
+        assert not p.matches(Version("emp:1", 1), {"name": "bob"})
+
+    def test_non_mapping_value_does_not_match(self):
+        p = FieldPredicate("emp", "dept", "==", "Sales")
+        assert not p.matches(Version("emp:1", 1), 42)
+
+    def test_type_mismatch_does_not_match(self):
+        p = FieldPredicate("emp", "sal", "<", 10)
+        assert not p.matches(Version("emp:1", 1), {"sal": "many"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            FieldPredicate("emp", "sal", "~=", 10)
+
+    def test_covers_relation(self):
+        p = FieldPredicate("emp", "dept", "==", "Sales")
+        assert p.covers("emp:1")
+        assert not p.covers("dept:1")
+        assert not p.covers("x")  # default relation
+
+    def test_in_operator(self):
+        # Set-valued operands need an explicit name: the default would
+        # contain notation delimiters.
+        p = FieldPredicate("emp", "dept", "in", {"Sales", "Legal"}, name="dept-in-SL")
+        assert p.matches(Version("emp:1", 1), {"dept": "Legal"})
+        assert not p.matches(Version("emp:1", 1), {"dept": "HR"})
+
+    def test_delimiter_name_rejected(self):
+        from repro.exceptions import PredicateError
+
+        with pytest.raises(PredicateError):
+            FieldPredicate("emp", "dept", "in", {"Sales"})
+
+
+class TestFunctionPredicate:
+    def test_paper_commission_example(self):
+        # COMM > 0.25 * SAL (the H_insert statement)
+        p = FunctionPredicate(
+            "comm>0.25*sal",
+            lambda v, row: bool(row) and row.get("comm", 0) > 0.25 * row.get("sal", 0),
+            frozenset({"emp"}),
+        )
+        assert p.matches(Version("emp:1", 1), {"sal": 100, "comm": 30})
+        assert not p.matches(Version("emp:1", 1), {"sal": 100, "comm": 20})
+
+
+class TestPredicateIdentity:
+    def test_equality_by_name_and_relations(self):
+        a = MembershipPredicate("P", frozenset({Version("x", 1)}))
+        b = MembershipPredicate("P")
+        assert a == b  # identity is (name, relations), not matching set
+        assert hash(a) == hash(b)
+
+    def test_distinct_names_differ(self):
+        assert MembershipPredicate("P") != MembershipPredicate("Q")
+
+
+class TestVersionSet:
+    def test_of_builds_mapping(self):
+        vs = VersionSet.of(Version("x", 1), Version("y", 2))
+        assert vs.get("x") == Version("x", 1)
+        assert vs.get("y") == Version("y", 2)
+        assert vs.get("z") is None
+
+    def test_duplicate_object_rejected(self):
+        with pytest.raises(PredicateError):
+            VersionSet.of(Version("x", 1), Version("x", 2))
+
+    def test_mismatched_mapping_rejected(self):
+        with pytest.raises(PredicateError):
+            VersionSet({"x": Version("y", 1)})
+
+    def test_contains_checks_exact_version(self):
+        vs = VersionSet.of(Version("x", 1))
+        assert Version("x", 1) in vs
+        assert Version("x", 2) not in vs
+
+    def test_len_and_objects(self):
+        vs = VersionSet.of(Version("x", 1), Version("y", 2))
+        assert len(vs) == 2
+        assert set(vs.objects()) == {"x", "y"}
+
+    def test_hashable(self):
+        a = VersionSet.of(Version("x", 1))
+        b = VersionSet.of(Version("x", 1))
+        assert hash(a) == hash(b)
+
+    def test_unborn_versions_allowed(self):
+        vs = VersionSet.of(Version.unborn("z"))
+        assert Version.unborn("z") in vs

@@ -1,0 +1,146 @@
+"""Tests for the preventative P0–P3 baseline (repro.baseline.preventative)."""
+
+import pytest
+
+from repro.baseline.preventative import (
+    PreventativeAnalysis,
+    PreventativePhenomenon as P,
+    preventative_classify,
+    preventative_proscribed,
+    preventative_satisfies,
+)
+from repro.core import parse_history
+from repro.core.canonical import H1, H2, H1_PRIME, H2_PRIME
+from repro.core.levels import IsolationLevel as L
+
+
+def analysis(text, **kw):
+    return PreventativeAnalysis(parse_history(text, **kw))
+
+
+class TestP0:
+    def test_write_write_interleaving(self):
+        a = analysis("w1(x1) w2(x2) c1 c2 [x1 << x2]")
+        assert a.exhibits(P.P0)
+
+    def test_sequential_writes_clean(self):
+        a = analysis("w1(x1) c1 w2(x2) c2")
+        assert not a.exhibits(P.P0)
+
+    def test_different_objects_clean(self):
+        a = analysis("w1(x1) w2(y2) c1 c2")
+        assert not a.exhibits(P.P0)
+
+
+class TestP1:
+    def test_dirty_read_even_if_writer_commits(self):
+        # P1 condemns the interleaving regardless of outcome.
+        a = analysis("w1(x1) r2(x1) c1 c2")
+        assert a.exhibits(P.P1)
+
+    def test_read_after_commit_clean(self):
+        a = analysis("w1(x1) c1 r2(x1) c2")
+        assert not a.exhibits(P.P1)
+
+    def test_own_read_clean(self):
+        a = analysis("w1(x1) r1(x1) c1")
+        assert not a.exhibits(P.P1)
+
+
+class TestP2:
+    def test_overwrite_of_live_read(self):
+        a = analysis("r1(x0) w2(x2) c2 c1")
+        assert a.exhibits(P.P2)
+
+    def test_overwrite_after_reader_finishes_clean(self):
+        a = analysis("r1(x0) c1 w2(x2) c2")
+        assert not a.exhibits(P.P2)
+
+
+class TestP3:
+    def test_matching_insert_during_predicate_read(self):
+        a = analysis("r1(P: x0*) w2(y2) c2 c1 [P matches: y2]")
+        assert a.exhibits(P.P3)
+
+    def test_nonmatching_write_clean(self):
+        a = analysis("r1(P: x0*) w2(y2) c2 c1")
+        assert not a.exhibits(P.P3)
+
+    def test_delete_of_matching_row(self):
+        a = analysis("r1(P: x0*) w2(x2, dead) c2 c1")
+        assert a.exhibits(P.P3)
+
+    def test_write_after_reader_finished_clean(self):
+        a = analysis("r1(P: x0*) c1 w2(y2) c2 [P matches: y2]")
+        assert not a.exhibits(P.P3)
+
+
+class TestLevelsMapping:
+    def test_figure1_prefixes(self):
+        assert preventative_proscribed(L.PL_1) == (P.P0,)
+        assert preventative_proscribed(L.PL_2) == (P.P0, P.P1)
+        assert preventative_proscribed(L.PL_2_99) == (P.P0, P.P1, P.P2)
+        assert preventative_proscribed(L.PL_3) == (P.P0, P.P1, P.P2, P.P3)
+
+    def test_extension_levels_have_no_analogue(self):
+        with pytest.raises(KeyError):
+            preventative_proscribed(L.PL_SI)
+
+
+class TestPaperSection3Claims:
+    def test_h1_ruled_out_by_p1(self):
+        a = PreventativeAnalysis(H1.history)
+        assert a.exhibits(P.P1)
+
+    def test_h2_ruled_out_by_p2(self):
+        a = PreventativeAnalysis(H2.history)
+        assert a.exhibits(P.P2)
+
+    def test_h1_prime_legal_but_rejected_by_p1(self):
+        """The paper's core complaint: H1' is serializable yet P1 kills it."""
+        import repro
+
+        assert repro.classify(H1_PRIME.history) is L.PL_3
+        assert not preventative_satisfies(H1_PRIME.history, L.PL_3)
+        assert PreventativeAnalysis(H1_PRIME.history).exhibits(P.P1)
+
+    def test_h2_prime_legal_but_rejected_by_p2(self):
+        import repro
+
+        assert repro.classify(H2_PRIME.history) is L.PL_3
+        assert not preventative_satisfies(H2_PRIME.history, L.PL_3)
+        assert PreventativeAnalysis(H2_PRIME.history).exhibits(P.P2)
+
+
+class TestContainment:
+    """Preventative acceptance implies generalized acceptance, per level."""
+
+    @pytest.mark.parametrize("level", [L.PL_1, L.PL_2, L.PL_2_99, L.PL_3])
+    def test_on_canonical_corpus(self, level, canonical_history):
+        from repro.core.levels import satisfies
+
+        h = canonical_history.history
+        if preventative_satisfies(h, level):
+            assert satisfies(h, level).ok
+
+    @pytest.mark.parametrize("level", [L.PL_1, L.PL_2, L.PL_2_99, L.PL_3])
+    def test_on_anomaly_corpus(self, level, anomaly_history):
+        from repro.core.levels import satisfies
+
+        h = anomaly_history.history
+        if preventative_satisfies(h, level):
+            assert satisfies(h, level).ok
+
+
+class TestClassify:
+    def test_strict_serial_is_degree3(self):
+        h = parse_history("w1(x1) c1 r2(x1) c2")
+        assert preventative_classify(h) is L.PL_3
+
+    def test_p0_means_none(self):
+        h = parse_history("w1(x1) w2(x2) c1 c2 [x1 << x2]")
+        assert preventative_classify(h) is None
+
+    def test_report_describe(self):
+        a = analysis("w1(x1) r2(x1) c1 c2")
+        assert "P1" in a.report(P.P1).describe()

@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) over the engine: every scheduler's
+emitted histories provide exactly the guarantees the theory predicts, for
+arbitrary seeded workloads."""
+
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.baseline.preventative import PreventativeAnalysis, preventative_satisfies
+from repro.core.levels import ANSI_CHAIN, IsolationLevel as L, satisfies
+from repro.core.msg import mixing_correct
+from repro.engine import (
+    Database,
+    LockingScheduler,
+    OptimisticScheduler,
+    ReadCommittedMVScheduler,
+    Simulator,
+    SnapshotIsolationScheduler,
+)
+from repro.workloads import WorkloadConfig, random_programs
+
+workload_params = st.fixed_dictionaries(
+    {
+        "n_programs": st.integers(min_value=2, max_value=6),
+        "steps_per_program": st.integers(min_value=1, max_value=4),
+        "n_keys": st.integers(min_value=2, max_value=6),
+        "hot_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "write_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+predicate_workload_params = st.fixed_dictionaries(
+    {
+        "n_programs": st.integers(min_value=2, max_value=5),
+        "steps_per_program": st.integers(min_value=1, max_value=3),
+        "n_keys": st.integers(min_value=2, max_value=5),
+        "predicate_fraction": st.floats(min_value=0.2, max_value=0.8),
+        "insert_fraction": st.floats(min_value=0.0, max_value=0.3),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+
+def run_workload(scheduler, params):
+    seed = params.pop("seed")
+    cfg = WorkloadConfig(**params)
+    db = Database(scheduler)
+    db.load(cfg.initial_state())
+    Simulator(db, random_programs(cfg, seed=seed), seed=seed).run()
+    return db.history()
+
+
+@given(workload_params)
+@settings(max_examples=25, deadline=None)
+def test_serializable_locking_emits_pl3(params):
+    h = run_workload(LockingScheduler("serializable"), params)
+    assert satisfies(h, L.PL_3).ok
+
+
+@given(workload_params)
+@settings(max_examples=25, deadline=None)
+def test_read_committed_locking_emits_pl2(params):
+    h = run_workload(LockingScheduler("read-committed"), params)
+    assert satisfies(h, L.PL_2).ok
+
+
+@given(workload_params)
+@settings(max_examples=25, deadline=None)
+def test_read_uncommitted_locking_emits_pl1(params):
+    h = run_workload(LockingScheduler("read-uncommitted"), params)
+    assert satisfies(h, L.PL_1).ok
+
+
+@given(workload_params)
+@settings(max_examples=25, deadline=None)
+def test_occ_emits_pl3(params):
+    h = run_workload(OptimisticScheduler(), params)
+    assert satisfies(h, L.PL_3).ok
+
+
+@given(workload_params)
+@settings(max_examples=25, deadline=None)
+def test_si_emits_pl_si(params):
+    h = run_workload(SnapshotIsolationScheduler(), params)
+    assert satisfies(h, L.PL_SI).ok
+
+
+@given(workload_params)
+@settings(max_examples=25, deadline=None)
+def test_mvrc_emits_pl2(params):
+    h = run_workload(ReadCommittedMVScheduler(), params)
+    assert satisfies(h, L.PL_2).ok
+
+
+@given(predicate_workload_params)
+@settings(max_examples=15, deadline=None)
+def test_serializable_locking_handles_predicates(params):
+    h = run_workload(LockingScheduler("serializable"), params)
+    assert satisfies(h, L.PL_3).ok
+
+
+@given(predicate_workload_params)
+@settings(max_examples=15, deadline=None)
+def test_repeatable_read_locking_emits_pl299(params):
+    h = run_workload(LockingScheduler("repeatable-read"), params)
+    assert satisfies(h, L.PL_2_99).ok
+
+
+@given(predicate_workload_params)
+@settings(max_examples=15, deadline=None)
+def test_si_handles_predicates(params):
+    h = run_workload(SnapshotIsolationScheduler(), params)
+    assert satisfies(h, L.PL_SI).ok
+
+
+@given(workload_params)
+@settings(max_examples=20, deadline=None)
+def test_preventative_containment_on_engine_histories(params):
+    """Realizable histories never break the containment theorem."""
+    for scheduler in (
+        LockingScheduler("read-uncommitted"),
+        OptimisticScheduler(),
+        ReadCommittedMVScheduler(),
+    ):
+        h = run_workload(scheduler, dict(params))
+        prev = PreventativeAnalysis(h)
+        for level in ANSI_CHAIN:
+            if preventative_satisfies(h, level, analysis=prev):
+                assert satisfies(h, level).ok
+
+
+@given(workload_params, st.lists(st.sampled_from(list(ANSI_CHAIN)), min_size=1, max_size=4))
+@settings(max_examples=20, deadline=None)
+def test_mixed_locking_is_always_mixing_correct(params, level_cycle):
+    seed = params.pop("seed")
+    cfg = WorkloadConfig(**params)
+    programs = random_programs(cfg, seed=seed)
+    for i, program in enumerate(programs):
+        program.level = level_cycle[i % len(level_cycle)]
+    db = Database(LockingScheduler("serializable"))
+    db.load(cfg.initial_state())
+    Simulator(db, programs, seed=seed).run()
+    assert mixing_correct(db.history()).ok

@@ -1,0 +1,89 @@
+"""Tests for the engine's history recorder (repro.engine.recorder)."""
+
+import pytest
+
+from repro.core.objects import Version
+from repro.engine.recorder import HistoryRecorder
+
+
+def v(obj, tid, seq=1):
+    return Version(obj, tid, seq)
+
+
+class TestEventEmission:
+    def test_sequence(self):
+        rec = HistoryRecorder()
+        rec.begin(1)
+        rec.write(1, v("x", 1), 10)
+        rec.read(1, v("x", 1), 10)
+        rec.commit(1, {"x": v("x", 1)})
+        history = rec.history()
+        assert [type(e).__name__ for e in history.events] == [
+            "Begin",
+            "Write",
+            "Read",
+            "Commit",
+        ]
+
+    def test_len_counts_events(self):
+        rec = HistoryRecorder()
+        rec.write(1, v("x", 1))
+        assert len(rec) == 1
+
+
+class TestInstallOrder:
+    def test_commit_order_default(self):
+        rec = HistoryRecorder()
+        rec.write(2, v("x", 2))
+        rec.write(1, v("x", 1))
+        rec.commit(1, {"x": v("x", 1)})
+        rec.commit(2, {"x": v("x", 2)})
+        # Installed in commit order even though T2 wrote first.
+        assert rec.install_order["x"] == [v("x", 1), v("x", 2)]
+
+    def test_position_hints_override(self):
+        rec = HistoryRecorder()
+        rec.write(2, v("x", 2))  # event 0
+        rec.write(1, v("x", 1))  # event 1
+        rec.commit(1, {"x": v("x", 1)}, positions={"x": 1})
+        rec.commit(2, {"x": v("x", 2)}, positions={"x": 0})
+        # Write-event positions: T2's write was first.
+        assert rec.install_order["x"] == [v("x", 2), v("x", 1)]
+
+    def test_multi_object_commit_installs_all(self):
+        rec = HistoryRecorder()
+        rec.write(1, v("x", 1))
+        rec.write(1, v("y", 1))
+        rec.commit(1, {"x": v("x", 1), "y": v("y", 1)})
+        assert set(rec.install_order) == {"x", "y"}
+
+
+class TestHistoryMaterialisation:
+    def test_unfinished_transactions_auto_aborted(self):
+        rec = HistoryRecorder()
+        rec.write(1, v("x", 1))
+        rec.write(2, v("y", 2))
+        rec.commit(2, {"y": v("y", 2)})
+        history = rec.history()
+        assert 1 in history.aborted
+        assert 2 in history.committed
+
+    def test_history_is_validated(self):
+        from repro.exceptions import MalformedHistoryError
+
+        rec = HistoryRecorder()
+        # Read of a version never written: invalid history.
+        rec.read(2, v("x", 1))
+        rec.write(1, v("x", 1))
+        rec.commit(1, {"x": v("x", 1)})
+        rec.commit(2, {})
+        with pytest.raises(MalformedHistoryError):
+            rec.history()
+
+    def test_validate_false_skips(self):
+        rec = HistoryRecorder()
+        rec.read(2, v("x", 1))
+        rec.write(1, v("x", 1))
+        rec.commit(1, {"x": v("x", 1)})
+        rec.commit(2, {})
+        rec.history(validate=False)  # no raise

@@ -1,0 +1,102 @@
+"""The paper's Section 5.1 recovery discussion, made executable.
+
+"In the absence of this proscription [P0], a system that allows writes to
+happen in place cannot recover the pre-states of aborted transactions using
+a simple undo log approach.  For example, suppose T1 updates x (...),
+T2 overwrites x, and then T1 aborts.  The system must not restore x to T1's
+pre-state.  However, if T2 aborts later, x must be restored to T1's
+pre-state and not to x1."
+
+The engine's locking scheduler runs writes in place with version stacks
+(undo removes a transaction's entries wherever they are), so at Degree 0 —
+where short write locks let T2 overwrite T1's uncommitted write — the
+paper's scenario really happens, and these tests check the recovery rules
+the paper spells out.
+"""
+
+import pytest
+
+from repro.engine import Database, LockingScheduler
+
+
+def degree0_db():
+    db = Database(LockingScheduler("degree-0"))
+    db.load({"x": 0})
+    return db
+
+
+class TestPaperRecoveryScenario:
+    def test_abort_of_overwritten_writer_keeps_overwrite(self):
+        """T1 writes, T2 overwrites, T1 aborts: x must stay at T2's value,
+        not revert to T1's pre-state."""
+        db = degree0_db()
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", 1)
+        t2.write("x", 2)
+        t1.abort()
+        t3 = db.begin()
+        assert t3.read("x") == 2
+
+    def test_subsequent_abort_restores_original_prestate(self):
+        """...and if T2 then aborts too, x must return to T1's pre-state
+        (the loaded value), not to x1."""
+        db = degree0_db()
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", 1)
+        t2.write("x", 2)
+        t1.abort()
+        t2.abort()
+        t3 = db.begin()
+        assert t3.read("x") == 0
+
+    def test_abort_order_is_immaterial(self):
+        db = degree0_db()
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", 1)
+        t2.write("x", 2)
+        t2.abort()  # reverse order: top of stack pops first
+        t3 = db.begin()
+        assert t3.read("x") == 1  # T1's (still uncommitted) value visible
+        t1.abort()
+        t4 = db.begin()
+        assert t4.read("x") == 0
+
+    def test_commit_of_survivor_installs_its_value(self):
+        db = degree0_db()
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", 1)
+        t2.write("x", 2)
+        t1.abort()
+        t2.commit()
+        assert db.history().committed_state()["x"] == 2
+
+    def test_interleaved_multiobject_aborts(self):
+        """Three transactions stacking writes on one object unwind
+        correctly in any abort order."""
+        db = degree0_db()
+        txns = [db.begin() for _ in range(3)]
+        for i, txn in enumerate(txns, start=1):
+            txn.write("x", i * 10)
+        txns[1].abort()  # middle of the stack
+        t = db.begin()
+        assert t.read("x") == 30  # top survivor
+        txns[2].abort()
+        t = db.begin()
+        assert t.read("x") == 10
+        txns[0].commit()
+        assert db.history(validate=False).committed_state()["x"] == 10
+
+
+class TestHigherLevelsAvoidTheProblem:
+    def test_long_write_locks_prevent_the_scenario(self):
+        """At READ UNCOMMITTED and above, long write locks mean T2 simply
+        cannot overwrite T1's uncommitted write — the paper's first
+        motivation for proscribing P0 in locking systems."""
+        from repro.exceptions import WouldBlock
+
+        db = Database(LockingScheduler("read-uncommitted"))
+        db.load({"x": 0})
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", 1)
+        with pytest.raises(WouldBlock):
+            t2.write("x", 2)

@@ -1,0 +1,122 @@
+"""Tests for history repair (repro.analysis.repair)."""
+
+import pytest
+
+import repro
+from repro.analysis.repair import RepairResult, abort_transactions, repair
+from repro.core import parse_history
+from repro.core.levels import IsolationLevel as L
+from repro.workloads import anomalies as corpus
+from repro.workloads.generator import synthetic_history
+
+
+class TestAbortTransactions:
+    def test_commit_becomes_abort(self):
+        h = parse_history("w1(x1) c1 w2(y2) c2")
+        rewritten, doomed = abort_transactions(h, {2})
+        assert doomed == {2}
+        assert 2 in rewritten.aborted
+        assert 1 in rewritten.committed
+
+    def test_versions_leave_order(self):
+        from repro.core.objects import Version
+
+        h = parse_history("w1(x1) c1 w2(x2) c2")
+        rewritten, _ = abort_transactions(h, {2})
+        assert Version("x", 2) not in rewritten.installed
+
+    def test_cascade_to_readers(self):
+        h = parse_history("w1(x1) r2(x1) w2(y2) c1 c2")
+        rewritten, doomed = abort_transactions(h, {1})
+        assert doomed == {1, 2}  # T2 read T1's write
+
+    def test_cascade_through_predicate_reads(self):
+        h = parse_history("w1(x1) r2(P: x1*) w2(y2) c1 c2")
+        _rewritten, doomed = abort_transactions(h, {1})
+        assert 2 in doomed
+
+    def test_cascade_is_transitive(self):
+        h = parse_history("w1(x1) r2(x1) w2(y2) r3(y2) c1 c2 c3")
+        _rewritten, doomed = abort_transactions(h, {1})
+        assert doomed == {1, 2, 3}
+
+    def test_no_cascade_flag_can_break_history(self):
+        # Without cascades the rewrite manufactures G1a — the function
+        # still produces a *valid* (but dirty) history.
+        h = parse_history("w1(x1) r2(x1) w2(y2) c1 c2")
+        rewritten, doomed = abort_transactions(h, {1}, cascade=False)
+        assert doomed == {1}
+        from repro.core.phenomena import Analysis, Phenomenon
+
+        assert Analysis(rewritten).exhibits(Phenomenon.G1A)
+
+    def test_rewritten_history_validates(self):
+        h = parse_history("w1(x1) c1 r2(x1) w2(x2) c2 r3(x2) c3")
+        rewritten, _ = abort_transactions(h, {2})
+        assert rewritten.committed == {1}
+
+
+class TestRepair:
+    def test_clean_history_untouched(self):
+        result = repair(parse_history("w1(x1) c1 r2(x1) c2"))
+        assert result.clean
+        assert result.rounds == 0
+
+    def test_lost_update_needs_one_abort(self):
+        result = repair(corpus.LOST_UPDATE.history)
+        assert len(result.aborted) == 1
+        assert repro.satisfies(result.history, L.PL_3).ok
+
+    def test_write_skew_needs_one_abort(self):
+        result = repair(corpus.WRITE_SKEW.history)
+        assert len(result.aborted) == 1
+
+    def test_dirty_write_needs_one_abort(self):
+        result = repair(corpus.DIRTY_WRITE.history, L.PL_1)
+        assert len(result.aborted) == 1
+        assert repro.satisfies(result.history, L.PL_1).ok
+
+    def test_dirty_read_aborts_the_reader(self):
+        result = repair(corpus.DIRTY_READ.history, L.PL_2)
+        assert result.aborted == {2}
+
+    def test_phantom_repair(self):
+        result = repair(corpus.PHANTOM_INSERT.history, L.PL_3)
+        assert repro.satisfies(result.history, L.PL_3).ok
+        assert len(result.aborted) == 1
+
+    def test_loader_never_aborted(self):
+        for entry in corpus.ALL_ANOMALIES:
+            result = repair(entry.history, L.PL_3)
+            assert 0 not in result.aborted or 0 not in entry.history.committed
+
+    def test_setup_transactions_never_aborted(self):
+        result = repair(corpus.LOST_UPDATE.history)
+        assert 0 not in result.aborted  # T0 is the setup state
+
+    def test_describe(self):
+        result = repair(corpus.LOST_UPDATE.history)
+        assert "yields PL-3" in result.describe()
+        clean = repair(parse_history("w1(x1) c1"))
+        assert "nothing to abort" in clean.describe()
+
+    @pytest.mark.parametrize("target", [L.PL_1, L.PL_2, L.PL_2_99, L.PL_3])
+    def test_whole_corpus_repairable_to_any_level(self, target):
+        for entry in corpus.ALL_ANOMALIES:
+            result = repair(entry.history, target)
+            assert repro.satisfies(result.history, target).ok, entry.name
+
+    def test_conflicted_synthetic_histories(self):
+        for seed in range(5):
+            h = synthetic_history(
+                n_txns=15,
+                n_objects=3,
+                ops_per_txn=4,
+                write_fraction=0.6,
+                stale_read_fraction=0.7,
+                seed=seed,
+            )
+            result = repair(h, L.PL_3)
+            assert repro.satisfies(result.history, L.PL_3).ok
+            # the repair should not nuke everything
+            assert len(result.history.committed) >= 1

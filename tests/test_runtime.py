@@ -1,0 +1,115 @@
+"""Tests for running-transaction guarantees (repro.core.runtime)."""
+
+import pytest
+
+from repro.core import parse_history
+from repro.core.events import Commit, Read, Write
+from repro.core.levels import IsolationLevel as L
+from repro.core.objects import Version
+from repro.core.parser import parse_events
+from repro.core.runtime import could_commit_at, running_satisfies, virtual_commit
+from repro.exceptions import MalformedHistoryError
+
+
+def events(text):
+    return parse_events(text)
+
+
+class TestVirtualCommit:
+    def test_appends_commit(self):
+        projection = virtual_commit(events("w1(x1)"), 1)
+        assert 1 in projection.committed
+
+    def test_other_running_transactions_aborted(self):
+        projection = virtual_commit(events("w1(x1) w2(y2)"), 1)
+        assert 2 in projection.aborted
+
+    def test_already_committed_rejected(self):
+        with pytest.raises(MalformedHistoryError):
+            virtual_commit(events("w1(x1) c1"), 1)
+
+    def test_trailing_abort_from_completion_stripped(self):
+        h = parse_history("w1(x1) w2(y2) c2", auto_complete=True)
+        projection = virtual_commit(h, 1)
+        assert 1 in projection.committed
+        assert 2 in projection.committed
+
+    def test_installs_writes_at_tail(self):
+        projection = virtual_commit(events("w2(x2) c2 w1(x1)"), 1)
+        chain = projection.order_of("x")
+        assert chain[-1] == Version("x", 1)
+
+    def test_preserves_supplied_version_order(self):
+        h = parse_history("w2(x2) w3(x3) c2 c3 w1(y1) [x3 << x2]", auto_complete=True)
+        projection = virtual_commit(h, 1)
+        assert projection.order_of("x")[1:] == (Version("x", 3), Version("x", 2))
+
+
+class TestRunningSatisfies:
+    def test_clean_running_transaction_could_commit_pl3(self):
+        evs = events("w2(x2) c2 r1(x2) w1(y1)")
+        assert running_satisfies(evs, 1, L.PL_3).ok
+
+    def test_read_from_uncommitted_blocks_pl2(self):
+        """T1 read T2's uncommitted write: committing now would be an
+        aborted read (G1a under the projection), so PL-2 is not available —
+        the paper's 'commit must be delayed' reading."""
+        evs = events("w2(x2) r1(x2)")
+        verdict = running_satisfies(evs, 1, L.PL_2)
+        assert not verdict.ok
+
+    def test_same_read_fine_once_writer_commits(self):
+        evs = events("w2(x2) r1(x2) c2")
+        assert running_satisfies(evs, 1, L.PL_2).ok
+
+    def test_overwritten_read_blocks_pl3_only(self):
+        # T1 read x0, T2 overwrote it and committed: lost-update shape if T1
+        # now writes x.
+        evs = events("r1(x0, 1) r2(x0, 1) w2(x2, 2) c2 w1(x1, 3)")
+        assert not running_satisfies(evs, 1, L.PL_3).ok
+        assert running_satisfies(evs, 1, L.PL_2).ok
+
+    def test_could_commit_at_strongest(self):
+        evs = events("r1(x0, 1) r2(x0, 1) w2(x2, 2) c2 w1(x1, 3)")
+        assert could_commit_at(evs, 1) is L.PL_2
+
+    def test_could_commit_pl3_when_untouched(self):
+        evs = events("w2(y2) c2 r1(y2) w1(z1)")
+        assert could_commit_at(evs, 1) is L.PL_3
+
+
+class TestEngineCouldCommit:
+    def test_si_loser_detected_before_commit(self):
+        from repro.engine import Database, SnapshotIsolationScheduler
+
+        db = Database(SnapshotIsolationScheduler())
+        db.load({"x": 1})
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", t1.read("x") + 1)
+        t2.write("x", t2.read("x") + 1)
+        t1.commit()
+        # T2's snapshot read of x0 is now overwritten: PL-3 unavailable.
+        assert not db.could_commit(t2, "serializable").ok
+        assert db.could_commit(t2, "read committed").ok
+
+    def test_clean_transaction_reports_pl3(self):
+        from repro.engine import Database, OptimisticScheduler
+
+        db = Database(OptimisticScheduler())
+        db.load({"x": 1})
+        t1 = db.begin()
+        t1.write("x", t1.read("x") + 1)
+        assert db.could_commit(t1) is L.PL_3
+
+    def test_dirty_reader_must_wait(self):
+        from repro.engine import Database, LockingScheduler
+
+        db = Database(LockingScheduler("read-uncommitted"))
+        db.load({"x": 1})
+        t1, t2 = db.begin(), db.begin()
+        t1.write("x", 9)
+        assert t2.read("x") == 9  # dirty read
+        verdict = db.could_commit(t2, "read committed")
+        assert not verdict.ok  # must wait for T1
+        t1.commit()
+        assert db.could_commit(t2, "read committed").ok

@@ -1,0 +1,117 @@
+"""Tests for JSON (de)serialization of histories (repro.core.serialize)."""
+
+import json
+
+import pytest
+
+import repro
+from repro.core import parse_history
+from repro.core.canonical import ALL_CANONICAL
+from repro.core.levels import ANSI_CHAIN, satisfies
+from repro.core.serialize import dumps, history_from_dict, history_to_dict, loads
+from repro.exceptions import HistoryError
+
+
+def round_trip(history):
+    return loads(dumps(history))
+
+
+class TestBasicRoundTrip:
+    def test_events_preserved(self):
+        h = parse_history("w1(x1, 5) c1 r2(x1, 5) w2(y2, 6) c2")
+        assert round_trip(h).events == h.events
+
+    def test_version_order_preserved(self):
+        h = parse_history("w1(x1) w2(x2) c1 c2 [x2 << x1]")
+        assert round_trip(h).version_order == h.version_order
+
+    def test_dead_versions(self):
+        h = parse_history("w1(x1) c1 w2(x2, dead) c2")
+        restored = round_trip(h)
+        assert restored.events == h.events
+
+    def test_begin_levels(self):
+        from repro.core.levels import IsolationLevel
+
+        h = parse_history("b1@PL-2 w1(x1) c1")
+        restored = round_trip(h)
+        assert restored.level_of(1) is IsolationLevel.PL_2
+
+    def test_cursor_reads(self):
+        h = parse_history("w1(x1) c1 rc2(x1) c2")
+        assert round_trip(h).events == h.events
+
+    def test_default_level(self):
+        from repro.core.levels import IsolationLevel
+
+        h = parse_history("w1(x1) c1", default_level=IsolationLevel.PL_1)
+        assert round_trip(h).default_level is IsolationLevel.PL_1
+
+    def test_json_is_plain(self):
+        h = parse_history("w1(x1, 5) c1")
+        json.loads(dumps(h))  # no custom encoder needed
+
+
+class TestPredicates:
+    def test_membership_predicate_round_trips(self):
+        h = parse_history("w1(x1) w2(y2) c1 c2 r3(P: x1*, y2) c3")
+        restored = round_trip(h)
+        _i, pread = restored.predicate_reads[0]
+        assert restored.version_matches(pread.predicate, h.events[0].version)
+
+    def test_field_predicate_becomes_extensional(self):
+        """Engine histories use FieldPredicates; serialization snapshots
+        their matching sets and the verdicts survive."""
+        from repro.core.predicates import FieldPredicate
+        from repro.engine import Database, SnapshotIsolationScheduler
+
+        db = Database(SnapshotIsolationScheduler())
+        db.load({"emp:1": {"dept": "Sales", "sal": 1}})
+        pred = FieldPredicate("emp", "dept", "==", "Sales")
+        t1 = db.begin()
+        t1.count(pred)
+        t2 = db.begin()
+        t2.insert("emp", {"dept": "Sales", "sal": 2})
+        t2.commit()
+        t1.commit()
+        h = db.history()
+        restored = round_trip(h)
+        for level in ANSI_CHAIN:
+            assert satisfies(h, level).ok == satisfies(restored, level).ok
+
+
+class TestVerdictPreservation:
+    @pytest.mark.parametrize("canon", ALL_CANONICAL, ids=lambda c: c.name)
+    def test_canonical_corpus(self, canon):
+        restored = round_trip(canon.history)
+        original = repro.check(canon.history, extensions=True)
+        after = repro.check(restored, extensions=True)
+        for level in original.levels:
+            assert original.ok(level) == after.ok(level)
+
+
+class TestErrors:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(HistoryError):
+            history_from_dict({"format": 99, "events": []})
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(HistoryError):
+            history_from_dict(
+                {"format": 1, "events": [{"type": "vacuum", "tid": 1}]}
+            )
+
+    def test_orphan_predicate_read_rejected(self):
+        data = {
+            "format": 1,
+            "events": [
+                {"type": "predicate_read", "tid": 1, "predicate": "P", "vset": []},
+                {"type": "commit", "tid": 1},
+            ],
+        }
+        with pytest.raises(HistoryError):
+            history_from_dict(data)
+
+    def test_dict_round_trip_equals_json_round_trip(self):
+        h = parse_history("w1(x1) c1")
+        assert history_from_dict(history_to_dict(h)).events == h.events

@@ -1,0 +1,69 @@
+"""Tests for the spectrum/ablation analyses (repro.analysis.spectrum)."""
+
+import pytest
+
+from repro.analysis import (
+    contention_spectrum,
+    predicate_mode_ablation,
+)
+from repro.core.levels import IsolationLevel as L
+from repro.core.parser import parse_history
+from repro.core.phenomena import Phenomenon as G
+from repro.engine import LockingScheduler, ReadCommittedMVScheduler
+from repro.workloads import WorkloadConfig
+from repro.workloads.anomalies import ALL_ANOMALIES
+from repro.core.canonical import ALL_CANONICAL
+
+
+class TestContentionSpectrum:
+    def test_serializable_locking_flat_at_zero(self):
+        points = contention_spectrum(
+            lambda: LockingScheduler("serializable"),
+            hot_fractions=(0.0, 0.9),
+            n_seeds=5,
+        )
+        for point in points:
+            assert point.rates[G.G1] == 0
+            assert point.rates[G.G2] == 0
+
+    def test_mvrc_proscribed_stay_zero_others_appear(self):
+        points = contention_spectrum(
+            ReadCommittedMVScheduler,
+            hot_fractions=(0.0, 0.9),
+            n_seeds=8,
+        )
+        for point in points:
+            assert point.rates[G.G0] == 0  # commit-order installs: no G0
+            assert point.rates[G.G1] == 0  # committed reads: no G1
+        # contention should surface anomalies beyond PL-2 somewhere
+        assert any(p.rates[G.G2] > 0 for p in points)
+
+    def test_describe(self):
+        points = contention_spectrum(
+            ReadCommittedMVScheduler, hot_fractions=(0.5,), n_seeds=2
+        )
+        assert "hot=0.5" in points[0].describe()
+
+
+class TestPredicateModeAblation:
+    def corpus(self):
+        return [entry.history for entry in ALL_CANONICAL + ALL_ANOMALIES]
+
+    def test_edge_containment_and_acceptance(self):
+        result = predicate_mode_ablation(self.corpus())
+        assert result.edges_all >= result.edges_latest
+        for level in result.accepted_latest:
+            assert result.accepted_latest[level] >= result.accepted_all[level]
+
+    def test_latest_strictly_fewer_edges_on_pred_read(self):
+        # H_pred-read is the paper's example of the difference.
+        h = parse_history(
+            "w0(x0) c0 w1(x1) c1 w2(x2) r3(Dept=Sales: x2, y0) w2(y2) c2 c3 "
+            "[x0 << x1 << x2, y0 << y2] [Dept=Sales matches: x0]"
+        )
+        result = predicate_mode_ablation([h])
+        assert result.edges_all == result.edges_latest + 1  # the T0->T3 edge
+
+    def test_describe(self):
+        result = predicate_mode_ablation(self.corpus()[:3])
+        assert "ablation" in result.describe()

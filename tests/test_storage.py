@@ -1,0 +1,87 @@
+"""Tests for the multi-version store (repro.engine.storage)."""
+
+from repro.core.objects import Version
+from repro.engine.storage import MultiVersionStore
+
+
+def v(obj, tid, seq=1):
+    return Version(obj, tid, seq)
+
+
+class TestInstall:
+    def test_commit_seq_increments(self):
+        store = MultiVersionStore()
+        assert store.commit_seq == 0
+        store.install([(v("x", 1), 10, False)])
+        assert store.commit_seq == 1
+        store.install([(v("y", 2), 20, False)])
+        assert store.commit_seq == 2
+
+    def test_atomic_multi_object_install(self):
+        store = MultiVersionStore()
+        seq = store.install([(v("x", 1), 1, False), (v("y", 1), 2, False)])
+        assert store.latest("x").commit_seq == seq
+        assert store.latest("y").commit_seq == seq
+
+
+class TestLookups:
+    def test_latest(self):
+        store = MultiVersionStore()
+        store.install([(v("x", 1), 10, False)])
+        store.install([(v("x", 2), 20, False)])
+        assert store.latest("x").value == 20
+        assert store.latest("nope") is None
+
+    def test_at_snapshot(self):
+        store = MultiVersionStore()
+        store.install([(v("x", 1), 10, False)])  # seq 1
+        store.install([(v("x", 2), 20, False)])  # seq 2
+        assert store.at_snapshot("x", 1).value == 10
+        assert store.at_snapshot("x", 2).value == 20
+        assert store.at_snapshot("x", 0) is None
+
+    def test_changed_since(self):
+        store = MultiVersionStore()
+        store.install([(v("x", 1), 10, False)])
+        assert store.changed_since("x", 0)
+        assert not store.changed_since("x", 1)
+        assert not store.changed_since("y", 0)
+
+    def test_dead_versions_stored(self):
+        store = MultiVersionStore()
+        store.install([(v("x", 1), 10, False)])
+        store.install([(v("x", 2), None, True)])
+        assert store.latest("x").dead
+
+    def test_chain(self):
+        store = MultiVersionStore()
+        store.install([(v("x", 1), 10, False)])
+        store.install([(v("x", 2), 20, False)])
+        assert [sv.value for sv in store.chain("x")] == [10, 20]
+
+
+class TestRelations:
+    def test_register_and_enumerate(self):
+        store = MultiVersionStore()
+        store.register("emp:2")
+        store.register("emp:1")
+        store.register("dept:1")
+        assert store.objects_in("emp") == ("emp:1", "emp:2")
+        assert store.objects_in("dept") == ("dept:1",)
+        assert store.objects_in("ghost") == ()
+
+    def test_install_registers(self):
+        store = MultiVersionStore()
+        store.install([(v("emp:1", 1), {"a": 1}, False)])
+        assert "emp:1" in store.objects_in("emp")
+
+    def test_bare_objects_in_default_relation(self):
+        store = MultiVersionStore()
+        store.register("x")
+        assert store.objects_in("R") == ("x",)
+
+    def test_relations_listing(self):
+        store = MultiVersionStore()
+        store.register("emp:1")
+        store.register("x")
+        assert store.relations() == ("R", "emp")

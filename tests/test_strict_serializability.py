@@ -1,0 +1,94 @@
+"""Tests for the PL-SS (strict serializability) extension level."""
+
+import pytest
+
+import repro
+from repro.core import Analysis, parse_history
+from repro.core.levels import IsolationLevel as L
+from repro.core.phenomena import Phenomenon as G
+from repro.engine import (
+    Database,
+    LockingScheduler,
+    OptimisticScheduler,
+    Simulator,
+)
+from repro.workloads import WorkloadConfig, random_programs
+
+
+class TestGSS:
+    def test_real_time_violation(self):
+        """T2 begins after T1's commit but serializes before it."""
+        h = parse_history("w1(x1, 1) c1 w2(x2, 2) c2 [x2 << x1]")
+        a = Analysis(h)
+        assert a.exhibits(G.G_SS)
+        assert not a.exhibits(G.G2)  # plain serializability is fine
+
+    def test_serial_history_clean(self):
+        h = parse_history("w1(x1) c1 r2(x1) c2")
+        assert not Analysis(h).exhibits(G.G_SS)
+
+    def test_concurrent_reordering_allowed(self):
+        """H_write-order: T2 overlaps T1, so serializing T2 first is fine."""
+        from repro.core.canonical import H_WRITE_ORDER
+
+        assert not Analysis(H_WRITE_ORDER.history).exhibits(G.G_SS)
+
+    def test_g2_cycles_are_also_g_ss(self):
+        from repro.workloads.anomalies import WRITE_SKEW
+
+        a = Analysis(WRITE_SKEW.history)
+        assert a.exhibits(G.G2)
+        assert a.exhibits(G.G_SS)
+
+
+class TestLevelPLSS:
+    def test_proscriptions(self):
+        assert L.PL_SS.proscribed == (G.G1, G.G_SS)
+
+    def test_implies_pl3_not_si(self):
+        assert L.PL_SS.implies(L.PL_3)
+        assert not L.PL_SS.implies(L.PL_SI)
+        assert not L.PL_3.implies(L.PL_SS)
+        assert not L.PL_SI.implies(L.PL_SS)
+
+    def test_aliases(self):
+        assert L.from_string("strict serializable") is L.PL_SS
+        assert L.from_string("PL-SS") is L.PL_SS
+
+    def test_separation_from_pl3(self):
+        h = parse_history("w1(x1, 1) c1 w2(x2, 2) c2 [x2 << x1]")
+        assert repro.satisfies(h, L.PL_3).ok
+        assert not repro.satisfies(h, L.PL_SS).ok
+
+    def test_non_snapshot_read_is_strictly_serializable(self):
+        """The PL-SI/PL-SS separation in the other direction."""
+        from repro.workloads.anomalies import NON_SNAPSHOT_READ
+
+        assert repro.satisfies(NON_SNAPSHOT_READ.history, L.PL_SS).ok
+        assert not repro.satisfies(NON_SNAPSHOT_READ.history, L.PL_SI).ok
+
+    def test_checker_extensions_include_pl_ss(self):
+        rep = repro.check("w1(x1) c1", extensions=True)
+        assert L.PL_SS in rep.verdicts
+
+
+class TestEnginesAreStrict:
+    """Strict 2PL and commit-order OCC serialize consistently with real
+    time, so their histories provide PL-SS, not just PL-3."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: LockingScheduler("serializable"), OptimisticScheduler],
+        ids=["2PL", "OCC"],
+    )
+    def test_emitted_histories_are_pl_ss(self, factory):
+        cfg = WorkloadConfig(
+            n_programs=5, steps_per_program=3, n_keys=4,
+            hot_fraction=0.7, write_fraction=0.6,
+        )
+        for seed in range(6):
+            db = Database(factory())
+            db.load(cfg.initial_state())
+            Simulator(db, random_programs(cfg, seed=seed), seed=seed).run()
+            verdict = repro.satisfies(db.history(), L.PL_SS)
+            assert verdict.ok, verdict.describe()

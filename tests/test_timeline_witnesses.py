@@ -1,0 +1,92 @@
+"""Tests for timeline rendering and multi-witness cycle enumeration."""
+
+import pytest
+
+from repro.core import DSG, parse_history
+from repro.core.conflicts import DepKind
+from repro.core.timeline import event_glyph, timeline
+from repro.cli import main
+import io
+
+
+class TestTimeline:
+    def test_rows_per_transaction(self):
+        text = timeline(parse_history("w1(x1) r2(x1) c1 c2"))
+        lines = text.splitlines()
+        assert lines[0].startswith("T1 |")
+        assert lines[1].startswith("T2 |")
+
+    def test_columns_align(self):
+        text = timeline(parse_history("w1(x1) r2(x1) c1 c2"))
+        t1, t2 = text.splitlines()
+        # The commit of T1 (column 3) starts at the same offset in both rows.
+        assert t1.index("c") > 0
+        assert t2.rstrip().endswith("c")
+
+    def test_glyphs(self):
+        h = parse_history(
+            "b1@PL-2 w1(x1) rc1(x1) w1(y1, dead) r1(P: x1*) c1"
+        )
+        glyphs = [event_glyph(ev) for ev in h.events]
+        assert glyphs == ["b@PL-2", "w(x1)", "rc(x1)", "del(y1)", "r[P]", "c"]
+
+    def test_idle_marker_customisable(self):
+        text = timeline(parse_history("w1(x1) c1 w2(y2) c2"), idle="·")
+        assert "·" in text
+
+    def test_cli_timeline(self):
+        out = io.StringIO()
+        status = main(["timeline", "w1(x1) r2(x1) c1 c2"], out=out)
+        assert status == 0
+        assert out.getvalue().startswith("T1 |")
+
+
+class TestFindCycles:
+    def test_multiple_distinct_cycles(self):
+        # Two independent lost updates: T1/T2 on x, T3/T4 on y.
+        h = parse_history(
+            "r1(x0) r2(x0) w2(x2) c2 w1(x1) c1 "
+            "r3(y0) r4(y0) w4(y4) c4 w3(y3) c3 "
+            "[x0 << x2 << x1, y0 << y4 << y3]"
+        )
+        dsg = DSG(h)
+        cycles = dsg.find_cycles(lambda e: True)
+        nodesets = {frozenset(c.nodes) for c in cycles}
+        assert frozenset({1, 2}) in nodesets
+        assert frozenset({3, 4}) in nodesets
+
+    def test_limit_respected(self):
+        h = parse_history(
+            "r1(x0) r2(x0) w2(x2) c2 w1(x1) c1 "
+            "r3(y0) r4(y0) w4(y4) c4 w3(y3) c3 "
+            "[x0 << x2 << x1, y0 << y4 << y3]"
+        )
+        assert len(DSG(h).find_cycles(lambda e: True, limit=1)) == 1
+
+    def test_special_filter(self):
+        h = parse_history(
+            "w1(x1) w2(y2) r1(y2) r2(x1) c1 c2"  # wr/wr cycle, no anti
+        )
+        dsg = DSG(h)
+        anti_cycles = dsg.find_cycles(
+            lambda e: True, special=lambda e: e.kind is DepKind.RW
+        )
+        assert anti_cycles == []
+        dep_cycles = dsg.find_cycles(lambda e: True)
+        assert len(dep_cycles) == 1
+
+    def test_special_edge_preferred_among_parallels(self):
+        # T1->T2 has both wr and rw edges; the witness should use the rw
+        # edge when asked for anti-containing cycles.
+        h = parse_history(
+            "r1(x0, 10) w2(x2, 15) c2 r1(x2, 15) c1 [x0 << x2]"
+        )
+        dsg = DSG(h)
+        (cycle,) = dsg.find_cycles(
+            lambda e: True, special=lambda e: e.kind is DepKind.RW, limit=1
+        )
+        assert any(e.kind is DepKind.RW for e in cycle.edges)
+
+    def test_acyclic_graph_yields_nothing(self):
+        h = parse_history("w1(x1) c1 r2(x1) c2")
+        assert DSG(h).find_cycles(lambda e: True) == []

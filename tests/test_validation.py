@@ -1,0 +1,180 @@
+"""Tests for every well-formedness rule of Section 4.2 (repro.core.validation)."""
+
+import pytest
+
+from repro.core import parse_history
+from repro.core.events import Begin, Commit, Read, Write
+from repro.core.history import History
+from repro.core.objects import Version
+from repro.exceptions import MalformedHistoryError, VersionOrderError
+
+
+def v(obj, tid, seq=1):
+    return Version(obj, tid, seq)
+
+
+class TestE1Completeness:
+    def test_unfinished_transaction_rejected(self):
+        with pytest.raises(MalformedHistoryError, match="E1"):
+            parse_history("w1(x1)")
+
+    def test_event_after_commit_rejected(self):
+        with pytest.raises(MalformedHistoryError, match="E1"):
+            History([Write(1, v("x", 1)), Commit(1), Write(1, v("y", 1))])
+
+    def test_double_commit_rejected(self):
+        with pytest.raises(MalformedHistoryError, match="E1"):
+            History([Commit(1), Commit(1)])
+
+    def test_commit_then_abort_rejected(self):
+        with pytest.raises(MalformedHistoryError, match="E1"):
+            parse_history("w1(x1) c1 a1")
+
+
+class TestE2Begin:
+    def test_begin_not_first_rejected(self):
+        with pytest.raises(MalformedHistoryError, match="E2"):
+            History([Write(1, v("x", 1)), Begin(1), Commit(1)])
+
+    def test_begin_first_accepted(self):
+        h = parse_history("b1 w1(x1) c1")
+        assert h.begin_index(1) == 0
+
+
+class TestE3ReadAfterWrite:
+    def test_read_before_write_rejected(self):
+        # x1 is read at a point where T1 (which has events) has not yet
+        # written it — not a setup version, so E3 fires.
+        with pytest.raises(MalformedHistoryError, match="E3"):
+            History(
+                [Read(2, v("x", 1)), Write(1, v("x", 1)), Commit(1), Commit(2)]
+            )
+
+    def test_setup_version_read_accepted(self):
+        h = parse_history("r1(x0, 5) c1")
+        assert v("x", 0) in h.setup_versions
+
+    def test_vset_selection_before_write_rejected(self):
+        from repro.core.events import PredicateRead
+        from repro.core.predicates import MembershipPredicate, VersionSet
+
+        pread = PredicateRead(
+            2, MembershipPredicate("P"), VersionSet.of(v("x", 1))
+        )
+        with pytest.raises(MalformedHistoryError, match="E3"):
+            History([pread, Write(1, v("x", 1)), Commit(1), Commit(2)])
+
+    def test_setup_version_of_aborted_transaction_rejected(self):
+        with pytest.raises(MalformedHistoryError, match="E3"):
+            parse_history("r2(x1, 5) c2 a1")
+
+
+class TestE4ReadOwnWrites:
+    def test_must_read_own_last_write(self):
+        with pytest.raises(MalformedHistoryError, match="E4"):
+            parse_history("w2(x2) c2 w1(x1) r1(x2) c1")
+
+    def test_reading_own_write_accepted(self):
+        h = parse_history("w1(x1) r1(x1) c1")
+        assert len(h.reads) == 1
+
+    def test_read_before_own_write_is_fine(self):
+        h = parse_history("w2(x2) c2 r1(x2) w1(x1) c1")
+        assert h.committed == {1, 2}
+
+
+class TestE5VisibleReads:
+    def test_read_of_dead_version_rejected(self):
+        with pytest.raises(MalformedHistoryError, match="E5"):
+            parse_history("w1(x1, dead) c1 r2(x1) c2")
+
+    def test_vset_may_select_dead_version(self):
+        h = parse_history("w1(x1, dead) c1 r2(P: x1) c2")
+        assert len(h.predicate_reads) == 1
+
+
+class TestE6WriteNumbering:
+    def test_sequences_inferred_in_order(self):
+        h = parse_history("w1(x1) w1(x1) c1")
+        assert h.final_version("x", 1) == v("x", 1, 2)
+
+    def test_explicit_gap_rejected(self):
+        with pytest.raises(MalformedHistoryError, match="E6"):
+            parse_history("w1(x1.2) c1")
+
+    def test_explicit_out_of_order_rejected(self):
+        with pytest.raises(MalformedHistoryError, match="E6"):
+            parse_history("w1(x1.1) w1(x1.3) c1")
+
+
+class TestE7DeadUsage:
+    def test_write_after_own_delete_rejected(self):
+        with pytest.raises(MalformedHistoryError, match="E7"):
+            parse_history("w1(x1.1, dead) w1(x1.2) c1")
+
+    def test_read_after_own_delete_rejected(self):
+        # Both E5 (dead read) and E7 (use after delete) condemn this; the
+        # validator reports whichever it reaches first.
+        with pytest.raises(MalformedHistoryError, match="E5|E7"):
+            parse_history("w1(x1, dead) r1(x1) c1")
+
+    def test_other_transactions_may_write_after_uncommitted_delete(self):
+        h = parse_history("w1(x1, dead) a1 w2(x2) c2")
+        assert h.committed == {2}
+
+
+class TestV1DeadLast:
+    def test_dead_version_must_be_last(self):
+        with pytest.raises(VersionOrderError, match="V1"):
+            parse_history("w1(x1, dead) w2(x2) c1 c2 [x1 << x2]")
+
+    def test_dead_last_accepted(self):
+        h = parse_history("w1(x1) w2(x2, dead) c1 c2 [x1 << x2]")
+        assert h.order_of("x")[-1] == v("x", 2)
+
+
+class TestV2InstalledVersions:
+    def test_order_with_uncommitted_version_rejected(self):
+        with pytest.raises(VersionOrderError, match="V2"):
+            parse_history("w1(x1) a1 w2(x2) c2 [x1 << x2]")
+
+    def test_order_only_version_is_setup_state(self):
+        # Declaring a never-written version in the order declares initial
+        # state, same as reading it (H_pred-read's y0 shape).
+        h = parse_history("w2(x2) c2 [x1 << x2]")
+        from repro.core.objects import Version as V
+
+        assert V("x", 1) in h.setup_versions
+
+    def test_missing_committed_version_rejected(self):
+        with pytest.raises(VersionOrderError, match="V2"):
+            # explicit order omits T2's committed write of x
+            parse_history("w1(x1) w2(x2) c1 c2 [x1]")
+
+    def test_duplicate_version_rejected(self):
+        with pytest.raises(VersionOrderError, match="V2"):
+            History(
+                [Write(1, v("x", 1)), Commit(1)],
+                {"x": [v("x", 1), v("x", 1)]},
+            )
+
+    def test_intermediate_version_in_order_rejected(self):
+        with pytest.raises(VersionOrderError, match="V2"):
+            History(
+                [Write(1, v("x", 1, 1)), Write(1, v("x", 1, 2)), Commit(1)],
+                {"x": [v("x", 1, 1)]},
+            )
+
+    def test_wrong_object_in_chain_rejected(self):
+        with pytest.raises(VersionOrderError):
+            History([Write(1, v("x", 1)), Commit(1)], {"x": [v("y", 1)]})
+
+
+class TestWriteEventGuards:
+    def test_write_of_foreign_version_rejected(self):
+        with pytest.raises(ValueError):
+            Write(1, v("x", 2))
+
+    def test_dead_write_with_value_rejected(self):
+        with pytest.raises(ValueError):
+            Write(1, v("x", 1), value=5, dead=True)

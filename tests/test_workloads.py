@@ -1,0 +1,209 @@
+"""Tests for workload generators and scenarios (repro.workloads)."""
+
+import pytest
+
+import repro
+from repro.core.levels import IsolationLevel as L
+from repro.engine import (
+    Database,
+    LockingScheduler,
+    ReadCommittedMVScheduler,
+    Simulator,
+    SnapshotIsolationScheduler,
+)
+from repro.workloads import (
+    WorkloadConfig,
+    audit_violations,
+    bank_programs,
+    conserved,
+    employee_programs,
+    initial_balances,
+    initial_employees,
+    random_programs,
+    synthetic_history,
+)
+from repro.workloads.anomalies import ALL_ANOMALIES
+
+
+class TestAnomalyCorpus:
+    def test_every_verdict(self, anomaly_history):
+        rep = repro.check(anomaly_history.history, extensions=True)
+        for level, expected in anomaly_history.provides.items():
+            assert rep.ok(level) == expected, (
+                f"{anomaly_history.name} at {level}"
+            )
+
+    def test_corpus_covers_all_levels_distinctly(self):
+        """The corpus separates every pair of distinct levels: for any two
+        levels, some anomaly is admitted by one and rejected by the other
+        (so no two levels collapse)."""
+        levels = list(ALL_ANOMALIES[0].provides)
+        for a in levels:
+            for b in levels:
+                if a is b or b in {a} or a.implies(b):
+                    continue
+                # a does not imply b: some history provides a but not b
+                separated = any(
+                    entry.provides[a] and not entry.provides[b]
+                    for entry in ALL_ANOMALIES
+                )
+                assert separated, f"no corpus entry separates {a} from {b}"
+
+
+class TestRandomPrograms:
+    def test_deterministic(self):
+        cfg = WorkloadConfig()
+        a = random_programs(cfg, seed=5)
+        b = random_programs(cfg, seed=5)
+        assert [p.name for p in a] == [p.name for p in b]
+        assert [len(p.steps) for p in a] == [len(p.steps) for p in b]
+
+    def test_runs_on_every_scheduler(self):
+        cfg = WorkloadConfig(n_programs=4, steps_per_program=3)
+        for factory in (
+            lambda: LockingScheduler("serializable"),
+            SnapshotIsolationScheduler,
+            ReadCommittedMVScheduler,
+        ):
+            db = Database(factory())
+            db.load(cfg.initial_state())
+            res = Simulator(db, random_programs(cfg, seed=1), seed=1).run()
+            assert res.committed_count > 0
+            db.history()  # validates
+
+    def test_predicate_workload_runs(self):
+        cfg = WorkloadConfig(
+            n_programs=4,
+            steps_per_program=3,
+            predicate_fraction=0.5,
+            insert_fraction=0.2,
+        )
+        db = Database(SnapshotIsolationScheduler())
+        db.load(cfg.initial_state())
+        res = Simulator(db, random_programs(cfg, seed=2), seed=2).run()
+        h = db.history()
+        assert len(h.predicate_reads) > 0
+
+    def test_bad_config_rejected(self):
+        from repro.exceptions import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            random_programs(WorkloadConfig(write_fraction=2.0))
+
+
+class TestSyntheticHistory:
+    def test_validates_by_construction(self):
+        h = synthetic_history(n_txns=50, seed=3)
+        assert len(h) > 50
+
+    def test_deterministic(self):
+        assert str(synthetic_history(n_txns=20, seed=9)) == str(
+            synthetic_history(n_txns=20, seed=9)
+        )
+
+    def test_committed_reads_give_pl2(self):
+        # No stale reads, reads of latest committed: G1 cannot occur.
+        from repro.core.levels import satisfies
+
+        h = synthetic_history(n_txns=40, seed=1, abort_fraction=0.2)
+        assert satisfies(h, L.PL_2).ok
+
+    def test_stale_reads_produce_anomalies(self):
+        histories = [
+            synthetic_history(
+                n_txns=40, seed=s, stale_read_fraction=0.8, write_fraction=0.6
+            )
+            for s in range(5)
+        ]
+        assert any(not repro.check(h).serializable for h in histories)
+
+
+class TestBankWorkload:
+    def test_si_conserves_and_audits_clean(self):
+        for seed in range(5):
+            db = Database(SnapshotIsolationScheduler())
+            db.load(initial_balances(4))
+            res = Simulator(db, bank_programs(seed=seed), seed=seed).run()
+            assert conserved(res.history, 4)
+            assert audit_violations(res.outcomes, 4) == []
+
+    def test_serializable_locking_conserves(self):
+        for seed in range(3):
+            db = Database(LockingScheduler("serializable"))
+            db.load(initial_balances(4))
+            res = Simulator(db, bank_programs(seed=seed), seed=seed).run()
+            assert conserved(res.history, 4)
+            assert audit_violations(res.outcomes, 4) == []
+
+    def test_read_committed_mv_loses_updates(self):
+        broken = 0
+        for seed in range(10):
+            db = Database(ReadCommittedMVScheduler())
+            db.load(initial_balances(4))
+            res = Simulator(db, bank_programs(seed=seed), seed=seed).run()
+            broken += not conserved(res.history, 4) or bool(
+                audit_violations(res.outcomes, 4)
+            )
+        assert broken > 0
+
+    def test_violating_audits_mean_nonserializable_history(self):
+        """Observed invariant violations imply checker-visible phenomena."""
+        for seed in range(10):
+            db = Database(ReadCommittedMVScheduler())
+            db.load(initial_balances(4))
+            res = Simulator(db, bank_programs(seed=seed), seed=seed).run()
+            if audit_violations(res.outcomes, 4):
+                assert not repro.check(res.history).serializable
+
+
+class TestEmployeeWorkload:
+    def test_serializable_audits_consistent(self):
+        for seed in range(5):
+            db = Database(LockingScheduler("serializable"))
+            db.load(initial_employees(3))
+            res = Simulator(
+                db,
+                employee_programs(n_hires=1, n_raises=1, n_audits=1, seed=seed),
+                seed=seed,
+            ).run()
+            for o in res.outcomes:
+                if o.committed and o.program.startswith("audit"):
+                    assert o.regs["consistent"]
+
+    def test_repeatable_read_phantoms_observed(self):
+        inconsistent = 0
+        for seed in range(10):
+            db = Database(LockingScheduler("repeatable-read"))
+            db.load(initial_employees(3))
+            res = Simulator(
+                db,
+                employee_programs(n_hires=1, n_raises=1, n_audits=1, seed=seed),
+                seed=seed,
+            ).run()
+            for o in res.outcomes:
+                if o.committed and o.program.startswith("audit"):
+                    inconsistent += not o.regs["consistent"]
+        assert inconsistent > 0
+
+    def test_phantom_history_fails_pl3_but_not_pl299(self):
+        """When an audit observes an inconsistency under RR locking, the
+        history exhibits the Figure 5 pattern: PL-2.99 holds, PL-3 fails."""
+        found = False
+        for seed in range(15):
+            db = Database(LockingScheduler("repeatable-read"))
+            db.load(initial_employees(3))
+            res = Simulator(
+                db,
+                employee_programs(n_hires=1, n_raises=1, n_audits=1, seed=seed),
+                seed=seed,
+            ).run()
+            bad_audit = any(
+                o.committed and o.program.startswith("audit") and not o.regs["consistent"]
+                for o in res.outcomes
+            )
+            if bad_audit:
+                found = True
+                rep = repro.check(res.history)
+                assert rep.ok(L.PL_2_99)
+                assert not rep.ok(L.PL_3)
+        assert found
