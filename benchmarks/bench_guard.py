@@ -1,0 +1,29 @@
+"""Regression guard: checker timings versus the committed baseline.
+
+``pytest benchmarks -m benchguard`` re-measures the guard workload registry
+(:data:`compare_bench.GUARD_BENCHMARKS`) in-process and fails if any is more
+than 25% slower than ``benchmarks/results/baseline.json`` after cancelling
+hardware speed through the calibration spin loop.  Refresh the baseline
+after an intentional performance change::
+
+    pytest benchmarks/bench_scaling_checker.py --benchmark-json=/tmp/b.json
+    python benchmarks/compare_bench.py distill /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from compare_bench import BASELINE_PATH, compare, measure_guard
+
+
+@pytest.mark.benchguard
+def test_no_regression_against_baseline():
+    if not BASELINE_PATH.exists():
+        pytest.skip(f"no committed baseline at {BASELINE_PATH}")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    current = measure_guard(list(baseline["benchmarks"]))
+    regressions = compare(baseline, current)
+    assert not regressions, "\n".join(regressions)

@@ -49,14 +49,13 @@ def test_largest_history_under_a_second(benchmark, record_table):
     history = synthetic_history(
         n_txns=4000, n_objects=800, ops_per_txn=5, seed=3
     )
-    import time
-
-    start = time.perf_counter()
     report = benchmark.pedantic(
         lambda: repro.check(history), iterations=1, rounds=3
     )
-    elapsed = (time.perf_counter() - start) / 3
-    assert elapsed < 2.0, f"classification took {elapsed:.2f}s"
+    # Time the classification callable itself (the harness's own setup and
+    # bookkeeping used to be wall-clocked in, hiding ~2x slack).
+    elapsed = benchmark.stats.stats.min
+    assert elapsed < 1.0, f"classification took {elapsed:.2f}s"
     record_table(
         "scaling_summary",
         f"SCALE — {len(history)} events, {len(history.tids)} transactions "

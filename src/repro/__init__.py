@@ -28,6 +28,7 @@ from .core import (
     DepKind,
     Edge,
     History,
+    IncrementalAnalysis,
     IsolationLevel,
     LevelVerdict,
     Phenomenon,
@@ -41,7 +42,7 @@ from .core import (
     parse_history,
     satisfies,
 )
-from .checker import CheckReport, check, check_level
+from .checker import CheckReport, check, check_level, check_many
 from .exceptions import (
     HistoryError,
     MalformedHistoryError,
@@ -63,6 +64,7 @@ __all__ = [
     "DepKind",
     "Edge",
     "History",
+    "IncrementalAnalysis",
     "IsolationLevel",
     "LevelVerdict",
     "Phenomenon",
@@ -78,6 +80,7 @@ __all__ = [
     "CheckReport",
     "check",
     "check_level",
+    "check_many",
     "HistoryError",
     "MalformedHistoryError",
     "ParseError",

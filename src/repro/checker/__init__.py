@@ -1,6 +1,6 @@
 """User-facing isolation checker built on the core formalism."""
 
-from .checker import as_history, check, check_level
+from .checker import as_history, check, check_level, check_many
 from .naming import NamedAnomaly, name_anomalies, name_cycle
 from .report import CheckReport
 
@@ -8,6 +8,7 @@ __all__ = [
     "as_history",
     "check",
     "check_level",
+    "check_many",
     "NamedAnomaly",
     "name_anomalies",
     "name_cycle",

@@ -15,7 +15,9 @@ phenomenon, per-level verdicts, and the strongest level provided::
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+import functools
+import os
+from typing import Iterable, List, Optional, Sequence, Union
 
 from ..core.conflicts import PredicateDepMode
 from ..core.history import History
@@ -24,7 +26,7 @@ from ..core.parser import parse_history
 from ..core.phenomena import Analysis
 from .report import CheckReport
 
-__all__ = ["check", "check_level", "as_history"]
+__all__ = ["check", "check_level", "check_many", "as_history"]
 
 HistoryLike = Union[History, str]
 
@@ -59,6 +61,18 @@ def check(
     auto_complete:
         Append aborts for unfinished transactions before checking
         (Section 4.2's completion; only applies to textual input).
+
+    Caching contract
+    ----------------
+    One :class:`~repro.core.phenomena.Analysis` is built per call and shared
+    by every phenomenon detector and per-level verdict: the direct-conflict
+    edges are extracted exactly once (``Analysis.edges``), the DSG and the
+    SSG of the extension levels are built over that shared edge list, and
+    per-phenomenon reports are memoized.  Checking all four ANSI levels
+    therefore costs one edge extraction plus one SCC pass per distinct
+    phenomenon, not one extraction per level.  The caches live on the
+    analysis/history pair and histories are immutable, so nothing needs
+    invalidation; see ``docs/performance.md`` for the full cost model.
     """
     h = as_history(history, auto_complete=auto_complete)
     wanted = list(levels)
@@ -76,6 +90,76 @@ def check(
         level: satisfies(h, level, analysis=analysis) for level in wanted
     }
     return CheckReport(h, analysis, verdicts, tuple(wanted))
+
+
+def _check_one(
+    history: HistoryLike,
+    *,
+    levels: Sequence[IsolationLevel],
+    extensions: bool,
+    mode: PredicateDepMode,
+    auto_complete: bool,
+) -> CheckReport:
+    """Module-level worker so :func:`check_many` can dispatch it to a
+    process pool (bound methods and closures do not pickle)."""
+    return check(
+        history,
+        levels=levels,
+        extensions=extensions,
+        mode=mode,
+        auto_complete=auto_complete,
+    )
+
+
+def check_many(
+    histories: Iterable[HistoryLike],
+    *,
+    processes: Optional[int] = None,
+    levels: Sequence[IsolationLevel] = ANSI_CHAIN,
+    extensions: bool = False,
+    mode: PredicateDepMode = PredicateDepMode.LATEST,
+    auto_complete: bool = False,
+) -> List[CheckReport]:
+    """Check a batch of histories, optionally across worker processes.
+
+    ``processes=None`` picks ``os.cpu_count()`` workers when there is more
+    than one history to check; ``processes<=1`` forces the serial path (no
+    pool, no pickling).  Reports come back in input order.
+
+    The parallel path ships each history to a worker via pickling, so
+    histories must be picklable — in particular
+    :class:`~repro.core.predicates.FunctionPredicate` conditions must be
+    module-level functions, not lambdas.  Each worker pays the full
+    per-history analysis cost; the speedup is in wall-clock across
+    histories, which is why this API exists for corpus sweeps
+    (``repro check-many``) rather than single-history calls.
+    """
+    items = list(histories)
+    if processes is None:
+        processes = os.cpu_count() or 1
+    if processes <= 1 or len(items) <= 1:
+        return [
+            check(
+                h,
+                levels=levels,
+                extensions=extensions,
+                mode=mode,
+                auto_complete=auto_complete,
+            )
+            for h in items
+        ]
+    from concurrent.futures import ProcessPoolExecutor
+
+    worker = functools.partial(
+        _check_one,
+        levels=tuple(levels),
+        extensions=extensions,
+        mode=mode,
+        auto_complete=auto_complete,
+    )
+    chunksize = max(1, len(items) // (processes * 4))
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        return list(pool.map(worker, items, chunksize=chunksize))
 
 
 def check_level(

@@ -7,6 +7,10 @@ Commands
     Full analysis of a history: phenomena with witnesses, per-level
     verdicts, strongest level.  ``--extensions`` adds PL-CS/PL-2+/PL-SI,
     ``--level`` restricts to one level (exit status reflects the verdict).
+``check-many``
+    Check a batch of history files (one history per file) and print one
+    summary line each; ``--processes N`` fans the batch out over worker
+    processes (default: one per CPU).
 ``classify``
     Print just the strongest ANSI level (or ``none``).
 ``dsg``
@@ -90,6 +94,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="test only this level (name or alias, e.g. 'PL-3', 'repeatable read')",
     )
 
+    p_many = sub.add_parser(
+        "check-many",
+        help="check a batch of history files, optionally in parallel",
+    )
+    p_many.add_argument(
+        "files", nargs="+", help="history files in the paper's notation"
+    )
+    p_many.add_argument(
+        "--processes",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes (default: one per CPU; 1 = serial)",
+    )
+    p_many.add_argument(
+        "--extensions",
+        action="store_true",
+        help="also test PL-CS, PL-2+ and PL-SI",
+    )
+    p_many.add_argument(
+        "--auto-complete",
+        action="store_true",
+        help="append aborts for unfinished transactions (Section 4.2)",
+    )
+
     p_classify = sub.add_parser("classify", help="print the strongest ANSI level")
     add_history_args(p_classify)
 
@@ -160,6 +189,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         print(text, file=out)
         return 0 if all_ok else 1
 
+    if args.command == "check-many":
+        return _run_check_many(args, out)
+
     try:
         history = _read_history(args)
     except (ReproError, OSError) as exc:
@@ -228,6 +260,37 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return 0
 
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _run_check_many(args, out) -> int:
+    """Parse every file, check the batch (parallel by default), and print
+    one summary line per history."""
+    from .checker import check_many
+
+    histories = []
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+            histories.append(parse_history(text, auto_complete=args.auto_complete))
+        except (ReproError, OSError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+    reports = check_many(
+        histories, processes=args.processes, extensions=args.extensions
+    )
+    width = max(len(path) for path in args.files)
+    for path, report in zip(args.files, reports):
+        level = report.strongest_level
+        exhibited = [
+            str(item.phenomenon) for item in report.phenomena() if item.present
+        ]
+        detail = f"  [{', '.join(exhibited)}]" if exhibited else ""
+        print(
+            f"{path:{width}}  {str(level) if level else 'none':>8}{detail}",
+            file=out,
+        )
+    return 0
 
 
 def _run_corpus(out) -> int:

@@ -18,6 +18,7 @@ from .dsg import DSG, Cycle
 from .events import Abort, Begin, Commit, Event, PredicateRead, Read, Write
 from .formatting import format_event, format_history
 from .history import History
+from .incremental import IncrementalAnalysis
 from .levels import ANSI_CHAIN, IsolationLevel, LevelVerdict, classify, satisfies
 from .msg import MSG, MixingReport, mixing_correct
 from .objects import DEFAULT_RELATION, INIT_TID, Version, VersionKind, relation_of
@@ -56,6 +57,7 @@ __all__ = [
     "format_event",
     "format_history",
     "History",
+    "IncrementalAnalysis",
     "ANSI_CHAIN",
     "IsolationLevel",
     "LevelVerdict",

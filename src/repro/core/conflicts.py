@@ -29,6 +29,7 @@ reading; the default :attr:`PredicateDepMode.LATEST` follows the example.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, replace
 from enum import Enum
 from typing import List, Optional
@@ -212,15 +213,16 @@ def _predicate_read_edges(
             # (version of an aborted/unfinished transaction) yields no edge —
             # G1a/G1b condemn the read itself.
             continue
-        chain = history.order_of(obj)
-        changers = [
-            chain[k]
-            for k in range(1, idx + 1)
-            if history.changes_matches(pread.predicate, chain[k])
-        ]
+        # Changer positions <= idx, via the memoized per-(predicate, object)
+        # index instead of rescanning the chain per predicate read.
+        positions = history.predicate_changers(pread.predicate, obj)
+        cut = bisect_right(positions, idx)
+        wanted = positions[:cut]
         if mode is PredicateDepMode.LATEST:
-            changers = changers[-1:]
-        for version in changers:
+            wanted = wanted[-1:]
+        chain = history.order_of(obj)
+        for k in wanted:
+            version = chain[k]
             if version.tid != pread.tid:
                 edges.append(
                     Edge(
@@ -244,26 +246,19 @@ def anti_dependencies(history: History) -> List[Edge]:
     """Item and predicate anti-dependency edges."""
     edges: List[Edge] = []
     committed = history.committed_all
-    seen = set()
+    # Edge key -> position in ``edges``, so merging the cursor flag of a
+    # duplicate edge is a dict lookup instead of a linear rescan.
+    seen: dict = {}
 
     def add(edge: Edge) -> None:
         key = (edge.src, edge.dst, edge.kind, edge.obj, edge.version, edge.predicate)
-        if key not in seen:
-            seen.add(key)
+        at = seen.get(key)
+        if at is None:
+            seen[key] = len(edges)
             edges.append(edge)
-        elif edge.cursor:
+        elif edge.cursor and not edges[at].cursor:
             # Keep the cursor flag if any contributing read was a cursor read.
-            for k, existing in enumerate(edges):
-                if (
-                    existing.src == edge.src
-                    and existing.dst == edge.dst
-                    and existing.kind == edge.kind
-                    and existing.obj == edge.obj
-                    and existing.version == edge.version
-                    and existing.predicate == edge.predicate
-                ):
-                    edges[k] = replace(existing, cursor=True)
-                    break
+            edges[at] = replace(edges[at], cursor=True)
 
     for _i, read in history.reads:
         if read.tid not in committed:
@@ -292,20 +287,21 @@ def anti_dependencies(history: History) -> List[Edge]:
             if idx is None:
                 continue  # uninstalled selection; see read_dependencies
             chain = history.order_of(obj)
-            for later in chain[idx + 1 :]:
+            positions = history.predicate_changers(pread.predicate, obj)
+            for k in positions[bisect_right(positions, idx):]:
+                later = chain[k]
                 if later.tid == pread.tid:
                     continue
-                if history.changes_matches(pread.predicate, later):
-                    add(
-                        Edge(
-                            pread.tid,
-                            later.tid,
-                            DepKind.RW,
-                            obj,
-                            later,
-                            predicate=pread.predicate,
-                        )
+                add(
+                    Edge(
+                        pread.tid,
+                        later.tid,
+                        DepKind.RW,
+                        obj,
+                        later,
+                        predicate=pread.predicate,
                     )
+                )
     return edges
 
 

@@ -2,9 +2,9 @@
 
 ``DSG(H)`` has one node per committed transaction of ``H`` (including the
 paper's implicit setup transactions, cf. Figure 5's "T0 is not shown") and
-one edge per direct conflict (:mod:`repro.core.conflicts`).  The class wraps
-a :class:`networkx.MultiDiGraph` and provides the cycle searches the
-phenomena need:
+one edge per direct conflict (:mod:`repro.core.conflicts`).  The class keeps
+edges in plain adjacency lists (:mod:`repro.core.graph`) and provides the
+cycle searches the phenomena need:
 
 * a cycle using only a restricted set of edge flavours (G0 uses only ``ww``,
   G1c only dependency edges);
@@ -13,16 +13,19 @@ phenomena need:
   phenomenon of the PL-2+ extension level).
 
 All searches return a concrete :class:`Cycle` witness (the edge list), which
-the checker renders into explanations.
+the checker renders into explanations.  Exhaustive simple-cycle enumeration
+for multi-witness reports (:meth:`DSG.find_cycles`) still delegates to
+networkx; everything on the checker's hot path runs on the lightweight
+adjacency representation — the seed implementation spent most of its time
+constructing :class:`networkx.MultiDiGraph` instances per phenomenon.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-import networkx as nx
-
+from . import graph as _g
 from .conflicts import DepKind, Edge, PredicateDepMode, all_dependencies
 from .history import History
 
@@ -92,6 +95,11 @@ class DSG:
         Additional edges mixed into the graph.  The start-ordered
         serialization graph of the Snapshot Isolation extension passes
         start-dependency edges here.
+    edges:
+        Precomputed direct-conflict edges for ``history`` under ``mode``.
+        :class:`~repro.core.phenomena.Analysis` extracts edges once and
+        shares them between its DSG and SSG instead of re-running the
+        extractors.
     """
 
     def __init__(
@@ -99,26 +107,41 @@ class DSG:
         history: History,
         mode: PredicateDepMode = PredicateDepMode.LATEST,
         extra_edges: Iterable[Edge] = (),
+        *,
+        edges: Optional[Sequence[Edge]] = None,
     ):
         self.history = history
-        self.edges: List[Edge] = list(all_dependencies(history, mode)) + list(extra_edges)
-        self.graph = nx.MultiDiGraph()
-        self.graph.add_nodes_from(history.committed_all)
-        for e in self.edges:
-            self.graph.add_edge(e.src, e.dst, edge=e)
+        if edges is None:
+            edges = all_dependencies(history, mode)
+        self.edges: List[Edge] = list(edges) + list(extra_edges)
+        self._nodes = set(history.committed_all)
+        self._adj: Dict[int, List[Edge]] = _g.adjacency(self.edges)
 
     # ------------------------------------------------------------------
     # structure accessors
     # ------------------------------------------------------------------
 
     @property
+    def graph(self):
+        """A :class:`networkx.MultiDiGraph` view of the DSG (built lazily;
+        only :meth:`find_cycles` and external consumers need it)."""
+        cached = getattr(self, "_nx_graph", None)
+        if cached is None:
+            import networkx as nx
+
+            cached = nx.MultiDiGraph()
+            cached.add_nodes_from(self._nodes)
+            for e in self.edges:
+                cached.add_edge(e.src, e.dst, edge=e)
+            self._nx_graph = cached
+        return cached
+
+    @property
     def nodes(self) -> Tuple[int, ...]:
-        return tuple(sorted(self.graph.nodes))
+        return tuple(sorted(self._nodes))
 
     def edges_between(self, src: int, dst: int) -> List[Edge]:
-        if not self.graph.has_edge(src, dst):
-            return []
-        return [d["edge"] for d in self.graph[src][dst].values()]
+        return [e for e in self._adj.get(src, ()) if e.dst == dst]
 
     def edges_of(self, kind: DepKind, *, via_predicate: Optional[bool] = None) -> List[Edge]:
         return [
@@ -145,23 +168,21 @@ class DSG:
     # cycle searches
     # ------------------------------------------------------------------
 
-    def _filtered(self, keep: EdgeFilter) -> nx.MultiDiGraph:
-        g = nx.MultiDiGraph()
-        g.add_nodes_from(self.graph.nodes)
+    def _filtered(self, keep: EdgeFilter) -> Dict[int, List[Edge]]:
+        """Adjacency over the edges passing ``keep``."""
+        adj: Dict[int, List[Edge]] = {}
         for e in self.edges:
             if keep(e):
-                g.add_edge(e.src, e.dst, edge=e)
-        return g
+                adj.setdefault(e.src, []).append(e)
+        return adj
 
     def find_cycle(self, keep: EdgeFilter) -> Optional[Cycle]:
         """Any cycle using only edges passing ``keep``, or ``None``."""
-        g = self._filtered(keep)
-        for scc in nx.strongly_connected_components(g):
+        adj = self._filtered(keep)
+        for scc in _g.strongly_connected_components(adj):
             if len(scc) < 2:
                 continue
-            sub = g.subgraph(scc)
-            node_cycle = nx.find_cycle(sub)
-            return _to_cycle(sub, [u for u, _v, _k in node_cycle])
+            return Cycle(tuple(_g.cycle_in_component(adj, scc)))
         return None
 
     def find_cycle_with(
@@ -178,27 +199,23 @@ class DSG:
         ``special`` edge and the rest of the cycle avoids them (the G-single
         shape: one anti-dependency closed by dependency edges).
         """
-        g = self._filtered(keep)
         if exactly_one:
             rest = self._filtered(lambda e: keep(e) and not special(e))
             for e in self.edges:
                 if keep(e) and special(e):
-                    path = _shortest_edge_path(rest, e.dst, e.src)
+                    path = _g.shortest_edge_path(rest, e.dst, e.src)
                     if path is not None:
                         return Cycle((e, *path))
             return None
-        sccs = {
-            node: i
-            for i, scc in enumerate(nx.strongly_connected_components(g))
-            for node in scc
-        }
+        adj = self._filtered(keep)
+        sccs = _g.component_index(adj)
         for e in self.edges:
             if not (keep(e) and special(e)):
                 continue
             if sccs.get(e.src) is not None and sccs[e.src] == sccs.get(e.dst):
                 if e.src == e.dst:
                     continue
-                path = _shortest_edge_path(g, e.dst, e.src)
+                path = _g.shortest_edge_path(adj, e.dst, e.src)
                 if path is not None:
                     return Cycle((e, *path))
         return None
@@ -217,7 +234,13 @@ class DSG:
         the work.  Distinctness is by node set, so parallel edges do not
         inflate the list.  Used for multi-witness reports; the phenomena
         themselves only need existence (:meth:`find_cycle`)."""
-        g = self._filtered(keep)
+        import networkx as nx
+
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(self._nodes)
+        for e in self.edges:
+            if keep(e):
+                g.add_edge(e.src, e.dst, edge=e)
         out: List[Cycle] = []
         seen_nodesets = set()
         for nodes in nx.simple_cycles(nx.DiGraph(g)):
@@ -245,22 +268,25 @@ class DSG:
     def depends(self, ti: int, tj: int) -> bool:
         """Definition 8: ``T_j`` depends on ``T_i`` — a path of one or more
         dependency (ww/wr) edges from ``T_i`` to ``T_j``."""
-        if ti == tj or ti not in self.graph or tj not in self.graph:
+        if ti == tj or ti not in self._nodes or tj not in self._nodes:
             return False
         dep = self._filtered(dependency_edge)
-        return nx.has_path(dep, ti, tj)
+        return _g.shortest_edge_path(dep, ti, tj) is not None
 
     def is_acyclic(self) -> bool:
-        return nx.is_directed_acyclic_graph(self.graph)
+        return all(
+            len(scc) < 2
+            for scc in _g.strongly_connected_components(self._adj, self._nodes)
+        )
 
     def topological_order(self) -> List[int]:
         """A serialization order of the committed transactions (only valid
         when the graph is acyclic)."""
-        return list(nx.topological_sort(nx.DiGraph(self.graph)))
+        return _g.topological_order(self._adj, self._nodes)
 
 
 def _to_cycle_preferring(
-    g: nx.MultiDiGraph, nodes: Sequence[int], special: Optional[EdgeFilter]
+    g, nodes: Sequence[int], special: Optional[EdgeFilter]
 ) -> Cycle:
     """Chain a node cycle into edges, preferring ``special`` edges among
     parallels so the witness justifies the phenomenon when possible."""
@@ -275,27 +301,10 @@ def _to_cycle_preferring(
     return Cycle(tuple(edges))
 
 
-def _to_cycle(g: nx.MultiDiGraph, nodes: Sequence[int]) -> Cycle:
-    edges = []
-    for u, v in zip(nodes, list(nodes[1:]) + [nodes[0]]):
-        edges.append(next(iter(g[u][v].values()))["edge"])
-    return Cycle(tuple(edges))
-
-
 def _shortest_edge_path(
-    g: nx.MultiDiGraph, src: int, dst: int
+    adj: Dict[int, List[Edge]], src: int, dst: int
 ) -> Optional[Tuple[Edge, ...]]:
     """Shortest path from ``src`` to ``dst`` as edges, or ``None``; a
-    zero-length path (``src == dst``) is the empty tuple."""
-    if src == dst:
-        return ()
-    if src not in g or dst not in g:
-        return None
-    try:
-        nodes = nx.shortest_path(g, src, dst)
-    except nx.NetworkXNoPath:
-        return None
-    edges = []
-    for u, v in zip(nodes, nodes[1:]):
-        edges.append(next(iter(g[u][v].values()))["edge"])
-    return tuple(edges)
+    zero-length path (``src == dst``) is the empty tuple.  ``adj`` is the
+    adjacency mapping returned by :meth:`DSG._filtered`."""
+    return _g.shortest_edge_path(adj, src, dst)

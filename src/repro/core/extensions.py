@@ -145,7 +145,9 @@ def _g_ss(analysis: "Analysis") -> PhenomenonReport:
 def _ssg(analysis: "Analysis") -> SSG:
     cached = getattr(analysis, "_ssg_cache", None)
     if cached is None:
-        cached = SSG(analysis.history, analysis.mode)
+        # Reuse the analysis's already-extracted conflict edges; the SSG only
+        # adds the start-dependency edges on top.
+        cached = SSG(analysis.history, analysis.mode, edges=analysis.edges)
         analysis._ssg_cache = cached
     return cached
 

@@ -1,0 +1,221 @@
+"""Lightweight directed multigraph algorithms for DSG analysis.
+
+The phenomenon detectors only ever need four graph questions — strongly
+connected components, a concrete cycle inside a component, a shortest edge
+path, and a topological order.  Answering them on a plain adjacency dict is
+5–10x faster than building :class:`networkx.MultiDiGraph` instances per
+query (the seed profile spent most of ``repro.check`` inside networkx's
+``add_edge``), so :mod:`repro.core.dsg` runs its hot paths here and keeps
+networkx only for exhaustive simple-cycle enumeration in witness reports.
+
+All functions take ``adj``, a mapping ``src -> list[Edge]`` over the edges
+of interest (edges carry their own ``src``/``dst``), plus an optional
+``nodes`` iterable for isolated vertices.  Nothing here knows about
+histories; :class:`~repro.core.conflicts.Edge` is only required to expose
+``src`` and ``dst``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+E = TypeVar("E")  # edge type: anything with .src and .dst
+
+Adjacency = Dict[int, List[E]]
+
+__all__ = [
+    "adjacency",
+    "strongly_connected_components",
+    "component_index",
+    "cycle_in_component",
+    "shortest_edge_path",
+    "has_path",
+    "topological_order",
+]
+
+
+def adjacency(edges: Iterable[E]) -> Adjacency:
+    """Build ``src -> [edges]`` from an edge iterable."""
+    adj: Adjacency = {}
+    for e in edges:
+        adj.setdefault(e.src, []).append(e)
+    return adj
+
+
+def strongly_connected_components(
+    adj: Adjacency, nodes: Iterable[int] = ()
+) -> List[List[int]]:
+    """Tarjan's algorithm, iteratively (histories can exceed the recursion
+    limit).  Components come out in reverse topological order; singleton
+    components are included for every node seen in ``adj`` or ``nodes``."""
+    index: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Dict[int, bool] = {}
+    stack: List[int] = []
+    counter = 0
+    components: List[List[int]] = []
+
+    all_nodes: Dict[int, None] = {}
+    for n in nodes:
+        all_nodes.setdefault(n, None)
+    for src, edges in adj.items():
+        all_nodes.setdefault(src, None)
+        for e in edges:
+            all_nodes.setdefault(e.dst, None)
+
+    for root in all_nodes:
+        if root in index:
+            continue
+        # Each work item is (node, iterator position) simulated with an
+        # explicit successor cursor.
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            node, cursor = work.pop()
+            if cursor == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            succs = adj.get(node, ())
+            advanced = False
+            while cursor < len(succs):
+                nxt = succs[cursor].dst
+                cursor += 1
+                if nxt not in index:
+                    work.append((node, cursor))
+                    work.append((nxt, 0))
+                    advanced = True
+                    break
+                if on_stack.get(nxt):
+                    if index[nxt] < lowlink[node]:
+                        lowlink[node] = index[nxt]
+            if advanced:
+                continue
+            # node is finished; close its component if it is a root.
+            if lowlink[node] == index[node]:
+                comp = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    comp.append(member)
+                    if member == node:
+                        break
+                components.append(comp)
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+    return components
+
+
+def component_index(
+    adj: Adjacency, nodes: Iterable[int] = ()
+) -> Dict[int, int]:
+    """``node -> component id`` for every node."""
+    return {
+        node: i
+        for i, comp in enumerate(strongly_connected_components(adj, nodes))
+        for node in comp
+    }
+
+
+def cycle_in_component(adj: Adjacency, component: Sequence[int]) -> List[E]:
+    """A concrete directed cycle inside a strongly connected component with
+    at least two nodes, as a chained edge list."""
+    members = set(component)
+    start = component[0]
+    # DFS restricted to the component, tracking the path of edges; the first
+    # time a node already on the path is reached again, the loop closes.
+    path_edges: List[E] = []
+    on_path: Dict[int, int] = {start: 0}  # node -> position in path
+    cursors: List[int] = [0]
+    nodes_on_path: List[int] = [start]
+    while cursors:
+        node = nodes_on_path[-1]
+        succs = adj.get(node, ())
+        cursor = cursors[-1]
+        advanced = False
+        while cursor < len(succs):
+            edge = succs[cursor]
+            cursor += 1
+            if edge.dst not in members:
+                continue
+            if edge.dst in on_path:
+                cursors[-1] = cursor
+                return path_edges[on_path[edge.dst] :] + [edge]
+            cursors[-1] = cursor
+            nodes_on_path.append(edge.dst)
+            on_path[edge.dst] = len(path_edges) + 1
+            path_edges.append(edge)
+            cursors.append(0)
+            advanced = True
+            break
+        if not advanced:
+            nodes_on_path.pop()
+            del on_path[node]
+            cursors.pop()
+            if path_edges:
+                path_edges.pop()
+    raise ValueError("component is not strongly connected")  # pragma: no cover
+
+
+def shortest_edge_path(
+    adj: Adjacency, src: int, dst: int
+) -> Optional[Tuple[E, ...]]:
+    """Shortest path from ``src`` to ``dst`` as a tuple of edges (BFS), the
+    empty tuple when ``src == dst``, or ``None`` when unreachable."""
+    if src == dst:
+        return ()
+    parent: Dict[int, E] = {}
+    queue = deque((src,))
+    seen = {src}
+    while queue:
+        node = queue.popleft()
+        for edge in adj.get(node, ()):
+            nxt = edge.dst
+            if nxt in seen:
+                continue
+            parent[nxt] = edge
+            if nxt == dst:
+                path: List[E] = []
+                while nxt != src:
+                    edge = parent[nxt]
+                    path.append(edge)
+                    nxt = edge.src
+                return tuple(reversed(path))
+            seen.add(nxt)
+            queue.append(nxt)
+    return None
+
+
+def has_path(adj: Adjacency, src: int, dst: int) -> bool:
+    """Whether a path of one or more edges leads from ``src`` to ``dst``."""
+    if src == dst:
+        return any(e.dst == dst for e in adj.get(src, ()))
+    return shortest_edge_path(adj, src, dst) is not None
+
+
+def topological_order(adj: Adjacency, nodes: Iterable[int] = ()) -> List[int]:
+    """Kahn's algorithm with a min-heap tie-break (smallest node first), so
+    the serialization orders printed in reports are deterministic.  Raises
+    :class:`ValueError` if the graph has a cycle."""
+    indegree: Dict[int, int] = {n: 0 for n in nodes}
+    for src, edges in adj.items():
+        indegree.setdefault(src, 0)
+        for e in edges:
+            indegree[e.dst] = indegree.get(e.dst, 0) + 1
+    ready = [n for n, d in indegree.items() if d == 0]
+    heapq.heapify(ready)
+    out: List[int] = []
+    while ready:
+        node = heapq.heappop(ready)
+        out.append(node)
+        for e in adj.get(node, ()):
+            indegree[e.dst] -= 1
+            if indegree[e.dst] == 0:
+                heapq.heappush(ready, e.dst)
+    if len(out) != len(indegree):
+        raise ValueError("graph has a cycle; no topological order exists")
+    return out

@@ -73,6 +73,11 @@ class History:
         self.events: Tuple[Event, ...] = evs
         self.default_level = default_level
         self._explicit_order = version_order is not None
+        # Per-predicate memoization (keyed by predicate identity, holding a
+        # reference so the id stays valid): match results per version, match-
+        # change results per version, and per-object changer positions.  A
+        # history is immutable, so these never need invalidation.
+        self._pred_caches: Dict[int, Tuple[object, Dict, Dict, Dict]] = {}
         self.version_order: Dict[str, Tuple[Version, ...]] = self._build_order(version_order)
         if validate:
             from .validation import validate_history
@@ -280,10 +285,35 @@ class History:
                 return read.value
         return None
 
+    def _pred_cache(self, predicate: Predicate) -> Tuple[Dict, Dict, Dict]:
+        """The (matches, changes, changers) memo dicts for one predicate.
+
+        Keyed by object identity rather than predicate equality: predicate
+        equality is by name only, so two same-named predicates with
+        different semantics (e.g. successive ``MembershipPredicate``
+        refinements) must not share entries.
+        """
+        entry = self._pred_caches.get(id(predicate))
+        if entry is None or entry[0] is not predicate:
+            entry = (predicate, {}, {}, {})
+            self._pred_caches[id(predicate)] = entry
+        return entry[1], entry[2], entry[3]
+
     def version_matches(self, predicate: Predicate, version: Version) -> bool:
         """Predicate evaluation with the Section 4.3 guard: unborn and dead
         versions never match.  Setup versions (no write event) are visible
-        and evaluated with their observed value."""
+        and evaluated with their observed value.  Results are memoized per
+        ``(predicate, version)`` — predicate reads over the same chain
+        re-consult the same versions many times."""
+        matches, _changes, _changers = self._pred_cache(predicate)
+        hit = matches.get(version)
+        if hit is not None:
+            return hit
+        result = self._version_matches_uncached(predicate, version)
+        matches[version] = result
+        return result
+
+    def _version_matches_uncached(self, predicate: Predicate, version: Version) -> bool:
         if version.is_unborn:
             return False
         write = self.writes.get(version)
@@ -299,7 +329,12 @@ class History:
         """Definition 2: whether installing ``version`` changed the matched
         set of ``predicate`` relative to the immediately preceding version in
         the object's version order.  Only meaningful for installed versions.
+        Memoized per ``(predicate, version)``.
         """
+        _matches, changes, _changers = self._pred_cache(predicate)
+        hit = changes.get(version)
+        if hit is not None:
+            return hit
         chain = self.order_of(version.obj)
         idx = self.order_index.get(version)
         if idx is None:
@@ -307,10 +342,38 @@ class History:
                 f"{version} is not an installed version, cannot test match change"
             )
         if idx == 0:
-            return False  # the unborn version has no predecessor
-        before = self.version_matches(predicate, chain[idx - 1])
-        after = self.version_matches(predicate, version)
-        return before != after
+            result = False  # the unborn version has no predecessor
+        else:
+            before = self.version_matches(predicate, chain[idx - 1])
+            after = self.version_matches(predicate, version)
+            result = before != after
+        changes[version] = result
+        return result
+
+    def predicate_changers(self, predicate: Predicate, obj: str) -> Tuple[int, ...]:
+        """Positions ``k >= 1`` in ``obj``'s version order whose version
+        *changed the matches* of ``predicate`` (Definition 2), ascending.
+
+        One linear scan per ``(predicate, object)``, memoized; the conflict
+        extractors answer "latest changer at or before position i" /
+        "changers after position i" with a bisect into this tuple instead of
+        rescanning the chain per predicate read.
+        """
+        _matches, _changes, changers = self._pred_cache(predicate)
+        hit = changers.get(obj)
+        if hit is not None:
+            return hit
+        chain = self.order_of(obj)
+        positions: List[int] = []
+        before = False  # the unborn version never matches
+        for k in range(1, len(chain)):
+            after = self.version_matches(predicate, chain[k])
+            if after != before:
+                positions.append(k)
+            before = after
+        result = tuple(positions)
+        changers[obj] = result
+        return result
 
     # ------------------------------------------------------------------
     # predicate version-set completion

@@ -1,0 +1,908 @@
+"""Incremental (online) phenomenon analysis.
+
+:class:`IncrementalAnalysis` consumes history events one at a time and
+maintains, between events, everything the batch checker derives from a full
+:class:`~repro.core.history.History`:
+
+* per-object version chains (the version order ``<<``), including the
+  paper's implicit *setup* versions discovered on first read;
+* the three direct-conflict edge sets of Section 4.4 — ``ww``/``wr``/``rw``,
+  item and predicate flavours — keyed for O(1) dedup and cursor-flag merge;
+* the G1a/G1b witness sets.
+
+G0/G1/G2 queries are then O(1) in the steady state: each cycle phenomenon
+has a :class:`_CycleMonitor` — a Pearce–Kelly dynamic topological order
+over its filtered edge set — that detects the cycle at the *edge insert*
+that closes it, and presence is monotone over a growing history so a
+positive verdict is cached permanently.  Only the anti-dependency
+phenomena (G2/G2-item) ever fall back to a full SCC pass
+(:mod:`repro.core.graph`), and only in the narrow regime where their view
+contains a cycle that has not yet been proven to thread an anti-dependency
+edge.  Appending one transaction and re-querying therefore costs amortised
+O(new edges), not O(history) — the asymptotic gap
+``bench_scaling_incremental`` pins.
+
+Edges are *activated* lazily: a conflict materialises only once both
+endpoint transactions have committed, mirroring the batch extractors'
+restriction to ``committed_all``.  Most chain updates are appends and apply
+purely incrementally; the rare structural mutation (a mid-chain insert from
+an out-of-order install key or a late-discovered setup version) triggers a
+localized rebuild of the affected object's edges only.
+
+Install order
+-------------
+
+Batch histories order versions either explicitly or by the default rule
+(committed transactions' final write events).  The incremental analysis
+supports the same spectrum through install keys:
+
+* ``order_mode="event"`` (default) keys a committed final version by its
+  write event's index — exactly the :class:`History` default order;
+* ``order_mode="commit"`` keys by a monotone commit counter — the order
+  multi-version engines and :func:`~repro.workloads.synthetic_history` use;
+* per-commit ``positions`` (as passed by
+  :meth:`~repro.engine.recorder.HistoryRecorder.commit`) override the key
+  per object;
+* ``version_order_hint`` pins the final chain of selected objects outright
+  (used when replaying a history whose explicit order is known up front).
+
+``to_history()`` materialises the accumulated events and chains as a
+regular :class:`History`, and ``check()`` runs the batch checker over it
+when full witness reports are needed; the incremental layer itself answers
+presence and level queries without that round trip.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from . import graph as _g
+from .conflicts import DepKind, Edge, PredicateDepMode
+from .events import Abort, Begin, Commit, Event, PredicateRead, Read, Write
+from .objects import Version, relation_of
+from .phenomena import Phenomenon, PhenomenonReport, Witness
+from .predicates import Predicate, VersionSet
+
+__all__ = ["IncrementalAnalysis"]
+
+#: Phenomena the incremental layer answers directly.
+CORE_PHENOMENA: Tuple[Phenomenon, ...] = (
+    Phenomenon.G0,
+    Phenomenon.G1A,
+    Phenomenon.G1B,
+    Phenomenon.G1C,
+    Phenomenon.G1,
+    Phenomenon.G2_ITEM,
+    Phenomenon.G2,
+)
+
+_EdgeKey = Tuple[int, int, DepKind, str, Optional[Version], Optional[Predicate]]
+
+
+class _PreadRec:
+    """Mutable record of one predicate read."""
+
+    __slots__ = ("tid", "predicate", "vset", "committed")
+
+    def __init__(self, tid: int, predicate: Predicate, vset: VersionSet):
+        self.tid = tid
+        self.predicate = predicate
+        self.vset = vset
+        self.committed = False
+
+
+class _CycleMonitor:
+    """Incremental cycle detection over one filtered view of the DSG.
+
+    Maintains a topological order of the collapsed transaction graph with
+    the Pearce–Kelly dynamic algorithm: inserting an edge that already
+    respects the order costs O(1) (the overwhelmingly common case — DSG
+    edges mostly point from older commits to newer ones), and a violating
+    insert reorders only the affected region between the two endpoints'
+    ranks.  The first insert that closes a cycle latches :attr:`has_cycle`.
+
+    The latch is permanent because cycle presence in every view we monitor
+    is monotone over a growing history: chain repairs replace edges with
+    transitive refinements (a mid-chain insert turns ``u->w`` into
+    ``u->v, v->w``), so a repair can reroute a cycle but never break the
+    last one.  Removals therefore only decrement the pair refcounts; they
+    never re-open the latch — which makes every subsequent presence query
+    O(1).
+    """
+
+    __slots__ = ("order", "_next_rank", "fwd", "back", "count", "has_cycle")
+
+    def __init__(self) -> None:
+        self.order: Dict[int, int] = {}
+        self._next_rank = 0
+        self.fwd: Dict[int, Set[int]] = {}
+        self.back: Dict[int, Set[int]] = {}
+        self.count: Dict[Tuple[int, int], int] = {}
+        self.has_cycle = False
+
+    def _rank(self, node: int) -> int:
+        rank = self.order.get(node)
+        if rank is None:
+            rank = self.order[node] = self._next_rank
+            self._next_rank += 1
+            self.fwd[node] = set()
+            self.back[node] = set()
+        return rank
+
+    def add(self, u: int, v: int) -> None:
+        if u == v:
+            return  # a self-loop is a singleton SCC, not a cycle
+        refs = self.count.get((u, v), 0)
+        self.count[(u, v)] = refs + 1
+        if refs:
+            return  # collapsed pair already in the graph
+        rank_u, rank_v = self._rank(u), self._rank(v)
+        self.fwd[u].add(v)
+        self.back[v].add(u)
+        if self.has_cycle or rank_u < rank_v:
+            return
+        # Order violated: discover the affected region (Pearce–Kelly).
+        # Forward from v, pruned to ranks below rank(u): in a valid order
+        # any v=>u path stays inside that window, so meeting u here is the
+        # definitive cycle test for the new edge.
+        order, fwd, back = self.order, self.fwd, self.back
+        lower, upper = rank_v, rank_u
+        delta_f: List[int] = []
+        seen = {v}
+        stack = [v]
+        while stack:
+            node = stack.pop()
+            delta_f.append(node)
+            for succ in fwd[node]:
+                if succ == u:
+                    self.has_cycle = True
+                    return
+                if succ not in seen and order[succ] < upper:
+                    seen.add(succ)
+                    stack.append(succ)
+        # Backward from u, pruned to ranks above rank(v).
+        delta_b: List[int] = []
+        seen = {u}
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            delta_b.append(node)
+            for pred in back[node]:
+                if pred not in seen and order[pred] > lower:
+                    seen.add(pred)
+                    stack.append(pred)
+        # Re-rank: the affected nodes permute among their own old ranks —
+        # ancestors of u first, then descendants of v, each group keeping
+        # its relative order.  Nodes outside the region are untouched.
+        delta_b.sort(key=order.__getitem__)
+        delta_f.sort(key=order.__getitem__)
+        moved = delta_b + delta_f
+        for rank, node in zip(sorted(order[n] for n in moved), moved):
+            order[node] = rank
+
+    def remove(self, u: int, v: int) -> None:
+        if u == v:
+            return
+        refs = self.count.get((u, v), 0)
+        if refs <= 1:
+            self.count.pop((u, v), None)
+            if refs:
+                self.fwd[u].discard(v)
+                self.back[v].discard(u)
+        else:
+            self.count[(u, v)] = refs - 1
+
+
+class IncrementalAnalysis:
+    """Online DSG maintenance and G-phenomenon detection.
+
+    Parameters
+    ----------
+    mode:
+        Predicate-read-dependency quantification (as in the batch checker).
+    order_mode:
+        ``"event"`` or ``"commit"`` — how committed final versions are keyed
+        into their object's version order (see the module docstring).
+    version_order_hint:
+        Optional explicit chains ``{obj: [v1, v2, ...]}``; versions listed
+        here install at their hinted position regardless of ``order_mode``.
+    watch:
+        Phenomena to probe after every consumed event; ``on_phenomenon(ph,
+        analysis)`` fires the first time each one becomes present — this is
+        the engine's commit-time online monitor hook.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: PredicateDepMode = PredicateDepMode.LATEST,
+        order_mode: str = "event",
+        version_order_hint: Optional[Mapping[str, Sequence[Version]]] = None,
+        watch: Iterable[Phenomenon] = (),
+        on_phenomenon: Optional[Callable[[Phenomenon, "IncrementalAnalysis"], None]] = None,
+    ):
+        if order_mode not in ("event", "commit"):
+            raise ValueError(f"unknown order_mode {order_mode!r}")
+        self.mode = mode
+        self.order_mode = order_mode
+        self.events: List[Event] = []
+        self.committed: Set[int] = set()
+        self.aborted: Set[int] = set()
+        self._hint_key: Dict[Version, int] = {}
+        if version_order_hint:
+            for chain in version_order_hint.values():
+                for i, v in enumerate(chain):
+                    if not v.is_unborn:
+                        self._hint_key[v] = i
+        # --- chains -----------------------------------------------------
+        self._chain: Dict[str, List[Version]] = {}
+        self._index: Dict[str, Dict[Version, int]] = {}
+        self._setup_count: Dict[str, int] = {}
+        self._install_keys: Dict[str, List[Any]] = {}  # committed section keys
+        self._commit_counter = 0
+        # --- events indexes --------------------------------------------
+        self._writes: Dict[Version, Write] = {}
+        self._versions_of_tid: Dict[int, List[Version]] = {}
+        self._final_seq: Dict[Tuple[str, int], int] = {}
+        self._final_write_event: Dict[Tuple[str, int], int] = {}
+        self._reads_by_version: Dict[Version, List[Read]] = {}
+        self._reads_of_tid: Dict[int, List[Read]] = {}
+        self._preads_of_tid: Dict[int, List[_PreadRec]] = {}
+        self._preads_by_relation: Dict[str, List[_PreadRec]] = {}
+        self._preads_by_vset_version: Dict[Version, List[_PreadRec]] = {}
+        self._setup_versions: Set[Version] = set()
+        self._setup_value: Dict[Version, Any] = {}
+        self._objects_by_relation: Dict[str, List[str]] = {}
+        self._known_objects: Set[str] = set()
+        self._node_tids: Set[int] = set()  # committed txns + setup installers
+        # --- edges and verdict caches ----------------------------------
+        self._edges: Dict[_EdgeKey, Edge] = {}
+        self._edge_keys_by_obj: Dict[str, Set[_EdgeKey]] = {}
+        self._g1a: Set[Tuple[int, Version]] = set()
+        self._g1b: Set[Tuple[int, Version]] = set()
+        self._gen = 0
+        # Incremental cycle monitors, one per phenomenon edge filter:
+        # ww only (G0), ww+wr (G1c), everything (gates G2), and everything
+        # except predicate anti-dependencies (gates G2-item).
+        self._mon_g0 = _CycleMonitor()
+        self._mon_g1c = _CycleMonitor()
+        self._mon_full = _CycleMonitor()
+        self._mon_item = _CycleMonitor()
+        # Phenomena already proven present — permanent (presence over a
+        # growing history is monotone), so re-queries are O(1).
+        self._present: Set[Phenomenon] = set()
+        self._presence_cache: Dict[Phenomenon, Tuple[int, bool]] = {}
+        self._match_caches: Dict[int, Tuple[Predicate, Dict[Version, bool]]] = {}
+        # --- monitoring -------------------------------------------------
+        self.watch: Tuple[Phenomenon, ...] = tuple(watch)
+        for ph in self.watch:
+            if ph not in CORE_PHENOMENA:
+                raise ValueError(
+                    f"cannot watch {ph}: only core phenomena "
+                    "(G0/G1a/G1b/G1c/G1/G2-item/G2) are maintained online"
+                )
+        self.on_phenomenon = on_phenomenon
+        self._fired: Set[Phenomenon] = set()
+
+    # ------------------------------------------------------------------
+    # feeding
+    # ------------------------------------------------------------------
+
+    def add(
+        self,
+        event: Event,
+        *,
+        finals: Optional[Mapping[str, Version]] = None,
+        positions: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Consume one event.
+
+        ``finals``/``positions`` apply to :class:`Commit` events only and
+        mirror :meth:`HistoryRecorder.commit`: the versions to install (by
+        default the transaction's final write per object) and their install
+        keys (by default per ``order_mode``).
+        """
+        index = len(self.events)
+        self.events.append(event)
+        if isinstance(event, Write):
+            self._on_write(event, index)
+        elif isinstance(event, Read):
+            self._on_read(event)
+        elif isinstance(event, PredicateRead):
+            self._on_pread(event)
+        elif isinstance(event, Commit):
+            self._on_commit(event.tid, finals, positions)
+        elif isinstance(event, Abort):
+            self._on_abort(event.tid)
+        elif isinstance(event, Begin):
+            pass
+        if self.watch and self.on_phenomenon is not None:
+            for ph in self.watch:
+                if ph not in self._fired and self.exhibits(ph):
+                    self._fired.add(ph)
+                    self.on_phenomenon(ph, self)
+
+    def add_all(self, events: Iterable[Event]) -> "IncrementalAnalysis":
+        """Feed a whole event sequence (convenience for tests/benchmarks)."""
+        for ev in events:
+            self.add(ev)
+        return self
+
+    def finish(self) -> None:
+        """Section 4.2's completion rule: abort every unfinished
+        transaction (mirrors ``History(auto_complete=True)``)."""
+        finished = self.committed | self.aborted
+        pending = []
+        seen: Dict[int, None] = {}
+        for ev in self.events:
+            seen.setdefault(ev.tid, None)
+        for tid in seen:
+            if tid not in finished:
+                pending.append(Abort(tid))
+        for ev in pending:
+            self.add(ev)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+
+    def _on_write(self, ev: Write, index: int) -> None:
+        v = ev.version
+        self._register_object(v.obj)
+        self._writes[v] = ev
+        self._versions_of_tid.setdefault(v.tid, []).append(v)
+        if v in self._setup_versions:
+            # A version previously mis-classified as setup (read before its
+            # write — invalid per Section 4.2, but stay consistent anyway).
+            self._setup_versions.discard(v)
+            self._setup_value.pop(v, None)
+            self._invalidate_matches(v)
+        key = (v.obj, v.tid)
+        prev_seq = self._final_seq.get(key)
+        if prev_seq is None or v.seq > prev_seq:
+            if prev_seq is not None:
+                self._now_intermediate(Version(v.obj, v.tid, prev_seq))
+            self._final_seq[key] = v.seq
+            self._final_write_event[key] = index
+        else:
+            self._now_intermediate(v)
+
+    def _now_intermediate(self, old: Version) -> None:
+        """``old`` stopped being its writer's final modification; committed
+        transactions that observed it are now G1b witnesses."""
+        for read in self._reads_by_version.get(old, ()):
+            if read.tid != old.tid and read.tid in self.committed:
+                self._add_g1b(read.tid, old)
+        for rec in self._preads_by_vset_version.get(old, ()):
+            if rec.committed and rec.tid != old.tid:
+                self._add_g1b(rec.tid, old)
+
+    def _on_read(self, ev: Read) -> None:
+        v = ev.version
+        self._register_object(v.obj)
+        self._reads_by_version.setdefault(v, []).append(ev)
+        self._reads_of_tid.setdefault(ev.tid, []).append(ev)
+        self._note_possible_setup(v)
+        if (
+            v in self._setup_versions
+            and ev.value is not None
+            and self._setup_value.get(v) is None
+        ):
+            # First observed value of a setup version: predicate matching
+            # may change retroactively — repair the object.
+            self._setup_value[v] = ev.value
+            self._invalidate_matches(v)
+            self._repair_object(v.obj)
+
+    def _on_pread(self, ev: PredicateRead) -> None:
+        rec = _PreadRec(ev.tid, ev.predicate, ev.vset)
+        self._preads_of_tid.setdefault(ev.tid, []).append(rec)
+        for rel in ev.predicate.relations:
+            self._preads_by_relation.setdefault(rel, []).append(rec)
+        for v in ev.vset.versions():
+            self._register_object(v.obj)
+            self._preads_by_vset_version.setdefault(v, []).append(rec)
+            self._note_possible_setup(v)
+        for obj in ev.vset.objects():
+            self._register_object(obj)
+
+    def _on_commit(
+        self,
+        tid: int,
+        finals: Optional[Mapping[str, Version]],
+        positions: Optional[Mapping[str, Any]],
+    ) -> None:
+        self.committed.add(tid)
+        self._node_tids.add(tid)
+        if finals is None:
+            finals = {}
+            for written in self._versions_of_tid.get(tid, ()):
+                obj = written.obj
+                if obj not in finals:
+                    finals[obj] = Version(obj, tid, self._final_seq[(obj, tid)])
+        for obj in sorted(finals):
+            v = finals[obj]
+            if positions is not None and obj in positions:
+                key = (0, positions[obj])
+            elif v in self._hint_key:
+                key = (-1, self._hint_key[v])
+            elif self.order_mode == "commit":
+                self._commit_counter += 1
+                key = (0, self._commit_counter)
+            else:
+                key = (0, self._final_write_event.get((obj, tid), len(self.events)))
+            self._install(obj, v, key)
+        # Item reads by the newly committed transaction.
+        for read in self._reads_of_tid.get(tid, ()):
+            v = read.version
+            writer = v.tid
+            if writer in self.aborted:
+                self._add_g1a(tid, v)
+            if writer != tid and self._is_intermediate(v):
+                self._add_g1b(tid, v)
+            if (
+                writer != tid
+                and not v.is_unborn
+                and writer in self._node_tids
+                and writer not in self.aborted
+            ):
+                self._add_edge(Edge(writer, tid, DepKind.WR, v.obj, v))
+            idx = self._index.get(v.obj, {}).get(v)
+            if idx is not None:
+                chain = self._chain[v.obj]
+                if idx + 1 < len(chain):
+                    nxt = chain[idx + 1]
+                    if nxt.tid != tid:
+                        self._add_edge(
+                            Edge(
+                                tid,
+                                nxt.tid,
+                                DepKind.RW,
+                                v.obj,
+                                nxt,
+                                cursor=read.cursor,
+                            )
+                        )
+        # Predicate reads by the newly committed transaction.
+        for rec in self._preads_of_tid.get(tid, ()):
+            rec.committed = True
+            for v in rec.vset.versions():
+                if v.tid in self.aborted:
+                    self._add_g1a(tid, v)
+                if v.tid != tid and self._is_intermediate(v):
+                    self._add_g1b(tid, v)
+            for obj in self._vset_objects(rec):
+                self._pread_read_edges(rec, obj)
+                self._pread_anti_edges(rec, obj)
+        # The new commit as a read-dependency *source*: readers that
+        # committed earlier were waiting on this writer.
+        for v in self._versions_of_tid.get(tid, ()):
+            for read in self._reads_by_version.get(v, ()):
+                if read.tid != tid and read.tid in self.committed:
+                    self._add_edge(Edge(tid, read.tid, DepKind.WR, v.obj, v))
+
+    def _on_abort(self, tid: int) -> None:
+        self.aborted.add(tid)
+        for v in self._versions_of_tid.get(tid, ()):
+            for read in self._reads_by_version.get(v, ()):
+                if read.tid in self.committed:
+                    self._add_g1a(read.tid, v)
+            for rec in self._preads_by_vset_version.get(v, ()):
+                if rec.committed:
+                    self._add_g1a(rec.tid, v)
+
+    # ------------------------------------------------------------------
+    # chains
+    # ------------------------------------------------------------------
+
+    def _register_object(self, obj: str) -> None:
+        if obj in self._known_objects:
+            return
+        self._known_objects.add(obj)
+        unborn = Version.unborn(obj)
+        self._chain[obj] = [unborn]
+        self._index[obj] = {unborn: 0}
+        self._setup_count[obj] = 0
+        self._install_keys[obj] = []
+        self._objects_by_relation.setdefault(relation_of(obj), []).append(obj)
+
+    def _note_possible_setup(self, v: Version) -> None:
+        """A read (or version-set selection) of a never-written version is a
+        setup version: implicit initial state, installed right after the
+        unborn version (cf. ``History._build_order``)."""
+        if v.is_unborn or v in self._writes or v in self._setup_versions:
+            return
+        self._setup_versions.add(v)
+        self._setup_value.setdefault(v, None)
+        self._node_tids.add(v.tid)
+        obj = v.obj
+        if v in self._hint_key:
+            # An explicit order hint may place a setup version anywhere in
+            # the chain; honour it instead of the default front position.
+            self._install(obj, v, (-1, self._hint_key[v]))
+            return
+        chain = self._chain[obj]
+        pos = 1 + self._setup_count[obj]
+        self._setup_count[obj] += 1
+        if pos == len(chain):
+            chain.append(v)
+            self._index[obj][v] = pos
+            self._append_effects(obj, pos)
+        else:
+            chain.insert(pos, v)
+            self._repair_object(obj)
+
+    def _install(self, obj: str, v: Version, key: Any) -> None:
+        """Install a committed final version with the given sort key."""
+        self._register_object(obj)
+        if v in self._index[obj]:
+            return  # already installed (duplicate finals are harmless)
+        keys = self._install_keys[obj]
+        at = bisect_right(keys, key)
+        keys.insert(at, key)
+        chain = self._chain[obj]
+        pos = 1 + self._setup_count[obj] + at
+        if pos == len(chain):
+            chain.append(v)
+            self._index[obj][v] = pos
+            self._append_effects(obj, pos)
+        else:
+            chain.insert(pos, v)
+            self._repair_object(obj)
+
+    def _append_effects(self, obj: str, pos: int) -> None:
+        """Edge updates after appending ``chain[pos]`` at the tail."""
+        chain = self._chain[obj]
+        v = chain[pos]
+        prev = chain[pos - 1]
+        if not prev.is_unborn and prev.tid != v.tid:
+            self._add_edge(Edge(prev.tid, v.tid, DepKind.WW, obj, v))
+        for read in self._reads_by_version.get(prev, ()):
+            if read.tid in self.committed and read.tid != v.tid:
+                self._add_edge(
+                    Edge(read.tid, v.tid, DepKind.RW, obj, v, cursor=read.cursor)
+                )
+        for rec in self._preads_by_relation.get(relation_of(obj), ()):
+            if not rec.committed:
+                continue
+            selected = rec.vset.get(obj) or Version.unborn(obj)
+            if selected == v:
+                # The selected version itself just installed: the read-
+                # dependency edges of this (pread, object) pair now exist.
+                self._pread_read_edges(rec, obj)
+                continue
+            idx = 0 if selected.is_unborn else self._index[obj].get(selected)
+            if idx is None:
+                continue  # uninstalled selection yields no edges (yet)
+            if pos > idx and v.tid != rec.tid and self._changes_at(obj, pos, rec.predicate):
+                self._add_edge(
+                    Edge(rec.tid, v.tid, DepKind.RW, obj, v, predicate=rec.predicate)
+                )
+
+    def _repair_object(self, obj: str) -> None:
+        """Localized rebuild after a structural (non-append) chain change:
+        drop and recompute every chain-dependent edge of ``obj``."""
+        for key in self._edge_keys_by_obj.get(obj, ()):
+            dropped = self._edges.pop(key, None)
+            if dropped is not None:
+                self._feed_monitors(dropped, _CycleMonitor.remove)
+        self._edge_keys_by_obj[obj] = set()
+        self._gen += 1
+        chain = self._chain[obj]
+        self._index[obj] = {v: i for i, v in enumerate(chain)}
+        for pos in range(1, len(chain)):
+            v, prev = chain[pos], chain[pos - 1]
+            if not prev.is_unborn and prev.tid != v.tid:
+                self._add_edge(Edge(prev.tid, v.tid, DepKind.WW, obj, v))
+            for read in self._reads_by_version.get(prev, ()):
+                if read.tid in self.committed and read.tid != v.tid:
+                    self._add_edge(
+                        Edge(read.tid, v.tid, DepKind.RW, obj, v, cursor=read.cursor)
+                    )
+        for rec in self._preads_by_relation.get(relation_of(obj), ()):
+            if rec.committed:
+                self._pread_read_edges(rec, obj)
+                self._pread_anti_edges(rec, obj)
+
+    # ------------------------------------------------------------------
+    # predicate machinery
+    # ------------------------------------------------------------------
+
+    def _vset_objects(self, rec: _PreadRec) -> Tuple[str, ...]:
+        objs: Dict[str, None] = {}
+        for rel in rec.predicate.relations:
+            for obj in self._objects_by_relation.get(rel, ()):
+                objs.setdefault(obj, None)
+        for obj in rec.vset.objects():
+            if rec.predicate.covers(obj):
+                objs.setdefault(obj, None)
+        return tuple(objs)
+
+    def _match_cache(self, predicate: Predicate) -> Dict[Version, bool]:
+        entry = self._match_caches.get(id(predicate))
+        if entry is None or entry[0] is not predicate:
+            entry = (predicate, {})
+            self._match_caches[id(predicate)] = entry
+        return entry[1]
+
+    def _invalidate_matches(self, version: Version) -> None:
+        for _pred, cache in self._match_caches.values():
+            cache.pop(version, None)
+
+    def _version_matches(self, predicate: Predicate, v: Version) -> bool:
+        cache = self._match_cache(predicate)
+        hit = cache.get(v)
+        if hit is not None:
+            return hit
+        if v.is_unborn:
+            result = False
+        else:
+            write = self._writes.get(v)
+            if write is None:
+                result = (
+                    v in self._setup_versions
+                    and predicate.matches(v, self._setup_value.get(v))
+                )
+            elif write.dead:
+                result = False
+            else:
+                result = predicate.matches(v, write.value)
+        cache[v] = result
+        return result
+
+    def _changes_at(self, obj: str, pos: int, predicate: Predicate) -> bool:
+        chain = self._chain[obj]
+        return self._version_matches(predicate, chain[pos]) != self._version_matches(
+            predicate, chain[pos - 1]
+        )
+
+    def _selected_index(self, rec: _PreadRec, obj: str) -> Optional[int]:
+        selected = rec.vset.get(obj)
+        if selected is None:
+            return 0  # implicit unborn selection
+        return self._index[obj].get(selected)
+
+    def _pread_read_edges(self, rec: _PreadRec, obj: str) -> None:
+        idx = self._selected_index(rec, obj)
+        if idx is None or idx == 0:
+            return
+        chain = self._chain[obj]
+        changers = [
+            k for k in range(1, idx + 1) if self._changes_at(obj, k, rec.predicate)
+        ]
+        if self.mode is PredicateDepMode.LATEST:
+            changers = changers[-1:]
+        for k in changers:
+            v = chain[k]
+            if v.tid != rec.tid:
+                self._add_edge(
+                    Edge(v.tid, rec.tid, DepKind.WR, obj, v, predicate=rec.predicate)
+                )
+
+    def _pread_anti_edges(self, rec: _PreadRec, obj: str) -> None:
+        idx = self._selected_index(rec, obj)
+        if idx is None:
+            return
+        chain = self._chain[obj]
+        for k in range(idx + 1, len(chain)):
+            v = chain[k]
+            if v.tid != rec.tid and self._changes_at(obj, k, rec.predicate):
+                self._add_edge(
+                    Edge(rec.tid, v.tid, DepKind.RW, obj, v, predicate=rec.predicate)
+                )
+
+    # ------------------------------------------------------------------
+    # edge store and verdicts
+    # ------------------------------------------------------------------
+
+    def _add_edge(self, edge: Edge) -> None:
+        key = (edge.src, edge.dst, edge.kind, edge.obj, edge.version, edge.predicate)
+        existing = self._edges.get(key)
+        if existing is None:
+            self._edges[key] = edge
+            self._gen += 1
+            # Chain-dependent flavours are re-derived on object repair.
+            if edge.kind is DepKind.WW or edge.kind is DepKind.RW or edge.via_predicate:
+                self._edge_keys_by_obj.setdefault(edge.obj, set()).add(key)
+            self._feed_monitors(edge, _CycleMonitor.add)
+        elif edge.cursor and not existing.cursor:
+            self._edges[key] = edge
+            self._gen += 1
+
+    def _feed_monitors(self, edge: Edge, op) -> None:
+        """Apply ``op`` (add/remove of one collapsed pair) to every cycle
+        monitor whose filter admits ``edge``."""
+        src, dst = edge.src, edge.dst
+        op(self._mon_full, src, dst)
+        if edge.kind is DepKind.WW:
+            op(self._mon_g0, src, dst)
+            op(self._mon_g1c, src, dst)
+            op(self._mon_item, src, dst)
+        elif edge.kind is DepKind.WR:
+            op(self._mon_g1c, src, dst)
+            op(self._mon_item, src, dst)
+        elif not edge.via_predicate:
+            op(self._mon_item, src, dst)
+
+    def _add_g1a(self, tid: int, version: Version) -> None:
+        if (tid, version) not in self._g1a:
+            self._g1a.add((tid, version))
+            self._gen += 1
+
+    def _add_g1b(self, tid: int, version: Version) -> None:
+        if version in self._setup_versions:
+            return  # setup versions are never intermediate
+        if (tid, version) not in self._g1b:
+            self._g1b.add((tid, version))
+            self._gen += 1
+
+    def _is_intermediate(self, v: Version) -> bool:
+        if v.is_unborn or v not in self._writes:
+            return False
+        return self._final_seq.get((v.obj, v.tid)) != v.seq
+
+    @property
+    def edges(self) -> List[Edge]:
+        """The direct-conflict edges accumulated so far."""
+        return list(self._edges.values())
+
+    def _cycle_presence(self, keep: Callable[[Edge], bool], special=None) -> bool:
+        """Whether the kept subgraph has a cycle (``special is None``) or a
+        cycle through at least one ``special`` edge."""
+        kept = [e for e in self._edges.values() if keep(e)]
+        adj = _g.adjacency(kept)
+        comp = _g.component_index(adj)
+        if special is None:
+            counts: Dict[int, int] = {}
+            for node, c in comp.items():
+                counts[c] = counts.get(c, 0) + 1
+            return any(n >= 2 for n in counts.values())
+        return any(
+            special(e) and comp.get(e.src) == comp.get(e.dst) for e in kept
+        )
+
+    def _gated_cycle(self, monitor: _CycleMonitor, phenomenon, keep, special) -> bool:
+        """Presence of a special-edge cycle, gated on the cheap monitor.
+
+        While ``monitor``'s view is acyclic the phenomenon is trivially
+        absent (O(1)).  Once the view has *some* cycle it may still be a
+        pure ww/wr (G1c) cycle, so the anti-dependency question falls back
+        to the full SCC test, cached against the edge-set generation — the
+        slow path runs only until the verdict flips to (permanently) True.
+        """
+        if not monitor.has_cycle:
+            return False
+        cached = self._presence_cache.get(phenomenon)
+        if cached is not None and cached[0] == self._gen:
+            return cached[1]
+        present = self._cycle_presence(keep, special)
+        self._presence_cache[phenomenon] = (self._gen, present)
+        return present
+
+    def exhibits(self, phenomenon: Phenomenon) -> bool:
+        """Presence of one core phenomenon over the events consumed so far.
+
+        O(1) in the common case: G1a/G1b read their witness sets, the
+        cycle phenomena read the incremental monitors, and any phenomenon
+        proven present stays present (growing a history never removes
+        events, so presence is monotone) and is answered from a permanent
+        cache.
+        """
+        if phenomenon in self._present:
+            return True
+        if phenomenon is Phenomenon.G1A:
+            present = bool(self._g1a)
+        elif phenomenon is Phenomenon.G1B:
+            present = bool(self._g1b)
+        elif phenomenon is Phenomenon.G0:
+            present = self._mon_g0.has_cycle
+        elif phenomenon is Phenomenon.G1C:
+            present = self._mon_g1c.has_cycle
+        elif phenomenon is Phenomenon.G1:
+            present = (
+                self.exhibits(Phenomenon.G1A)
+                or self.exhibits(Phenomenon.G1B)
+                or self.exhibits(Phenomenon.G1C)
+            )
+        elif phenomenon is Phenomenon.G2:
+            present = self._gated_cycle(
+                self._mon_full,
+                phenomenon,
+                lambda e: True,
+                lambda e: e.kind is DepKind.RW,
+            )
+        elif phenomenon is Phenomenon.G2_ITEM:
+            present = self._gated_cycle(
+                self._mon_item,
+                phenomenon,
+                lambda e: not (e.kind is DepKind.RW and e.via_predicate),
+                lambda e: e.kind is DepKind.RW and not e.via_predicate,
+            )
+        else:
+            raise ValueError(
+                f"{phenomenon} is not maintained incrementally; materialise "
+                "with to_history()/check() for extension phenomena"
+            )
+        if present:
+            self._present.add(phenomenon)
+        return present
+
+    def report(self, phenomenon: Phenomenon) -> PhenomenonReport:
+        """Presence-only report (no witnesses — those need the batch
+        analysis, see :meth:`check`)."""
+        present = self.exhibits(phenomenon)
+        witnesses: Tuple[Witness, ...] = ()
+        if phenomenon is Phenomenon.G1A and present:
+            witnesses = tuple(
+                Witness(
+                    f"committed T{tid} observed {v}, written by aborted T{v.tid}",
+                    tid=tid,
+                )
+                for tid, v in sorted(self._g1a, key=lambda p: (p[0], str(p[1])))
+            )
+        if phenomenon is Phenomenon.G1B and present:
+            witnesses = tuple(
+                Witness(
+                    f"committed T{tid} observed intermediate version "
+                    f"{v.label(explicit_seq=True)}",
+                    tid=tid,
+                )
+                for tid, v in sorted(self._g1b, key=lambda p: (p[0], str(p[1])))
+            )
+        return PhenomenonReport(phenomenon, present, witnesses)
+
+    def strongest_level(self, levels=None):
+        """The strongest ANSI-chain level the history-so-far provides
+        (``None`` when even PL-1 is violated), matching batch
+        :func:`repro.core.levels.classify`."""
+        from .levels import ANSI_CHAIN
+
+        strongest = None
+        for level in levels or ANSI_CHAIN:
+            if not any(self.exhibits(p) for p in level.proscribed):
+                if strongest is None or level.implies(strongest):
+                    strongest = level
+        return strongest
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+
+    def to_history(self, *, validate: bool = False):
+        """The consumed events and maintained version order as a batch
+        :class:`~repro.core.history.History`."""
+        from .history import History
+
+        return History(
+            self.events,
+            {obj: tuple(chain[1:]) for obj, chain in self._chain.items()},
+            validate=validate,
+        )
+
+    def check(self, **kwargs):
+        """Full batch analysis (witnesses, extension levels) of the events
+        consumed so far; see :func:`repro.check`."""
+        from ..checker import check as batch_check
+
+        return batch_check(self.to_history(), mode=self.mode, **kwargs)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalAnalysis({len(self.events)} events, "
+            f"{len(self.committed)} committed, {len(self._edges)} edges)"
+        )

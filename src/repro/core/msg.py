@@ -25,12 +25,11 @@ construction in the paper is defined for the ANSI chain only.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import networkx as nx
-
+from . import graph as _g
 from .conflicts import DepKind, Edge, PredicateDepMode, all_dependencies
-from .dsg import Cycle, _shortest_edge_path
+from .dsg import Cycle
 from .history import History
 from .levels import ANSI_CHAIN, IsolationLevel
 from .phenomena import Analysis, Phenomenon, Witness
@@ -80,30 +79,32 @@ class MSG:
             for e in all_dependencies(history, mode)
             if _relevant(e, levels[e.src], levels[e.dst])
         ]
-        self.graph = nx.MultiDiGraph()
-        self.graph.add_nodes_from(history.committed_all)
-        for e in self.edges:
-            self.graph.add_edge(e.src, e.dst, edge=e)
+        self._nodes = set(history.committed_all)
+        self._adj: Dict[int, List[Edge]] = _g.adjacency(self.edges)
 
     def is_acyclic(self) -> bool:
-        return nx.is_directed_acyclic_graph(self.graph)
+        return all(
+            len(scc) < 2
+            for scc in _g.strongly_connected_components(self._adj, self._nodes)
+        )
 
     def find_cycle(self) -> Optional[Cycle]:
-        for scc in nx.strongly_connected_components(self.graph):
+        for scc in _g.strongly_connected_components(self._adj, self._nodes):
             if len(scc) < 2:
                 continue
-            members = sorted(scc)
+            members = set(scc)
+            sub = _g.adjacency(
+                e for e in self.edges if e.src in members and e.dst in members
+            )
             for e in self.edges:
-                if e.src in scc and e.dst in scc:
-                    back = _shortest_edge_path(
-                        self.graph.subgraph(members).copy(), e.dst, e.src
-                    )
+                if e.src in members and e.dst in members:
+                    back = _g.shortest_edge_path(sub, e.dst, e.src)
                     if back is not None:
                         return Cycle((e, *back))
         return None
 
     def topological_order(self) -> List[int]:
-        return list(nx.topological_sort(nx.DiGraph(self.graph)))
+        return _g.topological_order(self._adj, self._nodes)
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
-from .conflicts import DepKind, PredicateDepMode
+from .conflicts import DepKind, Edge, PredicateDepMode, all_dependencies
 from .dsg import DSG, Cycle, dependency_edge
 from .history import History
 
@@ -104,12 +104,22 @@ class Analysis:
         self.history = history
         self.mode = mode
         self._dsg: Optional[DSG] = None
+        self._edges: Optional[List[Edge]] = None
         self._cache: Dict[Phenomenon, PhenomenonReport] = {}
+
+    @property
+    def edges(self) -> List[Edge]:
+        """The history's direct-conflict edges, extracted exactly once per
+        analysis and shared by the DSG, the SSG of the extension phenomena,
+        and every per-level ``satisfies`` call reusing this analysis."""
+        if self._edges is None:
+            self._edges = all_dependencies(self.history, self.mode)
+        return self._edges
 
     @property
     def dsg(self) -> DSG:
         if self._dsg is None:
-            self._dsg = DSG(self.history, self.mode)
+            self._dsg = DSG(self.history, self.mode, edges=self.edges)
         return self._dsg
 
     def report(self, phenomenon: Phenomenon) -> PhenomenonReport:

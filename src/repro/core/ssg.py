@@ -51,14 +51,23 @@ def start_dependencies(history: History) -> List[Edge]:
 
 
 class SSG(DSG):
-    """``DSG(H)`` augmented with start-dependency edges."""
+    """``DSG(H)`` augmented with start-dependency edges.
+
+    ``edges`` optionally supplies the precomputed direct-conflict edges
+    (sans start edges), so an :class:`~repro.core.phenomena.Analysis` that
+    already extracted them does not run the extractors a second time.
+    """
 
     def __init__(
         self,
         history: History,
         mode: PredicateDepMode = PredicateDepMode.LATEST,
+        *,
+        edges=None,
     ):
-        super().__init__(history, mode, extra_edges=start_dependencies(history))
+        super().__init__(
+            history, mode, extra_edges=start_dependencies(history), edges=edges
+        )
 
     def start_edge(self, src: int, dst: int) -> bool:
         return any(e.kind is DepKind.SO for e in self.edges_between(src, dst))

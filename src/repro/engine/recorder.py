@@ -23,12 +23,42 @@ __all__ = ["HistoryRecorder"]
 
 
 class HistoryRecorder:
-    """Accumulates events and the version (install) order of an execution."""
+    """Accumulates events and the version (install) order of an execution.
 
-    def __init__(self) -> None:
+    An optional *monitor* — any object with the
+    :meth:`~repro.core.incremental.IncrementalAnalysis.add` protocol,
+    typically an :class:`~repro.core.incremental.IncrementalAnalysis` — can
+    observe the execution online: every recorded event is forwarded as it
+    happens, commits with their install positions, so phenomena can be
+    detected *while the workload runs* rather than after materialising the
+    full history.
+    """
+
+    def __init__(self, monitor: Optional[object] = None) -> None:
         self.events: List[Event] = []
         self._install: Dict[str, List[tuple]] = {}
         self._install_counter = 0
+        self.monitor = monitor
+
+    def attach_monitor(self, monitor: object) -> None:
+        """Attach an online monitor mid-execution, replaying everything
+        recorded so far (commits replay with their original install
+        positions, so the monitor's version order matches ours)."""
+        keyed: Dict[int, Dict[str, tuple]] = {}
+        for obj, entries in self._install.items():
+            for key, version in entries:
+                keyed.setdefault(version.tid, {})[obj] = (key, version)
+        for ev in self.events:
+            if isinstance(ev, Commit):
+                slot = keyed.get(ev.tid, {})
+                monitor.add(
+                    ev,
+                    finals={obj: v for obj, (_k, v) in slot.items()},
+                    positions={obj: k for obj, (k, _v) in slot.items()},
+                )
+            else:
+                monitor.add(ev)
+        self.monitor = monitor
 
     # ------------------------------------------------------------------
     # event emission
@@ -36,17 +66,25 @@ class HistoryRecorder:
 
     def begin(self, tid: int, level: Optional[object] = None) -> None:
         self.events.append(Begin(tid, level))
+        if self.monitor is not None:
+            self.monitor.add(self.events[-1])
 
     def read(self, tid: int, version: Version, value: Any = None, *, cursor: bool = False) -> None:
         self.events.append(Read(tid, version, value=value, cursor=cursor))
+        if self.monitor is not None:
+            self.monitor.add(self.events[-1])
 
     def write(self, tid: int, version: Version, value: Any = None, *, dead: bool = False) -> None:
         self.events.append(Write(tid, version, value=value, dead=dead))
+        if self.monitor is not None:
+            self.monitor.add(self.events[-1])
 
     def predicate_read(
         self, tid: int, predicate: Predicate, vset: VersionSet
     ) -> None:
         self.events.append(PredicateRead(tid, predicate, vset))
+        if self.monitor is not None:
+            self.monitor.add(self.events[-1])
 
     def commit(
         self,
@@ -64,11 +102,15 @@ class HistoryRecorder:
         write actually happened (which matters at Degree 0, where short
         write locks let writes of concurrent transactions interleave).
         """
+        keys: Dict[str, int] = {}
         for obj in sorted(finals):
             self._install_counter += 1
             key = self._install_counter if positions is None else positions[obj]
+            keys[obj] = key
             self._install.setdefault(obj, []).append((key, finals[obj]))
         self.events.append(Commit(tid))
+        if self.monitor is not None:
+            self.monitor.add(self.events[-1], finals=dict(finals), positions=keys)
 
     @property
     def install_order(self) -> Dict[str, List[Version]]:
@@ -80,6 +122,8 @@ class HistoryRecorder:
 
     def abort(self, tid: int) -> None:
         self.events.append(Abort(tid))
+        if self.monitor is not None:
+            self.monitor.add(self.events[-1])
 
     # ------------------------------------------------------------------
     # materialisation

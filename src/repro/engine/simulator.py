@@ -56,6 +56,9 @@ class SimulationResult:
     outcomes: List[ProgramOutcome]
     steps_executed: int
     deadlocks: int
+    #: The online monitor the run was observed through, if one was attached
+    #: (see ``Simulator(monitor=...)``); it has consumed every event.
+    monitor: Optional[object] = None
 
     @property
     def committed_count(self) -> int:
@@ -103,6 +106,7 @@ class Simulator:
         seed: int = 0,
         max_retries: int = 20,
         max_steps: int = 100_000,
+        monitor: Optional[object] = None,
     ):
         self.db = db
         self.programs = list(programs)
@@ -110,6 +114,12 @@ class Simulator:
         self.max_retries = max_retries
         self.max_steps = max_steps
         self.deadlocks = 0
+        self.monitor = monitor
+        if monitor is not None:
+            # Observe the execution online: the recorder forwards every
+            # event (including any already recorded, e.g. the initial load)
+            # to the monitor as it happens.
+            db.scheduler.recorder.attach_monitor(monitor)
 
     # ------------------------------------------------------------------
 
@@ -138,11 +148,16 @@ class Simulator:
             if run.active and run.txn is not None:
                 run.txn.abort()
                 run.failed = True
+        if self.monitor is not None and hasattr(self.monitor, "finish"):
+            # Apply the completion rule so the monitor's verdicts line up
+            # with the auto-completed history below.
+            self.monitor.finish()
         return SimulationResult(
             self.db.history(),
             [r.outcome for r in runs],
             steps,
             self.deadlocks,
+            monitor=self.monitor,
         )
 
     # ------------------------------------------------------------------

@@ -19,13 +19,13 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..core.events import Abort, Begin, Commit, Event
+from ..core.events import Abort, Begin, Commit, Event, PredicateRead
 from ..core.events import Read as ReadEvent
 from ..core.events import Write as WriteEvent
 from ..core.history import History
 from ..core.levels import IsolationLevel
 from ..core.objects import Version
-from ..core.predicates import FieldPredicate
+from ..core.predicates import FieldPredicate, FunctionPredicate, VersionSet
 from ..exceptions import WorkloadError
 from ..engine.programs import (
     Delete,
@@ -155,6 +155,12 @@ def random_programs(
 # ----------------------------------------------------------------------
 
 
+def _even_value(version: Version, value) -> bool:
+    """Module-level predicate condition (not a lambda) so synthetic
+    histories stay picklable for ``check_many``'s process pool."""
+    return isinstance(value, int) and value % 2 == 0
+
+
 def synthetic_history(
     *,
     n_txns: int = 100,
@@ -163,6 +169,7 @@ def synthetic_history(
     write_fraction: float = 0.4,
     abort_fraction: float = 0.05,
     stale_read_fraction: float = 0.0,
+    predicate_fraction: float = 0.0,
     seed: int = 0,
     validate: bool = True,
 ) -> History:
@@ -171,11 +178,17 @@ def synthetic_history(
     Transactions run concurrently in random interleavings; reads observe the
     latest committed version (or, with probability ``stale_read_fraction``,
     a uniformly random earlier committed version — the multi-version
-    flavour), writes buffer and install at commit in commit order.  The
-    result is well-formed by construction; ``validate=True`` double-checks.
+    flavour), writes buffer and install at commit in commit order.  With
+    probability ``predicate_fraction`` an operation is a predicate read
+    ("value is even") whose version set selects every object at its latest
+    (or stale) committed version — exercising predicate read- and
+    anti-dependencies at scale.  The result is well-formed by construction;
+    ``validate=True`` double-checks.  Histories are picklable (the predicate
+    condition is a module-level function), so they can feed ``check_many``.
     """
     rng = random.Random(seed)
     objects = [f"o{i}" for i in range(n_objects)]
+    even = FunctionPredicate("even", _even_value)
     events: List[Event] = []
     order: Dict[str, List[Version]] = {obj: [] for obj in objects}
     committed_chain: Dict[str, List[Tuple[Version, int]]] = {
@@ -223,6 +236,21 @@ def synthetic_history(
                     committed_chain[obj].append((v, txn.values[obj]))
             continue
         txn.remaining -= 1
+        if predicate_fraction and rng.random() < predicate_fraction:
+            # Predicate read over every object; each selects its latest (or
+            # stale) committed version.  The extra rng draws only happen when
+            # the knob is on, so seeds reproduce pre-knob histories exactly
+            # at predicate_fraction=0.
+            selected = {}
+            for obj in objects:
+                chain = committed_chain[obj]
+                if stale_read_fraction and rng.random() < stale_read_fraction:
+                    version, _value = rng.choice(chain)
+                else:
+                    version, _value = chain[-1]
+                selected[obj] = version
+            events.append(PredicateRead(txn.tid, even, VersionSet(selected)))
+            continue
         obj = rng.choice(objects)
         if obj in txn.writes or rng.random() < write_fraction:
             count = txn.writes.get(obj, 0) + 1
