@@ -1,0 +1,87 @@
+"""Observability overhead guard: disabled instrumentation must be free.
+
+Every hook added for the observability layer — metrics counters in the
+recorder/lock manager/store, tracer spans in the simulator and checker —
+is guarded by an ``is not None`` check and defaults to off.  These tests
+pin that claim two ways:
+
+* the **benchguard** test re-measures the conflicted scaling workloads
+  (instrumentation disabled, as always for plain ``repro.check``) against
+  the committed pre-instrumentation ``baseline.json`` — any hook that
+  leaked onto the hot path shows up as a >25% regression;
+* the **engine** test runs the same simulated workload with and without a
+  registry+tracer attached and bounds the *enabled* overhead too, so the
+  instrumented path stays usable (a loose bound — this is a smoke ceiling,
+  not a performance promise).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from compare_bench import BASELINE_PATH, compare, measure_guard
+
+_CONFLICTED = [
+    "test_scaling_conflicted_histories[1000]",
+    "test_scaling_conflicted_histories[4000]",
+]
+
+
+@pytest.mark.benchguard
+def test_disabled_instrumentation_within_noise_of_baseline():
+    """The conflicted checker workloads, run exactly as the committed
+    pre-instrumentation baseline ran them (no registry, no tracer), must
+    stay within the guard tolerance — i.e. the default-off hooks cost
+    nothing measurable."""
+    if not BASELINE_PATH.exists():
+        pytest.skip(f"no committed baseline at {BASELINE_PATH}")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    wanted = [n for n in _CONFLICTED if n in baseline["benchmarks"]]
+    if not wanted:
+        pytest.skip("baseline has no conflicted scaling entries")
+    current = measure_guard(wanted)
+    regressions = compare(baseline, current)
+    assert not regressions, "\n".join(regressions)
+
+
+def _run_workload(*, instrumented: bool) -> float:
+    from repro.engine.database import Database
+    from repro.engine.locking import LockingScheduler
+    from repro.engine.programs import Increment, Program, Read
+    from repro.engine.simulator import Simulator
+    from repro.observability import MetricsRegistry, Tracer
+
+    best = float("inf")
+    for round_ in range(3):
+        db = Database(LockingScheduler("serializable"))
+        db.load({f"x{i}": 0 for i in range(8)})
+        programs = [
+            Program(
+                f"p{i}",
+                [Read(f"x{i % 8}", into="v"), Increment(f"x{(i + 1) % 8}")],
+            )
+            for i in range(24)
+        ]
+        kwargs = {}
+        if instrumented:
+            kwargs = {"metrics": MetricsRegistry(), "tracer": Tracer()}
+        sim = Simulator(db, programs, seed=round_, **kwargs)
+        start = time.perf_counter()
+        sim.run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_enabled_instrumentation_overhead_bounded():
+    plain = _run_workload(instrumented=False)
+    instrumented = _run_workload(instrumented=True)
+    # Generous ceiling: full metrics + tracing may cost real work (every
+    # event is counted and spanned) but must stay the same order of
+    # magnitude as the uninstrumented run.
+    assert instrumented < max(plain * 5, plain + 0.05), (
+        f"instrumented run {instrumented * 1000:.1f} ms vs plain "
+        f"{plain * 1000:.1f} ms"
+    )

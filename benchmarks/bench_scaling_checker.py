@@ -14,10 +14,16 @@ second on laptop hardware.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
 import repro
+from repro.observability import MetricsRegistry
 from repro.workloads import synthetic_history
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 SIZES = [10, 50, 200, 1000, 4000]  # transactions; ~6 events each
 
@@ -49,16 +55,47 @@ def test_largest_history_under_a_second(benchmark, record_table):
     history = synthetic_history(
         n_txns=4000, n_objects=800, ops_per_txn=5, seed=3
     )
+    registry = MetricsRegistry()
     report = benchmark.pedantic(
-        lambda: repro.check(history), iterations=1, rounds=3
+        lambda: repro.check(history, metrics=registry), iterations=1, rounds=3
     )
     # Time the classification callable itself (the harness's own setup and
     # bookkeeping used to be wall-clocked in, hiding ~2x slack).
     elapsed = benchmark.stats.stats.min
     assert elapsed < 1.0, f"classification took {elapsed:.2f}s"
+    # The per-stage split comes from the checker's own instrumentation —
+    # Analysis.timings for the last run, checker_* counters for totals
+    # across all rounds — so the committed summary shows where the time
+    # goes, not just that it fits the bound.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "scaling_summary.json").write_text(
+        json.dumps(
+            {
+                "events": len(history),
+                "transactions": len(history.tids),
+                "best_run_s": round(elapsed, 6),
+                "strongest_level": str(report.strongest_level),
+                "timings_s": {
+                    stage: round(seconds, 6)
+                    for stage, seconds in report.timings.items()
+                },
+                "counters": {
+                    "checker_checks_total": registry.counter(
+                        "checker_checks_total"
+                    ).total,
+                    "checker_edges_total": registry.counter(
+                        "checker_edges_total"
+                    ).total,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
     record_table(
         "scaling_summary",
         f"SCALE — {len(history)} events, {len(history.tids)} transactions "
         f"classified in ~{elapsed * 1000:.0f} ms/run "
-        f"(strongest level {report.strongest_level})",
+        f"(strongest level {report.strongest_level}; extraction "
+        f"{report.timings.get('extract', 0) * 1000:.0f} ms of the last run)",
     )

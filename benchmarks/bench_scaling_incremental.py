@@ -171,7 +171,16 @@ def test_check_many_parallel_matches_and_scales(record_table):
 
 
 def test_throughput_table_to_1e5_events(record_table):
-    """Batch vs incremental throughput from 10^3.8 to >=10^5 events."""
+    """Batch vs incremental throughput from 10^3.8 to >=10^5 events.
+
+    Alongside wall-clock, each row records what the observability hooks
+    saw: the batch checker's per-stage timing breakdown
+    (``Analysis.timings``) and the incremental analysis's work counters
+    (events consumed, edges inserted) — so the committed JSON explains the
+    times, not just states them.
+    """
+    from repro.observability import MetricsRegistry
+
     rows = []
     for n_txns in (1000, 4000, 16000):
         history = synthetic_history(
@@ -183,8 +192,14 @@ def test_throughput_table_to_1e5_events(record_table):
             seed=11,
         )
         events = len(history.events)
-        batch = _best(lambda h=history: repro.check(h), rounds=1)
-        inc = IncrementalAnalysis(order_mode="commit")
+        last_report = {}
+
+        def run_batch(h=history, sink=last_report):
+            sink["report"] = repro.check(h)
+
+        batch = _best(run_batch, rounds=1)
+        registry = MetricsRegistry()
+        inc = IncrementalAnalysis(order_mode="commit", metrics=registry)
         feed = _best(lambda h=history: inc.add_all(h.events), rounds=1)
         level = inc.strongest_level()
         rows.append(
@@ -193,8 +208,20 @@ def test_throughput_table_to_1e5_events(record_table):
                 "events": events,
                 "batch_s": round(batch, 4),
                 "batch_ev_per_s": round(events / batch),
+                "batch_timings_s": {
+                    stage: round(seconds, 5)
+                    for stage, seconds in last_report["report"].timings.items()
+                },
                 "incremental_s": round(feed, 4),
                 "incremental_ev_per_s": round(events / feed),
+                "events_consumed": inc.events_consumed,
+                "edges_inserted": inc.edges_inserted,
+                "incremental_events_total": registry.counter(
+                    "incremental_events_total"
+                ).total,
+                "incremental_edges_total": registry.counter(
+                    "incremental_edges_total"
+                ).total,
                 "level": str(level),
             }
         )

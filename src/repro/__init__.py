@@ -43,6 +43,7 @@ from .core import (
     satisfies,
 )
 from .checker import CheckReport, check, check_level, check_many
+from .observability import MetricsRegistry, Tracer
 from .exceptions import (
     HistoryError,
     MalformedHistoryError,
@@ -81,6 +82,8 @@ __all__ = [
     "check",
     "check_level",
     "check_many",
+    "MetricsRegistry",
+    "Tracer",
     "HistoryError",
     "MalformedHistoryError",
     "ParseError",

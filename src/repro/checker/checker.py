@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import functools
 import os
+import time
 from typing import Iterable, List, Optional, Sequence, Union
 
 from ..core.conflicts import PredicateDepMode
@@ -45,6 +46,8 @@ def check(
     extensions: bool = False,
     mode: PredicateDepMode = PredicateDepMode.LATEST,
     auto_complete: bool = False,
+    metrics: Optional[object] = None,
+    tracer: Optional[object] = None,
 ) -> CheckReport:
     """Full analysis of a history.
 
@@ -61,6 +64,14 @@ def check(
     auto_complete:
         Append aborts for unfinished transactions before checking
         (Section 4.2's completion; only applies to textual input).
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`: the check
+        accounts edge counts and per-stage durations into it
+        (``checker_*`` metrics; see ``docs/observability.md``).
+    tracer:
+        Optional :class:`~repro.observability.Tracer`: the check runs under
+        a ``checker.check`` span with ``checker.extract`` /
+        ``checker.phenomenon`` child spans.
 
     Caching contract
     ----------------
@@ -85,11 +96,26 @@ def check(
         ):
             if extra not in wanted:
                 wanted.append(extra)
-    analysis = Analysis(h, mode)
+    span = None
+    if tracer is not None:
+        span = tracer.span(
+            "checker.check",
+            events=len(h.events),
+            levels=[str(level) for level in wanted],
+        )
+    started = time.perf_counter()
+    analysis = Analysis(h, mode, metrics=metrics, tracer=tracer)
     verdicts = {
         level: satisfies(h, level, analysis=analysis) for level in wanted
     }
-    return CheckReport(h, analysis, verdicts, tuple(wanted))
+    analysis.timings["total"] = time.perf_counter() - started
+    if metrics is not None:
+        metrics.counter("checker_checks_total", "histories checked").inc()
+    report = CheckReport(h, analysis, verdicts, tuple(wanted))
+    if span is not None:
+        strongest = report.strongest_level
+        span.end(strongest=str(strongest) if strongest is not None else None)
+    return report
 
 
 def _check_one(
@@ -119,12 +145,19 @@ def check_many(
     extensions: bool = False,
     mode: PredicateDepMode = PredicateDepMode.LATEST,
     auto_complete: bool = False,
+    metrics: Optional[object] = None,
 ) -> List[CheckReport]:
     """Check a batch of histories, optionally across worker processes.
 
     ``processes=None`` picks ``os.cpu_count()`` workers when there is more
     than one history to check; ``processes<=1`` forces the serial path (no
     pool, no pickling).  Reports come back in input order.
+
+    ``metrics`` is honoured on the serial path only: registries are
+    in-process objects and do not aggregate across a worker pool, so the
+    parallel path checks without instrumentation rather than silently
+    accounting a single worker's share.  Pass ``processes=1`` to combine
+    batch checking with a registry.
 
     The parallel path ships each history to a worker via pickling, so
     histories must be picklable — in particular
@@ -145,6 +178,7 @@ def check_many(
                 extensions=extensions,
                 mode=mode,
                 auto_complete=auto_complete,
+                metrics=metrics,
             )
             for h in items
         ]

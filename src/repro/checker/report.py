@@ -65,6 +65,25 @@ class CheckReport:
         """The standard phenomena the history exhibits."""
         return tuple(r.phenomenon for r in self.phenomena() if r.present)
 
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Wall-clock seconds per checker stage, from the underlying
+        analysis: ``"extract"`` (edge extraction), one entry per phenomenon
+        detected so far, and ``"total"`` for the whole ``check`` call.
+        Populated lazily — asking for a phenomenon's report adds its row."""
+        return self.analysis.timings
+
+    def describe_timings(self) -> str:
+        """The timing breakdown as an aligned text table (microsecond
+        precision), stages in measurement order."""
+        rows = list(self.timings.items())
+        if not rows:
+            return "no timings recorded"
+        width = max(len(stage) for stage, _ in rows)
+        return "\n".join(
+            f"{stage:<{width}}  {seconds * 1e6:>10.1f} us" for stage, seconds in rows
+        )
+
     def timeline(self) -> str:
         """The history as a transaction/time grid (see
         :func:`repro.core.timeline.timeline`)."""

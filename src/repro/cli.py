@@ -27,6 +27,15 @@ Commands
 ``timeline``
     Render the history as a transaction/time grid (one row per
     transaction).
+``trace``
+    Replay the history through the online monitor and the batch checker
+    under a :class:`~repro.observability.Tracer` and emit the JSONL trace
+    (``--out`` for a file, default stdout).  Latched phenomena appear as
+    ``phenomenon`` provenance events naming the witness cycle's edges.
+``stats``
+    Check the history with a fresh metrics registry attached and print the
+    collected metrics as text (default), JSON (``--format json``), or
+    Prometheus exposition (``--format prometheus``).
 ``corpus``
     Self-test: re-check every canonical paper history and anomaly against
     its documented verdicts and print the admission matrix (no history
@@ -93,6 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--level",
         help="test only this level (name or alias, e.g. 'PL-3', 'repeatable read')",
     )
+    p_check.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the checker's collected metrics",
+    )
 
     p_many = sub.add_parser(
         "check-many",
@@ -117,6 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--auto-complete",
         action="store_true",
         help="append aborts for unfinished transactions (Section 4.2)",
+    )
+    p_many.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print collected metrics (forces the serial path)",
     )
 
     p_classify = sub.add_parser("classify", help="print the strongest ANSI level")
@@ -147,6 +166,33 @@ def build_parser() -> argparse.ArgumentParser:
     add_history_args(p_repair)
     p_repair.add_argument(
         "--level", default="PL-3", help="target level (default PL-3)"
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="replay the history under a tracer and emit the JSONL trace",
+    )
+    add_history_args(p_trace)
+    p_trace.add_argument(
+        "--out",
+        "-o",
+        help="write the JSONL trace to this file (default: stdout)",
+    )
+
+    p_stats = sub.add_parser(
+        "stats", help="check the history and print the collected metrics"
+    )
+    add_history_args(p_stats)
+    p_stats.add_argument(
+        "--format",
+        choices=("text", "json", "prometheus"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_stats.add_argument(
+        "--extensions",
+        action="store_true",
+        help="also test PL-CS, PL-2+ and PL-SI",
     )
 
     sub.add_parser(
@@ -199,18 +245,29 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return 2
 
     if args.command == "check":
+        registry = None
+        if args.metrics:
+            from .observability import MetricsRegistry
+
+            registry = MetricsRegistry()
         if args.level:
             try:
                 level = IsolationLevel.from_string(args.level)
             except KeyError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
-            report = check(history, levels=(level,))
+            report = check(history, levels=(level,), metrics=registry)
             verdict = report.verdicts[level]
             print(verdict.describe(), file=out)
+            if registry is not None:
+                print("\nmetrics:", file=out)
+                print(registry.render_text(), file=out)
             return 0 if verdict.ok else 1
-        report = check(history, extensions=args.extensions)
+        report = check(history, extensions=args.extensions, metrics=registry)
         print(report.explain(), file=out)
+        if registry is not None:
+            print("\nmetrics:", file=out)
+            print(registry.render_text(), file=out)
         return 0
 
     if args.command == "classify":
@@ -245,6 +302,12 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         print(timeline(history), file=out)
         return 0
 
+    if args.command == "trace":
+        return _run_trace(args, history, out)
+
+    if args.command == "stats":
+        return _run_stats(args, history, out)
+
     if args.command == "repair":
         from .analysis.repair import repair as run_repair
 
@@ -262,6 +325,62 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def _run_trace(args, history, out) -> int:
+    """Replay a history through the online monitor and the batch checker
+    under one tracer; write the JSONL trace to ``--out`` or stdout."""
+    import json
+
+    from .observability import JsonlSink, Tracer, watching_analysis
+
+    tracer = Tracer()
+    with tracer.span("trace.replay", events=len(history.events)):
+        analysis = watching_analysis(
+            tracer, version_order_hint=history.version_order
+        )
+        for event in history.events:
+            analysis.add(event)
+        analysis.finish()
+    check(history, tracer=tracer)
+    if args.out:
+        with JsonlSink(args.out) as sink:
+            for record in tracer.records:
+                sink(record)
+        phenomena = sorted(
+            {e["attrs"]["phenomenon"] for e in tracer.events("phenomenon")}
+        )
+        summary = f"wrote {len(tracer.records)} records to {args.out}"
+        if phenomena:
+            summary += f" (phenomena: {', '.join(phenomena)})"
+        print(summary, file=out)
+    else:
+        for record in tracer.records:
+            print(json.dumps(record, sort_keys=True), file=out)
+    return 0
+
+
+def _run_stats(args, history, out) -> int:
+    """Check a history with a registry attached and print the metrics."""
+    import json
+
+    from .observability import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.gauge("history_events", "events in the checked history").set(
+        len(history.events)
+    )
+    registry.gauge(
+        "history_transactions", "transactions in the checked history"
+    ).set(len(history.tids))
+    check(history, extensions=args.extensions, metrics=registry)
+    if args.format == "json":
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True), file=out)
+    elif args.format == "prometheus":
+        print(registry.render_prometheus(), file=out)
+    else:
+        print(registry.render_text(), file=out)
+    return 0
+
+
 def _run_check_many(args, out) -> int:
     """Parse every file, check the batch (parallel by default), and print
     one summary line per history."""
@@ -276,8 +395,18 @@ def _run_check_many(args, out) -> int:
         except (ReproError, OSError) as exc:
             print(f"error: {path}: {exc}", file=sys.stderr)
             return 2
+    registry = None
+    processes = args.processes
+    if args.metrics:
+        from .observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        processes = 1  # registries are in-process; see check_many docs
     reports = check_many(
-        histories, processes=args.processes, extensions=args.extensions
+        histories,
+        processes=processes,
+        extensions=args.extensions,
+        metrics=registry,
     )
     width = max(len(path) for path in args.files)
     for path, report in zip(args.files, reports):
@@ -290,6 +419,9 @@ def _run_check_many(args, out) -> int:
             f"{path:{width}}  {str(level) if level else 'none':>8}{detail}",
             file=out,
         )
+    if registry is not None:
+        print("\nmetrics:", file=out)
+        print(registry.render_text(), file=out)
     return 0
 
 

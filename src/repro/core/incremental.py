@@ -232,9 +232,29 @@ class IncrementalAnalysis:
         version_order_hint: Optional[Mapping[str, Sequence[Version]]] = None,
         watch: Iterable[Phenomenon] = (),
         on_phenomenon: Optional[Callable[[Phenomenon, "IncrementalAnalysis"], None]] = None,
+        metrics: Optional[object] = None,
+        tracer: Optional[object] = None,
     ):
         if order_mode not in ("event", "commit"):
             raise ValueError(f"unknown order_mode {order_mode!r}")
+        # Optional observability sinks (see :mod:`repro.observability`):
+        # per-event/per-edge counters and phenomenon events.
+        self.metrics = metrics
+        self.tracer = tracer
+        self._ev_counter = (
+            metrics.counter(
+                "incremental_events_total", "events consumed by online analyses"
+            ).labels()
+            if metrics is not None
+            else None
+        )
+        self._edge_counter = (
+            metrics.counter(
+                "incremental_edges_total", "DSG edges inserted by online analyses"
+            ).labels()
+            if metrics is not None
+            else None
+        )
         self.mode = mode
         self.order_mode = order_mode
         self.events: List[Event] = []
@@ -316,6 +336,8 @@ class IncrementalAnalysis:
         """
         index = len(self.events)
         self.events.append(event)
+        if self._ev_counter is not None:
+            self._ev_counter.inc()
         if isinstance(event, Write):
             self._on_write(event, index)
         elif isinstance(event, Read):
@@ -713,6 +735,8 @@ class IncrementalAnalysis:
         if existing is None:
             self._edges[key] = edge
             self._gen += 1
+            if self._edge_counter is not None:
+                self._edge_counter.inc()
             # Chain-dependent flavours are re-derived on object repair.
             if edge.kind is DepKind.WW or edge.kind is DepKind.RW or edge.via_predicate:
                 self._edge_keys_by_obj.setdefault(edge.obj, set()).add(key)
@@ -757,6 +781,17 @@ class IncrementalAnalysis:
     def edges(self) -> List[Edge]:
         """The direct-conflict edges accumulated so far."""
         return list(self._edges.values())
+
+    @property
+    def events_consumed(self) -> int:
+        """Events fed through :meth:`add` so far (free to read — no
+        registry required)."""
+        return len(self.events)
+
+    @property
+    def edges_inserted(self) -> int:
+        """Distinct DSG edges currently held (free to read)."""
+        return len(self._edges)
 
     def _cycle_presence(self, keep: Callable[[Edge], bool], special=None) -> bool:
         """Whether the kept subgraph has a cycle (``special is None``) or a

@@ -22,6 +22,7 @@ use it when checking several phenomena of one history.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
@@ -100,12 +101,22 @@ class Analysis:
         self,
         history: History,
         mode: PredicateDepMode = PredicateDepMode.LATEST,
+        *,
+        metrics: Optional[object] = None,
+        tracer: Optional[object] = None,
     ):
         self.history = history
         self.mode = mode
         self._dsg: Optional[DSG] = None
         self._edges: Optional[List[Edge]] = None
         self._cache: Dict[Phenomenon, PhenomenonReport] = {}
+        #: Optional observability sinks (see :mod:`repro.observability`).
+        self.metrics = metrics
+        self.tracer = tracer
+        #: Wall-clock seconds per stage: ``"extract"`` for edge extraction,
+        #: plus one entry per phenomenon detected (``"G0"``, ``"G2"``, ...).
+        #: Always populated — the cost is a handful of clock reads.
+        self.timings: Dict[str, float] = {}
 
     @property
     def edges(self) -> List[Edge]:
@@ -113,7 +124,28 @@ class Analysis:
         analysis and shared by the DSG, the SSG of the extension phenomena,
         and every per-level ``satisfies`` call reusing this analysis."""
         if self._edges is None:
+            span = None
+            if self.tracer is not None:
+                span = self.tracer.span(
+                    "checker.extract", events=len(self.history.events)
+                )
+            started = time.perf_counter()
             self._edges = all_dependencies(self.history, self.mode)
+            elapsed = time.perf_counter() - started
+            self.timings["extract"] = elapsed
+            if span is not None:
+                span.end(edges=len(self._edges))
+            if self.metrics is not None:
+                from ..observability.metrics import SECONDS_BUCKETS
+
+                self.metrics.histogram(
+                    "checker_extract_seconds",
+                    "edge-extraction pass durations",
+                    buckets=SECONDS_BUCKETS,
+                ).observe(elapsed)
+                self.metrics.counter(
+                    "checker_edges_total", "direct-conflict edges extracted"
+                ).inc(len(self._edges))
         return self._edges
 
     @property
@@ -125,7 +157,26 @@ class Analysis:
     def report(self, phenomenon: Phenomenon) -> PhenomenonReport:
         """The (memoized) report for one phenomenon."""
         if phenomenon not in self._cache:
-            self._cache[phenomenon] = self._detect(phenomenon)
+            span = None
+            if self.tracer is not None:
+                span = self.tracer.span(
+                    "checker.phenomenon", phenomenon=str(phenomenon)
+                )
+            started = time.perf_counter()
+            result = self._detect(phenomenon)
+            elapsed = time.perf_counter() - started
+            self.timings[str(phenomenon)] = elapsed
+            if span is not None:
+                span.end(present=result.present)
+            if self.metrics is not None:
+                from ..observability.metrics import SECONDS_BUCKETS
+
+                self.metrics.histogram(
+                    "checker_phenomenon_seconds",
+                    "per-phenomenon detection durations",
+                    buckets=SECONDS_BUCKETS,
+                ).observe(elapsed, phenomenon=str(phenomenon))
+            self._cache[phenomenon] = result
         return self._cache[phenomenon]
 
     def exhibits(self, phenomenon: Phenomenon) -> bool:

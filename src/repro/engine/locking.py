@@ -123,6 +123,11 @@ class LockingScheduler(Scheduler):
         holder = self._txns.get(holder_tid)
         if holder is not None and holder.state is TxnState.ACTIVE:
             holder.abort_reason = f"wounded by older T{requester_tid}"
+            self._abort_metric("wounded")
+            if self.tracer is not None:
+                self.tracer.event(
+                    "wound", victim=holder_tid, requester=requester_tid
+                )
             self.abort(holder)
 
     def _acquire(self, txn: Transaction, attempt) -> None:

@@ -52,6 +52,40 @@ class LockManager:
         self._relations: Dict[str, Set[int]] = {}
         #: relation -> objs with any WRITE lock (for predicate conflicts)
         self._write_locked: Dict[str, Set[str]] = {}
+        # Observability (instrument()): grant/block counters and hold
+        # durations in logical steps read off the registry clock.
+        self._metrics = None
+        self._scheduler = ""
+        #: (scope, tid, resource) -> registry clock at first grant
+        self._acquired_at: Dict[tuple, int] = {}
+
+    def instrument(self, *, metrics=None, scheduler: str = "") -> None:
+        """Attach a metrics registry: counts grants/blocks
+        (``lock_grants_total``/``lock_blocks_total{scope,mode}``) and
+        observes hold durations (``lock_hold_steps{scope}``) in logical
+        steps of the registry clock (ticked by the simulator)."""
+        self._metrics = metrics
+        self._scheduler = scheduler
+
+    def _note_grant(self, scope: str, mode: str, tid: int, resource: str) -> None:
+        m = self._metrics
+        m.counter("lock_grants_total", "lock acquisitions granted").inc(
+            scope=scope, mode=mode, scheduler=self._scheduler
+        )
+        self._acquired_at.setdefault((scope, tid, resource), m.clock)
+
+    def _note_block(self, scope: str, mode: str) -> None:
+        self._metrics.counter(
+            "lock_blocks_total", "lock acquisitions that had to wait"
+        ).inc(scope=scope, mode=mode, scheduler=self._scheduler)
+
+    def _note_release(self, scope: str, tid: int, resource: str) -> None:
+        m = self._metrics
+        held_since = self._acquired_at.pop((scope, tid, resource), None)
+        if held_since is not None:
+            m.histogram(
+                "lock_hold_steps", "lock hold durations in logical steps"
+            ).observe(m.clock - held_since, scope=scope, scheduler=self._scheduler)
 
     # ------------------------------------------------------------------
     # item locks
@@ -74,17 +108,23 @@ class LockManager:
                 if t != tid
             }
         if blockers:
+            if self._metrics is not None:
+                self._note_block("item", mode.value)
             raise WouldBlock(tid, f"{mode.value} lock on {obj!r}", blockers)
         current = holders.get(tid)
         if current is None or (current is LockMode.READ and mode is LockMode.WRITE):
             holders[tid] = mode
         if holders[tid] is LockMode.WRITE:
             self._write_locked.setdefault(relation_of(obj), set()).add(obj)
+        if self._metrics is not None:
+            self._note_grant("item", mode.value, tid, obj)
 
     def release_item(self, tid: int, obj: str) -> None:
         holders = self._items.get(obj)
         if not holders:
             return
+        if tid in holders and self._metrics is not None:
+            self._note_release("item", tid, obj)
         holders.pop(tid, None)
         if not any(m is LockMode.WRITE for m in holders.values()):
             self._write_locked.get(relation_of(obj), set()).discard(obj)
@@ -94,6 +134,8 @@ class LockManager:
         transaction may also hold (reads after own writes)."""
         holders = self._items.get(obj)
         if holders and holders.get(tid) is LockMode.READ:
+            if self._metrics is not None:
+                self._note_release("item", tid, obj)
             holders.pop(tid)
 
     # ------------------------------------------------------------------
@@ -109,12 +151,18 @@ class LockManager:
                 if t != tid and m is LockMode.WRITE
             }
         if blockers:
+            if self._metrics is not None:
+                self._note_block("predicate", "read")
             raise WouldBlock(
                 tid, f"predicate lock on relation {relation!r}", blockers
             )
         self._relations.setdefault(relation, set()).add(tid)
+        if self._metrics is not None:
+            self._note_grant("predicate", "read", tid, relation)
 
     def release_relation(self, tid: int, relation: str) -> None:
+        if self._metrics is not None and tid in self._relations.get(relation, ()):
+            self._note_release("predicate", tid, relation)
         self._relations.get(relation, set()).discard(tid)
 
     # ------------------------------------------------------------------
@@ -127,6 +175,8 @@ class LockManager:
             if tid in holders:
                 self.release_item(tid, obj)
         for rel, holders in self._relations.items():
+            if self._metrics is not None and tid in holders:
+                self._note_release("predicate", tid, rel)
             holders.discard(tid)
 
     def holders_of(self, obj: str) -> Dict[int, LockMode]:

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 from ..core.levels import IsolationLevel
 from ..core.msg import ansi_projection
-from ..exceptions import ValidationFailure
 from .optimistic import OptimisticScheduler
 from .transaction import Transaction
 
@@ -64,10 +63,12 @@ class MixedOptimisticScheduler(OptimisticScheduler):
             if record.commit_seq <= txn.snapshot_seq:
                 break
             if record.write_set & txn.read_set:
-                self.abort(txn)
-                raise ValidationFailure(txn.tid, record.tid)
+                self._validation_failed(txn, record.tid)
             if check_predicates:
                 for predicate in txn.predicates:
                     if self._changes_predicate(record, predicate):
-                        self.abort(txn)
-                        raise ValidationFailure(txn.tid, record.tid)
+                        self._validation_failed(txn, record.tid)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "occ_validations_total", "OCC commit validations by outcome"
+            ).inc(scheduler=self.name, outcome="ok")

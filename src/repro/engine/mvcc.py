@@ -126,6 +126,14 @@ class SnapshotIsolationScheduler(_MultiVersionBase):
             if self.store.changed_since(obj, txn.snapshot_seq):
                 winner = self.store.latest(obj)
                 assert winner is not None
+                self._abort_metric("first-committer-wins")
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "first-committer-wins",
+                        tid=txn.tid,
+                        obj=obj,
+                        winner=winner.version.tid,
+                    )
                 self.abort(txn)
                 raise WriteConflict(txn.tid, obj, winner.version.tid)
         self.store.install(txn.final_values())

@@ -150,12 +150,27 @@ class OptimisticScheduler(Scheduler):
                 break
             clash = record.write_set & txn.read_set
             if clash:
-                self.abort(txn)
-                raise ValidationFailure(txn.tid, record.tid)
+                self._validation_failed(txn, record.tid)
             for predicate in txn.predicates:
                 if self._changes_predicate(record, predicate):
-                    self.abort(txn)
-                    raise ValidationFailure(txn.tid, record.tid)
+                    self._validation_failed(txn, record.tid)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "occ_validations_total", "OCC commit validations by outcome"
+            ).inc(scheduler=self.name, outcome="ok")
+
+    def _validation_failed(self, txn: Transaction, against: int) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "occ_validations_total", "OCC commit validations by outcome"
+            ).inc(scheduler=self.name, outcome="failed")
+            self._abort_metric("validation-failure")
+        if self.tracer is not None:
+            self.tracer.event(
+                "validation-failure", tid=txn.tid, against=against
+            )
+        self.abort(txn)
+        raise ValidationFailure(txn.tid, against)
 
     @staticmethod
     def _changes_predicate(record: _CommittedRecord, predicate: Predicate) -> bool:

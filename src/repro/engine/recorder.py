@@ -39,6 +39,28 @@ class HistoryRecorder:
         self._install: Dict[str, List[tuple]] = {}
         self._install_counter = 0
         self.monitor = monitor
+        # Per-event-type bound counters, populated by instrument(); None
+        # keeps every emission at exactly one extra `is not None` check.
+        self._ev_counters: Optional[Dict[str, object]] = None
+
+    def instrument(
+        self, *, metrics: Optional[object] = None, scheduler: str = ""
+    ) -> None:
+        """Count every recorded event into ``metrics`` as
+        ``history_events_total{type=...,scheduler=...}`` (begins, commits
+        and aborts included — the engine's begin/commit/abort totals).
+        The label set is bound once here so the per-event cost when
+        enabled is a single dict add."""
+        if metrics is None:
+            self._ev_counters = None
+            return
+        counter = metrics.counter(
+            "history_events_total", "history events recorded by type"
+        )
+        self._ev_counters = {
+            kind: counter.labels(type=kind, scheduler=scheduler)
+            for kind in ("begin", "read", "write", "predicate_read", "commit", "abort")
+        }
 
     def attach_monitor(self, monitor: object) -> None:
         """Attach an online monitor mid-execution, replaying everything
@@ -66,16 +88,22 @@ class HistoryRecorder:
 
     def begin(self, tid: int, level: Optional[object] = None) -> None:
         self.events.append(Begin(tid, level))
+        if self._ev_counters is not None:
+            self._ev_counters["begin"].inc()
         if self.monitor is not None:
             self.monitor.add(self.events[-1])
 
     def read(self, tid: int, version: Version, value: Any = None, *, cursor: bool = False) -> None:
         self.events.append(Read(tid, version, value=value, cursor=cursor))
+        if self._ev_counters is not None:
+            self._ev_counters["read"].inc()
         if self.monitor is not None:
             self.monitor.add(self.events[-1])
 
     def write(self, tid: int, version: Version, value: Any = None, *, dead: bool = False) -> None:
         self.events.append(Write(tid, version, value=value, dead=dead))
+        if self._ev_counters is not None:
+            self._ev_counters["write"].inc()
         if self.monitor is not None:
             self.monitor.add(self.events[-1])
 
@@ -83,6 +111,8 @@ class HistoryRecorder:
         self, tid: int, predicate: Predicate, vset: VersionSet
     ) -> None:
         self.events.append(PredicateRead(tid, predicate, vset))
+        if self._ev_counters is not None:
+            self._ev_counters["predicate_read"].inc()
         if self.monitor is not None:
             self.monitor.add(self.events[-1])
 
@@ -109,6 +139,8 @@ class HistoryRecorder:
             keys[obj] = key
             self._install.setdefault(obj, []).append((key, finals[obj]))
         self.events.append(Commit(tid))
+        if self._ev_counters is not None:
+            self._ev_counters["commit"].inc()
         if self.monitor is not None:
             self.monitor.add(self.events[-1], finals=dict(finals), positions=keys)
 
@@ -122,6 +154,8 @@ class HistoryRecorder:
 
     def abort(self, tid: int) -> None:
         self.events.append(Abort(tid))
+        if self._ev_counters is not None:
+            self._ev_counters["abort"].inc()
         if self.monitor is not None:
             self.monitor.add(self.events[-1])
 

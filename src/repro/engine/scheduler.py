@@ -61,6 +61,38 @@ class Scheduler:
     def __init__(self) -> None:
         self.store = MultiVersionStore()
         self.recorder = HistoryRecorder()
+        #: Observability sinks; ``None`` (the default) disables
+        #: instrumentation entirely — see :meth:`instrument`.
+        self.metrics = None
+        self.tracer = None
+
+    # -- observability ---------------------------------------------------
+
+    def instrument(self, *, metrics=None, tracer=None) -> "Scheduler":
+        """Attach a :class:`~repro.observability.MetricsRegistry` and/or
+        :class:`~repro.observability.Tracer`, threading them into the
+        recorder, the lock manager (locking schedulers) and the store.
+        The simulator calls this when constructed with ``metrics=`` /
+        ``tracer=``; standalone scheduler users call it directly.  Every
+        instrumented site is guarded by an ``is not None`` check, so an
+        un-instrumented scheduler pays nothing."""
+        self.metrics = metrics
+        self.tracer = tracer
+        self.recorder.instrument(metrics=metrics, scheduler=self.name)
+        self.store.instrument(metrics=metrics, scheduler=self.name)
+        locks = getattr(self, "locks", None)
+        if locks is not None:
+            locks.instrument(metrics=metrics, scheduler=self.name)
+        return self
+
+    def _abort_metric(self, reason: str) -> None:
+        """Count one scheduler-initiated abort by machine-readable reason
+        (``validation-failure``, ``first-committer-wins``, ``wounded``;
+        the simulator adds ``deadlock`` for its victims)."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "txn_aborts_total", "transaction aborts by reason"
+            ).inc(scheduler=self.name, reason=reason)
 
     # -- lifecycle -----------------------------------------------------
 

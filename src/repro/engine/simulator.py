@@ -59,6 +59,10 @@ class SimulationResult:
     #: The online monitor the run was observed through, if one was attached
     #: (see ``Simulator(monitor=...)``); it has consumed every event.
     monitor: Optional[object] = None
+    #: The metrics registry the run accounted into, if one was attached
+    #: (see ``Simulator(metrics=...)``): begins/commits/aborts by reason,
+    #: lock waits and holds in logical steps, deadlock victims, ...
+    metrics: Optional[object] = None
 
     @property
     def committed_count(self) -> int:
@@ -82,6 +86,10 @@ class _Run:
         self.waiting_on: Optional[frozenset[int]] = None
         self.done = False
         self.failed = False
+        #: Registry clock when the current lock wait began (observability).
+        self.wait_started: Optional[int] = None
+        #: Open tracer span for the current attempt (observability).
+        self.span: Optional[object] = None
 
     @property
     def active(self) -> bool:
@@ -107,6 +115,8 @@ class Simulator:
         max_retries: int = 20,
         max_steps: int = 100_000,
         monitor: Optional[object] = None,
+        metrics: Optional[object] = None,
+        tracer: Optional[object] = None,
     ):
         self.db = db
         self.programs = list(programs)
@@ -115,6 +125,14 @@ class Simulator:
         self.max_steps = max_steps
         self.deadlocks = 0
         self.monitor = monitor
+        # Observability: thread the sinks through the scheduler (and from
+        # there the recorder, lock manager and store).  The registry clock
+        # ticks once per scheduling round, so every duration metric is in
+        # deterministic logical steps.
+        self.metrics = metrics
+        self.tracer = tracer
+        if metrics is not None or tracer is not None:
+            db.scheduler.instrument(metrics=metrics, tracer=tracer)
         if monitor is not None:
             # Observe the execution online: the recorder forwards every
             # event (including any already recorded, e.g. the initial load)
@@ -124,16 +142,34 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        metrics = self.metrics
+        sched_name = self.db.scheduler.name
+        self._run_span = None
+        if self.tracer is not None:
+            self._run_span = self.tracer.span(
+                "simulation.run",
+                stack=False,
+                scheduler=sched_name,
+                programs=[p.name for p in self.programs],
+            )
         runs = [_Run(p, i) for i, p in enumerate(self.programs)]
         for run in runs:
-            run.start(self.db)
+            self._start(run)
         steps = 0
+        steps_counter = None
+        if metrics is not None:
+            steps_counter = metrics.counter(
+                "sim_steps_total", "scheduling rounds executed"
+            ).labels(scheduler=sched_name)
         while steps < self.max_steps:
             candidates = [r for r in runs if r.active]
             if not candidates:
                 break
             run = self.rng.choice(candidates)
             steps += 1
+            if steps_counter is not None:
+                metrics.tick()
+                steps_counter.inc()
             self._step(run, runs)
             if all(r.waiting_on is not None for r in runs if r.active):
                 # Everyone is blocked but no waits-for cycle was found — the
@@ -148,22 +184,49 @@ class Simulator:
             if run.active and run.txn is not None:
                 run.txn.abort()
                 run.failed = True
+                if run.span is not None:
+                    run.span.end(outcome="cut-off")
+                    run.span = None
         if self.monitor is not None and hasattr(self.monitor, "finish"):
             # Apply the completion rule so the monitor's verdicts line up
             # with the auto-completed history below.
             self.monitor.finish()
+        if self._run_span is not None:
+            self._run_span.end(steps=steps, deadlocks=self.deadlocks)
         return SimulationResult(
             self.db.history(),
             [r.outcome for r in runs],
             steps,
             self.deadlocks,
             monitor=self.monitor,
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------
 
+    def _start(self, run: _Run) -> None:
+        """(Re)start a program, opening its per-attempt transaction span."""
+        run.start(self.db)
+        if self.tracer is not None:
+            run.span = self.tracer.span(
+                "txn",
+                parent=self._run_span,
+                stack=False,
+                program=run.program.name,
+                tid=run.txn.tid,
+                attempt=len(run.outcome.tids),
+            )
+
     def _step(self, run: _Run, runs: List["_Run"]) -> None:
         assert run.txn is not None
+        metrics = self.metrics
+        if metrics is not None and run.waiting_on is not None:
+            # A parked program got rescheduled: its blocked operation is
+            # about to be retried against the lock tables.
+            metrics.counter(
+                "wouldblock_retries_total",
+                "blocked operations retried after a holder finished",
+            ).inc(scheduler=self.db.scheduler.name)
         try:
             if run.queue:
                 step = run.queue[0]
@@ -171,25 +234,62 @@ class Simulator:
                 run.queue.pop(0)
                 if extra:
                     run.queue[:0] = list(extra)
+                if run.span is not None:
+                    run.span.event("op", step=type(step).__name__)
             else:
                 run.txn.commit()
                 run.outcome.committed_tid = run.txn.tid
                 run.outcome.regs = dict(run.regs)
                 run.done = True
+                if run.span is not None:
+                    run.span.end(outcome="committed")
+                    run.span = None
+            if metrics is not None and run.wait_started is not None:
+                metrics.histogram(
+                    "lock_wait_steps", "lock wait durations in logical steps"
+                ).observe(
+                    metrics.clock - run.wait_started,
+                    scheduler=self.db.scheduler.name,
+                )
+            run.wait_started = None
             run.waiting_on = None
         except WouldBlock as block:
             run.waiting_on = block.holders
+            if metrics is not None and run.wait_started is None:
+                run.wait_started = metrics.clock
+                metrics.counter(
+                    "wouldblock_waits_total", "operations that entered a lock wait"
+                ).inc(scheduler=self.db.scheduler.name)
+            if run.span is not None:
+                run.span.event(
+                    "blocked",
+                    resource=block.resource,
+                    holders=sorted(block.holders),
+                )
             self._resolve_deadlock(run, runs)
-        except TransactionAborted:
-            self._handle_abort(run)
+        except TransactionAborted as aborted:
+            self._handle_abort(run, reason=aborted.reason)
 
-    def _handle_abort(self, run: _Run) -> None:
+    def _handle_abort(self, run: _Run, reason: str = "aborted") -> None:
         run.outcome.aborts += 1
         run.waiting_on = None
+        run.wait_started = None  # the wait ended in an abort, not a grant
+        if run.span is not None:
+            run.span.end(outcome="aborted", reason=reason)
+            run.span = None
         if run.outcome.aborts > self.max_retries:
             run.failed = True
             return
-        run.start(self.db)
+        if self.metrics is not None:
+            # Reasons carry per-incident detail ("occ-validation against
+            # T5"); label with the leading word to keep cardinality bounded.
+            self.metrics.counter(
+                "txn_restarts_total", "program restarts after aborts"
+            ).inc(
+                scheduler=self.db.scheduler.name,
+                reason=reason.split(" ", 1)[0] if reason else "aborted",
+            )
+        self._start(run)
 
     # ------------------------------------------------------------------
 
@@ -219,23 +319,45 @@ class Simulator:
         if victim.txn is None:
             return
         self.deadlocks += 1
+        if self.metrics is not None:
+            sched = self.db.scheduler.name
+            self.metrics.counter(
+                "deadlock_victims_total", "transactions aborted to break deadlocks"
+            ).inc(scheduler=sched)
+            self.metrics.histogram(
+                "waits_for_cycle_len", "waits-for cycle lengths at resolution"
+            ).observe(len(cycle), scheduler=sched)
+            self.metrics.counter(
+                "txn_aborts_total", "transaction aborts by reason"
+            ).inc(scheduler=sched, reason="deadlock")
+        if self.tracer is not None:
+            self.tracer.event(
+                "deadlock",
+                span=self._run_span,
+                cycle=list(cycle),
+                waits={str(t): sorted(h) for t, h in waits.items()},
+                victim=victim.txn.tid,
+                victim_program=victim.program.name,
+            )
         victim.txn.abort()
         victim.waiting_on = None
-        self._handle_abort(victim)
+        self._handle_abort(victim, reason="deadlock")
 
 
-def _find_cycle(waits: Dict[int, frozenset[int]]) -> Optional[Set[int]]:
-    """Nodes of some cycle in the waits-for graph, or ``None``."""
+def _find_cycle(waits: Dict[int, frozenset[int]]) -> Optional[List[int]]:
+    """Nodes of some cycle in the waits-for graph in cycle order, or
+    ``None``.  The order lets observers report the actual waits-for loop
+    (``cycle[i]`` waits on ``cycle[i+1]``, the last waits on the first)."""
     visiting: Set[int] = set()
     visited: Set[int] = set()
     stack: List[int] = []
 
-    def dfs(node: int) -> Optional[Set[int]]:
+    def dfs(node: int) -> Optional[List[int]]:
         visiting.add(node)
         stack.append(node)
         for nxt in waits.get(node, ()):
             if nxt in visiting:
-                return set(stack[stack.index(nxt) :])
+                return stack[stack.index(nxt) :]
             if nxt not in visited:
                 found = dfs(nxt)
                 if found:

@@ -44,6 +44,14 @@ class MultiVersionStore:
         self._chains: Dict[str, List[StoredVersion]] = {}
         self._relations: Dict[str, Set[str]] = {}
         self._commit_seq = 0
+        self._metrics = None
+        self._scheduler = ""
+
+    def instrument(self, *, metrics=None, scheduler: str = "") -> None:
+        """Observe per-object version-chain lengths
+        (``version_chain_len{scheduler}``) at each install."""
+        self._metrics = metrics
+        self._scheduler = scheduler
 
     # ------------------------------------------------------------------
     # registration and installs
@@ -70,9 +78,13 @@ class MultiVersionStore:
         seq = self._commit_seq
         for version, value, dead in writes:
             self.register(version.obj)
-            self._chains[version.obj].append(
-                StoredVersion(version, value, dead, seq)
-            )
+            chain = self._chains[version.obj]
+            chain.append(StoredVersion(version, value, dead, seq))
+            if self._metrics is not None:
+                self._metrics.histogram(
+                    "version_chain_len",
+                    "committed version-chain length at install",
+                ).observe(len(chain), scheduler=self._scheduler)
         return seq
 
     # ------------------------------------------------------------------

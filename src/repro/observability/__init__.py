@@ -1,0 +1,60 @@
+"""End-to-end observability: metrics, tracing, and phenomenon provenance.
+
+Three dependency-free pieces (see ``docs/observability.md`` for the metric
+catalogue and record schemas):
+
+* :class:`MetricsRegistry` — counters, gauges and histograms with labels,
+  shared by every instrumented component (engine schedulers, recorder,
+  lock manager, store, incremental monitor, batch checker).  Components
+  default to ``metrics=None`` and skip instrumentation entirely — disabled
+  observability costs nothing.
+* :class:`Tracer` — structured span/event records (run → transaction →
+  operation; check → extraction → cycle search) with attachable sinks;
+  :class:`JsonlSink` writes JSONL, :func:`read_trace`/:func:`span_tree`
+  parse it back and reconstruct the tree.
+* provenance — :func:`phenomenon_hook`/:func:`watching_analysis` wire a
+  tracer into the engine's online monitor so a latched phenomenon records
+  the witness cycle's edges and the raw events behind them.
+
+Quick start::
+
+    from repro.engine import Database, LockingScheduler, Simulator
+    from repro.observability import MetricsRegistry, Tracer, watching_analysis
+
+    metrics, tracer = MetricsRegistry(), Tracer()
+    db = Database(LockingScheduler("serializable"))
+    db.load({"x": 0, "y": 0})
+    result = Simulator(
+        db, programs, metrics=metrics, tracer=tracer,
+        monitor=watching_analysis(tracer, order_mode="event"),
+    ).run()
+    print(metrics.render_text())        # aborts by reason, lock waits, ...
+    print(tracer.events("phenomenon"))  # provenance of latched phenomena
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .provenance import (
+    DEFAULT_WATCH,
+    phenomenon_hook,
+    provenance_record,
+    watching_analysis,
+    witness_cycle,
+)
+from .trace import JsonlSink, Span, Tracer, read_trace, span_tree
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "Span",
+    "JsonlSink",
+    "read_trace",
+    "span_tree",
+    "witness_cycle",
+    "provenance_record",
+    "phenomenon_hook",
+    "watching_analysis",
+    "DEFAULT_WATCH",
+]

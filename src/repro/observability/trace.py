@@ -1,0 +1,291 @@
+"""Structured tracing: spans and events as JSONL records.
+
+A :class:`Tracer` narrates an execution as a tree of **spans** (run →
+transaction → operation; check → extraction pass → cycle search) with
+point-in-time **events** attached to them.  Records are plain dicts:
+
+span record (emitted when the span closes)::
+
+    {"kind": "span", "id": 3, "parent": 1, "name": "txn",
+     "start": 0.01, "end": 0.04, "seq": 7, "attrs": {...}}
+
+event record (emitted immediately)::
+
+    {"kind": "event", "id": 9, "span": 3, "name": "deadlock",
+     "time": 0.02, "seq": 5, "attrs": {...}}
+
+``seq`` is a monotone emission sequence number — the total order of the
+trace, unaffected by clock resolution.  ``id`` values are assigned at span
+*open*, so events always name their parent span even though the parent's
+record is written later; reconstruction (:func:`span_tree`) is order
+independent.
+
+Sinks are attachable: any callable taking one record dict.  The bundled
+:class:`JsonlSink` appends one JSON line per record to a file;
+:func:`read_trace` parses the file back.  Without a sink, records
+accumulate in memory (:attr:`Tracer.records`).
+
+Attribute values are sanitised to JSON-compatible types on emission
+(:class:`~repro.core.objects.Version`, edges, predicates and events render
+through ``str``), so a trace is always serialisable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Union
+
+__all__ = ["Tracer", "Span", "JsonlSink", "read_trace", "span_tree"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce arbitrary attribute values to JSON-compatible structures."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = list(value)
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=str)
+        return [_jsonable(v) for v in items]
+    return str(value)
+
+
+class Span:
+    """One open span; close it with :meth:`end` or use it as a context
+    manager.  More attributes can be attached any time before closing."""
+
+    __slots__ = ("_tracer", "id", "parent", "name", "start", "attrs", "_open")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent: Optional[int],
+        name: str,
+        attrs: Dict[str, Any],
+    ):
+        self._tracer = tracer
+        self.id = span_id
+        self.parent = parent
+        self.name = name
+        self.start = tracer._now()
+        self.attrs = attrs
+        self._open = True
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit an event parented to this span."""
+        self._tracer.event(name, span=self, **attrs)
+
+    def end(self, **attrs: Any) -> None:
+        if not self._open:
+            return
+        self._open = False
+        if attrs:
+            self.attrs.update(attrs)
+        self._tracer._close_span(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self.attrs.setdefault("error", repr(exc))
+        self.end()
+
+
+class Tracer:
+    """Span/event emitter with an attachable sink.
+
+    ``sink`` is any callable taking one record dict; ``None`` keeps records
+    in memory only.  ``clock`` defaults to :func:`time.perf_counter`
+    rebased to the tracer's construction (traces start near ``t=0``).
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self._sink = sink
+        self._clock = clock or time.perf_counter
+        self._epoch = self._clock()
+        self._next_id = 1
+        self._seq = 0
+        self._stack: List[int] = []  # open span ids, innermost last
+        self.records: List[Dict[str, Any]] = []
+
+    # -- internals -------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        self._seq += 1
+        record["seq"] = self._seq
+        self.records.append(record)
+        if self._sink is not None:
+            self._sink(record)
+
+    def _close_span(self, span: Span) -> None:
+        if self._stack and self._stack[-1] == span.id:
+            self._stack.pop()
+        elif span.id in self._stack:  # out-of-order close (interleaved spans)
+            self._stack.remove(span.id)
+        self._emit(
+            {
+                "kind": "span",
+                "id": span.id,
+                "parent": span.parent,
+                "name": span.name,
+                "start": span.start,
+                "end": self._now(),
+                "attrs": _jsonable(span.attrs),
+            }
+        )
+
+    # -- public API ------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Optional[Union[Span, int]] = None,
+        stack: bool = True,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span.  With ``stack=True`` (default) the span joins the
+        implicit nesting stack — later spans/events without an explicit
+        ``parent`` nest under it.  Interleaved executions (the simulator's
+        overlapping transactions) pass ``stack=False`` and wire parents
+        explicitly."""
+        span_id = self._next_id
+        self._next_id += 1
+        if parent is None:
+            parent_id = self._stack[-1] if self._stack else None
+        else:
+            parent_id = parent.id if isinstance(parent, Span) else parent
+        span = Span(self, span_id, parent_id, name, dict(attrs))
+        if stack:
+            self._stack.append(span_id)
+        return span
+
+    def event(
+        self,
+        name: str,
+        *,
+        span: Optional[Union[Span, int]] = None,
+        **attrs: Any,
+    ) -> Dict[str, Any]:
+        """Emit a point-in-time event (parent: explicit span, else the
+        innermost open stacked span)."""
+        if span is None:
+            parent_id = self._stack[-1] if self._stack else None
+        else:
+            parent_id = span.id if isinstance(span, Span) else span
+        span_id = self._next_id
+        self._next_id += 1
+        record = {
+            "kind": "event",
+            "id": span_id,
+            "span": parent_id,
+            "name": name,
+            "time": self._now(),
+            "attrs": _jsonable(attrs),
+        }
+        self._emit(record)
+        return record
+
+    def events(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Emitted event records, optionally filtered by name."""
+        return [
+            r
+            for r in self.records
+            if r["kind"] == "event" and (name is None or r["name"] == name)
+        ]
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Closed span records, optionally filtered by name."""
+        return [
+            r
+            for r in self.records
+            if r["kind"] == "span" and (name is None or r["name"] == name)
+        ]
+
+
+class JsonlSink:
+    """Append one JSON line per record to a file (or writable handle)."""
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owned = True
+        else:
+            self._handle = target
+            self._owned = False
+
+    def __call__(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owned:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_trace(source: Union[str, Iterable[str]]) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace (path or iterable of lines) back to records."""
+    if isinstance(source, str):
+        with open(source, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    records = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def span_tree(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Reconstruct the span tree from trace records.
+
+    Returns the root nodes; every node is
+    ``{"record": <span record>, "children": [...], "events": [...]}``,
+    children and events ordered by emission sequence.  Events whose parent
+    span never closed (truncated trace) attach to a synthetic root-less
+    node list only if their span record exists; otherwise they are dropped
+    from the tree but still present in ``records``.
+    """
+    spans = {r["id"]: {"record": r, "children": [], "events": []} for r in records if r["kind"] == "span"}
+    roots: List[Dict[str, Any]] = []
+    for record in sorted(
+        (r for r in records if r["kind"] == "span"), key=lambda r: r["seq"]
+    ):
+        node = spans[record["id"]]
+        parent = record.get("parent")
+        if parent is not None and parent in spans:
+            spans[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    for record in sorted(
+        (r for r in records if r["kind"] == "event"), key=lambda r: r["seq"]
+    ):
+        parent = record.get("span")
+        if parent is not None and parent in spans:
+            spans[parent]["events"].append(record)
+    return roots

@@ -162,3 +162,104 @@ class TestReportCommand:
         for section in ("FIG3", "FIG4", "FIG5", "FIG6", "SEC2", "SEC3", "SEC55"):
             assert f"{section} " in text
         assert "FAIL" not in text
+
+
+H_WRITE_SKEW = "r1(x0) r1(y0) r2(x0) r2(y0) w1(x1) c1 w2(y2) c2"
+
+
+class TestStatsCommand:
+    def test_text_format(self):
+        status, text = run_cli("stats", H_SERIAL)
+        assert status == 0
+        assert "checker_checks_total" in text
+        assert "history_events" in text
+
+    def test_json_format_parses(self):
+        import json
+
+        status, text = run_cli("stats", "--format", "json", H_SERIAL)
+        assert status == 0
+        data = json.loads(text)
+        assert data["checker_checks_total"]["series"][0]["value"] == 1
+        assert data["history_events"]["series"][0]["value"] == 4
+        assert data["history_transactions"]["series"][0]["value"] == 2
+        assert data["checker_extract_seconds"]["type"] == "histogram"
+
+    def test_prometheus_format(self):
+        status, text = run_cli("stats", "--format", "prometheus", H_SERIAL)
+        assert status == 0
+        assert "# TYPE checker_checks_total counter" in text
+        assert "checker_checks_total 1" in text
+        assert "checker_extract_seconds_count 1" in text
+
+
+class TestTraceCommand:
+    def test_stdout_jsonl(self):
+        import json
+
+        status, text = run_cli("trace", H_SERIAL)
+        assert status == 0
+        records = [json.loads(line) for line in text.splitlines() if line]
+        assert all(r["kind"] in ("span", "event") for r in records)
+        assert any(r["kind"] == "span" and r["name"] == "checker.check" for r in records)
+
+    def test_out_file_round_trips(self, tmp_path):
+        from repro.observability import read_trace, span_tree
+
+        path = tmp_path / "spans.jsonl"
+        status, text = run_cli("trace", "--out", str(path), H_WRITE_SKEW)
+        assert status == 0
+        assert "G2" in text  # summary line names latched phenomena
+        records = read_trace(str(path))
+        roots = span_tree(records)
+        assert {r["record"]["name"] for r in roots} >= {
+            "trace.replay",
+            "checker.check",
+        }
+
+    def test_provenance_event_names_witness_edges(self, tmp_path):
+        import json
+
+        path = tmp_path / "spans.jsonl"
+        status, _text = run_cli("trace", "-o", str(path), H_WRITE_SKEW)
+        assert status == 0
+        phenomena = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record["kind"] == "event" and record["name"] == "phenomenon":
+                    phenomena.append(record["attrs"])
+        g2 = [p for p in phenomena if p["phenomenon"] == "G2"]
+        assert len(g2) == 1
+        assert sorted(g2[0]["cycle_tids"]) == [1, 2]
+        assert [e["kind"] for e in g2[0]["cycle"]] == ["rw", "rw"]
+
+
+class TestCheckMetricsFlag:
+    def test_check_metrics_appends_registry_dump(self):
+        status, text = run_cli("check", "--metrics", H_SERIAL)
+        assert status == 0
+        assert "strongest level: PL-3" in text
+        assert "metrics:" in text
+        assert "checker_checks_total" in text
+
+    def test_check_level_metrics(self):
+        status, text = run_cli("check", "--level", "PL-3", "--metrics", H_SERIAL)
+        assert status == 0
+        assert "checker_checks_total" in text
+
+    def test_check_without_flag_has_no_metrics(self):
+        status, text = run_cli("check", H_SERIAL)
+        assert status == 0
+        assert "checker_checks_total" not in text
+
+    def test_check_many_metrics(self, tmp_path):
+        paths = []
+        for i, h in enumerate((H_SERIAL, H_DIRTY)):
+            p = tmp_path / f"h{i}.txt"
+            p.write_text(h + "\n")
+            paths.append(str(p))
+        status, text = run_cli("check-many", "--metrics", *paths)
+        assert status == 0
+        assert "checker_checks_total" in text
+        assert "2" in text
