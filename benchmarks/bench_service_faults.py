@@ -1,0 +1,121 @@
+"""Service-layer guard: the client/server stack must stay honest.
+
+Two pins:
+
+* **zero-fault overhead** — with a perfect network (no drops, duplicates,
+  reordering or crashes) the full service round trip (client → network →
+  server → engine and back) must stay within a bounded multiple of the
+  equivalent direct ``Database`` calls.  The service adds real mechanism
+  (payload dicts, a delivery heap, dedup caching), so the bound is a
+  usability ceiling, not free — but a regression that makes the stack an
+  order of magnitude slower than the engine fails here.
+* **fault-schedule table** — one stress run per fault schedule, the
+  regenerated table recording commits, retries, dedup hits and the
+  certification verdict.  Every schedule must end fully certified: faults
+  cost retries and aborts, never isolation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.levels import IsolationLevel
+from repro.engine import connect
+from repro.service import (
+    Client,
+    NetworkConfig,
+    RetryPolicy,
+    Server,
+    SimulatedNetwork,
+    run_stress,
+)
+
+_TXNS = 200
+_KEYS = 8
+
+
+def _run_direct() -> float:
+    best = float("inf")
+    for round_ in range(3):
+        db = connect("locking", initial={f"k{i}": 0 for i in range(_KEYS)})
+        start = time.perf_counter()
+        for i in range(_TXNS):
+            t = db.begin()
+            key = f"k{i % _KEYS}"
+            t.write(key, t.read(key, for_update=True) + 1)
+            t.commit()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run_service() -> float:
+    best = float("inf")
+    for round_ in range(3):
+        net = SimulatedNetwork()  # zero-fault: fixed delay, no drops/dups
+        server = Server(
+            net, "locking", initial={f"k{i}": 0 for i in range(_KEYS)}
+        )
+        client = Client(net)
+        start = time.perf_counter()
+        for i in range(_TXNS):
+            client.begin()
+            key = f"k{i % _KEYS}"
+            client.write(key, client.read(key, for_update=True) + 1)
+            client.commit()
+        best = min(best, time.perf_counter() - start)
+        assert server.commit_count == _TXNS
+    return best
+
+
+@pytest.mark.benchguard
+def test_zero_fault_service_overhead_bounded():
+    direct = _run_direct()
+    service = _run_service()
+    # The stack multiplies work per op (request dict, heap push/pop,
+    # handler dispatch, reply dict, dedup bookkeeping) — pin it to one
+    # order of magnitude, with an absolute floor for timer noise.
+    assert service < max(direct * 12, direct + 0.05), (
+        f"service run {service * 1000:.1f} ms vs direct "
+        f"{direct * 1000:.1f} ms"
+    )
+
+
+_SCHEDULES = [
+    ("perfect", NetworkConfig()),
+    ("reorder", NetworkConfig(min_delay=1, max_delay=6)),
+    ("drops", NetworkConfig(drop=0.1, min_delay=1, max_delay=3)),
+    ("dups", NetworkConfig(duplicate=0.15, min_delay=1, max_delay=3)),
+    (
+        "drops+dups",
+        NetworkConfig(drop=0.05, duplicate=0.05, min_delay=1, max_delay=4),
+    ),
+]
+
+
+def test_fault_schedule_table(record_table):
+    rows = [
+        f"{'schedule':12} {'commits':>7} {'aborts':>6} {'retries':>7} "
+        f"{'dedup':>5} {'busy':>5} {'certified':>9}"
+    ]
+    for name, cfg in _SCHEDULES:
+        result = run_stress(
+            clients=3,
+            txns_per_client=10,
+            seed=17,
+            network=cfg,
+            retry=RetryPolicy(timeout=12),
+            crash_after_commits=10,
+        )
+        assert result.committed == 30
+        assert result.all_certified, f"{name}: certification failed"
+        assert result.strongest_level() is IsolationLevel.PL_3
+        rows.append(
+            f"{name:12} {result.committed:7d} {result.client_aborts:6d} "
+            f"{result.client_stats['retries']:7d} "
+            f"{result.server_counters['dedup_hits']:5d} "
+            f"{result.server_counters['busy']:5d} "
+            f"{'yes' if result.all_certified else 'NO':>9}"
+        )
+    record_table("service_faults", "\n".join(rows))

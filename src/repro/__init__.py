@@ -16,6 +16,18 @@ Quick start::
                          "r1(y0, 5) w1(y1, 9) c1")
     print(report.strongest_level)   # PL-2: the history exhibits G2
     print(report.explain())
+
+Run transactions against a real engine (``repro.connect`` opens any
+scheduler family), or push them through the fault-injected client/server
+layer (``repro.service``) and watch every commit get live-certified::
+
+    db = repro.connect("locking", level="serializable", initial={"x": 0})
+    t = db.begin()
+    t.write("x", t.read("x") + 1)
+    t.commit()
+
+    result = repro.run_stress(seed=7, crash_after_commits=30)
+    assert result.all_certified
 """
 
 from .core import (
@@ -43,6 +55,24 @@ from .core import (
     satisfies,
 )
 from .checker import CheckReport, check, check_level, check_many
+from .engine import (
+    Database,
+    SchedulerConfig,
+    SimulationResult,
+    Simulator,
+    TransactionHandle,
+    connect,
+    create_scheduler,
+)
+from .service import (
+    Client,
+    NetworkConfig,
+    RetryPolicy,
+    Server,
+    SimulatedNetwork,
+    StressResult,
+    run_stress,
+)
 from .observability import MetricsRegistry, Tracer
 from .exceptions import (
     HistoryError,
@@ -82,6 +112,20 @@ __all__ = [
     "check",
     "check_level",
     "check_many",
+    "Database",
+    "SchedulerConfig",
+    "SimulationResult",
+    "Simulator",
+    "TransactionHandle",
+    "connect",
+    "create_scheduler",
+    "Client",
+    "NetworkConfig",
+    "RetryPolicy",
+    "Server",
+    "SimulatedNetwork",
+    "StressResult",
+    "run_stress",
     "MetricsRegistry",
     "Tracer",
     "HistoryError",

@@ -36,6 +36,18 @@ Commands
     Check the history with a fresh metrics registry attached and print the
     collected metrics as text (default), JSON (``--format json``), or
     Prometheus exposition (``--format prometheus``).
+``serve``
+    Run the in-process client/server service demo: one server behind the
+    simulated unreliable network, a scripted client session, journal and
+    resulting history printed.  ``--selftest`` instead runs a seeded
+    fault+crash exchange and verifies determinism and live certification
+    (exit status reflects the verdict; no history argument needed).
+``stress``
+    Seeded multi-client fault-injection stress run over the service layer:
+    drops, duplicates, reordering, optional crash/restart; every commit is
+    live-certified at its declared level.  ``--journal``/``--history`` dump
+    the client-observed journals / server history (no history argument
+    needed).
 ``corpus``
     Self-test: re-check every canonical paper history and anomaly against
     its documented verdicts and print the admission matrix (no history
@@ -195,6 +207,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="also test PL-CS, PL-2+ and PL-SI",
     )
 
+    p_serve = sub.add_parser(
+        "serve", help="in-process client/server service demo"
+    )
+    p_serve.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run a seeded fault+crash exchange and verify determinism "
+        "and live certification",
+    )
+    p_serve.add_argument(
+        "--scheduler",
+        default="locking",
+        help="engine family (locking, optimistic, snapshot-isolation, "
+        "mv-read-committed, mixed-optimistic, or an alias)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0, help="fault seed")
+
+    p_stress = sub.add_parser(
+        "stress", help="seeded fault-injection stress run over the service"
+    )
+    p_stress.add_argument("--scheduler", default="locking")
+    p_stress.add_argument(
+        "--level", default=None, help="declared isolation level for every "
+        "transaction (default: the scheduler's natural level)"
+    )
+    p_stress.add_argument("--clients", type=int, default=4)
+    p_stress.add_argument(
+        "--txns", type=int, default=25, help="committed txns per client"
+    )
+    p_stress.add_argument("--keys", type=int, default=8)
+    p_stress.add_argument("--ops", type=int, default=2, help="RMW pairs per txn")
+    p_stress.add_argument("--seed", type=int, default=0)
+    p_stress.add_argument("--drop", type=float, default=0.05)
+    p_stress.add_argument("--duplicate", type=float, default=0.05)
+    p_stress.add_argument("--min-delay", type=int, default=1)
+    p_stress.add_argument("--max-delay", type=int, default=4)
+    p_stress.add_argument(
+        "--crash-after",
+        type=int,
+        default=None,
+        help="crash the server after this many commits (then restart)",
+    )
+    p_stress.add_argument("--restart-delay", type=int, default=25)
+    p_stress.add_argument(
+        "--journal",
+        action="store_true",
+        help="also print the client-observed journals",
+    )
+    p_stress.add_argument(
+        "--history",
+        action="store_true",
+        help="also print the resulting server-side history",
+    )
+
     sub.add_parser(
         "corpus",
         help="self-test against the paper corpus; print the admission matrix",
@@ -234,6 +300,12 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         text, all_ok = generate_report()
         print(text, file=out)
         return 0 if all_ok else 1
+
+    if args.command == "serve":
+        return _run_serve(args, out)
+
+    if args.command == "stress":
+        return _run_stress_cmd(args, out)
 
     if args.command == "check-many":
         return _run_check_many(args, out)
@@ -323,6 +395,98 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return 0
 
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _run_serve(args, out) -> int:
+    """Scripted client/server demo; ``--selftest`` runs the seeded
+    fault+crash exchange and verifies determinism + certification."""
+    from .service import NetworkConfig, run_stress
+
+    if args.selftest:
+        kwargs = dict(
+            scheduler=args.scheduler,
+            clients=3,
+            txns_per_client=10,
+            seed=args.seed,
+            network=NetworkConfig(
+                drop=0.05, duplicate=0.05, min_delay=1, max_delay=4
+            ),
+            crash_after_commits=10,
+        )
+        first = run_stress(**kwargs)
+        second = run_stress(**kwargs)
+        reproducible = (
+            first.history_text == second.history_text
+            and first.journals == second.journals
+        )
+        ok = (
+            reproducible
+            and first.all_certified
+            and first.crashes == 1
+            and first.restarts == 1
+            and first.committed == 30
+        )
+        print(first.summary(), file=out)
+        print(
+            f"reproducible           : {'yes' if reproducible else 'NO'}",
+            file=out,
+        )
+        print(f"selftest               : {'ok' if ok else 'FAILED'}", file=out)
+        return 0 if ok else 1
+
+    from .service import Client, Server, SimulatedNetwork
+
+    net = SimulatedNetwork(NetworkConfig(seed=args.seed))
+    server = Server(net, args.scheduler, initial={"x": 10, "y": 20})
+    alice = Client(net, name="alice")
+    bob = Client(net, name="bob")
+    alice.begin()
+    x = alice.read("x", for_update=True)
+    alice.write("x", x + 5)
+    alice.commit()
+    bob.begin()
+    bob.write("y", bob.read("y", for_update=True) - 5)
+    bob.commit()
+    for client in (alice, bob):
+        for line in client.journal:
+            print(line, file=out)
+    print(f"\nhistory: {server.history()}", file=out)
+    return 0
+
+
+def _run_stress_cmd(args, out) -> int:
+    """Run one seeded stress workload and print the summary."""
+    from .service import NetworkConfig, run_stress
+
+    try:
+        result = run_stress(
+            scheduler=args.scheduler,
+            level=args.level,
+            clients=args.clients,
+            txns_per_client=args.txns,
+            keys=args.keys,
+            ops_per_txn=args.ops,
+            seed=args.seed,
+            network=NetworkConfig(
+                drop=args.drop,
+                duplicate=args.duplicate,
+                min_delay=args.min_delay,
+                max_delay=args.max_delay,
+            ),
+            crash_after_commits=args.crash_after,
+            restart_delay=args.restart_delay,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary(), file=out)
+    if args.journal:
+        print("\nclient journals:", file=out)
+        print(result.journal_text(), file=out)
+    if args.history:
+        print("\nhistory:", file=out)
+        print(result.history_text, file=out)
+    return 0 if result.all_certified else 1
 
 
 def _run_trace(args, history, out) -> int:

@@ -911,6 +911,28 @@ class IncrementalAnalysis:
                     strongest = level
         return strongest
 
+    def provides(self, level) -> bool:
+        """Live certification: does the execution so far provide ``level``?
+
+        True iff none of the level's proscribed phenomena is present.  The
+        level must proscribe only core phenomena (the ANSI chain PL-1,
+        PL-2, PL-2.99, PL-3); extension levels (PL-SI, PL-2+, PL-CS,
+        PL-SS) need the batch checker — use :meth:`check`.  This is what
+        the service layer calls after every commit to certify committed
+        transactions at their declared levels while the workload runs.
+        """
+        from .levels import IsolationLevel
+
+        if isinstance(level, str):
+            level = IsolationLevel.from_string(level)
+        for p in level.proscribed:
+            if p not in CORE_PHENOMENA:
+                raise ValueError(
+                    f"{level} proscribes {p}, which is not maintained "
+                    "incrementally; use check() for extension levels"
+                )
+        return not any(self.exhibits(p) for p in level.proscribed)
+
     # ------------------------------------------------------------------
     # materialisation
     # ------------------------------------------------------------------

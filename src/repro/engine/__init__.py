@@ -7,6 +7,7 @@ paper's central claim of implementation-independence.
 """
 
 from .database import Database, TransactionHandle
+from .factory import SCHEDULERS, SchedulerConfig, connect, create_scheduler
 from .locking import PROFILES, LockProfile, LockingScheduler, profile_for_level
 from .locks import LockDuration, LockManager, LockMode
 from .mixed_optimistic import MixedOptimisticScheduler
@@ -38,6 +39,10 @@ from .transaction import Transaction, TxnState
 __all__ = [
     "Database",
     "TransactionHandle",
+    "SCHEDULERS",
+    "SchedulerConfig",
+    "connect",
+    "create_scheduler",
     "PROFILES",
     "LockProfile",
     "LockingScheduler",

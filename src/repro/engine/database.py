@@ -20,8 +20,10 @@ paper's ``T_init``-then-load story in Section 4.1.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, Mapping, Optional
 
+from ..core.events import Begin, Write
 from ..core.history import History
 from ..core.levels import IsolationLevel
 from ..core.predicates import Predicate
@@ -30,6 +32,10 @@ from .scheduler import PredicateResult, Scheduler
 from .transaction import Transaction, TxnState
 
 __all__ = ["Database", "TransactionHandle"]
+
+#: The direct-scheduler deprecation notice fires at most once per process
+#: (tests reset this to re-arm it).
+_DIRECT_SCHEDULER_WARNED = False
 
 
 class TransactionHandle:
@@ -127,13 +133,86 @@ class TransactionHandle:
 
 
 class Database:
-    """A database instance bound to one scheduler."""
+    """A database instance bound to one scheduler.
 
-    def __init__(self, scheduler: Scheduler):
+    The supported way to open one is :func:`repro.connect` (or passing a
+    scheduler family name here, which routes through the same factory)::
+
+        db = repro.connect("snapshot-isolation", seed=7)
+
+    Passing a hand-built :class:`Scheduler` instance still works as a thin
+    deprecation shim for pre-``connect`` code, but new code should name the
+    family and let :class:`~repro.engine.factory.SchedulerConfig` build it.
+    """
+
+    def __init__(self, scheduler: Scheduler | str):
+        if isinstance(scheduler, str):
+            from .factory import create_scheduler
+
+            scheduler = create_scheduler(scheduler)
+        elif getattr(scheduler, "config", None) is None:
+            global _DIRECT_SCHEDULER_WARNED
+            if not _DIRECT_SCHEDULER_WARNED:
+                _DIRECT_SCHEDULER_WARNED = True
+                warnings.warn(
+                    "constructing Database from a hand-built scheduler is "
+                    "deprecated; use repro.connect(...) or "
+                    "Database('<scheduler name>')",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
         self.scheduler = scheduler
         self._next_tid = 1
         self._obj_counters: Dict[str, int] = {}
         self._loaded = False
+
+    @property
+    def config(self):
+        """The :class:`~repro.engine.factory.SchedulerConfig` this database
+        was opened with (``None`` for hand-built schedulers)."""
+        return self.scheduler.config
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, scheduler: Scheduler | str, recorder) -> "Database":
+        """Rebuild a database from a durable :class:`HistoryRecorder` log.
+
+        Models a crash/restart: the store, lock tables and sessions are
+        volatile and gone; the recorder log is the WAL.  A fresh scheduler
+        is attached to the *same* recorder (the history keeps growing in
+        place, so online monitors stay attached across the restart) and its
+        store is seeded with the latest committed version of every object
+        replayed from the log (:meth:`Scheduler.restore`).  Transactions
+        that were active at the crash must already have abort events in the
+        log (the service layer records them at crash time — recovery undo).
+        """
+        if isinstance(scheduler, str):
+            from .factory import create_scheduler
+
+            scheduler = create_scheduler(scheduler)
+        # Latest committed (version, value, dead) per object, from the log.
+        writes: Dict[Any, tuple] = {}
+        for ev in recorder.events:
+            if isinstance(ev, Write):
+                writes[ev.version] = (ev.value, ev.dead)
+        state: Dict[str, tuple] = {}
+        for obj, chain in recorder.install_order.items():
+            version = chain[-1]
+            value, dead = writes.get(version, (None, True))
+            state[obj] = (version, value, dead)
+        scheduler.recorder = recorder
+        scheduler.restore(state)
+        db = cls(scheduler)
+        db._loaded = bool(recorder.events)
+        for ev in recorder.events:
+            if isinstance(ev, Begin):
+                db._next_tid = max(db._next_tid, ev.tid + 1)
+        for obj in state:
+            db._note_existing(obj)
+        return db
 
     # ------------------------------------------------------------------
 

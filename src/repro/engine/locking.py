@@ -280,6 +280,14 @@ class LockingScheduler(Scheduler):
         self.locks.release_all(txn.tid)
         txn.state = TxnState.COMMITTED
 
+    def restore(self, state) -> None:
+        """Crash-recovery redo: rebuild both the predicate-universe store
+        and the in-place cells (reads observe cell tops, so the recovered
+        committed values must live there)."""
+        super().restore(state)
+        for obj, (version, value, dead) in sorted(state.items()):
+            self._cells[obj] = [_CellEntry(version, value, dead)]
+
     def abort(self, txn: Transaction) -> None:
         if txn.state is not TxnState.ACTIVE:
             return

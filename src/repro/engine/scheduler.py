@@ -65,6 +65,9 @@ class Scheduler:
         #: instrumentation entirely — see :meth:`instrument`.
         self.metrics = None
         self.tracer = None
+        #: The :class:`~repro.engine.factory.SchedulerConfig` this scheduler
+        #: was built from (``None`` when constructed directly).
+        self.config = None
 
     # -- observability ---------------------------------------------------
 
@@ -136,6 +139,23 @@ class Scheduler:
     def abort(self, txn: Transaction) -> None:
         """Undo and release; always succeeds."""
         raise NotImplementedError
+
+    # -- recovery --------------------------------------------------------
+
+    def restore(self, state: Dict[str, Tuple[Any, Any, bool]]) -> None:
+        """Crash-recovery redo: seed a *fresh* scheduler's volatile store
+        with the committed state replayed from a durable recorder log.
+
+        ``state`` maps each object to its latest committed
+        ``(version, value, dead)``.  The versions already exist in the log,
+        so nothing is re-recorded — this rebuilds the store the way a real
+        system rebuilds its caches from the WAL.  Must be called before any
+        transaction begins on the restarted scheduler.
+        """
+        self.store.install(
+            (version, value, dead)
+            for _obj, (version, value, dead) in sorted(state.items())
+        )
 
     # -- introspection ---------------------------------------------------
 

@@ -1,0 +1,43 @@
+"""Deterministic client/server service layer over the engine.
+
+A single-process, seeded simulation of a database service: a
+:class:`Server` wraps a :class:`~repro.engine.database.Database` behind a
+:class:`SimulatedNetwork` that drops, delays, duplicates and partitions
+messages; :class:`Client` sessions retry with idempotency tokens and
+exponential backoff; the server can :meth:`~Server.crash` and
+:meth:`~Server.restart`, recovering committed state from the recorder log.
+:func:`run_stress` drives seeded multi-client workloads through the whole
+stack and live-certifies every commit against its declared isolation level
+with the online :class:`~repro.core.incremental.IncrementalAnalysis`.
+
+Everything is deterministic: same seeds and configs, same history and same
+client journals, byte for byte.
+"""
+
+from .client import Client, PendingCall
+from .config import NetworkConfig, RetryPolicy, SchedulerConfig
+from .errors import (
+    RequestTimeout,
+    ServiceAborted,
+    ServiceError,
+    ServiceUnavailable,
+)
+from .network import SimulatedNetwork
+from .server import Server
+from .stress import StressResult, run_stress
+
+__all__ = [
+    "Client",
+    "NetworkConfig",
+    "PendingCall",
+    "RequestTimeout",
+    "RetryPolicy",
+    "SchedulerConfig",
+    "Server",
+    "ServiceAborted",
+    "ServiceError",
+    "ServiceUnavailable",
+    "SimulatedNetwork",
+    "StressResult",
+    "run_stress",
+]

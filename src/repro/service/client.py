@@ -1,0 +1,296 @@
+"""The service's client side: sessions, idempotency tokens, retries.
+
+A :class:`Client` owns one server session.  Every logical operation gets a
+fresh request id; ``(session, rid)`` is the idempotency token, and every
+retry — after a timeout or a ``busy`` reply — reuses it, so the server can
+never apply an operation twice no matter how the network mangles the
+exchange.  Retries follow the session's :class:`~repro.service.config.
+RetryPolicy`: deterministic exponential backoff in logical ticks.
+
+Two call styles:
+
+* **synchronous** — ``client.read("x")`` drives the network until the
+  reply arrives (convenient for single-client scripts and docs);
+* **split-phase** — ``submit`` returns a :class:`PendingCall`; a driver
+  (see :mod:`repro.service.stress`) interleaves many clients by polling
+  pendings as it steps the network, which is how concurrent traffic is
+  generated without threads.
+
+Every completed operation is journalled.  The journal is the
+*client-observed history* — exactly what this client saw through the
+unreliable boundary, attempt counts included — and is deterministic: same
+seeds, same journal, byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .config import RetryPolicy
+from .errors import RequestTimeout, ServiceAborted, ServiceUnavailable
+from .network import SimulatedNetwork
+
+__all__ = ["Client", "PendingCall"]
+
+
+class PendingCall:
+    """One logical operation in flight: request, retries, final outcome."""
+
+    __slots__ = (
+        "client", "kind", "payload", "rid", "attempts",
+        "deadline", "resume_at", "reply", "error",
+    )
+
+    def __init__(self, client: "Client", kind: str, payload: Dict[str, Any]):
+        self.client = client
+        self.kind = kind
+        self.payload = payload
+        self.rid = payload["rid"]
+        self.attempts = 0
+        self.deadline: Optional[int] = None
+        self.resume_at: Optional[int] = None
+        self.reply: Optional[Dict[str, Any]] = None
+        self.error: Optional[Exception] = None
+
+    @property
+    def settled(self) -> bool:
+        return self.reply is not None or self.error is not None
+
+    def result(self) -> Dict[str, Any]:
+        """The final reply; raises the service error on failure."""
+        if self.error is not None:
+            raise self.error
+        assert self.reply is not None
+        return self.reply
+
+    # -- driver interface ----------------------------------------------
+
+    def _send(self) -> None:
+        self.attempts += 1
+        if self.attempts > 1:
+            self.client._retries_total += 1
+            self.client._count("service_client_retries_total",
+                               "client request retries by verb")
+        net = self.client.network
+        net.send(self.client.name, self.client.server, dict(self.payload))
+        self.deadline = net.now + self.client.policy.timeout
+        self.resume_at = None
+
+    def _backoff_or_fail(self, exhausted_error: Exception) -> None:
+        if self.attempts >= self.client.policy.max_attempts:
+            self.error = exhausted_error
+            return
+        self.deadline = None
+        self.resume_at = (
+            self.client.network.now
+            + self.client.policy.backoff_before(self.attempts)
+        )
+
+    def poll(self) -> bool:
+        """Advance the state machine against the current network time and
+        inbox; returns :attr:`settled`."""
+        if self.settled:
+            return True
+        client = self.client
+        now = client.network.now
+        for reply in client._drain(self.rid):
+            error = reply.get("error")
+            if error == "busy":
+                client._busy_total += 1
+                client._count("service_client_busy_total",
+                              "busy replies observed by clients")
+                self._backoff_or_fail(
+                    ServiceUnavailable(
+                        f"{self.kind} rid={self.rid}: still locked after "
+                        f"{self.attempts} attempts"
+                    )
+                )
+                return self.settled
+            if error == "stale":
+                continue  # echo of a superseded duplicate; keep waiting
+            if error == "aborted":
+                self.error = ServiceAborted(reply.get("reason", "aborted"))
+                client._on_abort_reply()
+                return True
+            self.reply = reply
+            return True
+        if self.deadline is not None and now >= self.deadline:
+            client._timeouts_total += 1
+            client._count("service_client_timeouts_total",
+                          "client request timeouts")
+            self._backoff_or_fail(
+                RequestTimeout(
+                    f"{self.kind} rid={self.rid}: no reply after "
+                    f"{self.attempts} attempts"
+                )
+            )
+            if self.settled:
+                return True
+        if self.resume_at is not None and now >= self.resume_at:
+            self._send()
+        return self.settled
+
+    @property
+    def next_wake(self) -> Optional[int]:
+        """The tick at which this pending next needs attention."""
+        if self.settled:
+            return None
+        return self.deadline if self.deadline is not None else self.resume_at
+
+
+class Client:
+    """One session against one server endpoint."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        *,
+        name: str = "client",
+        server: str = "server",
+        policy: Optional[RetryPolicy] = None,
+        metrics: Optional[object] = None,
+    ) -> None:
+        self.network = network
+        self.name = name
+        self.server = server
+        self.policy = policy or RetryPolicy()
+        self.metrics = metrics
+        self._inbox = network.register_inbox(name)
+        self._rid = 0
+        self._acked = -1
+        self.tid: Optional[int] = None
+        self.journal: List[str] = []
+        self._retries_total = 0
+        self._timeouts_total = 0
+        self._busy_total = 0
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _drain(self, rid: int) -> List[Dict[str, Any]]:
+        """Replies matching ``rid``; stale replies (earlier rids, network
+        duplicates) are discarded."""
+        matched, keep = [], []
+        for src, payload in self._inbox:
+            if payload.get("rid") == rid:
+                matched.append(payload)
+            elif payload.get("rid", -1) > rid:
+                keep.append((src, payload))  # shouldn't happen; be safe
+        self._inbox[:] = keep
+        return matched
+
+    def _count(self, name: str, help: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, help).inc(session=self.name)
+
+    def _on_abort_reply(self) -> None:
+        self.tid = None
+
+    def _journal(self, text: str) -> None:
+        self.journal.append(f"t={self.network.now:<6} {self.name}: {text}")
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "retries": self._retries_total,
+            "timeouts": self._timeouts_total,
+            "busy": self._busy_total,
+        }
+
+    # -- split-phase interface -------------------------------------------
+
+    def submit(self, kind: str, **fields: Any) -> PendingCall:
+        """Send one logical operation; returns its pending handle."""
+        self._rid += 1
+        payload = {
+            "kind": kind,
+            "session": self.name,
+            "rid": self._rid,
+            "acked": self._acked,
+            **fields,
+        }
+        if self.tid is not None and kind != "begin":
+            payload.setdefault("tid", self.tid)
+        pending = PendingCall(self, kind, payload)
+        pending._send()
+        return pending
+
+    def co_call(self, kind: str, **fields: Any) -> Iterator[PendingCall]:
+        """Coroutine form: yields the pending until settled, then finishes
+        the operation (journalling + error raising) — drivers interleave
+        many of these."""
+        pending = self.submit(kind, **fields)
+        while not pending.poll():
+            yield pending
+        return self._finish(pending)
+
+    def _finish(self, pending: PendingCall) -> Dict[str, Any]:
+        """Journal the outcome and translate errors."""
+        self._acked = max(self._acked, pending.rid)
+        args = {
+            k: v
+            for k, v in pending.payload.items()
+            if k not in ("kind", "session", "rid", "acked", "tid")
+        }
+        arg_text = ",".join(f"{k}={v}" for k, v in sorted(args.items()))
+        try:
+            reply = pending.result()
+        except Exception as exc:
+            self._journal(
+                f"{pending.kind}({arg_text}) -> {type(exc).__name__}({exc}) "
+                f"[attempts={pending.attempts}]"
+            )
+            raise
+        if pending.kind == "begin":
+            self.tid = reply["tid"]
+            out = f"tid={reply['tid']}"
+        elif pending.kind in ("commit", "abort"):
+            out = "ok" + (" (recovered)" if reply.get("recovered") else "")
+            if pending.kind == "commit" and reply.get("certified") is False:
+                out += " UNCERTIFIED"
+            self.tid = None
+        elif "value" in reply:
+            out = f"value={reply['value']}"
+        elif "obj" in reply:
+            out = f"obj={reply['obj']}"
+        else:
+            out = "ok"
+        self._journal(
+            f"{pending.kind}({arg_text}) -> {out} [attempts={pending.attempts}]"
+        )
+        return reply
+
+    # -- synchronous interface -------------------------------------------
+
+    def call(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Synchronous operation: drives the network until settled."""
+        pending = self.submit(kind, **fields)
+        self.network.run_until(pending.poll)
+        return self._finish(pending)
+
+    def begin(self, level: Optional[object] = None) -> int:
+        """Start a transaction; returns its server-side tid."""
+        reply = self.call(
+            "begin", level=str(level) if level is not None else None
+        )
+        return reply["tid"]
+
+    def read(self, obj: str, *, for_update: bool = False) -> Any:
+        return self.call("read", obj=obj, for_update=for_update).get("value")
+
+    def write(self, obj: str, value: Any) -> None:
+        self.call("write", obj=obj, value=value)
+
+    def delete(self, obj: str) -> None:
+        self.call("delete", obj=obj)
+
+    def insert(self, relation: str, value: Any) -> str:
+        return self.call("insert", relation=relation, value=value)["obj"]
+
+    def commit(self) -> Dict[str, Any]:
+        return self.call("commit")
+
+    def abort(self) -> Dict[str, Any]:
+        return self.call("abort")
+
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")

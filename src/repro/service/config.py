@@ -1,0 +1,98 @@
+"""Service-layer configuration: frozen, keyword-only dataclasses.
+
+Every knob of the client/server stack lives in one of three configs —
+:class:`NetworkConfig` (the simulated unreliable network),
+:class:`RetryPolicy` (client timeout/retry/backoff behaviour) and
+:class:`~repro.engine.factory.SchedulerConfig` (the engine under the
+server, re-exported here).  All three are frozen and keyword-only: a
+config value is an immutable fact about a run, and two runs built from
+equal configs and seeds replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..engine.factory import SchedulerConfig
+
+__all__ = ["NetworkConfig", "RetryPolicy", "SchedulerConfig"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class NetworkConfig:
+    """Fault schedule of the simulated network (labrpc-style, but fully
+    deterministic: one seeded RNG, logical-tick delays, no threads).
+
+    Probabilities apply independently to every message — requests *and*
+    replies — so a lost reply after an applied write really happens, which
+    is exactly the case idempotency tokens exist for.
+    """
+
+    #: RNG seed for every network fault decision.
+    seed: int = 0
+    #: P(message silently lost).
+    drop: float = 0.0
+    #: P(message delivered a second time, at an independent delay).
+    duplicate: float = 0.0
+    #: Delivery delay bounds in logical ticks (inclusive); with
+    #: ``min_delay < max_delay`` messages genuinely reorder.
+    min_delay: int = 1
+    max_delay: int = 1
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.drop < 1.0):
+            raise ValueError("drop must be in [0, 1)")
+        if not (0.0 <= self.duplicate <= 1.0):
+            raise ValueError("duplicate must be in [0, 1]")
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise ValueError("need 0 <= min_delay <= max_delay")
+
+    @property
+    def faulty(self) -> bool:
+        """Whether any fault is enabled (zero-fault runs skip the RNG for
+        delays only when the bounds pin them)."""
+        return self.drop > 0 or self.duplicate > 0 or self.min_delay != self.max_delay
+
+    def with_seed(self, seed: int) -> "NetworkConfig":
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True, kw_only=True)
+class RetryPolicy:
+    """Client-side timeout/retry/backoff policy.
+
+    All durations are logical network ticks.  Retries reuse the original
+    request's idempotency token, so a retry can never double-apply an
+    operation the server already executed.
+    """
+
+    #: Attempts per logical operation (first try included).
+    max_attempts: int = 10
+    #: Ticks to wait for a reply before retrying.
+    timeout: int = 20
+    #: Backoff before retry *n* is ``backoff * factor**(n-1)``, capped.
+    backoff: int = 2
+    factor: float = 2.0
+    max_backoff: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout < 1 or self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("timeout must be >= 1 and backoffs >= 0")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1.0")
+
+    def backoff_before(self, attempt: int) -> int:
+        """Ticks of backoff before retry ``attempt`` (attempt 1 = first
+        retry).  Deterministic — the schedule is part of the observable
+        history, so no jitter."""
+        if attempt < 1:
+            return 0
+        return min(int(self.backoff * self.factor ** (attempt - 1)), self.max_backoff)
+
+    def schedule(self) -> tuple:
+        """The full backoff schedule, one entry per possible retry."""
+        return tuple(
+            self.backoff_before(n) for n in range(1, self.max_attempts)
+        )

@@ -1,0 +1,205 @@
+"""A deterministic simulated unreliable network (labrpc-style, no threads).
+
+Messages between named endpoints suffer seeded faults — drops, duplicates,
+variable delays (hence reordering) — and dynamic conditions: endpoints can
+be taken down (server crashes) and the membership can be partitioned.
+Everything runs in one process on a logical tick clock: delivery is a heap
+ordered by ``(deliver_at, seq)``, so a given seed replays the exact same
+fault schedule, message for message.
+
+Two endpoint flavours:
+
+* **handler** endpoints (servers): delivery invokes the handler with the
+  payload; a returned reply payload is sent back through the network and
+  suffers its own faults — a lost reply after an applied write is exactly
+  the case client idempotency tokens exist for;
+* **inbox** endpoints (clients): deliveries append to the inbox for the
+  owner to drain.
+
+Fault decisions are made at both ends, like labrpc: drops/duplicates at
+send time, down/partition checks at delivery time — so a message in flight
+when the server crashes is genuinely lost.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .config import NetworkConfig
+
+__all__ = ["SimulatedNetwork"]
+
+_Handler = Callable[[Dict[str, Any], str], Optional[Dict[str, Any]]]
+
+
+class SimulatedNetwork:
+    """Seeded fault-injecting message switch on a logical clock."""
+
+    def __init__(
+        self,
+        config: Optional[NetworkConfig] = None,
+        *,
+        metrics: Optional[object] = None,
+        tracer: Optional[object] = None,
+    ) -> None:
+        self.config = config or NetworkConfig()
+        self.rng = random.Random(self.config.seed)
+        self.now = 0
+        self._seq = 0
+        self._queue: List[Tuple[int, int, str, str, Dict[str, Any]]] = []
+        self._handlers: Dict[str, _Handler] = {}
+        self._inboxes: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
+        self._down: set[str] = set()
+        self._group: Dict[str, int] = {}  # partition id per endpoint
+        self.counters = {
+            "sent": 0,
+            "delivered": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "lost_down": 0,
+            "lost_partition": 0,
+        }
+        self.metrics = metrics
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def register_handler(self, name: str, handler: _Handler) -> None:
+        self._handlers[name] = handler
+
+    def register_inbox(self, name: str) -> List[Tuple[str, Dict[str, Any]]]:
+        return self._inboxes.setdefault(name, [])
+
+    def down(self, name: str) -> None:
+        """Take an endpoint down; in-flight and future messages to it are
+        lost until :meth:`up`."""
+        self._down.add(name)
+
+    def up(self, name: str) -> None:
+        self._down.discard(name)
+
+    def flush(self, name: str) -> int:
+        """Drop queued messages to or from an endpoint *now* — a crash
+        loses the process's buffers even if it restarts before the
+        messages' delivery ticks would have come up."""
+        keep = [m for m in self._queue if name not in (m[2], m[3])]
+        lost = len(self._queue) - len(keep)
+        if lost:
+            self._queue = keep
+            heapq.heapify(self._queue)
+            self._count("lost_down", lost)
+        return lost
+
+    def is_up(self, name: str) -> bool:
+        return name not in self._down
+
+    def set_partition(self, *groups: tuple) -> None:
+        """Split the network: endpoints in different groups cannot reach
+        each other (unlisted endpoints stay mutually reachable in an
+        implicit extra group)."""
+        self._group = {
+            name: i for i, group in enumerate(groups) for name in group
+        }
+
+    def heal(self) -> None:
+        self._group = {}
+
+    def reachable(self, src: str, dst: str) -> bool:
+        return self._group.get(src, -1) == self._group.get(dst, -1)
+
+    # ------------------------------------------------------------------
+    # sending and delivery
+    # ------------------------------------------------------------------
+
+    def _count(self, kind: str, amount: int = 1) -> None:
+        self.counters[kind] += amount
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service_messages_total", "service network messages by fate"
+            ).inc(amount, kind=kind)
+
+    def _schedule(self, src: str, dst: str, payload: Dict[str, Any]) -> None:
+        delay = (
+            self.config.min_delay
+            if self.config.min_delay == self.config.max_delay
+            else self.rng.randint(self.config.min_delay, self.config.max_delay)
+        )
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self.now + delay, self._seq, src, dst, payload)
+        )
+
+    def send(self, src: str, dst: str, payload: Dict[str, Any]) -> None:
+        """Send one message, subject to the fault schedule."""
+        self._count("sent")
+        if self.config.drop and self.rng.random() < self.config.drop:
+            self._count("dropped")
+            return
+        self._schedule(src, dst, payload)
+        if self.config.duplicate and self.rng.random() < self.config.duplicate:
+            self._count("duplicated")
+            self._schedule(src, dst, payload)
+
+    def step(self) -> bool:
+        """Deliver the next queued message (advancing the clock to its
+        delivery tick); returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        deliver_at, _seq, src, dst, payload = heapq.heappop(self._queue)
+        self.now = max(self.now, deliver_at)
+        if dst in self._down or src in self._down:
+            self._count("lost_down")
+            return True
+        if not self.reachable(src, dst):
+            self._count("lost_partition")
+            return True
+        self._count("delivered")
+        handler = self._handlers.get(dst)
+        if handler is not None:
+            reply = handler(payload, src)
+            if reply is not None:
+                self.send(dst, src, reply)
+        else:
+            self._inboxes.setdefault(dst, []).append((src, payload))
+        return True
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+
+    def advance(self, ticks: int = 1) -> None:
+        """Let idle time pass (client backoffs with an empty queue)."""
+        self.now += ticks
+
+    def advance_past(self, t: int) -> None:
+        """Jump the clock just past ``t``, delivering anything due."""
+        while self._queue and self._queue[0][0] <= t:
+            self.step()
+        self.now = max(self.now, t + 1)
+
+    def run_until(
+        self, done: Callable[[], bool], *, max_ticks: int = 100_000
+    ) -> bool:
+        """Step deliveries until ``done()`` or the clock budget runs out;
+        with an empty queue, time idles forward one tick at a time."""
+        deadline = self.now + max_ticks
+        while not done():
+            if self.now > deadline:
+                return False
+            if not self.step():
+                self.advance()
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimulatedNetwork t={self.now} pending={self.pending} "
+            f"{self.counters}>"
+        )

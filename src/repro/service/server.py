@@ -1,0 +1,391 @@
+"""The service's server side: a :class:`~repro.engine.database.Database`
+behind the simulated network.
+
+The server is a network handler: each delivered request executes one engine
+operation and returns a reply payload (which then suffers the network's
+faults on the way back).  Around the engine it adds exactly the mechanisms
+an unreliable boundary forces:
+
+* **at-most-once execution** — every request carries an idempotency token
+  ``(session, rid)``; final replies are cached per session, so a duplicated
+  or retried request that already executed is answered from the cache
+  without re-applying.  Busy replies are *not* cached: the operation never
+  ran, so the retry must actually execute it.
+* **bounded waiting** — a lock wait (:class:`~repro.exceptions.WouldBlock`)
+  becomes a ``busy`` reply; the client backs off and retries.  The server
+  keeps the waits-for edges implied by busy replies and aborts the youngest
+  transaction of any cycle (same victim rule as the in-process simulator),
+  so two clients blocking each other cannot livelock.
+* **crash/restart** — :meth:`crash` drops every volatile structure (store,
+  sessions, dedup cache, waits) and records recovery-undo aborts for the
+  transactions in flight; :meth:`restart` rebuilds the engine from the
+  durable recorder log via :meth:`~repro.engine.database.Database.recover`.
+  Committed transactions survive byte-for-byte; commit retries that cross
+  the crash are recognised from the log (the reply says ``recovered``).
+* **live certification** — with an online monitor attached, every commit is
+  immediately checked against the transaction's declared isolation level
+  (:meth:`~repro.core.incremental.IncrementalAnalysis.provides`), the
+  paper's client-centric thesis machine-checked while traffic runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.events import Commit
+from ..core.levels import IsolationLevel
+from ..engine.database import Database, TransactionHandle
+from ..engine.factory import SchedulerConfig, create_scheduler
+from ..engine.simulator import _find_cycle
+from ..engine.transaction import TxnState
+from ..exceptions import InvalidOperation, TransactionAborted, WouldBlock
+from .network import SimulatedNetwork
+
+__all__ = ["Server"]
+
+
+class _Session:
+    """Per-client-session server state (volatile — lost on crash)."""
+
+    __slots__ = ("txn", "replies", "last_rid", "first_tid", "pending_abort")
+
+    def __init__(self) -> None:
+        self.txn: Optional[TransactionHandle] = None
+        #: Final replies by rid (the at-most-once dedup cache).
+        self.replies: Dict[int, Dict[str, Any]] = {}
+        #: Highest rid with a final (non-busy) reply — the stale guard: a
+        #: delayed duplicate of an already-acked request must not
+        #: re-execute after its cache entry was pruned.
+        self.last_rid = -1
+        #: The tid of this session's first transaction — its seniority for
+        #: deadlock victim selection (matches the simulator's aging rule).
+        self.first_tid: Optional[int] = None
+        #: Reason the session's transaction was killed out-of-band
+        #: (deadlock victim), reported on its next request.
+        self.pending_abort: Optional[str] = None
+
+
+class Server:
+    """A database server on the simulated network."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        config: SchedulerConfig | str = "locking",
+        *,
+        name: str = "server",
+        initial: Optional[Dict[str, Any]] = None,
+        monitor: Optional[object] = None,
+        metrics: Optional[object] = None,
+        tracer: Optional[object] = None,
+    ) -> None:
+        self.network = network
+        self.config = (
+            config
+            if isinstance(config, SchedulerConfig)
+            else SchedulerConfig(scheduler=config)
+        )
+        self.name = name
+        self.monitor = monitor
+        self.metrics = metrics
+        self.tracer = tracer
+        self.up = True
+        self.crashes = 0
+        self.restarts = 0
+        self.commit_count = 0
+        self.deadlock_victims = 0
+        self.counters = {"requests": 0, "dedup_hits": 0, "busy": 0}
+        self._sessions: Dict[str, _Session] = {}
+        self._waits: Dict[str, frozenset] = {}  # session -> holder tids
+        #: Declared level per tid (for certification) and live verdicts.
+        self.declared: Dict[int, Optional[IsolationLevel]] = {}
+        self.certified: Dict[int, bool] = {}
+        self._committed_tids: set[int] = set()
+        self.db: Optional[Database] = None
+        self._boot(initial)
+        #: The durable WAL: survives crashes, feeds recovery.
+        self.recorder = self.db.scheduler.recorder
+        network.register_handler(name, self.handle)
+
+    def _boot(self, initial: Optional[Dict[str, Any]]) -> None:
+        scheduler = create_scheduler(self.config)
+        if self.metrics is not None or self.tracer is not None:
+            scheduler.instrument(metrics=self.metrics, tracer=self.tracer)
+        if self.monitor is not None:
+            scheduler.recorder.attach_monitor(self.monitor)
+        self.db = Database(scheduler)
+        if initial:
+            self.db.load(initial)
+            self._committed_tids.add(0)
+
+    # ------------------------------------------------------------------
+    # crash / restart
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose everything volatile.  Transactions in flight get their
+        recovery-undo abort recorded in the WAL; sessions, dedup cache and
+        waits vanish; the endpoint goes dark (in-flight messages to and
+        from it are lost)."""
+        if not self.up:
+            return
+        self.crashes += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "server.crash",
+                active=[
+                    s.txn.tid
+                    for s in self._sessions.values()
+                    if s.txn is not None and s.txn.state is TxnState.ACTIVE
+                ],
+            )
+        for sess in self._sessions.values():
+            if sess.txn is not None and sess.txn.state is TxnState.ACTIVE:
+                sess.txn.abort()
+        self._sessions.clear()
+        self._waits.clear()
+        self.db = None
+        self.up = False
+        self.network.down(self.name)
+        self.network.flush(self.name)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service_server_crashes_total", "injected server crashes"
+            ).inc()
+
+    def restart(self) -> None:
+        """Recover from the WAL: a fresh scheduler, its store seeded with
+        the log's committed state, attached to the same recorder (so the
+        history — and any online monitor — continues seamlessly)."""
+        if self.up:
+            return
+        scheduler = create_scheduler(self.config)
+        if self.metrics is not None or self.tracer is not None:
+            scheduler.instrument(metrics=self.metrics, tracer=self.tracer)
+        self.db = Database.recover(scheduler, self.recorder)
+        self._committed_tids = {
+            ev.tid for ev in self.recorder.events if isinstance(ev, Commit)
+        }
+        self.restarts += 1
+        self.up = True
+        self.network.up(self.name)
+        if self.tracer is not None:
+            self.tracer.event(
+                "server.restart", committed=len(self._committed_tids)
+            )
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Dict[str, Any], src: str) -> Optional[Dict[str, Any]]:
+        """Network delivery entry point: execute (or replay) one request."""
+        rid = request["rid"]
+        kind = request["kind"]
+        self.counters["requests"] += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service_requests_total", "service requests handled by verb"
+            ).inc(verb=kind)
+        sess = self._sessions.setdefault(request["session"], _Session())
+        acked = request.get("acked")
+        if acked is not None:
+            for old in [r for r in sess.replies if r <= acked]:
+                del sess.replies[old]
+        cached = sess.replies.get(rid)
+        if cached is not None:
+            self.counters["dedup_hits"] += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "service_dedup_hits_total",
+                    "duplicate/retried requests answered from the reply cache",
+                ).inc()
+            return cached
+        if rid <= sess.last_rid:
+            # A late duplicate of a request that already got its final
+            # reply (cache since pruned): never re-execute it.
+            self.counters["dedup_hits"] += 1
+            return {"error": "stale", "rid": rid}
+        reply = self._execute(kind, request, sess)
+        reply["rid"] = rid
+        if reply.get("error") != "busy":
+            sess.replies[rid] = reply
+            sess.last_rid = max(sess.last_rid, rid)
+        return reply
+
+    def _execute(
+        self, kind: str, request: Dict[str, Any], sess: _Session
+    ) -> Dict[str, Any]:
+        session_id = request["session"]
+        if kind == "ping":
+            return {"ok": True, "t": self.network.now}
+        if kind == "begin":
+            return self._do_begin(request, sess)
+        if kind == "commit" and sess.txn is None:
+            # A commit retry that crossed a crash: the outcome is in the
+            # durable log even though the session is gone.
+            if request.get("tid") in self._committed_tids:
+                return {"ok": True, "recovered": True}
+        if sess.pending_abort is not None:
+            reason, sess.pending_abort = sess.pending_abort, None
+            sess.txn = None
+            return {"error": "aborted", "reason": reason}
+        if sess.txn is not None and sess.txn.state is TxnState.ABORTED:
+            # Killed out-of-band (e.g. wounded by an older requester under
+            # wound-wait) — surface the engine's reason.
+            reason = (
+                getattr(sess.txn._txn, "abort_reason", None) or "aborted"
+            )
+            sess.txn = None
+            return {"error": "aborted", "reason": reason}
+        if sess.txn is None or sess.txn.state is not TxnState.ACTIVE:
+            return {
+                "error": "aborted",
+                "reason": "no active transaction (server restarted?)",
+            }
+        txn = sess.txn
+        try:
+            if kind == "read":
+                value = txn.read(
+                    request["obj"], for_update=request.get("for_update", False)
+                )
+                result: Dict[str, Any] = {"ok": True, "value": value}
+            elif kind == "write":
+                txn.write(request["obj"], request["value"])
+                result = {"ok": True}
+            elif kind == "delete":
+                txn.delete(request["obj"])
+                result = {"ok": True}
+            elif kind == "insert":
+                obj = txn.insert(request["relation"], request["value"])
+                result = {"ok": True, "obj": obj}
+            elif kind == "commit":
+                txn.commit()
+                self.commit_count += 1
+                self._committed_tids.add(txn.tid)
+                result = {"ok": True}
+                verdict = self._certify(txn.tid)
+                if verdict is not None:
+                    result["certified"] = verdict
+                sess.txn = None
+            elif kind == "abort":
+                txn.abort()
+                result = {"ok": True}
+                sess.txn = None
+            else:
+                return {"error": "bad-request", "reason": f"unknown verb {kind!r}"}
+        except WouldBlock as block:
+            self.counters["busy"] += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "service_busy_total", "requests answered busy (lock waits)"
+                ).inc()
+            self._waits[session_id] = block.holders
+            self._resolve_deadlock()
+            if sess.pending_abort is not None:
+                reason, sess.pending_abort = sess.pending_abort, None
+                sess.txn = None
+                return {"error": "aborted", "reason": reason}
+            return {"error": "busy", "holders": sorted(block.holders)}
+        except TransactionAborted as aborted:
+            sess.txn = None
+            self._waits.pop(session_id, None)
+            return {"error": "aborted", "reason": aborted.reason}
+        except InvalidOperation as exc:
+            return {"error": "bad-request", "reason": str(exc)}
+        self._waits.pop(session_id, None)
+        return result
+
+    def _do_begin(self, request: Dict[str, Any], sess: _Session) -> Dict[str, Any]:
+        if sess.txn is not None and sess.txn.state is TxnState.ACTIVE:
+            # A duplicate of a begin whose reply was lost would have hit the
+            # dedup cache; reaching here means the client really wants a
+            # fresh transaction while one is open — abort the orphan first.
+            sess.txn.abort()
+        sess.pending_abort = None
+        level = request.get("level")
+        if level is None and self.config.level is not None:
+            level = self.config.level
+        txn = self.db.begin(level)
+        sess.txn = txn
+        if sess.first_tid is None:
+            sess.first_tid = txn.tid
+        self.declared[txn.tid] = self._declared_level(level)
+        return {"ok": True, "tid": txn.tid}
+
+    def _declared_level(self, level) -> Optional[IsolationLevel]:
+        if level is None:
+            return self.config.declared_level
+        if isinstance(level, str):
+            return IsolationLevel.from_string(level)
+        return level
+
+    def _certify(self, tid: int) -> Optional[bool]:
+        """Live certification at commit: phenomena must not have violated
+        the committed transaction's declared level."""
+        if self.monitor is None:
+            return None
+        level = self.declared.get(tid)
+        if level is None:
+            return None
+        ok = self.monitor.provides(level)
+        self.certified[tid] = ok
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service_commits_certified_total",
+                "commits live-certified at their declared level",
+            ).inc(ok=str(ok).lower())
+        if not ok and self.tracer is not None:
+            self.tracer.event(
+                "certification.failure", tid=tid, level=str(level)
+            )
+        return ok
+
+    # ------------------------------------------------------------------
+    # deadlock resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_deadlock(self) -> None:
+        """Busy replies carry waits-for edges; a cycle aborts the session
+        whose *first* transaction is youngest (the simulator's aging rule:
+        restarted victims keep their seniority)."""
+        by_tid: Dict[int, str] = {}
+        for sid, s in self._sessions.items():
+            if s.txn is not None and s.txn.state is TxnState.ACTIVE:
+                by_tid[s.txn.tid] = sid
+        waits = {}
+        for sid, holders in self._waits.items():
+            s = self._sessions.get(sid)
+            if s is None or s.txn is None or s.txn.state is not TxnState.ACTIVE:
+                continue
+            live = frozenset(h for h in holders if h in by_tid)
+            if live:
+                waits[s.txn.tid] = live
+        cycle = _find_cycle(waits)
+        if not cycle:
+            return
+        sessions = [self._sessions[by_tid[tid]] for tid in cycle if tid in by_tid]
+        if not sessions:
+            return
+        victim = max(sessions, key=lambda s: s.first_tid or 0)
+        assert victim.txn is not None
+        self.deadlock_victims += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service_deadlock_victims_total",
+                "transactions aborted to break service-level deadlocks",
+            ).inc()
+        if self.tracer is not None:
+            self.tracer.event(
+                "service.deadlock", cycle=list(cycle), victim=victim.txn.tid
+            )
+        victim_sid = by_tid[victim.txn.tid]
+        victim.txn.abort()
+        victim.pending_abort = "deadlock"
+        self._waits.pop(victim_sid, None)
+
+    # ------------------------------------------------------------------
+
+    def history(self, *, validate: bool = True):
+        """The full service-side history (the durable log, materialised)."""
+        return self.recorder.history(validate=validate)

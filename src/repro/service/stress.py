@@ -1,0 +1,322 @@
+"""Seeded fault-injection stress runs over the client/server stack.
+
+:func:`run_stress` wires the whole tower together — simulated network,
+server over a :class:`~repro.engine.factory.SchedulerConfig`-built engine,
+N clients running transaction scripts — interleaves client progress under a
+seeded driver RNG (split-phase calls, so many transactions are genuinely in
+flight at once), optionally crashes and restarts the server mid-run, and
+certifies every commit live against its declared isolation level with the
+online :class:`~repro.core.incremental.IncrementalAnalysis` attached to the
+server's recorder.
+
+The returned :class:`StressResult` carries the three artifacts the paper's
+client-centric thesis needs end to end:
+
+* the **server-side history** (Adya notation text — byte-for-byte equal
+  across runs with equal seeds and configs);
+* the **client-observed journals** (what each client saw through the
+  faults, attempt counts included — also byte-for-byte reproducible);
+* the **certification map**: per committed transaction, its declared level
+  and the live verdict that no proscribed phenomenon appeared.  Network
+  faults may abort, delay and duplicate, but they must never make a
+  committed transaction violate its declared level.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.incremental import IncrementalAnalysis
+from ..core.levels import IsolationLevel
+from .client import Client
+from .config import NetworkConfig, RetryPolicy, SchedulerConfig
+from .errors import RequestTimeout, ServiceAborted, ServiceUnavailable
+from .network import SimulatedNetwork
+from .server import Server
+
+__all__ = ["StressResult", "run_stress"]
+
+
+@dataclass
+class StressResult:
+    """Everything observable about one stress run."""
+
+    #: The server-side history in the paper's notation (lossless, the
+    #: byte-for-byte reproducibility artifact).
+    history_text: str
+    #: Per-client journals: the client-observed histories.
+    journals: Dict[str, Tuple[str, ...]]
+    #: Per committed tid: (declared level, live certification verdict).
+    certification: Dict[int, Tuple[Optional[IsolationLevel], bool]]
+    committed: int
+    client_aborts: int
+    network_counters: Dict[str, int]
+    server_counters: Dict[str, int]
+    client_stats: Dict[str, int]
+    crashes: int
+    restarts: int
+    deadlock_victims: int
+    ticks: int
+    #: The online monitor (finished) and the materialised history.
+    monitor: IncrementalAnalysis = field(repr=False, default=None)
+    history: Any = field(repr=False, default=None)
+    metrics: Any = field(repr=False, default=None)
+
+    @property
+    def all_certified(self) -> bool:
+        return all(ok for _lvl, ok in self.certification.values())
+
+    def strongest_level(self):
+        return self.monitor.strongest_level()
+
+    def journal_text(self) -> str:
+        """All journals, deterministically concatenated."""
+        return "\n".join(
+            line
+            for name in sorted(self.journals)
+            for line in self.journals[name]
+        )
+
+    def summary(self) -> str:
+        net = self.network_counters
+        lines = [
+            f"committed transactions : {self.committed}",
+            f"client-visible aborts  : {self.client_aborts}",
+            f"logical ticks          : {self.ticks}",
+            f"messages sent/dropped/duplicated : "
+            f"{net['sent']}/{net['dropped']}/{net['duplicated']}",
+            f"server crashes/restarts: {self.crashes}/{self.restarts}",
+            f"deadlock victims       : {self.deadlock_victims}",
+            f"busy replies           : {self.server_counters['busy']}",
+            f"dedup cache hits       : {self.server_counters['dedup_hits']}",
+            f"client retries/timeouts: {self.client_stats['retries']}"
+            f"/{self.client_stats['timeouts']}",
+            f"strongest level (live) : {self.strongest_level() or 'none'}",
+            f"certification          : "
+            + (
+                f"all {len(self.certification)} commits certified"
+                if self.all_certified
+                else "FAILED for tids "
+                + ", ".join(
+                    str(t) for t, (_l, ok) in self.certification.items() if not ok
+                )
+            ),
+        ]
+        return "\n".join(lines)
+
+
+class _ScriptRun:
+    """One client's transaction script, driven as a coroutine."""
+
+    def __init__(self, client: Client, gen) -> None:
+        self.client = client
+        self.gen = gen
+        self.pending = None
+        self.done = False
+
+    def resume(self) -> None:
+        try:
+            self.pending = next(self.gen)
+        except StopIteration:
+            self.pending = None
+            self.done = True
+
+    @property
+    def ready(self) -> bool:
+        return not self.done and (self.pending is None or self.pending.settled)
+
+
+def _transfer_script(
+    client: Client,
+    rng: random.Random,
+    *,
+    txns: int,
+    keys: int,
+    ops: int,
+    level: Optional[str],
+    counters: Dict[str, int],
+):
+    """The stress transaction mix: read-modify-write over a small hot key
+    space (``for_update`` reads, so locking engines do not drown in upgrade
+    deadlocks), with client-side restart on aborts — a miniature of a real
+    service's request handler."""
+    committed = 0
+    while committed < txns:
+        objs = rng.sample(range(keys), min(ops, keys))
+        try:
+            yield from client.co_call("begin", level=level)
+            for obj in objs:
+                key = f"k{obj}"
+                reply = yield from client.co_call(
+                    "read", obj=key, for_update=True
+                )
+                value = reply.get("value") or 0
+                yield from client.co_call("write", obj=key, value=value + 1)
+            yield from client.co_call("commit")
+            committed += 1
+        except ServiceAborted:
+            counters["aborts"] += 1
+        except (RequestTimeout, ServiceUnavailable):
+            # Outcome unknown (crashed server or exhausted busy-retries):
+            # walk away; the transaction is dead or will be undone at
+            # recovery, and the session's next begin discards it.
+            counters["aborts"] += 1
+            client.tid = None
+
+
+def run_stress(
+    *,
+    scheduler: SchedulerConfig | str = "locking",
+    level: Optional[IsolationLevel | str] = None,
+    clients: int = 4,
+    txns_per_client: int = 25,
+    keys: int = 8,
+    ops_per_txn: int = 2,
+    seed: int = 0,
+    network: Optional[NetworkConfig] = None,
+    retry: Optional[RetryPolicy] = None,
+    crash_after_commits: Optional[int] = None,
+    restart_delay: int = 25,
+    max_ticks: int = 2_000_000,
+    metrics: Optional[object] = None,
+    tracer: Optional[object] = None,
+) -> StressResult:
+    """Run one seeded stress workload; see the module docstring.
+
+    Determinism contract: equal arguments (including all seeds) produce a
+    byte-for-byte identical :attr:`StressResult.history_text` and journals.
+    """
+    config = (
+        scheduler
+        if isinstance(scheduler, SchedulerConfig)
+        else SchedulerConfig(scheduler=scheduler, seed=seed)
+    )
+    if level is not None and config.level is None:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            level=(
+                IsolationLevel.from_string(level)
+                if isinstance(level, str)
+                else level
+            ),
+        )
+    netcfg = (network or NetworkConfig()).with_seed(
+        (network.seed if network is not None and network.seed else seed * 7919 + 1)
+    )
+    net = SimulatedNetwork(netcfg, metrics=metrics, tracer=tracer)
+    monitor = IncrementalAnalysis(order_mode="commit")
+    server = Server(
+        net,
+        config,
+        initial={f"k{i}": 0 for i in range(keys)},
+        monitor=monitor,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    declared = config.declared_level
+    level_name = str(declared) if declared is not None else None
+    driver_rng = random.Random(seed)
+    counters = {"aborts": 0}
+    runs: List[_ScriptRun] = []
+    for i in range(clients):
+        client = Client(
+            net, name=f"c{i}", policy=retry or RetryPolicy(), metrics=metrics
+        )
+        script_rng = random.Random(seed * 1_000_003 + i + 1)
+        runs.append(
+            _ScriptRun(
+                client,
+                _transfer_script(
+                    client,
+                    script_rng,
+                    txns=txns_per_client,
+                    keys=keys,
+                    ops=ops_per_txn,
+                    level=level_name,
+                    counters=counters,
+                ),
+            )
+        )
+    restart_at: Optional[int] = None
+    crashed_once = False
+    start_tick = net.now
+    while True:
+        if (
+            crash_after_commits is not None
+            and not crashed_once
+            and server.commit_count >= crash_after_commits
+        ):
+            server.crash()
+            crashed_once = True
+            restart_at = net.now + restart_delay
+        if restart_at is not None and net.now >= restart_at:
+            server.restart()
+            restart_at = None
+        active = [r for r in runs if not r.done]
+        if not active:
+            break
+        if net.now - start_tick > max_ticks:
+            raise RuntimeError(
+                f"stress run exceeded {max_ticks} ticks "
+                f"({sum(1 for r in runs if r.done)}/{len(runs)} scripts done)"
+            )
+        for run in active:
+            if run.pending is not None:
+                run.pending.poll()
+        ready = [r for r in active if r.ready]
+        if ready:
+            driver_rng.choice(ready).resume()
+            continue
+        if not net.step():
+            # Nothing in flight: jump to the earliest client wake-up (or
+            # the server restart) instead of idling tick by tick.
+            wakes = [
+                r.pending.next_wake
+                for r in active
+                if r.pending is not None and r.pending.next_wake is not None
+            ]
+            if restart_at is not None:
+                wakes.append(restart_at)
+            net.advance(max(1, min(wakes) - net.now) if wakes else 1)
+    if restart_at is not None:
+        server.restart()
+    monitor.finish()
+    # Final (authoritative) certification pass: phenomena only accumulate,
+    # so re-verify every commit against the finished monitor.
+    certification: Dict[int, Tuple[Optional[IsolationLevel], bool]] = {}
+    history = server.history()
+    for tid in sorted(history.committed - {0}):
+        lvl = server.declared.get(tid)
+        certification[tid] = (
+            lvl,
+            monitor.provides(lvl) if lvl is not None else True,
+        )
+    from ..core.formatting import format_history
+
+    client_stats = {"retries": 0, "timeouts": 0, "busy": 0}
+    for run in runs:
+        for k, v in run.client.stats.items():
+            client_stats[k] += v
+    return StressResult(
+        history_text=format_history(history),
+        journals={
+            run.client.name: tuple(run.client.journal) for run in runs
+        },
+        certification=certification,
+        committed=server.commit_count,
+        client_aborts=counters["aborts"],
+        network_counters=dict(net.counters),
+        server_counters=dict(server.counters),
+        client_stats=client_stats,
+        crashes=server.crashes,
+        restarts=server.restarts,
+        deadlock_victims=server.deadlock_victims,
+        ticks=net.now,
+        monitor=monitor,
+        history=history,
+        metrics=metrics,
+    )

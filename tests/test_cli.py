@@ -263,3 +263,48 @@ class TestCheckMetricsFlag:
         assert status == 0
         assert "checker_checks_total" in text
         assert "2" in text
+
+
+class TestServe:
+    def test_serve_demo(self):
+        status, text = run_cli("serve")
+        assert status == 0
+        assert "alice: begin" in text and "bob: commit() -> ok" in text
+        assert "history:" in text
+
+    def test_serve_selftest(self):
+        status, text = run_cli("serve", "--selftest")
+        assert status == 0
+        assert "reproducible           : yes" in text
+        assert "selftest               : ok" in text
+        assert "all 30 commits certified" in text
+
+    def test_serve_selftest_other_scheduler(self):
+        status, text = run_cli("serve", "--selftest", "--scheduler", "mvcc")
+        assert status == 0
+        assert "selftest               : ok" in text
+
+
+class TestStress:
+    def test_stress_certifies(self):
+        status, text = run_cli(
+            "stress", "--clients", "2", "--txns", "4", "--seed", "9",
+            "--crash-after", "4",
+        )
+        assert status == 0
+        assert "committed transactions : 8" in text
+        assert "server crashes/restarts: 1/1" in text
+        assert "all 8 commits certified" in text
+
+    def test_stress_journal_and_history(self):
+        status, text = run_cli(
+            "stress", "--clients", "1", "--txns", "2", "--drop", "0",
+            "--duplicate", "0", "--journal", "--history",
+        )
+        assert status == 0
+        assert "client journals:" in text and "c0:" in text
+        assert "history:" in text and "c1" in text
+
+    def test_stress_bad_scheduler(self):
+        status, _ = run_cli("stress", "--scheduler", "bogus")
+        assert status == 2

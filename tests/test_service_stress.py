@@ -1,0 +1,174 @@
+"""Acceptance tests for the fault-injected service layer: seeded stress
+runs must commit through drops/duplicates/crashes with every commit
+live-certified, and must replay byte-for-byte under equal seeds."""
+
+import pytest
+
+from repro.checker import check
+from repro.core.levels import IsolationLevel
+from repro.core.parser import parse_history
+from repro.service import (
+    Client,
+    NetworkConfig,
+    RetryPolicy,
+    Server,
+    SimulatedNetwork,
+    run_stress,
+)
+
+FAULTY = NetworkConfig(drop=0.05, duplicate=0.05, min_delay=1, max_delay=4)
+
+
+class TestAcceptance:
+    """The ISSUE's acceptance run: >= 100 transactions under drops +
+    duplicates + one crash/restart, all certified, reproducible."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        kwargs = dict(
+            clients=4,
+            txns_per_client=25,
+            seed=7,
+            network=FAULTY,
+            crash_after_commits=30,
+        )
+        return run_stress(**kwargs), run_stress(**kwargs)
+
+    def test_completes_with_faults_and_crash(self, runs):
+        result, _ = runs
+        assert result.committed >= 100
+        assert result.crashes == 1 and result.restarts == 1
+        assert result.network_counters["dropped"] > 0
+        assert result.network_counters["duplicated"] > 0
+
+    def test_every_commit_certified_at_declared_level(self, runs):
+        result, _ = runs
+        assert result.certification  # non-empty
+        assert result.all_certified
+        for tid, (level, ok) in result.certification.items():
+            if tid == 0:
+                continue
+            assert level is IsolationLevel.PL_3
+            assert ok, f"tid {tid} violated its declared level"
+
+    def test_same_seed_identical_history_bytes(self, runs):
+        first, second = runs
+        assert first.history_text == second.history_text
+        assert first.journals == second.journals
+        assert first.network_counters == second.network_counters
+        assert first.certification == second.certification
+
+    def test_batch_checker_agrees_with_live_monitor(self, runs):
+        result, _ = runs
+        report = check(parse_history(result.history_text))
+        assert report.ok(IsolationLevel.PL_3)
+        assert report.strongest_level == result.strongest_level()
+
+    def test_different_seed_differs(self, runs):
+        first, _ = runs
+        other = run_stress(
+            clients=4,
+            txns_per_client=25,
+            seed=8,
+            network=FAULTY,
+            crash_after_commits=30,
+        )
+        assert other.history_text != first.history_text
+
+
+SCHEDULES = {
+    "drop-heavy": NetworkConfig(drop=0.15, min_delay=1, max_delay=3),
+    "duplicate-heavy": NetworkConfig(duplicate=0.2, min_delay=1, max_delay=3),
+    "reorder-only": NetworkConfig(min_delay=1, max_delay=8),
+    "drops+dups": FAULTY,
+}
+
+
+class TestDeterminismAcrossSchedules:
+    @pytest.mark.parametrize("name", sorted(SCHEDULES))
+    def test_identical_seed_identical_run(self, name):
+        kwargs = dict(
+            clients=3,
+            txns_per_client=6,
+            seed=13,
+            network=SCHEDULES[name],
+            crash_after_commits=8,
+        )
+        a, b = run_stress(**kwargs), run_stress(**kwargs)
+        assert a.history_text == b.history_text
+        assert a.journals == b.journals
+        # identical CheckReport, not just identical bytes
+        ra = check(parse_history(a.history_text))
+        rb = check(parse_history(b.history_text))
+        assert ra.explain() == rb.explain()
+        assert a.all_certified and b.all_certified
+
+    def test_partition_schedule_is_deterministic(self):
+        def run():
+            net = SimulatedNetwork(NetworkConfig(seed=21, min_delay=1, max_delay=3))
+            server = Server(net, "locking", initial={"x": 0})
+            client = Client(
+                net, policy=RetryPolicy(timeout=6, max_attempts=12)
+            )
+            outcomes = []
+            for i in range(6):
+                if i == 2:
+                    net.set_partition(("client",), ("server",))
+                if i == 4:
+                    net.heal()
+                try:
+                    client.begin()
+                    client.write("x", i)
+                    client.commit()
+                    outcomes.append("ok")
+                except Exception as exc:
+                    outcomes.append(type(exc).__name__)
+                    client.tid = None
+            return outcomes, tuple(client.journal), repr(server.history())
+
+        first, second = run(), run()
+        assert first == second
+        outcomes = first[0]
+        assert "ok" in outcomes  # commits before and after the partition
+        assert any(o != "ok" for o in outcomes)  # partition really bit
+
+
+class TestSchedulerFamilies:
+    @pytest.mark.parametrize(
+        "family,floor",
+        [
+            ("locking", IsolationLevel.PL_3),
+            ("optimistic", IsolationLevel.PL_3),
+            ("mixed-optimistic", IsolationLevel.PL_3),
+            ("snapshot-isolation", IsolationLevel.PL_2),
+            ("mv-read-committed", IsolationLevel.PL_2),
+        ],
+    )
+    def test_stress_certifies_each_family(self, family, floor):
+        result = run_stress(
+            scheduler=family,
+            clients=3,
+            txns_per_client=6,
+            seed=3,
+            network=NetworkConfig(
+                drop=0.03, duplicate=0.03, min_delay=1, max_delay=3
+            ),
+            crash_after_commits=8,
+        )
+        assert result.committed == 18
+        assert result.all_certified
+        strongest = result.strongest_level()
+        assert strongest is not None and strongest.implies(floor)
+
+    def test_declared_level_override(self):
+        result = run_stress(
+            scheduler="locking",
+            level="PL-1",
+            clients=2,
+            txns_per_client=4,
+            seed=5,
+            network=NetworkConfig(min_delay=1, max_delay=2),
+        )
+        assert result.all_certified
+        levels = {lvl for _t, (lvl, _ok) in result.certification.items() if lvl}
+        assert levels == {IsolationLevel.PL_1}
