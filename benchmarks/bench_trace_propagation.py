@@ -1,0 +1,117 @@
+"""Trace-propagation guard: observability must be pay-for-what-you-use.
+
+Two pins:
+
+* **disabled-tracer overhead** — a service run with ``tracer=None`` takes
+  the exact same code path it always did (every trace site is guarded by
+  an ``is not None`` check), so it must stay within the same bound the
+  service layer itself is pinned to against direct engine calls
+  (``bench_service_faults``).  A regression here means trace plumbing
+  leaked into the un-traced hot path.
+* **traced-run table** — one faulty stress run with a tracer attached,
+  the regenerated table recording span/event counts per name and the
+  per-transaction record volume.  The traced run must still certify and
+  replay byte-identically; tracing narrates the run, never changes it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.engine import connect
+from repro.observability import Tracer
+from repro.service import Client, NetworkConfig, Server, SimulatedNetwork, run_stress
+
+_TXNS = 200
+_KEYS = 8
+
+
+def _run_direct() -> float:
+    best = float("inf")
+    for _round in range(3):
+        db = connect("locking", initial={f"k{i}": 0 for i in range(_KEYS)})
+        start = time.perf_counter()
+        for i in range(_TXNS):
+            t = db.begin()
+            key = f"k{i % _KEYS}"
+            t.write(key, t.read(key, for_update=True) + 1)
+            t.commit()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run_service(tracer) -> float:
+    best = float("inf")
+    for _round in range(3):
+        net = SimulatedNetwork(tracer=tracer)
+        if tracer is not None:
+            tracer.use_clock(lambda: float(net.now))
+        server = Server(
+            net, "locking", initial={f"k{i}": 0 for i in range(_KEYS)},
+            tracer=tracer,
+        )
+        client = Client(net, tracer=tracer)
+        start = time.perf_counter()
+        for i in range(_TXNS):
+            client.begin()
+            key = f"k{i % _KEYS}"
+            client.write(key, client.read(key, for_update=True) + 1)
+            client.commit()
+        best = min(best, time.perf_counter() - start)
+        assert server.commit_count == _TXNS
+    return best
+
+
+@pytest.mark.benchguard
+def test_disabled_tracer_service_overhead_at_baseline():
+    direct = _run_direct()
+    service = _run_service(tracer=None)
+    # Same pin as bench_service_faults: the un-traced service path gained
+    # only `is not None` guards, which must be free at this resolution.
+    assert service < max(direct * 12, direct + 0.05), (
+        f"untraced service run {service * 1000:.1f} ms vs direct "
+        f"{direct * 1000:.1f} ms — trace plumbing leaked into the "
+        f"disabled path"
+    )
+
+
+def test_traced_run_table(record_table):
+    kwargs = dict(
+        clients=3,
+        txns_per_client=10,
+        keys=_KEYS,
+        seed=17,
+        network=NetworkConfig(
+            drop=0.05, duplicate=0.08, min_delay=1, max_delay=4
+        ),
+        crash_after_commits=10,
+    )
+    first = run_stress(tracer=Tracer(), **kwargs)
+    second = run_stress(tracer=Tracer(), **kwargs)
+    assert first.committed == 30 and first.all_certified
+    lines_a = [json.dumps(r, sort_keys=True) for r in first.tracer.records]
+    lines_b = [json.dumps(r, sort_keys=True) for r in second.tracer.records]
+    assert lines_a == lines_b, "traces must replay byte-identically"
+    untraced = run_stress(**kwargs)
+    assert untraced.history_text == first.history_text
+    assert untraced.journals == first.journals, (
+        "tracing must not change the execution"
+    )
+
+    counts: dict = {}
+    for record in first.tracer.records:
+        key = (record["kind"], record["name"])
+        counts[key] = counts.get(key, 0) + 1
+    rows = [f"{'kind':6} {'name':22} {'count':>6}"]
+    for (kind, name), count in sorted(
+        counts.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        rows.append(f"{kind:6} {name:22} {count:6d}")
+    rows.append(
+        f"\ntotal records: {len(first.tracer.records)} "
+        f"({len(first.tracer.records) / first.committed:.1f} per commit)"
+    )
+    record_table("trace_propagation", "\n".join(rows))

@@ -46,15 +46,23 @@ Commands
     Seeded multi-client fault-injection stress run over the service layer:
     drops, duplicates, reordering, optional crash/restart; every commit is
     live-certified at its declared level.  ``--journal``/``--history`` dump
-    the client-observed journals / server history (no history argument
-    needed).
+    the client-observed journals / server history; ``--trace FILE``
+    records the causally-linked end-to-end service trace (see
+    ``docs/observability.md``); ``--metrics``/``--metrics-out`` print or
+    dump the metrics snapshot (no history argument needed).
 ``corpus``
     Self-test: re-check every canonical paper history and anomaly against
     its documented verdicts and print the admission matrix (no history
     argument needed).
 ``report``
     Run a condensed version of every paper experiment and print a markdown
-    reproduction report (no history argument needed).
+    reproduction report.  With ``--stress`` (plus the stress options), run
+    one seeded stress workload instead and emit its unified run report —
+    config, outcome, latency percentiles, contended objects, phenomena
+    with witness-cycle provenance, metrics; ``--trace FILE`` (optionally
+    with ``--metrics-file``) builds the same report from a previously
+    recorded trace instead.  ``--format json`` renders JSON (no history
+    argument needed).
 
 The history is taken from the positional argument, from ``--file``, or from
 stdin, in the paper's notation::
@@ -207,6 +215,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="also test PL-CS, PL-2+ and PL-SI",
     )
 
+    def add_observability_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            metavar="FILE",
+            help="record an end-to-end service trace to this JSONL file",
+        )
+        p.add_argument(
+            "--metrics",
+            action="store_true",
+            help="also print the collected metrics as text",
+        )
+        p.add_argument(
+            "--metrics-out",
+            metavar="FILE",
+            help="write the metrics snapshot to this JSON file",
+        )
+
+    def add_stress_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scheduler", default="locking")
+        p.add_argument(
+            "--level", default=None, help="declared isolation level for every "
+            "transaction (default: the scheduler's natural level)"
+        )
+        p.add_argument("--clients", type=int, default=4)
+        p.add_argument(
+            "--txns", type=int, default=25, help="committed txns per client"
+        )
+        p.add_argument("--keys", type=int, default=8)
+        p.add_argument("--ops", type=int, default=2, help="RMW pairs per txn")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--drop", type=float, default=0.05)
+        p.add_argument("--duplicate", type=float, default=0.05)
+        p.add_argument("--min-delay", type=int, default=1)
+        p.add_argument("--max-delay", type=int, default=4)
+        p.add_argument(
+            "--crash-after",
+            type=int,
+            default=None,
+            help="crash the server after this many commits (then restart)",
+        )
+        p.add_argument("--restart-delay", type=int, default=25)
+
     p_serve = sub.add_parser(
         "serve", help="in-process client/server service demo"
     )
@@ -223,33 +273,12 @@ def build_parser() -> argparse.ArgumentParser:
         "mv-read-committed, mixed-optimistic, or an alias)",
     )
     p_serve.add_argument("--seed", type=int, default=0, help="fault seed")
+    add_observability_args(p_serve)
 
     p_stress = sub.add_parser(
         "stress", help="seeded fault-injection stress run over the service"
     )
-    p_stress.add_argument("--scheduler", default="locking")
-    p_stress.add_argument(
-        "--level", default=None, help="declared isolation level for every "
-        "transaction (default: the scheduler's natural level)"
-    )
-    p_stress.add_argument("--clients", type=int, default=4)
-    p_stress.add_argument(
-        "--txns", type=int, default=25, help="committed txns per client"
-    )
-    p_stress.add_argument("--keys", type=int, default=8)
-    p_stress.add_argument("--ops", type=int, default=2, help="RMW pairs per txn")
-    p_stress.add_argument("--seed", type=int, default=0)
-    p_stress.add_argument("--drop", type=float, default=0.05)
-    p_stress.add_argument("--duplicate", type=float, default=0.05)
-    p_stress.add_argument("--min-delay", type=int, default=1)
-    p_stress.add_argument("--max-delay", type=int, default=4)
-    p_stress.add_argument(
-        "--crash-after",
-        type=int,
-        default=None,
-        help="crash the server after this many commits (then restart)",
-    )
-    p_stress.add_argument("--restart-delay", type=int, default=25)
+    add_stress_args(p_stress)
     p_stress.add_argument(
         "--journal",
         action="store_true",
@@ -260,15 +289,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the resulting server-side history",
     )
+    add_observability_args(p_stress)
 
     sub.add_parser(
         "corpus",
         help="self-test against the paper corpus; print the admission matrix",
     )
 
-    sub.add_parser(
+    p_report = sub.add_parser(
         "report",
-        help="condensed reproduction report for every paper artifact",
+        help="paper reproduction report, or (--stress/--trace) a unified "
+        "run report for one stress run",
+    )
+    p_report.add_argument(
+        "--stress",
+        action="store_true",
+        help="run one seeded stress workload (options below) and emit its "
+        "unified run report instead of the paper report",
+    )
+    add_stress_args(p_report)
+    p_report.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="build the run report from this trace file (JSONL or Chrome "
+        "trace JSON) instead of running a workload",
+    )
+    p_report.add_argument(
+        "--metrics-file",
+        metavar="FILE",
+        help="metrics snapshot JSON to fold into the report (with --trace)",
+    )
+    p_report.add_argument(
+        "--format",
+        choices=("markdown", "json"),
+        default="markdown",
+        help="report rendering (default: markdown)",
     )
 
     return parser
@@ -295,6 +350,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _run_corpus(out)
 
     if args.command == "report":
+        if args.stress or args.trace:
+            return _run_report_cmd(args, out)
         from .analysis.report_gen import generate_report
 
         text, all_ok = generate_report()
@@ -397,11 +454,51 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def _observability_sinks(args):
+    """Build the (metrics, tracer) pair the ``--trace``/``--metrics``/
+    ``--metrics-out`` flags ask for (``None`` where not requested)."""
+    metrics = tracer = None
+    if args.metrics or args.metrics_out:
+        from .observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if args.trace:
+        from .observability import Tracer
+
+        tracer = Tracer()
+    return metrics, tracer
+
+
+def _flush_observability(args, metrics, tracer, out) -> None:
+    """Write/print whatever the observability flags requested."""
+    import json
+
+    if tracer is not None and args.trace:
+        from .observability import JsonlSink
+
+        with JsonlSink(args.trace) as sink:
+            for record in tracer.records:
+                sink(record)
+        print(
+            f"wrote {len(tracer.records)} trace records to {args.trace}",
+            file=out,
+        )
+    if metrics is not None and args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(metrics.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote metrics snapshot to {args.metrics_out}", file=out)
+    if metrics is not None and args.metrics:
+        print("\nmetrics:", file=out)
+        print(metrics.render_text(), file=out)
+
+
 def _run_serve(args, out) -> int:
     """Scripted client/server demo; ``--selftest`` runs the seeded
     fault+crash exchange and verifies determinism + certification."""
     from .service import NetworkConfig, run_stress
 
+    metrics, tracer = _observability_sinks(args)
     if args.selftest:
         kwargs = dict(
             scheduler=args.scheduler,
@@ -413,7 +510,7 @@ def _run_serve(args, out) -> int:
             ),
             crash_after_commits=10,
         )
-        first = run_stress(**kwargs)
+        first = run_stress(metrics=metrics, tracer=tracer, **kwargs)
         second = run_stress(**kwargs)
         reproducible = (
             first.history_text == second.history_text
@@ -432,14 +529,20 @@ def _run_serve(args, out) -> int:
             file=out,
         )
         print(f"selftest               : {'ok' if ok else 'FAILED'}", file=out)
+        _flush_observability(args, metrics, tracer, out)
         return 0 if ok else 1
 
     from .service import Client, Server, SimulatedNetwork
 
-    net = SimulatedNetwork(NetworkConfig(seed=args.seed))
-    server = Server(net, args.scheduler, initial={"x": 10, "y": 20})
-    alice = Client(net, name="alice")
-    bob = Client(net, name="bob")
+    net = SimulatedNetwork(NetworkConfig(seed=args.seed), metrics=metrics, tracer=tracer)
+    if tracer is not None:
+        tracer.use_clock(lambda: float(net.now))
+    server = Server(
+        net, args.scheduler, initial={"x": 10, "y": 20},
+        metrics=metrics, tracer=tracer,
+    )
+    alice = Client(net, name="alice", metrics=metrics, tracer=tracer)
+    bob = Client(net, name="bob", metrics=metrics, tracer=tracer)
     alice.begin()
     x = alice.read("x", for_update=True)
     alice.write("x", x + 5)
@@ -451,31 +554,40 @@ def _run_serve(args, out) -> int:
         for line in client.journal:
             print(line, file=out)
     print(f"\nhistory: {server.history()}", file=out)
+    _flush_observability(args, metrics, tracer, out)
     return 0
+
+
+def _stress_kwargs(args) -> dict:
+    """The ``run_stress`` arguments the shared stress CLI options map to."""
+    from .service import NetworkConfig
+
+    return dict(
+        scheduler=args.scheduler,
+        level=args.level,
+        clients=args.clients,
+        txns_per_client=args.txns,
+        keys=args.keys,
+        ops_per_txn=args.ops,
+        seed=args.seed,
+        network=NetworkConfig(
+            drop=args.drop,
+            duplicate=args.duplicate,
+            min_delay=args.min_delay,
+            max_delay=args.max_delay,
+        ),
+        crash_after_commits=args.crash_after,
+        restart_delay=args.restart_delay,
+    )
 
 
 def _run_stress_cmd(args, out) -> int:
     """Run one seeded stress workload and print the summary."""
-    from .service import NetworkConfig, run_stress
+    from .service import run_stress
 
+    metrics, tracer = _observability_sinks(args)
     try:
-        result = run_stress(
-            scheduler=args.scheduler,
-            level=args.level,
-            clients=args.clients,
-            txns_per_client=args.txns,
-            keys=args.keys,
-            ops_per_txn=args.ops,
-            seed=args.seed,
-            network=NetworkConfig(
-                drop=args.drop,
-                duplicate=args.duplicate,
-                min_delay=args.min_delay,
-                max_delay=args.max_delay,
-            ),
-            crash_after_commits=args.crash_after,
-            restart_delay=args.restart_delay,
-        )
+        result = run_stress(metrics=metrics, tracer=tracer, **_stress_kwargs(args))
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -486,7 +598,63 @@ def _run_stress_cmd(args, out) -> int:
     if args.history:
         print("\nhistory:", file=out)
         print(result.history_text, file=out)
+    _flush_observability(args, metrics, tracer, out)
     return 0 if result.all_certified else 1
+
+
+def _run_report_cmd(args, out) -> int:
+    """Unified run report: from a live stress run (``--stress``) or from a
+    previously recorded trace/metrics pair (``--trace``/``--metrics-file``)."""
+    import json
+
+    from .observability import read_trace
+    from .observability.traceview import build_run_report
+
+    if args.trace and not args.stress:
+        try:
+            records = read_trace(args.trace)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        metrics = None
+        if args.metrics_file:
+            try:
+                with open(args.metrics_file, encoding="utf-8") as handle:
+                    metrics = json.load(handle)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        report = build_run_report(
+            records, metrics=metrics, title=f"trace {args.trace}"
+        )
+    else:
+        from .observability import MetricsRegistry, Tracer
+        from .service import run_stress
+
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        try:
+            result = run_stress(
+                metrics=registry, tracer=tracer, **_stress_kwargs(args)
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.trace:
+            from .observability import JsonlSink
+
+            with JsonlSink(args.trace) as sink:
+                for record in tracer.records:
+                    sink(record)
+        report = build_run_report(
+            result=result,
+            title=f"stress scheduler={args.scheduler} seed={args.seed}",
+        )
+    print(
+        report.to_json() if args.format == "json" else report.to_markdown(),
+        file=out,
+    )
+    return 0
 
 
 def _run_trace(args, history, out) -> int:

@@ -126,7 +126,10 @@ class LockingScheduler(Scheduler):
             self._abort_metric("wounded")
             if self.tracer is not None:
                 self.tracer.event(
-                    "wound", victim=holder_tid, requester=requester_tid
+                    "wound",
+                    victim=holder_tid,
+                    requester=requester_tid,
+                    scheduler=self.name,
                 )
             self.abort(holder)
 

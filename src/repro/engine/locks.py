@@ -55,16 +55,21 @@ class LockManager:
         # Observability (instrument()): grant/block counters and hold
         # durations in logical steps read off the registry clock.
         self._metrics = None
+        self._tracer = None
         self._scheduler = ""
         #: (scope, tid, resource) -> registry clock at first grant
         self._acquired_at: Dict[tuple, int] = {}
 
-    def instrument(self, *, metrics=None, scheduler: str = "") -> None:
-        """Attach a metrics registry: counts grants/blocks
+    def instrument(self, *, metrics=None, tracer=None, scheduler: str = "") -> None:
+        """Attach a metrics registry and/or tracer: counts grants/blocks
         (``lock_grants_total``/``lock_blocks_total{scope,mode}``) and
         observes hold durations (``lock_hold_steps{scope}``) in logical
-        steps of the registry clock (ticked by the simulator)."""
+        steps of the registry clock (ticked by the simulator); with a
+        tracer, every refused acquisition emits a ``lock.blocked`` event
+        (nesting under the innermost open span — e.g. a server's
+        ``server.handle``)."""
         self._metrics = metrics
+        self._tracer = tracer
         self._scheduler = scheduler
 
     def _note_grant(self, scope: str, mode: str, tid: int, resource: str) -> None:
@@ -74,10 +79,23 @@ class LockManager:
         )
         self._acquired_at.setdefault((scope, tid, resource), m.clock)
 
-    def _note_block(self, scope: str, mode: str) -> None:
-        self._metrics.counter(
-            "lock_blocks_total", "lock acquisitions that had to wait"
-        ).inc(scope=scope, mode=mode, scheduler=self._scheduler)
+    def _note_block(
+        self, scope: str, mode: str, tid: int, resource: str, holders
+    ) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                "lock_blocks_total", "lock acquisitions that had to wait"
+            ).inc(scope=scope, mode=mode, scheduler=self._scheduler)
+        if self._tracer is not None:
+            self._tracer.event(
+                "lock.blocked",
+                scope=scope,
+                mode=mode,
+                obj=resource,
+                holders=sorted(holders),
+                tid=tid,
+                scheduler=self._scheduler,
+            )
 
     def _note_release(self, scope: str, tid: int, resource: str) -> None:
         m = self._metrics
@@ -108,8 +126,8 @@ class LockManager:
                 if t != tid
             }
         if blockers:
-            if self._metrics is not None:
-                self._note_block("item", mode.value)
+            if self._metrics is not None or self._tracer is not None:
+                self._note_block("item", mode.value, tid, obj, blockers)
             raise WouldBlock(tid, f"{mode.value} lock on {obj!r}", blockers)
         current = holders.get(tid)
         if current is None or (current is LockMode.READ and mode is LockMode.WRITE):
@@ -151,8 +169,8 @@ class LockManager:
                 if t != tid and m is LockMode.WRITE
             }
         if blockers:
-            if self._metrics is not None:
-                self._note_block("predicate", "read")
+            if self._metrics is not None or self._tracer is not None:
+                self._note_block("predicate", "read", tid, relation, blockers)
             raise WouldBlock(
                 tid, f"predicate lock on relation {relation!r}", blockers
             )

@@ -133,6 +133,7 @@ class SnapshotIsolationScheduler(_MultiVersionBase):
                         tid=txn.tid,
                         obj=obj,
                         winner=winner.version.tid,
+                        scheduler=self.name,
                     )
                 self.abort(txn)
                 raise WriteConflict(txn.tid, obj, winner.version.tid)

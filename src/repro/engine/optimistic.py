@@ -167,7 +167,10 @@ class OptimisticScheduler(Scheduler):
             self._abort_metric("validation-failure")
         if self.tracer is not None:
             self.tracer.event(
-                "validation-failure", tid=txn.tid, against=against
+                "validation-failure",
+                tid=txn.tid,
+                against=against,
+                scheduler=self.name,
             )
         self.abort(txn)
         raise ValidationFailure(txn.tid, against)

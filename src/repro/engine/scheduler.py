@@ -85,7 +85,9 @@ class Scheduler:
         self.store.instrument(metrics=metrics, scheduler=self.name)
         locks = getattr(self, "locks", None)
         if locks is not None:
-            locks.instrument(metrics=metrics, scheduler=self.name)
+            locks.instrument(
+                metrics=metrics, tracer=tracer, scheduler=self.name
+            )
         return self
 
     def _abort_metric(self, reason: str) -> None:

@@ -40,7 +40,20 @@ from .provenance import (
     watching_analysis,
     witness_cycle,
 )
-from .trace import JsonlSink, Span, Tracer, read_trace, span_tree
+from .trace import JsonlSink, Span, Tracer, TraceRecords, read_trace, span_tree
+from .traceview import (
+    RunReport,
+    build_run_report,
+    contention_summary,
+    contention_table,
+    critical_path,
+    from_chrome_trace,
+    latency_table,
+    to_chrome_trace,
+    verb_latencies,
+    waterfall,
+    write_chrome_trace,
+)
 
 __all__ = [
     "Counter",
@@ -48,6 +61,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Tracer",
+    "TraceRecords",
     "Span",
     "JsonlSink",
     "read_trace",
@@ -57,4 +71,15 @@ __all__ = [
     "phenomenon_hook",
     "watching_analysis",
     "DEFAULT_WATCH",
+    "RunReport",
+    "build_run_report",
+    "contention_summary",
+    "contention_table",
+    "critical_path",
+    "from_chrome_trace",
+    "latency_table",
+    "to_chrome_trace",
+    "verb_latencies",
+    "waterfall",
+    "write_chrome_trace",
 ]

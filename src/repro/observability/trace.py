@@ -36,7 +36,14 @@ import json
 import time
 from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Union
 
-__all__ = ["Tracer", "Span", "JsonlSink", "read_trace", "span_tree"]
+__all__ = [
+    "Tracer",
+    "Span",
+    "JsonlSink",
+    "TraceRecords",
+    "read_trace",
+    "span_tree",
+]
 
 
 def _jsonable(value: Any) -> Any:
@@ -126,6 +133,19 @@ class Tracer:
 
     def _now(self) -> float:
         return self._clock() - self._epoch
+
+    def use_clock(
+        self, clock: Callable[[], float], *, epoch: float = 0.0
+    ) -> "Tracer":
+        """Switch the time source, e.g. onto a logical tick clock.
+
+        The service layer re-clocks its tracer onto the simulated network's
+        tick counter (``tracer.use_clock(lambda: float(net.now))``) so span
+        timestamps — and therefore whole traces — are deterministic under a
+        fixed seed.  Timestamps from here on are ``clock() - epoch``."""
+        self._clock = clock
+        self._epoch = epoch
+        return self
 
     def _emit(self, record: Dict[str, Any]) -> None:
         self._seq += 1
@@ -246,18 +266,55 @@ class JsonlSink:
         self.close()
 
 
-def read_trace(source: Union[str, Iterable[str]]) -> List[Dict[str, Any]]:
-    """Parse a JSONL trace (path or iterable of lines) back to records."""
+class TraceRecords(List[Dict[str, Any]]):
+    """The records of one parsed trace — a plain ``list`` plus
+    :attr:`skipped`, the number of undecodable lines :func:`read_trace`
+    dropped (a crash mid-write leaves a partial final line)."""
+
+    skipped: int = 0
+
+
+def read_trace(
+    source: Union[str, Iterable[str]], *, strict: bool = False
+) -> TraceRecords:
+    """Parse a trace back to records.
+
+    ``source`` is a path or an iterable of JSONL lines.  A path may also
+    name a Chrome trace-event JSON file written by
+    :func:`~repro.observability.traceview.write_chrome_trace`; the export
+    round-trips — the embedded records are reconstructed.
+
+    Undecodable lines are **skipped, not fatal**: a crash mid-write leaves
+    a truncated final line, and the rest of the trace must stay readable.
+    The returned :class:`TraceRecords` counts the drops in ``.skipped``;
+    pass ``strict=True`` to raise instead.
+    """
     if isinstance(source, str):
         with open(source, encoding="utf-8") as handle:
-            lines = handle.readlines()
+            text = handle.read()
+        if text.lstrip().startswith("{") and '"traceEvents"' in text:
+            try:
+                data = json.loads(text)
+            except ValueError:
+                data = None
+            if isinstance(data, dict) and "traceEvents" in data:
+                from .traceview import from_chrome_trace
+
+                return from_chrome_trace(data)
+        lines: Iterable[str] = text.splitlines()
     else:
         lines = list(source)
-    records = []
+    records = TraceRecords()
     for line in lines:
         line = line.strip()
-        if line:
+        if not line:
+            continue
+        try:
             records.append(json.loads(line))
+        except ValueError:
+            if strict:
+                raise
+            records.skipped += 1
     return records
 
 
@@ -267,11 +324,18 @@ def span_tree(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
     Returns the root nodes; every node is
     ``{"record": <span record>, "children": [...], "events": [...]}``,
     children and events ordered by emission sequence.  Events whose parent
-    span never closed (truncated trace) attach to a synthetic root-less
-    node list only if their span record exists; otherwise they are dropped
-    from the tree but still present in ``records``.
+    span record is missing (the span never closed — e.g. the trace was
+    truncated by a crash) are not dropped: they attach to a synthetic
+    ``"orphans"`` root appended after the real roots, so truncated traces
+    stay inspectable.  The synthetic record has ``id: None`` and
+    ``attrs: {"synthetic": true}``.
     """
-    spans = {r["id"]: {"record": r, "children": [], "events": []} for r in records if r["kind"] == "span"}
+    records = list(records)
+    spans = {
+        r["id"]: {"record": r, "children": [], "events": []}
+        for r in records
+        if r["kind"] == "span"
+    }
     roots: List[Dict[str, Any]] = []
     for record in sorted(
         (r for r in records if r["kind"] == "span"), key=lambda r: r["seq"]
@@ -282,10 +346,31 @@ def span_tree(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
             spans[parent]["children"].append(node)
         else:
             roots.append(node)
+    orphans: List[Dict[str, Any]] = []
     for record in sorted(
         (r for r in records if r["kind"] == "event"), key=lambda r: r["seq"]
     ):
         parent = record.get("span")
         if parent is not None and parent in spans:
             spans[parent]["events"].append(record)
+        else:
+            orphans.append(record)
+    if orphans:
+        times = [e["time"] for e in orphans]
+        roots.append(
+            {
+                "record": {
+                    "kind": "span",
+                    "id": None,
+                    "parent": None,
+                    "name": "orphans",
+                    "start": min(times),
+                    "end": max(times),
+                    "seq": max(e["seq"] for e in orphans),
+                    "attrs": {"synthetic": True},
+                },
+                "children": [],
+                "events": orphans,
+            }
+        )
     return roots

@@ -1,0 +1,717 @@
+"""Trace analytics: percentiles, critical paths, waterfalls, exports.
+
+The service layer (:mod:`repro.service`) propagates a trace context —
+``(trace_id, span_id)`` carried in every message envelope — through the
+whole request path, so one transaction's retries, duplicate deliveries,
+server-side lock waits and commit certification land in a single span
+tree, timed on the network's logical tick clock.  This module turns those
+traces (live ``tracer.records`` or a JSONL file read back with
+:func:`~repro.observability.trace.read_trace`) into answers:
+
+* :func:`verb_latencies` / :func:`latency_table` — per-verb logical-latency
+  percentiles (p50/p95/p99 over ``client.request`` span durations);
+* :func:`critical_path` — the latest-finisher chain through a span tree,
+  the hops that actually determined when the root ended;
+* :func:`waterfall` — an ASCII Gantt of a trace, one bar per span, events
+  marked in place;
+* :func:`contention_summary` / :func:`contention_table` — which object
+  keys accrue busy replies, lock blocks and client wait ticks;
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — Chrome
+  trace-event JSON loadable in Perfetto (``ui.perfetto.dev``) or
+  ``chrome://tracing``; the original records ride along in ``args`` so
+  :func:`from_chrome_trace` (and :func:`read_trace` on the exported file)
+  round-trips them exactly;
+* :func:`build_run_report` / :class:`RunReport` — one markdown/JSON run
+  report: fault-schedule config, metrics snapshot, latency percentiles,
+  top contended objects, and every latched phenomenon with its
+  witness-cycle provenance inline.
+
+Everything here is a pure function of the records, so equal traces give
+byte-equal analytics — the determinism contract of the service layer
+extends through the toolkit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .trace import TraceRecords, span_tree
+
+__all__ = [
+    "percentile",
+    "verb_latencies",
+    "latency_table",
+    "critical_path",
+    "waterfall",
+    "contention_summary",
+    "contention_table",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "from_chrome_trace",
+    "RunReport",
+    "build_run_report",
+]
+
+#: Span names the service layer emits, outermost first (reference for
+#: consumers; the functions below key off these).
+SERVICE_SPANS = ("stress.run", "client.txn", "client.request", "net.msg", "server.handle")
+
+
+# ---------------------------------------------------------------------------
+# latency percentiles
+# ---------------------------------------------------------------------------
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty sequence."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    if q <= 0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil(n*q/100)
+    return ordered[min(int(rank), len(ordered)) - 1]
+
+
+def verb_latencies(
+    records: Iterable[Dict[str, Any]],
+    *,
+    span_name: str = "client.request",
+    key: str = "verb",
+) -> Dict[str, Dict[str, float]]:
+    """Per-verb logical-latency summary over request span durations.
+
+    Durations are ``end - start`` of every closed ``span_name`` span —
+    for service traces that is the full client-observed latency of one
+    logical operation, retries and backoff included, in logical ticks.
+    Returns ``{verb: {count, p50, p95, p99, mean, max}}``.
+    """
+    by_verb: Dict[str, List[float]] = {}
+    for r in records:
+        if r.get("kind") != "span" or r.get("name") != span_name:
+            continue
+        verb = str(r.get("attrs", {}).get(key, "?"))
+        by_verb.setdefault(verb, []).append(r["end"] - r["start"])
+    out: Dict[str, Dict[str, float]] = {}
+    for verb in sorted(by_verb):
+        durations = by_verb[verb]
+        out[verb] = {
+            "count": len(durations),
+            "p50": percentile(durations, 50),
+            "p95": percentile(durations, 95),
+            "p99": percentile(durations, 99),
+            "mean": sum(durations) / len(durations),
+            "max": max(durations),
+        }
+    return out
+
+
+def latency_table(records: Iterable[Dict[str, Any]], **kwargs: Any) -> str:
+    """:func:`verb_latencies` rendered as an aligned text table."""
+    stats = verb_latencies(records, **kwargs)
+    lines = [
+        f"{'verb':10} {'count':>6} {'p50':>8} {'p95':>8} {'p99':>8} "
+        f"{'mean':>8} {'max':>8}"
+    ]
+    for verb, s in stats.items():
+        lines.append(
+            f"{verb:10} {s['count']:6d} {s['p50']:8g} {s['p95']:8g} "
+            f"{s['p99']:8g} {s['mean']:8.1f} {s['max']:8g}"
+        )
+    if not stats:
+        lines.append("(no request spans)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# critical path
+# ---------------------------------------------------------------------------
+
+
+def critical_path(node: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The latest-finisher chain through one span-tree node.
+
+    Starting at ``node`` (a :func:`~repro.observability.trace.span_tree`
+    node), repeatedly descend into the child whose ``end`` is latest — the
+    child that kept the parent open.  Each hop reports its span's
+    ``name``/``start``/``end``/``duration`` plus ``self``, the tail time
+    after the chosen child finished (attributable to the span itself).
+    """
+    hops: List[Dict[str, Any]] = []
+    current = node
+    while True:
+        record = current["record"]
+        children = current["children"]
+        nxt = (
+            max(children, key=lambda c: (c["record"]["end"], c["record"]["seq"]))
+            if children
+            else None
+        )
+        tail_from = nxt["record"]["end"] if nxt is not None else record["start"]
+        hops.append(
+            {
+                "name": record["name"],
+                "id": record["id"],
+                "start": record["start"],
+                "end": record["end"],
+                "duration": record["end"] - record["start"],
+                "self": max(0.0, record["end"] - tail_from),
+                "attrs": record.get("attrs", {}),
+            }
+        )
+        if nxt is None:
+            return hops
+        current = nxt
+
+
+# ---------------------------------------------------------------------------
+# waterfall rendering
+# ---------------------------------------------------------------------------
+
+_LABEL_KEYS = ("verb", "fate", "outcome", "trace_id")
+
+
+def _span_label(record: Dict[str, Any]) -> str:
+    attrs = record.get("attrs", {})
+    bits = [record["name"]]
+    for key in _LABEL_KEYS:
+        value = attrs.get(key)
+        if value is not None and value is not False:
+            bits.append(f"{key}={value}")
+            break
+    return " ".join(bits)
+
+
+def waterfall(
+    records: Iterable[Dict[str, Any]],
+    *,
+    width: int = 64,
+    label_width: int = 34,
+    max_lines: int = 200,
+) -> str:
+    """ASCII Gantt of a trace: one line per span, indented by tree depth,
+    bar positioned on the shared time axis, events marked with ``*``.
+
+    Feed it the records of one trace (e.g. filtered to one ``trace_id``)
+    or a whole run; ``max_lines`` truncates runaway traces with a note.
+    """
+    roots = span_tree(records)
+    if not roots:
+        return "(no closed spans)"
+    spans = [
+        r for r in (n["record"] for n in _walk(roots)) if r.get("id") is not None
+    ]
+    t0 = min(r["start"] for r in spans)
+    t1 = max(r["end"] for r in spans)
+    scale = (width - 1) / (t1 - t0) if t1 > t0 else 0.0
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int((t - t0) * scale)))
+
+    lines = [
+        f"{'span':{label_width}} |{'t=' + _fmt(t0):<{width // 2}}"
+        f"{_fmt(t1) + '=t':>{width - width // 2}}|"
+    ]
+    count = 0
+    truncated = 0
+    for node, depth in _walk_depth(roots):
+        record = node["record"]
+        if record.get("id") is None and record.get("name") != "orphans":
+            continue
+        if count >= max_lines:
+            truncated += 1
+            continue
+        count += 1
+        bar = ["."] * width
+        a, b = col(record["start"]), col(record["end"])
+        for i in range(a, b + 1):
+            bar[i] = "="
+        for event in node["events"]:
+            bar[col(event["time"])] = "*"
+        label = ("  " * depth + _span_label(record))[:label_width]
+        lines.append(
+            f"{label:{label_width}} |{''.join(bar)}| "
+            f"{_fmt(record['start'])}-{_fmt(record['end'])} "
+            f"({_fmt(record['end'] - record['start'])})"
+        )
+    if truncated:
+        lines.append(f"... {truncated} more spans (max_lines={max_lines})")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    return f"{int(value)}" if float(value).is_integer() else f"{value:g}"
+
+
+def _walk(roots: List[Dict[str, Any]]) -> Iterable[Dict[str, Any]]:
+    for node, _depth in _walk_depth(roots):
+        yield node
+
+
+def _walk_depth(roots: List[Dict[str, Any]], depth: int = 0):
+    for node in roots:
+        yield node, depth
+        yield from _walk_depth(node["children"], depth + 1)
+
+
+# ---------------------------------------------------------------------------
+# contention
+# ---------------------------------------------------------------------------
+
+
+def contention_summary(
+    records: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Which object keys accrue contention, sorted hottest first.
+
+    Per object: ``busy_replies`` (server ``server.handle`` spans answered
+    busy), ``lock_blocks`` (lock-manager ``lock.blocked`` events plus
+    engine ``blocked`` events naming the object), and ``wait_ticks`` —
+    total duration of client request spans that saw at least one busy
+    reply, i.e. the client-observed time attributable to waiting for that
+    key (network round trips and backoff included).
+    """
+    stats: Dict[str, Dict[str, float]] = {}
+
+    def bucket(obj: Any) -> Dict[str, float]:
+        return stats.setdefault(
+            str(obj), {"busy_replies": 0, "lock_blocks": 0, "wait_ticks": 0.0}
+        )
+
+    records = list(records)
+    busy_request_spans: Dict[int, bool] = {}
+    for r in records:
+        attrs = r.get("attrs", {})
+        if r["kind"] == "event":
+            if r["name"] == "lock.blocked" and attrs.get("obj") is not None:
+                bucket(attrs["obj"])["lock_blocks"] += 1
+            elif r["name"] == "blocked" and attrs.get("resource"):
+                obj = _obj_of_resource(str(attrs["resource"]))
+                if obj is not None:
+                    bucket(obj)["lock_blocks"] += 1
+            elif r["name"] == "busy" and r.get("span") is not None:
+                busy_request_spans[r["span"]] = True
+        elif r["kind"] == "span" and r["name"] == "server.handle":
+            if attrs.get("outcome") == "busy" and attrs.get("obj") is not None:
+                bucket(attrs["obj"])["busy_replies"] += 1
+    for r in records:
+        if (
+            r["kind"] == "span"
+            and r["name"] == "client.request"
+            and busy_request_spans.get(r["id"])
+        ):
+            obj = r.get("attrs", {}).get("obj")
+            if obj is not None:
+                bucket(obj)["wait_ticks"] += r["end"] - r["start"]
+    return [
+        {"obj": obj, **{k: v for k, v in s.items()}}
+        for obj, s in sorted(
+            stats.items(),
+            key=lambda kv: (-kv[1]["wait_ticks"], -kv[1]["busy_replies"], kv[0]),
+        )
+    ]
+
+
+def _obj_of_resource(resource: str) -> Optional[str]:
+    """Extract the quoted object from a ``WouldBlock`` resource string
+    (``"write lock on 'k3'"``)."""
+    if "'" in resource:
+        try:
+            return resource.split("'")[1]
+        except IndexError:  # pragma: no cover - malformed resource
+            return None
+    return None
+
+
+def contention_table(
+    records: Iterable[Dict[str, Any]], *, top: int = 10
+) -> str:
+    """:func:`contention_summary` rendered as an aligned text table."""
+    rows = contention_summary(records)[:top]
+    lines = [
+        f"{'object':10} {'busy':>6} {'blocks':>7} {'wait ticks':>11}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['obj']:10} {int(row['busy_replies']):6d} "
+            f"{int(row['lock_blocks']):7d} {row['wait_ticks']:11g}"
+        )
+    if not rows:
+        lines.append("(no contention observed)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export (Perfetto / chrome://tracing)
+# ---------------------------------------------------------------------------
+
+#: Logical ticks are exported as milliseconds (1 tick -> 1000 µs) so the
+#: Perfetto timeline has a sensible scale.
+_TICK_US = 1000.0
+
+
+def to_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert trace records to Chrome trace-event JSON (Perfetto-loadable).
+
+    Spans become ``ph: "X"`` complete events, point events become
+    ``ph: "i"`` instants; each trace id gets its own named lane (thread).
+    The original record fields ride along under ``args._repro`` so
+    :func:`from_chrome_trace` round-trips exactly.
+    """
+    lanes: Dict[str, int] = {}
+
+    def lane(attrs: Dict[str, Any]) -> int:
+        label = str(attrs.get("trace_id") or attrs.get("scheduler") or "run")
+        if label not in lanes:
+            lanes[label] = len(lanes) + 1
+        return lanes[label]
+
+    events: List[Dict[str, Any]] = []
+    for r in sorted(records, key=lambda r: r["seq"]):
+        attrs = r.get("attrs", {})
+        args = dict(attrs)
+        if r["kind"] == "span":
+            args["_repro"] = {
+                "kind": "span",
+                "id": r["id"],
+                "parent": r.get("parent"),
+                "seq": r["seq"],
+                "start": r["start"],
+                "end": r["end"],
+            }
+            events.append(
+                {
+                    "name": r["name"],
+                    "cat": "span",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": lane(attrs),
+                    "ts": r["start"] * _TICK_US,
+                    "dur": (r["end"] - r["start"]) * _TICK_US,
+                    "args": args,
+                }
+            )
+        else:
+            args["_repro"] = {
+                "kind": "event",
+                "id": r["id"],
+                "span": r.get("span"),
+                "seq": r["seq"],
+                "time": r["time"],
+            }
+            events.append(
+                {
+                    "name": r["name"],
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": lane(attrs),
+                    "ts": r["time"] * _TICK_US,
+                    "args": args,
+                }
+            )
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": label},
+        }
+        for label, tid in lanes.items()
+    ]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    records: Iterable[Dict[str, Any]], path: str
+) -> Dict[str, Any]:
+    """Write :func:`to_chrome_trace` output to ``path``; returns the dict."""
+    data = to_chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, sort_keys=True)
+        handle.write("\n")
+    return data
+
+
+def from_chrome_trace(data: Dict[str, Any]) -> TraceRecords:
+    """Reconstruct trace records from a :func:`to_chrome_trace` export.
+
+    Only events carrying the ``args._repro`` stash (i.e. written by this
+    module) are reconstructed; foreign Chrome-trace events are counted in
+    ``.skipped`` like undecodable JSONL lines.
+    """
+    records = TraceRecords()
+    for event in data.get("traceEvents", ()):
+        if event.get("ph") == "M":
+            continue
+        args = event.get("args") or {}
+        stash = args.get("_repro")
+        if not isinstance(stash, dict):
+            records.skipped += 1
+            continue
+        attrs = {k: v for k, v in args.items() if k != "_repro"}
+        if stash.get("kind") == "span":
+            records.append(
+                {
+                    "kind": "span",
+                    "id": stash["id"],
+                    "parent": stash.get("parent"),
+                    "name": event["name"],
+                    "start": stash["start"],
+                    "end": stash["end"],
+                    "attrs": attrs,
+                    "seq": stash["seq"],
+                }
+            )
+        else:
+            records.append(
+                {
+                    "kind": "event",
+                    "id": stash["id"],
+                    "span": stash.get("span"),
+                    "name": event["name"],
+                    "time": stash["time"],
+                    "attrs": attrs,
+                    "seq": stash["seq"],
+                }
+            )
+    records.sort(key=lambda r: r["seq"])
+    return records
+
+
+# ---------------------------------------------------------------------------
+# unified run report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunReport:
+    """One run, one document: config, outcome, latencies, contention,
+    phenomena with provenance, metrics.  Built by :func:`build_run_report`;
+    render with :meth:`to_markdown` or :meth:`to_json`.  Equal inputs give
+    byte-equal renderings."""
+
+    title: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    summary: Dict[str, Any] = field(default_factory=dict)
+    latencies: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    contention: List[Dict[str, Any]] = field(default_factory=list)
+    phenomena: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Optional[Dict[str, Any]] = None
+    trace_stats: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "title": self.title,
+            "config": self.config,
+            "summary": self.summary,
+            "latencies": self.latencies,
+            "contention": self.contention,
+            "phenomena": self.phenomena,
+            "metrics": self.metrics,
+            "trace_stats": self.trace_stats,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_markdown(self) -> str:
+        lines: List[str] = [f"# Run report — {self.title}", ""]
+        if self.config:
+            lines += ["## Fault schedule and configuration", ""]
+            lines += _kv_table(_flatten(self.config))
+            lines.append("")
+        if self.summary:
+            lines += ["## Outcome", ""]
+            lines += _kv_table(self.summary)
+            lines.append("")
+        lines += ["## Logical latency by verb (ticks)", ""]
+        if self.latencies:
+            lines.append(
+                "| verb | count | p50 | p95 | p99 | mean | max |"
+            )
+            lines.append("|---|---|---|---|---|---|---|")
+            for verb, s in self.latencies.items():
+                lines.append(
+                    f"| {verb} | {s['count']} | {_fmt(s['p50'])} "
+                    f"| {_fmt(s['p95'])} | {_fmt(s['p99'])} "
+                    f"| {s['mean']:.1f} | {_fmt(s['max'])} |"
+                )
+        else:
+            lines.append("no request spans in the trace.")
+        lines.append("")
+        lines += ["## Top contended objects", ""]
+        if self.contention:
+            lines.append("| object | busy replies | lock blocks | wait ticks |")
+            lines.append("|---|---|---|---|")
+            for row in self.contention[:10]:
+                lines.append(
+                    f"| {row['obj']} | {int(row['busy_replies'])} "
+                    f"| {int(row['lock_blocks'])} | {_fmt(row['wait_ticks'])} |"
+                )
+        else:
+            lines.append("no contention observed.")
+        lines.append("")
+        lines += ["## Phenomena", ""]
+        if self.phenomena:
+            for p in self.phenomena:
+                name = p.get("phenomenon", "?")
+                lines.append(
+                    f"### {name} (latched at event {p.get('at_event', '?')})"
+                )
+                lines.append("")
+                for edge in p.get("cycle", []):
+                    lines.append(f"- {edge.get('describe', edge)}")
+                for witness in p.get("witnesses", []):
+                    lines.append(
+                        f"- {witness.get('phenomenon')}: "
+                        f"{witness.get('description')}"
+                    )
+                events = p.get("events")
+                if events:
+                    lines.append(
+                        "- witness events: "
+                        + ", ".join(
+                            f"`{e['event']}` (#{e['index']})" for e in events
+                        )
+                    )
+                lines.append("")
+        else:
+            lines += ["none latched.", ""]
+        if self.metrics:
+            lines += ["## Metrics", ""]
+            lines.append("| metric | labels | value |")
+            lines.append("|---|---|---|")
+            for name in sorted(self.metrics):
+                inst = self.metrics[name]
+                for series in inst.get("series", []):
+                    labels = ", ".join(
+                        f"{k}={v}" for k, v in sorted(series["labels"].items())
+                    )
+                    if "value" in series:
+                        value = _fmt(series["value"])
+                    else:
+                        value = (
+                            f"count={series['count']} sum={_fmt(series['sum'])}"
+                        )
+                    lines.append(f"| {name} | {labels} | {value} |")
+            lines.append("")
+        if self.trace_stats:
+            lines += ["## Trace", ""]
+            lines += _kv_table(self.trace_stats)
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+def _flatten(mapping: Dict[str, Any], prefix: str = "") -> Dict[str, Any]:
+    flat: Dict[str, Any] = {}
+    for key, value in mapping.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, f"{name}."))
+        else:
+            flat[name] = value
+    return flat
+
+
+def _kv_table(mapping: Dict[str, Any]) -> List[str]:
+    lines = ["| key | value |", "|---|---|"]
+    for key in mapping:
+        lines.append(f"| {key} | {mapping[key]} |")
+    return lines
+
+
+def build_run_report(
+    records: Optional[Iterable[Dict[str, Any]]] = None,
+    *,
+    result: Optional[object] = None,
+    metrics: Optional[object] = None,
+    config: Optional[Dict[str, Any]] = None,
+    title: str = "stress run",
+) -> RunReport:
+    """Assemble a :class:`RunReport` from a trace and/or a stress result.
+
+    ``records`` are trace records (live or read back from JSONL);
+    ``result`` is a :class:`~repro.service.StressResult` (contributes the
+    outcome summary, config and metrics when not given explicitly);
+    ``metrics`` is a :class:`~repro.observability.MetricsRegistry` or an
+    already-snapshotted dict.
+    """
+    if records is None and result is not None:
+        tracer = getattr(result, "tracer", None)
+        records = getattr(tracer, "records", None)
+    skipped = getattr(records, "skipped", 0) if records is not None else 0
+    records = list(records) if records is not None else []
+    if config is None and result is not None:
+        config = getattr(result, "config", None)
+    summary: Dict[str, Any] = {}
+    if result is not None:
+        certification = getattr(result, "certification", {})
+        summary = {
+            "committed transactions": result.committed,
+            "client-visible aborts": result.client_aborts,
+            "logical ticks": result.ticks,
+            "messages sent/dropped/duplicated": (
+                f"{result.network_counters['sent']}"
+                f"/{result.network_counters['dropped']}"
+                f"/{result.network_counters['duplicated']}"
+            ),
+            "server crashes/restarts": f"{result.crashes}/{result.restarts}",
+            "deadlock victims": result.deadlock_victims,
+            "busy replies": result.server_counters["busy"],
+            "dedup cache hits": result.server_counters["dedup_hits"],
+            "client retries/timeouts": (
+                f"{result.client_stats['retries']}"
+                f"/{result.client_stats['timeouts']}"
+            ),
+            "strongest level (live)": str(result.strongest_level() or "none"),
+            "certification": (
+                f"all {len(certification)} commits certified"
+                if result.all_certified
+                else "FAILED for tids "
+                + ", ".join(
+                    str(t) for t, (_l, ok) in certification.items() if not ok
+                )
+            ),
+        }
+    if metrics is None and result is not None:
+        metrics = getattr(result, "metrics", None)
+    snapshot = (
+        metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
+    )
+    phenomena = [
+        dict(r.get("attrs", {}))
+        for r in records
+        if r.get("kind") == "event" and r.get("name") == "phenomenon"
+    ]
+    trace_stats: Dict[str, Any] = {}
+    if records:
+        spans = sum(1 for r in records if r.get("kind") == "span")
+        trace_ids = {
+            r["attrs"]["trace_id"]
+            for r in records
+            if r.get("kind") == "span"
+            and r.get("attrs", {}).get("trace_id") is not None
+        }
+        trace_stats = {
+            "records": len(records),
+            "spans": spans,
+            "events": len(records) - spans,
+            "traces": len(trace_ids),
+        }
+        if skipped:
+            trace_stats["skipped lines"] = skipped
+    return RunReport(
+        title=title,
+        config=dict(config or {}),
+        summary=summary,
+        latencies=verb_latencies(records),
+        contention=contention_summary(records),
+        phenomena=phenomena,
+        metrics=snapshot,
+        trace_stats=trace_stats,
+    )

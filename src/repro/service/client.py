@@ -38,7 +38,7 @@ class PendingCall:
 
     __slots__ = (
         "client", "kind", "payload", "rid", "attempts",
-        "deadline", "resume_at", "reply", "error",
+        "deadline", "resume_at", "reply", "error", "span",
     )
 
     def __init__(self, client: "Client", kind: str, payload: Dict[str, Any]):
@@ -51,6 +51,8 @@ class PendingCall:
         self.resume_at: Optional[int] = None
         self.reply: Optional[Dict[str, Any]] = None
         self.error: Optional[Exception] = None
+        #: Open ``client.request`` span covering every attempt (tracing).
+        self.span: Optional[object] = None
 
     @property
     def settled(self) -> bool:
@@ -71,6 +73,8 @@ class PendingCall:
             self.client._retries_total += 1
             self.client._count("service_client_retries_total",
                                "client request retries by verb")
+        if self.span is not None:
+            self.span.event("send", attempt=self.attempts)
         net = self.client.network
         net.send(self.client.name, self.client.server, dict(self.payload))
         self.deadline = net.now + self.client.policy.timeout
@@ -85,6 +89,8 @@ class PendingCall:
             self.client.network.now
             + self.client.policy.backoff_before(self.attempts)
         )
+        if self.span is not None:
+            self.span.event("backoff", until=self.resume_at)
 
     def poll(self) -> bool:
         """Advance the state machine against the current network time and
@@ -99,6 +105,8 @@ class PendingCall:
                 client._busy_total += 1
                 client._count("service_client_busy_total",
                               "busy replies observed by clients")
+                if self.span is not None:
+                    self.span.event("busy", holders=reply.get("holders"))
                 self._backoff_or_fail(
                     ServiceUnavailable(
                         f"{self.kind} rid={self.rid}: still locked after "
@@ -118,6 +126,8 @@ class PendingCall:
             client._timeouts_total += 1
             client._count("service_client_timeouts_total",
                           "client request timeouts")
+            if self.span is not None:
+                self.span.event("timeout", attempt=self.attempts)
             self._backoff_or_fail(
                 RequestTimeout(
                     f"{self.kind} rid={self.rid}: no reply after "
@@ -149,12 +159,19 @@ class Client:
         server: str = "server",
         policy: Optional[RetryPolicy] = None,
         metrics: Optional[object] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.network = network
         self.name = name
         self.server = server
         self.policy = policy or RetryPolicy()
         self.metrics = metrics
+        #: Trace-context origin: with a tracer attached, every transaction
+        #: gets a fresh ``trace_id`` and a ``client.txn`` root span; every
+        #: logical operation gets a ``client.request`` child span whose
+        #: ``(trace_id, span_id)`` rides in the message envelope so the
+        #: network and server parent their spans under it.
+        self.tracer = tracer
         self._inbox = network.register_inbox(name)
         self._rid = 0
         self._acked = -1
@@ -163,6 +180,9 @@ class Client:
         self._retries_total = 0
         self._timeouts_total = 0
         self._busy_total = 0
+        self._txn_span: Optional[object] = None
+        self._trace_id: Optional[str] = None
+        self._trace_seq = 0
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -184,6 +204,30 @@ class Client:
 
     def _on_abort_reply(self) -> None:
         self.tid = None
+        self._end_txn_span("aborted")
+
+    # -- trace context ---------------------------------------------------
+
+    def _begin_trace(self) -> None:
+        """Start a fresh trace for a new transaction (``begin``)."""
+        self._end_txn_span("superseded")
+        self._trace_seq += 1
+        self._trace_id = f"{self.name}#{self._trace_seq}"
+        self._txn_span = self.tracer.span(
+            "client.txn",
+            stack=False,
+            session=self.name,
+            trace_id=self._trace_id,
+        )
+
+    def _end_txn_span(self, outcome: str) -> None:
+        if self._txn_span is not None:
+            self._txn_span.end(outcome=outcome)
+            self._txn_span = None
+
+    def close_trace(self, outcome: str = "unfinished") -> None:
+        """Close any dangling transaction span (end of a driver run)."""
+        self._end_txn_span(outcome)
 
     def _journal(self, text: str) -> None:
         self.journal.append(f"t={self.network.now:<6} {self.name}: {text}")
@@ -211,6 +255,30 @@ class Client:
         if self.tid is not None and kind != "begin":
             payload.setdefault("tid", self.tid)
         pending = PendingCall(self, kind, payload)
+        if self.tracer is not None:
+            if kind == "begin":
+                self._begin_trace()
+            trace_id = (
+                self._trace_id
+                if self._txn_span is not None
+                else f"{self.name}#r{self._rid}"
+            )
+            attrs = {
+                "verb": kind,
+                "session": self.name,
+                "rid": self._rid,
+                "trace_id": trace_id,
+            }
+            obj = fields.get("obj") or fields.get("relation")
+            if obj is not None:
+                attrs["obj"] = obj
+            pending.span = self.tracer.span(
+                "client.request",
+                parent=self._txn_span,
+                stack=False,
+                **attrs,
+            )
+            payload["trace"] = {"id": trace_id, "span": pending.span.id}
         pending._send()
         return pending
 
@@ -229,7 +297,9 @@ class Client:
         args = {
             k: v
             for k, v in pending.payload.items()
-            if k not in ("kind", "session", "rid", "acked", "tid")
+            # "trace" is context plumbing, not a logical argument — the
+            # journal must be byte-identical with and without a tracer.
+            if k not in ("kind", "session", "rid", "acked", "tid", "trace")
         }
         arg_text = ",".join(f"{k}={v}" for k, v in sorted(args.items()))
         try:
@@ -239,15 +309,24 @@ class Client:
                 f"{pending.kind}({arg_text}) -> {type(exc).__name__}({exc}) "
                 f"[attempts={pending.attempts}]"
             )
+            if pending.span is not None:
+                pending.span.end(
+                    outcome=type(exc).__name__, attempts=pending.attempts
+                )
             raise
+        if pending.span is not None:
+            pending.span.end(outcome="ok", attempts=pending.attempts)
         if pending.kind == "begin":
             self.tid = reply["tid"]
+            if self._txn_span is not None:
+                self._txn_span.set(tid=reply["tid"])
             out = f"tid={reply['tid']}"
         elif pending.kind in ("commit", "abort"):
             out = "ok" + (" (recovered)" if reply.get("recovered") else "")
             if pending.kind == "commit" and reply.get("certified") is False:
                 out += " UNCERTIFIED"
             self.tid = None
+            self._end_txn_span(pending.kind + ("-recovered" if reply.get("recovered") else ""))
         elif "value" in reply:
             out = f"value={reply['value']}"
         elif "obj" in reply:

@@ -19,6 +19,16 @@ Two endpoint flavours:
 Fault decisions are made at both ends, like labrpc: drops/duplicates at
 send time, down/partition checks at delivery time — so a message in flight
 when the server crashes is genuinely lost.
+
+With a :class:`~repro.observability.Tracer` attached, every scheduled
+message whose payload carries a trace context (``payload["trace"] =
+{"id": trace_id, "span": span_id}``, attached by :class:`~repro.service.
+client.Client`) becomes a ``net.msg`` span from send tick to delivery
+tick, parented under the originating request span and closed with its
+``fate`` (``delivered`` / ``lost-down`` / ``lost-partition`` /
+``lost-crash``); drops at send time emit a ``net.drop`` event.  A metrics
+registry's logical clock is kept in sync with the network tick clock, so
+engine lock wait/hold durations are measured in ticks.
 """
 
 from __future__ import annotations
@@ -26,6 +36,10 @@ from __future__ import annotations
 import heapq
 import random
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Queue entries: ``(deliver_at, seq, src, dst, payload, span)`` — the heap
+#: only ever compares ``(deliver_at, seq)`` since ``seq`` is unique.
+_Message = Tuple[int, int, str, str, Dict[str, Any], Optional[object]]
 
 from .config import NetworkConfig
 
@@ -48,7 +62,7 @@ class SimulatedNetwork:
         self.rng = random.Random(self.config.seed)
         self.now = 0
         self._seq = 0
-        self._queue: List[Tuple[int, int, str, str, Dict[str, Any]]] = []
+        self._queue: List[_Message] = []
         self._handlers: Dict[str, _Handler] = {}
         self._inboxes: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
         self._down: set[str] = set()
@@ -86,8 +100,15 @@ class SimulatedNetwork:
         """Drop queued messages to or from an endpoint *now* — a crash
         loses the process's buffers even if it restarts before the
         messages' delivery ticks would have come up."""
-        keep = [m for m in self._queue if name not in (m[2], m[3])]
-        lost = len(self._queue) - len(keep)
+        keep: List[_Message] = []
+        lost = 0
+        for m in self._queue:
+            if name in (m[2], m[3]):
+                lost += 1
+                if m[5] is not None:
+                    m[5].end(fate="lost-crash")
+            else:
+                keep.append(m)
         if lost:
             self._queue = keep
             heapq.heapify(self._queue)
@@ -104,9 +125,15 @@ class SimulatedNetwork:
         self._group = {
             name: i for i, group in enumerate(groups) for name in group
         }
+        if self.tracer is not None:
+            self.tracer.event(
+                "net.partition", groups=[sorted(g) for g in groups]
+            )
 
     def heal(self) -> None:
         self._group = {}
+        if self.tracer is not None:
+            self.tracer.event("net.heal")
 
     def reachable(self, src: str, dst: str) -> bool:
         return self._group.get(src, -1) == self._group.get(dst, -1)
@@ -122,7 +149,28 @@ class SimulatedNetwork:
                 "service_messages_total", "service network messages by fate"
             ).inc(amount, kind=kind)
 
-    def _schedule(self, src: str, dst: str, payload: Dict[str, Any]) -> None:
+    def _msg_span(
+        self, src: str, dst: str, payload: Dict[str, Any], duplicate: bool
+    ) -> Optional[object]:
+        if self.tracer is None:
+            return None
+        ctx = payload.get("trace")
+        return self.tracer.span(
+            "net.msg",
+            stack=False,
+            parent=ctx.get("span") if ctx else None,
+            src=src,
+            dst=dst,
+            verb=payload.get("kind"),
+            rid=payload.get("rid"),
+            trace_id=ctx.get("id") if ctx else None,
+            duplicate=duplicate,
+        )
+
+    def _schedule(
+        self, src: str, dst: str, payload: Dict[str, Any], *,
+        duplicate: bool = False,
+    ) -> None:
         delay = (
             self.config.min_delay
             if self.config.min_delay == self.config.max_delay
@@ -130,7 +178,15 @@ class SimulatedNetwork:
         )
         self._seq += 1
         heapq.heappush(
-            self._queue, (self.now + delay, self._seq, src, dst, payload)
+            self._queue,
+            (
+                self.now + delay,
+                self._seq,
+                src,
+                dst,
+                payload,
+                self._msg_span(src, dst, payload, duplicate),
+            ),
         )
 
     def send(self, src: str, dst: str, payload: Dict[str, Any]) -> None:
@@ -138,26 +194,50 @@ class SimulatedNetwork:
         self._count("sent")
         if self.config.drop and self.rng.random() < self.config.drop:
             self._count("dropped")
+            if self.tracer is not None:
+                ctx = payload.get("trace")
+                self.tracer.event(
+                    "net.drop",
+                    span=ctx.get("span") if ctx else None,
+                    src=src,
+                    dst=dst,
+                    verb=payload.get("kind"),
+                    rid=payload.get("rid"),
+                    trace_id=ctx.get("id") if ctx else None,
+                )
             return
         self._schedule(src, dst, payload)
         if self.config.duplicate and self.rng.random() < self.config.duplicate:
             self._count("duplicated")
-            self._schedule(src, dst, payload)
+            self._schedule(src, dst, payload, duplicate=True)
+
+    def _sync_clock(self) -> None:
+        """Keep an attached registry's logical clock on the network tick
+        clock, so engine durations (lock wait/hold) are in ticks."""
+        if self.metrics is not None and self.metrics.clock < self.now:
+            self.metrics.clock = self.now
 
     def step(self) -> bool:
         """Deliver the next queued message (advancing the clock to its
         delivery tick); returns False when the queue is empty."""
         if not self._queue:
             return False
-        deliver_at, _seq, src, dst, payload = heapq.heappop(self._queue)
+        deliver_at, _seq, src, dst, payload, span = heapq.heappop(self._queue)
         self.now = max(self.now, deliver_at)
+        self._sync_clock()
         if dst in self._down or src in self._down:
             self._count("lost_down")
+            if span is not None:
+                span.end(fate="lost-down")
             return True
         if not self.reachable(src, dst):
             self._count("lost_partition")
+            if span is not None:
+                span.end(fate="lost-partition")
             return True
         self._count("delivered")
+        if span is not None:
+            span.end(fate="delivered")
         handler = self._handlers.get(dst)
         if handler is not None:
             reply = handler(payload, src)
@@ -174,12 +254,14 @@ class SimulatedNetwork:
     def advance(self, ticks: int = 1) -> None:
         """Let idle time pass (client backoffs with an empty queue)."""
         self.now += ticks
+        self._sync_clock()
 
     def advance_past(self, t: int) -> None:
         """Jump the clock just past ``t``, delivering anything due."""
         while self._queue and self._queue[0][0] <= t:
             self.step()
         self.now = max(self.now, t + 1)
+        self._sync_clock()
 
     def run_until(
         self, done: Callable[[], bool], *, max_ticks: int = 100_000

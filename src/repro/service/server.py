@@ -179,7 +179,42 @@ class Server:
     # ------------------------------------------------------------------
 
     def handle(self, request: Dict[str, Any], src: str) -> Optional[Dict[str, Any]]:
-        """Network delivery entry point: execute (or replay) one request."""
+        """Network delivery entry point: execute (or replay) one request.
+
+        With a tracer attached, each delivery runs inside a ``server.handle``
+        span parented under the client's request span (the envelope's trace
+        context), and — being on the implicit nesting stack — every engine
+        event emitted while handling (lock blocks, wounds, certification)
+        nests under it without further plumbing.  The trace context is
+        echoed into the reply so the reply's ``net.msg`` span parents
+        correctly too.
+        """
+        if self.tracer is None:
+            return self._handle(request, None)
+        ctx = request.get("trace")
+        attrs: Dict[str, Any] = {
+            "verb": request["kind"],
+            "session": request["session"],
+            "rid": request["rid"],
+        }
+        if ctx:
+            attrs["trace_id"] = ctx.get("id")
+        obj = request.get("obj") or request.get("relation")
+        if obj is not None:
+            attrs["obj"] = obj
+        with self.tracer.span(
+            "server.handle", parent=ctx.get("span") if ctx else None, **attrs
+        ) as span:
+            reply = self._handle(request, span)
+            if reply is not None:
+                span.attrs.setdefault("outcome", reply.get("error", "ok"))
+                if ctx is not None:
+                    reply.setdefault("trace", ctx)
+        return reply
+
+    def _handle(
+        self, request: Dict[str, Any], span: Optional[object]
+    ) -> Optional[Dict[str, Any]]:
         rid = request["rid"]
         kind = request["kind"]
         self.counters["requests"] += 1
@@ -200,13 +235,17 @@ class Server:
                     "service_dedup_hits_total",
                     "duplicate/retried requests answered from the reply cache",
                 ).inc()
+            if span is not None:
+                span.set(outcome="dedup-hit")
             return cached
         if rid <= sess.last_rid:
             # A late duplicate of a request that already got its final
             # reply (cache since pruned): never re-execute it.
             self.counters["dedup_hits"] += 1
+            if span is not None:
+                span.set(outcome="stale")
             return {"error": "stale", "rid": rid}
-        reply = self._execute(kind, request, sess)
+        reply = self._execute(kind, request, sess, span)
         reply["rid"] = rid
         if reply.get("error") != "busy":
             sess.replies[rid] = reply
@@ -214,7 +253,11 @@ class Server:
         return reply
 
     def _execute(
-        self, kind: str, request: Dict[str, Any], sess: _Session
+        self,
+        kind: str,
+        request: Dict[str, Any],
+        sess: _Session,
+        span: Optional[object] = None,
     ) -> Dict[str, Any]:
         session_id = request["session"]
         if kind == "ping":
@@ -244,6 +287,8 @@ class Server:
                 "reason": "no active transaction (server restarted?)",
             }
         txn = sess.txn
+        if span is not None:
+            span.set(tid=txn.tid)
         try:
             if kind == "read":
                 value = txn.read(
@@ -280,6 +325,13 @@ class Server:
                 self.metrics.counter(
                     "service_busy_total", "requests answered busy (lock waits)"
                 ).inc()
+            if span is not None:
+                span.event(
+                    "blocked",
+                    resource=block.resource,
+                    holders=sorted(block.holders),
+                    tid=txn.tid,
+                )
             self._waits[session_id] = block.holders
             self._resolve_deadlock()
             if sess.pending_abort is not None:
@@ -335,10 +387,14 @@ class Server:
                 "service_commits_certified_total",
                 "commits live-certified at their declared level",
             ).inc(ok=str(ok).lower())
-        if not ok and self.tracer is not None:
+        if self.tracer is not None:
             self.tracer.event(
-                "certification.failure", tid=tid, level=str(level)
+                "commit.certified", tid=tid, level=str(level), ok=ok
             )
+            if not ok:
+                self.tracer.event(
+                    "certification.failure", tid=tid, level=str(level)
+                )
         return ok
 
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.incremental import IncrementalAnalysis
 from ..core.levels import IsolationLevel
+from ..observability.provenance import watching_analysis
 from .client import Client
 from .config import NetworkConfig, RetryPolicy, SchedulerConfig
 from .errors import RequestTimeout, ServiceAborted, ServiceUnavailable
@@ -63,6 +64,12 @@ class StressResult:
     monitor: IncrementalAnalysis = field(repr=False, default=None)
     history: Any = field(repr=False, default=None)
     metrics: Any = field(repr=False, default=None)
+    #: The tracer (when one was attached): ``result.tracer.records`` feeds
+    #: :mod:`repro.observability.traceview` and :func:`build_run_report`.
+    tracer: Any = field(repr=False, default=None)
+    #: Plain-dict summary of the run's configuration (fault schedule,
+    #: retry policy, workload shape) — reproduced in run reports.
+    config: Any = field(repr=False, default=None)
 
     @property
     def all_certified(self) -> bool:
@@ -207,8 +214,18 @@ def run_stress(
     netcfg = (network or NetworkConfig()).with_seed(
         (network.seed if network is not None and network.seed else seed * 7919 + 1)
     )
+    policy = retry or RetryPolicy()
     net = SimulatedNetwork(netcfg, metrics=metrics, tracer=tracer)
-    monitor = IncrementalAnalysis(order_mode="commit")
+    if tracer is not None:
+        # The determinism contract extends to traces: re-clock the tracer
+        # onto the network's logical tick counter so identical seeds yield
+        # byte-identical span timestamps.
+        tracer.use_clock(lambda: float(net.now))
+    monitor = (
+        watching_analysis(tracer, order_mode="commit")
+        if tracer is not None
+        else IncrementalAnalysis(order_mode="commit")
+    )
     server = Server(
         net,
         config,
@@ -219,12 +236,40 @@ def run_stress(
     )
     declared = config.declared_level
     level_name = str(declared) if declared is not None else None
+    config_summary = {
+        "scheduler": config.scheduler,
+        "level": level_name,
+        "clients": clients,
+        "txns_per_client": txns_per_client,
+        "keys": keys,
+        "ops_per_txn": ops_per_txn,
+        "seed": seed,
+        "network": {
+            "seed": netcfg.seed,
+            "drop": netcfg.drop,
+            "duplicate": netcfg.duplicate,
+            "min_delay": netcfg.min_delay,
+            "max_delay": netcfg.max_delay,
+        },
+        "retry": {
+            "timeout": policy.timeout,
+            "max_attempts": policy.max_attempts,
+            "backoff": policy.backoff,
+        },
+        "crash_after_commits": crash_after_commits,
+        "restart_delay": restart_delay,
+    }
+    run_span = None
+    if tracer is not None:
+        # Stacked root: parentless events anywhere below (server crashes,
+        # net partitions, phenomenon provenance) nest under the run.
+        run_span = tracer.span("stress.run", **config_summary)
     driver_rng = random.Random(seed)
     counters = {"aborts": 0}
     runs: List[_ScriptRun] = []
     for i in range(clients):
         client = Client(
-            net, name=f"c{i}", policy=retry or RetryPolicy(), metrics=metrics
+            net, name=f"c{i}", policy=policy, metrics=metrics, tracer=tracer
         )
         script_rng = random.Random(seed * 1_000_003 + i + 1)
         runs.append(
@@ -284,7 +329,19 @@ def run_stress(
             net.advance(max(1, min(wakes) - net.now) if wakes else 1)
     if restart_at is not None:
         server.restart()
+    if tracer is not None:
+        for run in runs:
+            run.client.close_trace()
     monitor.finish()
+    if run_span is not None:
+        run_span.end(
+            committed=server.commit_count,
+            client_aborts=counters["aborts"],
+            crashes=server.crashes,
+            restarts=server.restarts,
+            deadlock_victims=server.deadlock_victims,
+            ticks=net.now,
+        )
     # Final (authoritative) certification pass: phenomena only accumulate,
     # so re-verify every commit against the finished monitor.
     certification: Dict[int, Tuple[Optional[IsolationLevel], bool]] = {}
@@ -319,4 +376,6 @@ def run_stress(
         monitor=monitor,
         history=history,
         metrics=metrics,
+        tracer=tracer,
+        config=config_summary,
     )

@@ -308,3 +308,144 @@ class TestStress:
     def test_stress_bad_scheduler(self):
         status, _ = run_cli("stress", "--scheduler", "bogus")
         assert status == 2
+
+
+class TestObservabilityFlags:
+    def test_stress_trace_records_service_spans(self, tmp_path):
+        from repro.observability import read_trace, span_tree
+
+        path = tmp_path / "stress.jsonl"
+        status, text = run_cli(
+            "stress", "--clients", "2", "--txns", "3", "--seed", "3",
+            "--trace", str(path),
+        )
+        assert status == 0
+        assert f"wrote" in text and "trace records" in text
+        records = read_trace(str(path))
+        assert records.skipped == 0
+        names = {r["name"] for r in records}
+        assert {
+            "stress.run", "client.txn", "client.request",
+            "net.msg", "server.handle",
+        } <= names
+        roots = span_tree(records)
+        assert [n["record"]["name"] for n in roots] == ["stress.run"]
+
+    def test_stress_trace_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path in (a, b):
+            status, _ = run_cli(
+                "stress", "--clients", "2", "--txns", "3", "--seed", "5",
+                "--crash-after", "3", "--trace", str(path),
+            )
+            assert status == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_stress_metrics_flags(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        status, text = run_cli(
+            "stress", "--clients", "2", "--txns", "3",
+            "--metrics", "--metrics-out", str(path),
+        )
+        assert status == 0
+        assert "metrics:" in text
+        assert "service_requests_total" in text
+        data = json.loads(path.read_text())
+        assert "service_messages_total" in data
+
+    def test_serve_selftest_trace_and_metrics(self, tmp_path):
+        from repro.observability import read_trace
+
+        path = tmp_path / "selftest.jsonl"
+        status, text = run_cli(
+            "serve", "--selftest", "--trace", str(path), "--metrics",
+        )
+        assert status == 0
+        assert "selftest               : ok" in text
+        assert "service_requests_total" in text
+        records = read_trace(str(path))
+        assert any(r["name"] == "stress.run" for r in records)
+
+    def test_serve_demo_trace(self, tmp_path):
+        from repro.observability import read_trace
+
+        path = tmp_path / "demo.jsonl"
+        status, _text = run_cli("serve", "--trace", str(path))
+        assert status == 0
+        records = read_trace(str(path))
+        sessions = {
+            r["attrs"]["session"]
+            for r in records
+            if r["kind"] == "span" and r["name"] == "client.txn"
+        }
+        assert sessions == {"alice", "bob"}
+
+
+class TestRunReportCommand:
+    def test_report_stress_markdown(self):
+        status, text = run_cli(
+            "report", "--stress", "--clients", "2", "--txns", "3",
+            "--seed", "3", "--crash-after", "3",
+        )
+        assert status == 0
+        assert "# Run report — stress scheduler=locking seed=3" in text
+        assert "## Fault schedule and configuration" in text
+        assert "## Logical latency by verb" in text
+        assert "server crashes/restarts | 1/1" in text
+
+    def test_report_stress_json(self):
+        import json
+
+        status, text = run_cli(
+            "report", "--stress", "--clients", "2", "--txns", "3",
+            "--format", "json",
+        )
+        assert status == 0
+        data = json.loads(text)
+        assert data["summary"]["committed transactions"] == 6
+        assert data["latencies"]["commit"]["count"] >= 6
+
+    def test_report_from_recorded_trace_and_metrics(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        metrics = tmp_path / "metrics.json"
+        status, _ = run_cli(
+            "stress", "--clients", "2", "--txns", "3", "--seed", "4",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        )
+        assert status == 0
+        status, text = run_cli(
+            "report", "--trace", str(trace), "--metrics-file", str(metrics),
+        )
+        assert status == 0
+        assert f"# Run report — trace {trace}" in text
+        assert "## Logical latency by verb" in text
+        assert "service_requests_total" in text
+
+    def test_report_stress_with_trace_records_both(self, tmp_path):
+        trace = tmp_path / "both.jsonl"
+        status, text = run_cli(
+            "report", "--stress", "--clients", "2", "--txns", "3",
+            "--trace", str(trace),
+        )
+        assert status == 0
+        assert "# Run report" in text
+        assert trace.exists()
+
+    def test_report_reports_identically_for_equal_seeds(self):
+        args = (
+            "report", "--stress", "--clients", "2", "--txns", "3",
+            "--seed", "6", "--format", "json",
+        )
+        first, second = run_cli(*args), run_cli(*args)
+        assert first == second
+
+    def test_report_missing_trace_file(self):
+        status, _ = run_cli("report", "--trace", "/nonexistent/trace.jsonl")
+        assert status == 2
+
+    def test_plain_report_still_reproduces_paper(self):
+        status, text = run_cli("report")
+        assert status == 0
+        assert "Overall: all artifacts reproduce" in text

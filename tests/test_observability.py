@@ -511,3 +511,91 @@ class TestProvenance:
             reg.counter("incremental_edges_total").total
             == analysis.edges_inserted
         )
+
+
+# ----------------------------------------------------------------------
+# truncated traces and orphan events (crash-during-trace resilience)
+# ----------------------------------------------------------------------
+
+
+class TestTruncatedTrace:
+    def _trace_lines(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("child"):
+                tr.event("leaf", n=1)
+        return [json.dumps(r, sort_keys=True) for r in tr.records]
+
+    def test_truncated_final_line_is_skipped_with_count(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        lines = self._trace_lines()
+        # A crash mid-write leaves a partial final line.
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n")
+            handle.write(lines[-1][: len(lines[-1]) // 2])
+        records = read_trace(path)
+        assert len(records) == len(lines) - 1
+        assert records.skipped == 1
+
+    def test_strict_mode_raises_on_truncation(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        lines = self._trace_lines()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(lines[0] + "\n" + lines[1][:10])
+        with pytest.raises(ValueError):
+            read_trace(path, strict=True)
+
+    def test_crash_during_jsonl_sink_leaves_readable_trace(self, tmp_path):
+        """Simulate a process dying mid-record: everything already flushed
+        must parse; the partial tail is skipped, not fatal."""
+        path = str(tmp_path / "trace.jsonl")
+        lines = self._trace_lines()
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+            handle.write('{"kind": "span", "id": 99, "na')  # died here
+        records = read_trace(path)
+        assert records.skipped == 1
+        tree = span_tree(records)
+        assert tree[0]["record"]["name"] == "root"
+
+    def test_clean_trace_has_zero_skipped(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(self._trace_lines()) + "\n")
+        assert read_trace(path).skipped == 0
+
+
+class TestOrphanEvents:
+    def test_orphans_attach_to_synthetic_root(self):
+        tr = Tracer()
+        span = tr.span("never-closed")
+        span.event("stranded", n=1)
+        tr.event("also-stranded", span=span)
+        # The span never closes (crash): its record is never emitted.
+        roots = span_tree(tr.records)
+        assert len(roots) == 1
+        orphans = roots[0]
+        assert orphans["record"]["name"] == "orphans"
+        assert orphans["record"]["id"] is None
+        assert orphans["record"]["attrs"] == {"synthetic": True}
+        assert [e["name"] for e in orphans["events"]] == [
+            "stranded",
+            "also-stranded",
+        ]
+
+    def test_no_orphans_no_synthetic_root(self):
+        tr = Tracer()
+        with tr.span("root"):
+            tr.event("fine")
+        assert [n["record"]["name"] for n in span_tree(tr.records)] == ["root"]
+
+    def test_orphan_root_spans_event_times(self):
+        tr = Tracer(clock=iter(range(100)).__next__)
+        dangling = tr.span("dangling")
+        tr.event("a", span=dangling)
+        tr.event("b", span=dangling)
+        node = span_tree(tr.records)[-1]
+        times = [e["time"] for e in node["events"]]
+        assert node["record"]["start"] == min(times)
+        assert node["record"]["end"] == max(times)
