@@ -118,29 +118,36 @@ def check(
     return report
 
 
-def _check_one(
-    history: HistoryLike,
+def _check_chunk(
+    chunk: Sequence[HistoryLike],
     *,
     levels: Sequence[IsolationLevel],
     extensions: bool,
     mode: PredicateDepMode,
     auto_complete: bool,
-) -> CheckReport:
+) -> List[CheckReport]:
     """Module-level worker so :func:`check_many` can dispatch it to a
-    process pool (bound methods and closures do not pickle)."""
-    return check(
-        history,
-        levels=levels,
-        extensions=extensions,
-        mode=mode,
-        auto_complete=auto_complete,
-    )
+    process pool (bound methods and closures do not pickle).  Takes a whole
+    *chunk* of histories per task: corpus sweeps are dominated by many small
+    histories, and per-task pickling/IPC overhead swamps the per-history
+    analysis cost unless histories are shipped in batches."""
+    return [
+        check(
+            h,
+            levels=levels,
+            extensions=extensions,
+            mode=mode,
+            auto_complete=auto_complete,
+        )
+        for h in chunk
+    ]
 
 
 def check_many(
     histories: Iterable[HistoryLike],
     *,
     processes: Optional[int] = None,
+    chunksize: Optional[int] = None,
     levels: Sequence[IsolationLevel] = ANSI_CHAIN,
     extensions: bool = False,
     mode: PredicateDepMode = PredicateDepMode.LATEST,
@@ -153,13 +160,20 @@ def check_many(
     than one history to check; ``processes<=1`` forces the serial path (no
     pool, no pickling).  Reports come back in input order.
 
+    ``chunksize`` controls how many histories travel in one pickled task.
+    ``None`` picks a heuristic — enough chunks for ~4 tasks per worker, so
+    stragglers rebalance, but no smaller than 1 — which is right for
+    uniform corpora; pass an explicit value when history sizes are wildly
+    skewed (smaller chunks rebalance better) or tiny and uniform (larger
+    chunks cut dispatch overhead further).
+
     ``metrics`` is honoured on the serial path only: registries are
     in-process objects and do not aggregate across a worker pool, so the
     parallel path checks without instrumentation rather than silently
     accounting a single worker's share.  Pass ``processes=1`` to combine
     batch checking with a registry.
 
-    The parallel path ships each history to a worker via pickling, so
+    The parallel path ships each chunk to a worker via pickling, so
     histories must be picklable — in particular
     :class:`~repro.core.predicates.FunctionPredicate` conditions must be
     module-level functions, not lambdas.  Each worker pays the full
@@ -185,15 +199,22 @@ def check_many(
     from concurrent.futures import ProcessPoolExecutor
 
     worker = functools.partial(
-        _check_one,
+        _check_chunk,
         levels=tuple(levels),
         extensions=extensions,
         mode=mode,
         auto_complete=auto_complete,
     )
-    chunksize = max(1, len(items) // (processes * 4))
+    if chunksize is None:
+        chunksize = max(1, len(items) // (processes * 4))
+    elif chunksize < 1:
+        raise ValueError("chunksize must be >= 1")
+    chunks = [items[i : i + chunksize] for i in range(0, len(items), chunksize)]
+    reports: List[CheckReport] = []
     with ProcessPoolExecutor(max_workers=processes) as pool:
-        return list(pool.map(worker, items, chunksize=chunksize))
+        for batch in pool.map(worker, chunks):
+            reports.extend(batch)
+    return reports
 
 
 def check_level(

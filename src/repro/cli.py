@@ -6,11 +6,14 @@ Commands
 ``check``
     Full analysis of a history: phenomena with witnesses, per-level
     verdicts, strongest level.  ``--extensions`` adds PL-CS/PL-2+/PL-SI,
-    ``--level`` restricts to one level (exit status reflects the verdict).
+    ``--level`` restricts to one level (exit status reflects the verdict),
+    ``--profile FILE`` runs the analysis under cProfile (pstats dump plus a
+    top-20 summary).
 ``check-many``
     Check a batch of history files (one history per file) and print one
     summary line each; ``--processes N`` fans the batch out over worker
-    processes (default: one per CPU).
+    processes (default: one per CPU) and ``--chunksize K`` packs K
+    histories into each pickled worker task.
 ``classify``
     Print just the strongest ANSI level (or ``none``).
 ``dsg``
@@ -127,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the checker's collected metrics",
     )
+    p_check.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="profile the check under cProfile: write pstats to FILE and "
+        "print the top-20 functions by cumulative time",
+    )
 
     p_many = sub.add_parser(
         "check-many",
@@ -141,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes (default: one per CPU; 1 = serial)",
+    )
+    p_many.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help="histories per pickled worker task (default: a heuristic "
+        "targeting ~4 tasks per worker)",
     )
     p_many.add_argument(
         "--extensions",
@@ -256,6 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="crash the server after this many commits (then restart)",
         )
         p.add_argument("--restart-delay", type=int, default=25)
+        p.add_argument(
+            "--no-pipeline",
+            dest="pipeline",
+            action="store_false",
+            help="deliver the due message batch one step at a time instead "
+            "of one drain_due() sweep (same schedule, more driver overhead)",
+        )
 
     p_serve = sub.add_parser(
         "serve", help="in-process client/server service demo"
@@ -288,6 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--history",
         action="store_true",
         help="also print the resulting server-side history",
+    )
+    p_stress.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="profile the run under cProfile: write pstats to FILE and "
+        "print the top-20 functions by cumulative time",
     )
     add_observability_args(p_stress)
 
@@ -385,18 +414,22 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             except KeyError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
+            profiler = _maybe_profile(args.profile)
             report = check(history, levels=(level,), metrics=registry)
             verdict = report.verdicts[level]
             print(verdict.describe(), file=out)
             if registry is not None:
                 print("\nmetrics:", file=out)
                 print(registry.render_text(), file=out)
+            _dump_profile(profiler, args.profile, out)
             return 0 if verdict.ok else 1
+        profiler = _maybe_profile(args.profile)
         report = check(history, extensions=args.extensions, metrics=registry)
         print(report.explain(), file=out)
         if registry is not None:
             print("\nmetrics:", file=out)
             print(registry.render_text(), file=out)
+        _dump_profile(profiler, args.profile, out)
         return 0
 
     if args.command == "classify":
@@ -452,6 +485,34 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return 0
 
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _maybe_profile(path: Optional[str]):
+    """Start a cProfile profiler when ``--profile FILE`` was given."""
+    if not path:
+        return None
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    return profiler
+
+
+def _dump_profile(profiler, path: Optional[str], out) -> None:
+    """Stop the profiler, dump raw pstats to ``path`` and print the top-20
+    functions by cumulative time (loadable later with ``pstats.Stats``)."""
+    if profiler is None:
+        return
+    import io
+    import pstats
+
+    profiler.disable()
+    profiler.dump_stats(path)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(20)
+    print(f"\nprofile: pstats written to {path}", file=out)
+    print(buffer.getvalue().rstrip(), file=out)
 
 
 def _observability_sinks(args):
@@ -578,6 +639,7 @@ def _stress_kwargs(args) -> dict:
         ),
         crash_after_commits=args.crash_after,
         restart_delay=args.restart_delay,
+        pipeline=args.pipeline,
     )
 
 
@@ -586,9 +648,12 @@ def _run_stress_cmd(args, out) -> int:
     from .service import run_stress
 
     metrics, tracer = _observability_sinks(args)
+    profiler = _maybe_profile(args.profile)
     try:
         result = run_stress(metrics=metrics, tracer=tracer, **_stress_kwargs(args))
     except (KeyError, ValueError) as exc:
+        if profiler is not None:
+            profiler.disable()
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(result.summary(), file=out)
@@ -598,6 +663,7 @@ def _run_stress_cmd(args, out) -> int:
     if args.history:
         print("\nhistory:", file=out)
         print(result.history_text, file=out)
+    _dump_profile(profiler, args.profile, out)
     _flush_observability(args, metrics, tracer, out)
     return 0 if result.all_certified else 1
 
@@ -737,6 +803,7 @@ def _run_check_many(args, out) -> int:
     reports = check_many(
         histories,
         processes=processes,
+        chunksize=args.chunksize,
         extensions=args.extensions,
         metrics=registry,
     )

@@ -74,7 +74,7 @@ class PredicateDepMode(Enum):
     ALL = "all"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Edge:
     """One direct conflict ``src --kind--> dst``.
 

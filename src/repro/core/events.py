@@ -31,7 +31,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """Base class: every event belongs to exactly one transaction."""
 
@@ -42,7 +42,7 @@ class Event:
             raise ValueError("application transaction ids are non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Begin(Event):
     """Optional explicit start of a transaction.
 
@@ -61,7 +61,7 @@ class Begin(Event):
         return f"b{self.tid}@{self.level}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Read(Event):
     """``r_i(x_{j:m})`` — transaction ``tid`` reads ``version``.
 
@@ -82,7 +82,7 @@ class Read(Event):
         return f"{op}{self.tid}({inner})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Write(Event):
     """``w_i(x_{i:m})`` — transaction ``tid`` creates ``version``.
 
@@ -96,7 +96,9 @@ class Write(Event):
     dead: bool = False
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        # Explicit base call: dataclass(slots=True) rebuilds the class, so
+        # the zero-arg super() closure would point at the pre-slots class.
+        Event.__post_init__(self)
         if self.version.tid != self.tid:
             raise ValueError(
                 f"T{self.tid} cannot write version {self.version} owned by T{self.version.tid}"
@@ -113,7 +115,7 @@ class Write(Event):
         return f"w{self.tid}({inner})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PredicateRead(Event):
     """``r_i(P: Vset(P))`` — a read based on predicate ``predicate``.
 
@@ -148,7 +150,7 @@ class PredicateRead(Event):
         return f"r{self.tid}({self.predicate}: {self.vset})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Commit(Event):
     """``c_i`` — the transaction's (single) successful final event."""
 
@@ -156,7 +158,7 @@ class Commit(Event):
         return f"c{self.tid}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Abort(Event):
     """``a_i`` — the transaction's (single) unsuccessful final event."""
 

@@ -26,7 +26,17 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import MalformedHistoryError, VersionOrderError
 from .events import Abort, Begin, Commit, Event, PredicateRead, Read, Write
-from .objects import Version, VersionKind, relation_of
+from .interning import (
+    ARRAY_CORE_DEFAULT,
+    EventLog,
+    K_ABORT,
+    K_BEGIN,
+    K_COMMIT,
+    K_PREAD,
+    K_READ,
+    K_WRITE,
+)
+from .objects import INIT_TID, Version, VersionKind, relation_of
 from .predicates import Predicate
 
 __all__ = ["History"]
@@ -56,6 +66,13 @@ class History:
         Whether to run full well-formedness validation (on by default;
         generators that construct histories correct by construction may skip
         it for speed).
+    array_core:
+        Whether the index builders read the flat :class:`EventLog` arrays
+        (kind codes and interned ids) instead of re-scanning the event
+        objects with ``isinstance`` chains.  ``None`` (the default) follows
+        :data:`~repro.core.interning.ARRAY_CORE_DEFAULT`; the equivalence
+        suite passes ``False`` to pin the legacy object path.  Both paths
+        produce identical indexes.
     """
 
     def __init__(
@@ -66,6 +83,7 @@ class History:
         default_level: Optional[object] = None,
         auto_complete: bool = False,
         validate: bool = True,
+        array_core: Optional[bool] = None,
     ):
         evs = tuple(events)
         if auto_complete:
@@ -73,12 +91,19 @@ class History:
         self.events: Tuple[Event, ...] = evs
         self.default_level = default_level
         self._explicit_order = version_order is not None
+        self._array_core = (
+            ARRAY_CORE_DEFAULT if array_core is None else bool(array_core)
+        )
         # Per-predicate memoization (keyed by predicate identity, holding a
         # reference so the id stays valid): match results per version, match-
         # change results per version, and per-object changer positions.  A
         # history is immutable, so these never need invalidation.
         self._pred_caches: Dict[int, Tuple[object, Dict, Dict, Dict]] = {}
-        self.version_order: Dict[str, Tuple[Version, ...]] = self._build_order(version_order)
+        self.version_order: Dict[str, Tuple[Version, ...]] = (
+            self._build_order_array(version_order)
+            if self._array_core
+            else self._build_order(version_order)
+        )
         if validate:
             from .validation import validate_history
 
@@ -87,6 +112,12 @@ class History:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
+
+    @cached_property
+    def log(self) -> EventLog:
+        """Array-of-struct mirror of the event sequence (built lazily; the
+        array-core index builders all read from it)."""
+        return EventLog(self.events)
 
     def _build_order(
         self, supplied: Optional[Mapping[str, Sequence[Version]]]
@@ -147,6 +178,81 @@ class History:
             for obj, chain in order.items()
         }
 
+    def _build_order_array(
+        self, supplied: Optional[Mapping[str, Sequence[Version]]]
+    ) -> Dict[str, Tuple[Version, ...]]:
+        """``_build_order`` over the flat event log: kind codes replace the
+        isinstance chains and interned ids replace per-event attribute walks.
+        Produces exactly the same mapping as the object path."""
+        log = self.log
+        inn = log.interner
+        kind, vids = log.kind, log.vid
+        versions, objects = inn.versions, inn.objects
+        ver_obj, ver_tid, ver_seq = inn.ver_obj, inn.ver_tid, inn.ver_seq
+        order: Dict[str, List[Version]] = {}
+        if supplied is not None:
+            for obj, chain_vs in supplied.items():
+                chain: List[Version] = []
+                for v in chain_vs:
+                    if v.is_unborn:
+                        continue  # the unborn version is implicit
+                    if v.obj != obj:
+                        raise VersionOrderError(
+                            f"version order for {obj!r} contains version of {v.obj!r}"
+                        )
+                    chain.append(v)
+                order[obj] = chain
+        committed = self.committed
+        # Final write seq per (object, writer): one pass over the write rows.
+        fin: Dict[Tuple[int, int], int] = {}
+        for k, vid in zip(kind, vids):
+            if k == K_WRITE:
+                key = (ver_obj[vid], ver_tid[vid])
+                if ver_seq[vid] > fin.get(key, 0):
+                    fin[key] = ver_seq[vid]
+        supplied_objs = frozenset(supplied) if supplied is not None else frozenset()
+        written = set()
+        for k, vid in zip(kind, vids):
+            if k == K_WRITE:
+                written.add(vid)
+                tid = ver_tid[vid]
+                if tid in committed:
+                    oid = ver_obj[vid]
+                    obj = objects[oid]
+                    if obj in supplied_objs:
+                        continue
+                    if ver_seq[vid] == fin[(oid, tid)]:
+                        order.setdefault(obj, []).append(versions[vid])
+        setup: Dict[str, List[Version]] = {}
+
+        def note(vid: int) -> None:
+            v = versions[vid]
+            obj = objects[ver_obj[vid]]
+            chain = order.setdefault(obj, [])
+            if (
+                ver_tid[vid] != INIT_TID
+                and vid not in written
+                and v not in chain
+                and v not in setup.get(obj, ())
+            ):
+                setup.setdefault(obj, []).append(v)
+
+        version_id = inn.version_id
+        events = self.events
+        for i, k in enumerate(kind):
+            if k == K_READ:
+                order.setdefault(objects[ver_obj[vids[i]]], [])
+                note(vids[i])
+            elif k == K_WRITE:
+                order.setdefault(objects[ver_obj[vids[i]]], [])
+            elif k == K_PREAD:
+                for v in events[i].vset.versions():
+                    note(version_id[v])
+        return {
+            obj: (Version.unborn(obj),) + tuple(setup.get(obj, ())) + tuple(chain)
+            for obj, chain in order.items()
+        }
+
     # ------------------------------------------------------------------
     # basic indexes
     # ------------------------------------------------------------------
@@ -154,6 +260,8 @@ class History:
     @cached_property
     def tids(self) -> Tuple[int, ...]:
         """All application transaction ids, in order of first appearance."""
+        if self._array_core:
+            return tuple(dict.fromkeys(self.log.tid))
         seen: Dict[int, None] = {}
         for ev in self.events:
             seen.setdefault(ev.tid, None)
@@ -161,15 +269,31 @@ class History:
 
     @cached_property
     def committed(self) -> frozenset[int]:
+        if self._array_core:
+            log = self.log
+            return frozenset(
+                t for k, t in zip(log.kind, log.tid) if k == K_COMMIT
+            )
         return frozenset(ev.tid for ev in self.events if isinstance(ev, Commit))
 
     @cached_property
     def aborted(self) -> frozenset[int]:
+        if self._array_core:
+            log = self.log
+            return frozenset(
+                t for k, t in zip(log.kind, log.tid) if k == K_ABORT
+            )
         return frozenset(ev.tid for ev in self.events if isinstance(ev, Abort))
 
     @cached_property
     def writes(self) -> Dict[Version, Write]:
         """Every write event indexed by the version it creates."""
+        if self._array_core:
+            return {
+                ev.version: ev
+                for k, ev in zip(self.log.kind, self.events)
+                if k == K_WRITE
+            }
         out: Dict[Version, Write] = {}
         for ev in self.events:
             if isinstance(ev, Write):
@@ -394,6 +518,11 @@ class History:
 
     @cached_property
     def _all_objects(self) -> Tuple[str, ...]:
+        if self._array_core:
+            # The interner allocated object ids in exactly the legacy
+            # first-appearance order (EventLog interns a predicate read's
+            # vset objects before its versions for this reason).
+            return tuple(self.log.interner.objects)
         seen: Dict[str, None] = {}
         for ev in self.events:
             if isinstance(ev, (Read, Write)):
@@ -430,6 +559,20 @@ class History:
     @cached_property
     def _event_positions(self) -> Dict[int, Dict[str, int]]:
         pos: Dict[int, Dict[str, int]] = {}
+        if self._array_core:
+            log = self.log
+            for i, (k, t) in enumerate(zip(log.kind, log.tid)):
+                slot = pos.get(t)
+                if slot is None:
+                    slot = pos[t] = {"first": i}
+                slot["last"] = i
+                if k == K_BEGIN:
+                    slot["begin"] = i
+                elif k == K_COMMIT:
+                    slot["commit"] = i
+                elif k == K_ABORT:
+                    slot["abort"] = i
+            return pos
         for i, ev in enumerate(self.events):
             slot = pos.setdefault(ev.tid, {})
             slot.setdefault("first", i)
@@ -478,12 +621,24 @@ class History:
     @cached_property
     def reads(self) -> Tuple[Tuple[int, Read], ...]:
         """All item reads with their event indexes."""
+        if self._array_core:
+            return tuple(
+                (i, ev)
+                for i, (k, ev) in enumerate(zip(self.log.kind, self.events))
+                if k == K_READ
+            )
         return tuple(
             (i, ev) for i, ev in enumerate(self.events) if isinstance(ev, Read)
         )
 
     @cached_property
     def predicate_reads(self) -> Tuple[Tuple[int, PredicateRead], ...]:
+        if self._array_core:
+            return tuple(
+                (i, ev)
+                for i, (k, ev) in enumerate(zip(self.log.kind, self.events))
+                if k == K_PREAD
+            )
         return tuple(
             (i, ev) for i, ev in enumerate(self.events) if isinstance(ev, PredicateRead)
         )

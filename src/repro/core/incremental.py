@@ -22,6 +22,33 @@ edge.  Appending one transaction and re-querying therefore costs amortised
 O(new edges), not O(history) — the asymptotic gap
 ``bench_scaling_incremental`` pins.
 
+Interned hot path
+-----------------
+
+All internal state is keyed by dense ints from a per-analysis
+:class:`~repro.core.interning.Interner`: a version is hashed exactly once
+(at first mention), and from then on chains are lists of version ids,
+conflict edges are 6-int tuples, and the per-event work is int dict/list
+traffic instead of dataclass hashing.  :class:`~repro.core.conflicts.Edge`
+objects are materialised lazily (the :attr:`edges` property and reports);
+verdicts are unchanged.
+
+There are four cycle monitors, but their views nest — ww ⊆ ww+wr ⊆
+item-only ⊆ full — and a subgraph of an acyclic graph is acyclic, so only
+the first *non-latched* monitor in that chain (the frontier) is actually
+maintained.  While the full view is acyclic it alone runs; when it latches
+its first cycle the next monitor is brought live by replaying the
+accumulated edge set once, and so on down the chain.  Workloads therefore
+pay for one Pearce–Kelly structure at a time instead of four, and latched
+monitors stop doing any maintenance at all.
+
+:meth:`add_all` is a true batch path: events are consumed through an
+inlined type-dispatched loop and the chunk's Pearce–Kelly insertions are
+buffered and applied in bulk (:meth:`_CycleMonitor.add_many`), amortising
+the per-edge bookkeeping; any structural repair or per-event ``watch``
+probe flushes the buffer first, so the final state is identical to feeding
+events one at a time.
+
 Edges are *activated* lazily: a conflict materialises only once both
 endpoint transactions have committed, mirroring the batch extractors'
 restriction to ``committed_all``.  Most chain updates are appends and apply
@@ -71,7 +98,8 @@ from typing import (
 from . import graph as _g
 from .conflicts import DepKind, Edge, PredicateDepMode
 from .events import Abort, Begin, Commit, Event, PredicateRead, Read, Write
-from .objects import Version, relation_of
+from .interning import Interner
+from .objects import INIT_TID, Version, relation_of
 from .phenomena import Phenomenon, PhenomenonReport, Witness
 from .predicates import Predicate, VersionSet
 
@@ -88,7 +116,13 @@ CORE_PHENOMENA: Tuple[Phenomenon, ...] = (
     Phenomenon.G2,
 )
 
-_EdgeKey = Tuple[int, int, DepKind, str, Optional[Version], Optional[Predicate]]
+#: Edge kind codes used in interned edge keys (indexes into ``_KINDS``).
+_KW, _KR, _KA = 0, 1, 2  # ww, wr, rw
+_KINDS: Tuple[DepKind, ...] = (DepKind.WW, DepKind.WR, DepKind.RW)
+
+#: Interned edge key: (src, dst, kind code, oid, vid, pid) — pid 0 = no
+#: predicate.  The dict value is the cursor flag.
+_IKey = Tuple[int, int, int, int, int, int]
 
 
 class _PreadRec:
@@ -119,7 +153,9 @@ class _CycleMonitor:
     ``u->v, v->w``), so a repair can reroute a cycle but never break the
     last one.  Removals therefore only decrement the pair refcounts; they
     never re-open the latch — which makes every subsequent presence query
-    O(1).
+    O(1).  For the same reason a latched monitor stops maintaining its
+    order and adjacency outright: nothing downstream reads them once the
+    verdict is permanently True.
     """
 
     __slots__ = ("order", "_next_rank", "fwd", "back", "count", "has_cycle")
@@ -132,27 +168,82 @@ class _CycleMonitor:
         self.count: Dict[Tuple[int, int], int] = {}
         self.has_cycle = False
 
-    def _rank(self, node: int) -> int:
-        rank = self.order.get(node)
-        if rank is None:
-            rank = self.order[node] = self._next_rank
-            self._next_rank += 1
-            self.fwd[node] = set()
-            self.back[node] = set()
-        return rank
-
     def add(self, u: int, v: int) -> None:
-        if u == v:
+        if u == v or self.has_cycle:
             return  # a self-loop is a singleton SCC, not a cycle
-        refs = self.count.get((u, v), 0)
-        self.count[(u, v)] = refs + 1
-        if refs:
+        key = (u, v)
+        count = self.count
+        refs = count.get(key)
+        if refs is not None:
+            count[key] = refs + 1
             return  # collapsed pair already in the graph
-        rank_u, rank_v = self._rank(u), self._rank(v)
-        self.fwd[u].add(v)
-        self.back[v].add(u)
-        if self.has_cycle or rank_u < rank_v:
+        count[key] = 1
+        order = self.order
+        rank_u = order.get(u)
+        if rank_u is None:
+            rank_u = order[u] = self._next_rank
+            self._next_rank += 1
+            self.fwd[u] = {v}
+            self.back[u] = set()
+        else:
+            self.fwd[u].add(v)
+        rank_v = order.get(v)
+        if rank_v is None:
+            rank_v = order[v] = self._next_rank
+            self._next_rank += 1
+            self.fwd[v] = set()
+            self.back[v] = {u}
+        else:
+            self.back[v].add(u)
+        if rank_u > rank_v:
+            self._reorder(u, v, rank_u, rank_v)
+
+    def add_many(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Bulk insert of collapsed pairs — one locals-hoisted pass, with
+        the Pearce–Kelly reorder firing only on order-violating inserts."""
+        if self.has_cycle:
             return
+        count = self.count
+        order = self.order
+        fwd = self.fwd
+        back = self.back
+        count_get = count.get
+        order_get = order.get
+        next_rank = self._next_rank
+        for pair in pairs:
+            u, v = pair
+            if u == v:
+                continue
+            refs = count_get(pair)
+            if refs is not None:
+                count[pair] = refs + 1
+                continue
+            count[pair] = 1
+            rank_u = order_get(u)
+            if rank_u is None:
+                rank_u = order[u] = next_rank
+                next_rank += 1
+                fwd[u] = {v}
+                back[u] = set()
+            else:
+                fwd[u].add(v)
+            rank_v = order_get(v)
+            if rank_v is None:
+                rank_v = order[v] = next_rank
+                next_rank += 1
+                fwd[v] = set()
+                back[v] = {u}
+            else:
+                back[v].add(u)
+            if rank_u > rank_v:
+                self._next_rank = next_rank
+                self._reorder(u, v, rank_u, rank_v)
+                if self.has_cycle:
+                    return
+                next_rank = self._next_rank
+        self._next_rank = next_rank
+
+    def _reorder(self, u: int, v: int, rank_u: int, rank_v: int) -> None:
         # Order violated: discover the affected region (Pearce–Kelly).
         # Forward from v, pruned to ranks below rank(u): in a valid order
         # any v=>u path stays inside that window, so meeting u here is the
@@ -224,6 +315,63 @@ class IncrementalAnalysis:
         the engine's commit-time online monitor hook.
     """
 
+    __slots__ = (
+        "metrics",
+        "tracer",
+        "_ev_counter",
+        "_edge_counter",
+        "mode",
+        "order_mode",
+        "events",
+        "committed",
+        "aborted",
+        "_in",
+        "_hint_by_version",
+        "_hint_key",
+        "_chains",
+        "_unborn_vid",
+        "_rel",
+        "_setup_count",
+        "_install_keys",
+        "_pos",
+        "_commit_counter",
+        "_writes_ev",
+        "_versions_of_tid",
+        "_final",
+        "_intermediate",
+        "_reads_by_version",
+        "_reads_of_tid",
+        "_preads_of_tid",
+        "_preads_by_relation",
+        "_preads_by_vset_version",
+        "_setup_versions",
+        "_setup_value",
+        "_objects_by_relation",
+        "_node_tids",
+        "_edges",
+        "_edge_keys_by_obj",
+        "_keyed_built",
+        "_g1a",
+        "_g1b",
+        "_gen",
+        "_preds",
+        "_pred_ids",
+        "_mon_g0",
+        "_mon_g1c",
+        "_mon_full",
+        "_mon_item",
+        "_cascade",
+        "_frontier",
+        "_deferring",
+        "_pending",
+        "_present",
+        "_presence_cache",
+        "_match_caches",
+        "watch",
+        "on_phenomenon",
+        "_fired",
+    )
+
     def __init__(
         self,
         *,
@@ -260,51 +408,78 @@ class IncrementalAnalysis:
         self.events: List[Event] = []
         self.committed: Set[int] = set()
         self.aborted: Set[int] = set()
-        self._hint_key: Dict[Version, int] = {}
+        # Hints are recorded per Version and resolved to a vid lazily when
+        # the version is first interned, so hinted-but-never-mentioned
+        # objects do not enter the object universe early.
+        self._hint_by_version: Dict[Version, int] = {}
         if version_order_hint:
             for chain in version_order_hint.values():
                 for i, v in enumerate(chain):
                     if not v.is_unborn:
-                        self._hint_key[v] = i
-        # --- chains -----------------------------------------------------
-        self._chain: Dict[str, List[Version]] = {}
-        self._index: Dict[str, Dict[Version, int]] = {}
-        self._setup_count: Dict[str, int] = {}
-        self._install_keys: Dict[str, List[Any]] = {}  # committed section keys
+                        self._hint_by_version[v] = i
+        self._hint_key: Dict[int, int] = {}  # vid -> hinted position
+        # --- interned identity space -----------------------------------
+        self._in = Interner()
+        # --- chains (all indexed by oid) --------------------------------
+        self._chains: List[List[int]] = []  # oid -> [vid, ...], [0] unborn
+        self._unborn_vid: List[int] = []
+        self._rel: List[str] = []  # oid -> relation
+        self._setup_count: List[int] = []
+        self._install_keys: List[List[Any]] = []  # committed section keys
+        self._pos: Dict[int, int] = {}  # vid -> position in its chain
         self._commit_counter = 0
-        # --- events indexes --------------------------------------------
-        self._writes: Dict[Version, Write] = {}
-        self._versions_of_tid: Dict[int, List[Version]] = {}
-        self._final_seq: Dict[Tuple[str, int], int] = {}
-        self._final_write_event: Dict[Tuple[str, int], int] = {}
-        self._reads_by_version: Dict[Version, List[Read]] = {}
-        self._reads_of_tid: Dict[int, List[Read]] = {}
+        # --- events indexes (vid/tid keyed) -----------------------------
+        self._writes_ev: Dict[int, Write] = {}  # vid -> write event
+        self._versions_of_tid: Dict[int, List[int]] = {}
+        #: (oid, tid) -> (final vid, final write event index).
+        self._final: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: Written versions later superseded by the same writer — the G1b
+        #: candidates.  A set probe here replaces a tuple-keyed dict probe
+        #: in the commit-time read loop; membership is monotone because a
+        #: superseded version can never become final again.
+        self._intermediate: Set[int] = set()
+        self._reads_by_version: Dict[int, List[Read]] = {}
+        self._reads_of_tid: Dict[int, List[Tuple[int, Read]]] = {}
         self._preads_of_tid: Dict[int, List[_PreadRec]] = {}
         self._preads_by_relation: Dict[str, List[_PreadRec]] = {}
-        self._preads_by_vset_version: Dict[Version, List[_PreadRec]] = {}
-        self._setup_versions: Set[Version] = set()
-        self._setup_value: Dict[Version, Any] = {}
+        self._preads_by_vset_version: Dict[int, List[_PreadRec]] = {}
+        self._setup_versions: Set[int] = set()
+        self._setup_value: Dict[int, Any] = {}
         self._objects_by_relation: Dict[str, List[str]] = {}
-        self._known_objects: Set[str] = set()
         self._node_tids: Set[int] = set()  # committed txns + setup installers
         # --- edges and verdict caches ----------------------------------
-        self._edges: Dict[_EdgeKey, Edge] = {}
-        self._edge_keys_by_obj: Dict[str, Set[_EdgeKey]] = {}
-        self._g1a: Set[Tuple[int, Version]] = set()
-        self._g1b: Set[Tuple[int, Version]] = set()
+        self._edges: Dict[_IKey, bool] = {}  # key -> cursor flag
+        # oid -> chain-dependent edge keys; built lazily at the first
+        # structural repair (append-only runs never pay for it).
+        self._edge_keys_by_obj: Dict[int, Set[_IKey]] = {}
+        self._keyed_built = False
+        self._g1a: Set[Tuple[int, int]] = set()  # (reader tid, vid)
+        self._g1b: Set[Tuple[int, int]] = set()
         self._gen = 0
+        self._preds: List[Optional[Predicate]] = [None]  # pid -> predicate
+        self._pred_ids: Dict[Predicate, int] = {}
         # Incremental cycle monitors, one per phenomenon edge filter:
         # ww only (G0), ww+wr (G1c), everything (gates G2), and everything
-        # except predicate anti-dependencies (gates G2-item).
+        # except predicate anti-dependencies (gates G2-item).  The views
+        # nest (g0 ⊆ g1c ⊆ item ⊆ full), so only the first non-latched
+        # monitor in that chain — the *frontier* — is actually maintained:
+        # while it is acyclic every smaller view is trivially acyclic, and
+        # when it latches the next monitor is brought live by replaying the
+        # accumulated edge set once (see the module docstring).
         self._mon_g0 = _CycleMonitor()
         self._mon_g1c = _CycleMonitor()
         self._mon_full = _CycleMonitor()
         self._mon_item = _CycleMonitor()
+        self._cascade = (self._mon_full, self._mon_item, self._mon_g1c, self._mon_g0)
+        self._frontier = 0  # index into _cascade; 4 = everything latched
+        # Batch mode: edge->monitor feeds buffered for bulk insertion.
+        self._deferring = False
+        self._pending: List[_IKey] = []
         # Phenomena already proven present — permanent (presence over a
         # growing history is monotone), so re-queries are O(1).
         self._present: Set[Phenomenon] = set()
         self._presence_cache: Dict[Phenomenon, Tuple[int, bool]] = {}
-        self._match_caches: Dict[int, Tuple[Predicate, Dict[Version, bool]]] = {}
+        self._match_caches: Dict[int, Dict[int, bool]] = {}  # pid -> {vid: bool}
         # --- monitoring -------------------------------------------------
         self.watch: Tuple[Phenomenon, ...] = tuple(watch)
         for ph in self.watch:
@@ -315,6 +490,63 @@ class IncrementalAnalysis:
                 )
         self.on_phenomenon = on_phenomenon
         self._fired: Set[Phenomenon] = set()
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+
+    def _register_object(self, obj: str) -> int:
+        """Object id, creating the chain structures on first mention."""
+        in_ = self._in
+        oid = in_.obj_id.get(obj)
+        if oid is not None:
+            return oid
+        oid = in_.intern_object(obj)
+        uv = in_.intern_version(Version.unborn(obj))
+        self._unborn_vid.append(uv)
+        self._chains.append([uv])
+        self._pos[uv] = 0
+        self._setup_count.append(0)
+        self._install_keys.append([])
+        rel = relation_of(obj)
+        self._rel.append(rel)
+        self._objects_by_relation.setdefault(rel, []).append(obj)
+        return oid
+
+    def _vid_of(self, v: Version) -> int:
+        """Version id, interning (and registering the object) on first use."""
+        in_ = self._in
+        vid = in_.version_id.get(v)
+        if vid is None:
+            oid = in_.obj_id.get(v.obj)
+            if oid is None:
+                oid = self._register_object(v.obj)
+                if v.tid == INIT_TID:
+                    # Registering interned the unborn version, which may be
+                    # the very version being asked for.
+                    vid = in_.version_id.get(v)
+                    if vid is not None:
+                        return vid
+            vid = in_.version_id[v] = len(in_.versions)
+            in_.versions.append(v)
+            in_.ver_obj.append(oid)
+            in_.ver_tid.append(v.tid)
+            in_.ver_seq.append(v.seq)
+            if self._hint_by_version:
+                hint = self._hint_by_version.get(v)
+                if hint is not None:
+                    self._hint_key[vid] = hint
+        return vid
+
+    def _pid_of(self, predicate: Optional[Predicate]) -> int:
+        if predicate is None:
+            return 0
+        pid = self._pred_ids.get(predicate)
+        if pid is None:
+            pid = len(self._preds)
+            self._preds.append(predicate)
+            self._pred_ids[predicate] = pid
+        return pid
 
     # ------------------------------------------------------------------
     # feeding
@@ -356,10 +588,76 @@ class IncrementalAnalysis:
                     self._fired.add(ph)
                     self.on_phenomenon(ph, self)
 
-    def add_all(self, events: Iterable[Event]) -> "IncrementalAnalysis":
-        """Feed a whole event sequence (convenience for tests/benchmarks)."""
-        for ev in events:
-            self.add(ev)
+    def add_all(
+        self, events: Iterable[Event], *, chunk: int = 8192
+    ) -> "IncrementalAnalysis":
+        """Feed a whole event sequence through the batch path.
+
+        Equivalent to ``add()`` in a loop, but events go through an inlined
+        dispatch and the chunk's Pearce–Kelly edge insertions are buffered
+        and applied in bulk every ``chunk`` events, so per-edge monitor
+        bookkeeping amortises across the batch.  With an active ``watch``
+        hook the per-event path is used instead (the hook must fire at the
+        exact latching event).
+        """
+        if self.watch and self.on_phenomenon is not None:
+            for ev in events:
+                self.add(ev)
+            return self
+        ev_list = self.events
+        append = ev_list.append
+        on_write = self._on_write
+        on_read = self._on_read
+        on_commit = self._on_commit
+        on_abort = self._on_abort
+        on_pread = self._on_pread
+        counter = 0
+        self._deferring = True
+        try:
+            for ev in events:
+                t = type(ev)
+                if t is Write:
+                    index = len(ev_list)
+                    append(ev)
+                    on_write(ev, index)
+                elif t is Read:
+                    append(ev)
+                    on_read(ev)
+                elif t is Commit:
+                    append(ev)
+                    on_commit(ev.tid, None, None)
+                elif t is Abort:
+                    append(ev)
+                    on_abort(ev.tid)
+                elif t is Begin:
+                    append(ev)
+                elif t is PredicateRead:
+                    append(ev)
+                    on_pread(ev)
+                else:  # subclassed events: full isinstance dispatch
+                    index = len(ev_list)
+                    ev_list.append(ev)
+                    if isinstance(ev, Write):
+                        on_write(ev, index)
+                    elif isinstance(ev, Read):
+                        on_read(ev)
+                    elif isinstance(ev, PredicateRead):
+                        self._on_pread(ev)
+                    elif isinstance(ev, Commit):
+                        self._on_commit(ev.tid, None, None)
+                    elif isinstance(ev, Abort):
+                        self._on_abort(ev.tid)
+                counter += 1
+                if counter >= chunk:
+                    if self._ev_counter is not None:
+                        self._ev_counter.inc(counter)
+                    counter = 0
+                    self._flush_pending()
+        finally:
+            self._flush_pending()
+            self._deferring = False
+        if counter and self._ev_counter is not None:
+            self._ev_counter.inc(counter)
         return self
 
     def finish(self) -> None:
@@ -381,52 +679,74 @@ class IncrementalAnalysis:
     # ------------------------------------------------------------------
 
     def _on_write(self, ev: Write, index: int) -> None:
-        v = ev.version
-        self._register_object(v.obj)
-        self._writes[v] = ev
-        self._versions_of_tid.setdefault(v.tid, []).append(v)
-        if v in self._setup_versions:
+        in_ = self._in
+        version = ev.version
+        vid = in_.version_id.get(version)
+        if vid is None:
+            vid = self._vid_of(version)
+        tid = ev.tid
+        self._writes_ev[vid] = ev
+        vlist = self._versions_of_tid.get(tid)
+        if vlist is None:
+            self._versions_of_tid[tid] = [vid]
+        else:
+            vlist.append(vid)
+        if vid in self._setup_versions:
             # A version previously mis-classified as setup (read before its
             # write — invalid per Section 4.2, but stay consistent anyway).
-            self._setup_versions.discard(v)
-            self._setup_value.pop(v, None)
-            self._invalidate_matches(v)
-        key = (v.obj, v.tid)
-        prev_seq = self._final_seq.get(key)
-        if prev_seq is None or v.seq > prev_seq:
-            if prev_seq is not None:
-                self._now_intermediate(Version(v.obj, v.tid, prev_seq))
-            self._final_seq[key] = v.seq
-            self._final_write_event[key] = index
+            self._setup_versions.discard(vid)
+            self._setup_value.pop(vid, None)
+            self._invalidate_matches(vid)
+        key = (in_.ver_obj[vid], tid)
+        cur = self._final.get(key)
+        if cur is None:
+            self._final[key] = (vid, index)
+        elif in_.ver_seq[vid] > in_.ver_seq[cur[0]]:
+            self._final[key] = (vid, index)
+            self._now_intermediate(cur[0])
         else:
-            self._now_intermediate(v)
+            self._now_intermediate(vid)
 
-    def _now_intermediate(self, old: Version) -> None:
+    def _now_intermediate(self, old: int) -> None:
         """``old`` stopped being its writer's final modification; committed
         transactions that observed it are now G1b witnesses."""
+        self._intermediate.add(old)
+        wtid = self._in.ver_tid[old]
         for read in self._reads_by_version.get(old, ()):
-            if read.tid != old.tid and read.tid in self.committed:
+            if read.tid != wtid and read.tid in self.committed:
                 self._add_g1b(read.tid, old)
         for rec in self._preads_by_vset_version.get(old, ()):
-            if rec.committed and rec.tid != old.tid:
+            if rec.committed and rec.tid != wtid:
                 self._add_g1b(rec.tid, old)
 
     def _on_read(self, ev: Read) -> None:
-        v = ev.version
-        self._register_object(v.obj)
-        self._reads_by_version.setdefault(v, []).append(ev)
-        self._reads_of_tid.setdefault(ev.tid, []).append(ev)
-        self._note_possible_setup(v)
+        in_ = self._in
+        version = ev.version
+        vid = in_.version_id.get(version)
+        if vid is None:
+            vid = self._vid_of(version)
+        readers = self._reads_by_version.get(vid)
+        if readers is None:
+            self._reads_by_version[vid] = [ev]
+        else:
+            readers.append(ev)
+        mine = self._reads_of_tid.get(ev.tid)
+        if mine is None:
+            self._reads_of_tid[ev.tid] = [(vid, ev)]
+        else:
+            mine.append((vid, ev))
+        if vid not in self._writes_ev and in_.ver_tid[vid] != INIT_TID:
+            self._note_possible_setup(vid)
         if (
-            v in self._setup_versions
-            and ev.value is not None
-            and self._setup_value.get(v) is None
+            ev.value is not None
+            and vid in self._setup_versions
+            and self._setup_value.get(vid) is None
         ):
             # First observed value of a setup version: predicate matching
             # may change retroactively — repair the object.
-            self._setup_value[v] = ev.value
-            self._invalidate_matches(v)
-            self._repair_object(v.obj)
+            self._setup_value[vid] = ev.value
+            self._invalidate_matches(vid)
+            self._repair_object(self._in.ver_obj[vid])
 
     def _on_pread(self, ev: PredicateRead) -> None:
         rec = _PreadRec(ev.tid, ev.predicate, ev.vset)
@@ -434,9 +754,10 @@ class IncrementalAnalysis:
         for rel in ev.predicate.relations:
             self._preads_by_relation.setdefault(rel, []).append(rec)
         for v in ev.vset.versions():
-            self._register_object(v.obj)
-            self._preads_by_vset_version.setdefault(v, []).append(rec)
-            self._note_possible_setup(v)
+            vid = self._vid_of(v)
+            self._preads_by_vset_version.setdefault(vid, []).append(rec)
+            if vid not in self._writes_ev and self._in.ver_tid[vid] != INIT_TID:
+                self._note_possible_setup(vid)
         for obj in ev.vset.objects():
             self._register_object(obj)
 
@@ -448,339 +769,498 @@ class IncrementalAnalysis:
     ) -> None:
         self.committed.add(tid)
         self._node_tids.add(tid)
+        in_ = self._in
+        ver_tid = in_.ver_tid
+        ver_obj = in_.ver_obj
+        objects = in_.objects
+        written = self._versions_of_tid.get(tid, ())
+        final = self._final
+        fin: Dict[str, int]
         if finals is None:
-            finals = {}
-            for written in self._versions_of_tid.get(tid, ()):
-                obj = written.obj
-                if obj not in finals:
-                    finals[obj] = Version(obj, tid, self._final_seq[(obj, tid)])
-        for obj in sorted(finals):
-            v = finals[obj]
-            if positions is not None and obj in positions:
-                key = (0, positions[obj])
-            elif v in self._hint_key:
-                key = (-1, self._hint_key[v])
-            elif self.order_mode == "commit":
-                self._commit_counter += 1
-                key = (0, self._commit_counter)
-            else:
-                key = (0, self._final_write_event.get((obj, tid), len(self.events)))
-            self._install(obj, v, key)
+            fin = {}
+            for vid in written:
+                obj = objects[ver_obj[vid]]
+                if obj not in fin:
+                    fin[obj] = final[(ver_obj[vid], tid)][0]
+        else:
+            fin = {obj: self._vid_of(v) for obj, v in finals.items()}
+        hints = self._hint_key
+        commit_keyed = self.order_mode == "commit"
+        if positions is None and not hints and commit_keyed:
+            # The dominant shape: default install keys from the commit
+            # counter, no explicit positions and no order hints.
+            counter = self._commit_counter
+            install = self._install
+            for obj in (sorted(fin) if len(fin) > 1 else fin):
+                vid = fin[obj]
+                counter += 1
+                install(ver_obj[vid], vid, (0, counter))
+            self._commit_counter = counter
+        else:
+            for obj in sorted(fin):
+                vid = fin[obj]
+                oid = ver_obj[vid]
+                if positions is not None and obj in positions:
+                    key = (0, positions[obj])
+                elif hints and vid in hints:
+                    key = (-1, hints[vid])
+                elif commit_keyed:
+                    self._commit_counter += 1
+                    key = (0, self._commit_counter)
+                else:
+                    ent = final.get((oid, tid))
+                    key = (0, ent[1] if ent is not None else len(self.events))
+                self._install(oid, vid, key)
         # Item reads by the newly committed transaction.
-        for read in self._reads_of_tid.get(tid, ()):
-            v = read.version
-            writer = v.tid
-            if writer in self.aborted:
-                self._add_g1a(tid, v)
-            if writer != tid and self._is_intermediate(v):
-                self._add_g1b(tid, v)
-            if (
-                writer != tid
-                and not v.is_unborn
-                and writer in self._node_tids
-                and writer not in self.aborted
-            ):
-                self._add_edge(Edge(writer, tid, DepKind.WR, v.obj, v))
-            idx = self._index.get(v.obj, {}).get(v)
-            if idx is not None:
-                chain = self._chain[v.obj]
-                if idx + 1 < len(chain):
-                    nxt = chain[idx + 1]
-                    if nxt.tid != tid:
-                        self._add_edge(
-                            Edge(
-                                tid,
-                                nxt.tid,
-                                DepKind.RW,
-                                v.obj,
-                                nxt,
-                                cursor=read.cursor,
+        reads = self._reads_of_tid.get(tid)
+        if reads:
+            aborted = self.aborted
+            node_tids = self._node_tids
+            pos = self._pos
+            chains = self._chains
+            intermediate = self._intermediate
+            add_edge = self._add_edge
+            for vid, read in reads:
+                writer = ver_tid[vid]
+                oid = ver_obj[vid]
+                if writer in aborted:
+                    self._add_g1a(tid, vid)
+                if writer != tid:
+                    if vid in intermediate:
+                        self._add_g1b(tid, vid)
+                    if (
+                        writer != INIT_TID
+                        and writer in node_tids
+                        and writer not in aborted
+                    ):
+                        add_edge(writer, tid, _KR, oid, vid, 0, False)
+                idx = pos.get(vid)
+                if idx is not None:
+                    chain = chains[oid]
+                    if idx + 1 < len(chain):
+                        nxt = chain[idx + 1]
+                        ntid = ver_tid[nxt]
+                        if ntid != tid:
+                            add_edge(
+                                tid, ntid, _KA, oid, nxt, 0, read.cursor
                             )
-                        )
         # Predicate reads by the newly committed transaction.
         for rec in self._preads_of_tid.get(tid, ()):
             rec.committed = True
             for v in rec.vset.versions():
-                if v.tid in self.aborted:
-                    self._add_g1a(tid, v)
-                if v.tid != tid and self._is_intermediate(v):
-                    self._add_g1b(tid, v)
-            for obj in self._vset_objects(rec):
-                self._pread_read_edges(rec, obj)
-                self._pread_anti_edges(rec, obj)
+                vid = self._vid_of(v)
+                if ver_tid[vid] in self.aborted:
+                    self._add_g1a(tid, vid)
+                if ver_tid[vid] != tid and self._is_intermediate(vid):
+                    self._add_g1b(tid, vid)
+            for oid in self._vset_oids(rec):
+                self._pread_read_edges(rec, oid)
+                self._pread_anti_edges(rec, oid)
         # The new commit as a read-dependency *source*: readers that
         # committed earlier were waiting on this writer.
-        for v in self._versions_of_tid.get(tid, ()):
-            for read in self._reads_by_version.get(v, ()):
-                if read.tid != tid and read.tid in self.committed:
-                    self._add_edge(Edge(tid, read.tid, DepKind.WR, v.obj, v))
+        if written:
+            committed = self.committed
+            add_edge = self._add_edge
+            for vid in written:
+                for read in self._reads_by_version.get(vid, ()):
+                    rt = read.tid
+                    if rt != tid and rt in committed:
+                        add_edge(tid, rt, _KR, ver_obj[vid], vid, 0, False)
 
     def _on_abort(self, tid: int) -> None:
         self.aborted.add(tid)
-        for v in self._versions_of_tid.get(tid, ()):
-            for read in self._reads_by_version.get(v, ()):
-                if read.tid in self.committed:
-                    self._add_g1a(read.tid, v)
-            for rec in self._preads_by_vset_version.get(v, ()):
+        committed = self.committed
+        for vid in self._versions_of_tid.get(tid, ()):
+            for read in self._reads_by_version.get(vid, ()):
+                if read.tid in committed:
+                    self._add_g1a(read.tid, vid)
+            for rec in self._preads_by_vset_version.get(vid, ()):
                 if rec.committed:
-                    self._add_g1a(rec.tid, v)
+                    self._add_g1a(rec.tid, vid)
 
     # ------------------------------------------------------------------
     # chains
     # ------------------------------------------------------------------
 
-    def _register_object(self, obj: str) -> None:
-        if obj in self._known_objects:
-            return
-        self._known_objects.add(obj)
-        unborn = Version.unborn(obj)
-        self._chain[obj] = [unborn]
-        self._index[obj] = {unborn: 0}
-        self._setup_count[obj] = 0
-        self._install_keys[obj] = []
-        self._objects_by_relation.setdefault(relation_of(obj), []).append(obj)
-
-    def _note_possible_setup(self, v: Version) -> None:
+    def _note_possible_setup(self, vid: int) -> None:
         """A read (or version-set selection) of a never-written version is a
         setup version: implicit initial state, installed right after the
-        unborn version (cf. ``History._build_order``)."""
-        if v.is_unborn or v in self._writes or v in self._setup_versions:
+        unborn version (cf. ``History._build_order``).  Callers pre-check
+        the unborn/written fast path."""
+        if vid in self._setup_versions:
             return
-        self._setup_versions.add(v)
-        self._setup_value.setdefault(v, None)
-        self._node_tids.add(v.tid)
-        obj = v.obj
-        if v in self._hint_key:
-            # An explicit order hint may place a setup version anywhere in
-            # the chain; honour it instead of the default front position.
-            self._install(obj, v, (-1, self._hint_key[v]))
-            return
-        chain = self._chain[obj]
-        pos = 1 + self._setup_count[obj]
-        self._setup_count[obj] += 1
+        self._setup_versions.add(vid)
+        self._setup_value.setdefault(vid, None)
+        in_ = self._in
+        self._node_tids.add(in_.ver_tid[vid])
+        oid = in_.ver_obj[vid]
+        if self._hint_key:
+            hint = self._hint_key.get(vid)
+            if hint is not None:
+                # An explicit order hint may place a setup version anywhere
+                # in the chain; honour it instead of the front position.
+                self._install(oid, vid, (-1, hint))
+                return
+        chain = self._chains[oid]
+        pos = 1 + self._setup_count[oid]
+        self._setup_count[oid] += 1
         if pos == len(chain):
-            chain.append(v)
-            self._index[obj][v] = pos
-            self._append_effects(obj, pos)
+            chain.append(vid)
+            self._pos[vid] = pos
+            self._append_effects(oid, pos)
         else:
-            chain.insert(pos, v)
-            self._repair_object(obj)
+            chain.insert(pos, vid)
+            self._repair_object(oid)
 
-    def _install(self, obj: str, v: Version, key: Any) -> None:
+    def _install(self, oid: int, vid: int, key: Any) -> None:
         """Install a committed final version with the given sort key."""
-        self._register_object(obj)
-        if v in self._index[obj]:
+        if vid in self._pos:
             return  # already installed (duplicate finals are harmless)
-        keys = self._install_keys[obj]
-        at = bisect_right(keys, key)
-        keys.insert(at, key)
-        chain = self._chain[obj]
-        pos = 1 + self._setup_count[obj] + at
-        if pos == len(chain):
-            chain.append(v)
-            self._index[obj][v] = pos
-            self._append_effects(obj, pos)
+        keys = self._install_keys[oid]
+        if not keys or key >= keys[-1]:
+            # In-order install (the overwhelmingly common case: commit
+            # counters and event indexes are monotone) — pure append.
+            at = len(keys)
+            keys.append(key)
         else:
-            chain.insert(pos, v)
-            self._repair_object(obj)
+            at = bisect_right(keys, key)
+            keys.insert(at, key)
+        chain = self._chains[oid]
+        pos = 1 + self._setup_count[oid] + at
+        if pos == len(chain):
+            chain.append(vid)
+            self._pos[vid] = pos
+            self._append_effects(oid, pos)
+        else:
+            chain.insert(pos, vid)
+            self._repair_object(oid)
 
-    def _append_effects(self, obj: str, pos: int) -> None:
+    def _append_effects(self, oid: int, pos: int) -> None:
         """Edge updates after appending ``chain[pos]`` at the tail."""
-        chain = self._chain[obj]
-        v = chain[pos]
+        chain = self._chains[oid]
+        vid = chain[pos]
         prev = chain[pos - 1]
-        if not prev.is_unborn and prev.tid != v.tid:
-            self._add_edge(Edge(prev.tid, v.tid, DepKind.WW, obj, v))
-        for read in self._reads_by_version.get(prev, ()):
-            if read.tid in self.committed and read.tid != v.tid:
-                self._add_edge(
-                    Edge(read.tid, v.tid, DepKind.RW, obj, v, cursor=read.cursor)
-                )
-        for rec in self._preads_by_relation.get(relation_of(obj), ()):
-            if not rec.committed:
-                continue
-            selected = rec.vset.get(obj) or Version.unborn(obj)
-            if selected == v:
-                # The selected version itself just installed: the read-
-                # dependency edges of this (pread, object) pair now exist.
-                self._pread_read_edges(rec, obj)
-                continue
-            idx = 0 if selected.is_unborn else self._index[obj].get(selected)
-            if idx is None:
-                continue  # uninstalled selection yields no edges (yet)
-            if pos > idx and v.tid != rec.tid and self._changes_at(obj, pos, rec.predicate):
-                self._add_edge(
-                    Edge(rec.tid, v.tid, DepKind.RW, obj, v, predicate=rec.predicate)
-                )
-
-    def _repair_object(self, obj: str) -> None:
-        """Localized rebuild after a structural (non-append) chain change:
-        drop and recompute every chain-dependent edge of ``obj``."""
-        for key in self._edge_keys_by_obj.get(obj, ()):
-            dropped = self._edges.pop(key, None)
-            if dropped is not None:
-                self._feed_monitors(dropped, _CycleMonitor.remove)
-        self._edge_keys_by_obj[obj] = set()
-        self._gen += 1
-        chain = self._chain[obj]
-        self._index[obj] = {v: i for i, v in enumerate(chain)}
-        for pos in range(1, len(chain)):
-            v, prev = chain[pos], chain[pos - 1]
-            if not prev.is_unborn and prev.tid != v.tid:
-                self._add_edge(Edge(prev.tid, v.tid, DepKind.WW, obj, v))
-            for read in self._reads_by_version.get(prev, ()):
-                if read.tid in self.committed and read.tid != v.tid:
+        in_ = self._in
+        ver_tid = in_.ver_tid
+        vtid = ver_tid[vid]
+        ptid = ver_tid[prev]
+        if ptid != INIT_TID and ptid != vtid:
+            self._add_edge(ptid, vtid, _KW, oid, vid, 0, False)
+        readers = self._reads_by_version.get(prev)
+        if readers:
+            committed = self.committed
+            add_edge = self._add_edge
+            for read in readers:
+                rt = read.tid
+                if rt != vtid and rt in committed:
+                    add_edge(rt, vtid, _KA, oid, vid, 0, read.cursor)
+        recs = self._preads_by_relation.get(self._rel[oid])
+        if recs:
+            obj = in_.objects[oid]
+            unborn = self._unborn_vid[oid]
+            for rec in recs:
+                if not rec.committed:
+                    continue
+                selected = rec.vset.get(obj)
+                if selected is None or selected.tid == INIT_TID:
+                    svid: Optional[int] = unborn
+                    idx: Optional[int] = 0
+                else:
+                    svid = in_.version_id.get(selected)
+                    idx = None if svid is None else self._pos.get(svid)
+                if svid == vid:
+                    # The selected version itself just installed: the read-
+                    # dependency edges of this (pread, object) pair now exist.
+                    self._pread_read_edges(rec, oid)
+                    continue
+                if idx is None:
+                    continue  # uninstalled selection yields no edges (yet)
+                if (
+                    pos > idx
+                    and vtid != rec.tid
+                    and self._changes_at(chain, pos, rec.predicate)
+                ):
                     self._add_edge(
-                        Edge(read.tid, v.tid, DepKind.RW, obj, v, cursor=read.cursor)
+                        rec.tid, vtid, _KA, oid, vid, self._pid_of(rec.predicate), False
                     )
-        for rec in self._preads_by_relation.get(relation_of(obj), ()):
+
+    def _repair_object(self, oid: int) -> None:
+        """Localized rebuild after a structural (non-append) chain change:
+        drop and recompute every chain-dependent edge of ``oid``."""
+        self._flush_pending()
+        if not self._keyed_built:
+            self._keyed_built = True
+            index: Dict[int, Set[_IKey]] = {}
+            for key in self._edges:
+                if key[2] != _KR or key[5]:
+                    index.setdefault(key[3], set()).add(key)
+            self._edge_keys_by_obj = index
+        for key in self._edge_keys_by_obj.get(oid, ()):
+            if self._edges.pop(key, None) is not None:
+                self._feed_remove(key[0], key[1], key[2], key[5])
+        self._edge_keys_by_obj[oid] = set()
+        self._gen += 1
+        chain = self._chains[oid]
+        pos_map = self._pos
+        for i, vid in enumerate(chain):
+            pos_map[vid] = i
+        in_ = self._in
+        ver_tid = in_.ver_tid
+        committed = self.committed
+        add_edge = self._add_edge
+        for pos in range(1, len(chain)):
+            vid, prev = chain[pos], chain[pos - 1]
+            vtid = ver_tid[vid]
+            ptid = ver_tid[prev]
+            if ptid != INIT_TID and ptid != vtid:
+                add_edge(ptid, vtid, _KW, oid, vid, 0, False)
+            for read in self._reads_by_version.get(prev, ()):
+                rt = read.tid
+                if rt in committed and rt != vtid:
+                    add_edge(rt, vtid, _KA, oid, vid, 0, read.cursor)
+        for rec in self._preads_by_relation.get(self._rel[oid], ()):
             if rec.committed:
-                self._pread_read_edges(rec, obj)
-                self._pread_anti_edges(rec, obj)
+                self._pread_read_edges(rec, oid)
+                self._pread_anti_edges(rec, oid)
 
     # ------------------------------------------------------------------
     # predicate machinery
     # ------------------------------------------------------------------
 
-    def _vset_objects(self, rec: _PreadRec) -> Tuple[str, ...]:
-        objs: Dict[str, None] = {}
+    def _vset_oids(self, rec: _PreadRec) -> Tuple[int, ...]:
+        obj_id = self._in.obj_id
+        oids: Dict[int, None] = {}
         for rel in rec.predicate.relations:
             for obj in self._objects_by_relation.get(rel, ()):
-                objs.setdefault(obj, None)
+                oids.setdefault(obj_id[obj], None)
         for obj in rec.vset.objects():
             if rec.predicate.covers(obj):
-                objs.setdefault(obj, None)
-        return tuple(objs)
+                oids.setdefault(self._register_object(obj), None)
+        return tuple(oids)
 
-    def _match_cache(self, predicate: Predicate) -> Dict[Version, bool]:
-        entry = self._match_caches.get(id(predicate))
-        if entry is None or entry[0] is not predicate:
-            entry = (predicate, {})
-            self._match_caches[id(predicate)] = entry
-        return entry[1]
+    def _match_cache(self, predicate: Predicate) -> Dict[int, bool]:
+        pid = self._pid_of(predicate)
+        cache = self._match_caches.get(pid)
+        if cache is None:
+            cache = self._match_caches[pid] = {}
+        return cache
 
-    def _invalidate_matches(self, version: Version) -> None:
-        for _pred, cache in self._match_caches.values():
-            cache.pop(version, None)
+    def _invalidate_matches(self, vid: int) -> None:
+        for cache in self._match_caches.values():
+            cache.pop(vid, None)
 
-    def _version_matches(self, predicate: Predicate, v: Version) -> bool:
+    def _version_matches(self, predicate: Predicate, vid: int) -> bool:
         cache = self._match_cache(predicate)
-        hit = cache.get(v)
+        hit = cache.get(vid)
         if hit is not None:
             return hit
-        if v.is_unborn:
+        in_ = self._in
+        if in_.ver_tid[vid] == INIT_TID:
             result = False
         else:
-            write = self._writes.get(v)
+            write = self._writes_ev.get(vid)
             if write is None:
-                result = (
-                    v in self._setup_versions
-                    and predicate.matches(v, self._setup_value.get(v))
+                result = vid in self._setup_versions and predicate.matches(
+                    in_.versions[vid], self._setup_value.get(vid)
                 )
             elif write.dead:
                 result = False
             else:
-                result = predicate.matches(v, write.value)
-        cache[v] = result
+                result = predicate.matches(in_.versions[vid], write.value)
+        cache[vid] = result
         return result
 
-    def _changes_at(self, obj: str, pos: int, predicate: Predicate) -> bool:
-        chain = self._chain[obj]
+    def _changes_at(self, chain: List[int], pos: int, predicate: Predicate) -> bool:
         return self._version_matches(predicate, chain[pos]) != self._version_matches(
             predicate, chain[pos - 1]
         )
 
-    def _selected_index(self, rec: _PreadRec, obj: str) -> Optional[int]:
-        selected = rec.vset.get(obj)
+    def _selected_index(self, rec: _PreadRec, oid: int) -> Optional[int]:
+        selected = rec.vset.get(self._in.objects[oid])
         if selected is None:
             return 0  # implicit unborn selection
-        return self._index[obj].get(selected)
+        svid = self._in.version_id.get(selected)
+        return None if svid is None else self._pos.get(svid)
 
-    def _pread_read_edges(self, rec: _PreadRec, obj: str) -> None:
-        idx = self._selected_index(rec, obj)
+    def _pread_read_edges(self, rec: _PreadRec, oid: int) -> None:
+        idx = self._selected_index(rec, oid)
         if idx is None or idx == 0:
             return
-        chain = self._chain[obj]
+        chain = self._chains[oid]
         changers = [
-            k for k in range(1, idx + 1) if self._changes_at(obj, k, rec.predicate)
+            k for k in range(1, idx + 1) if self._changes_at(chain, k, rec.predicate)
         ]
         if self.mode is PredicateDepMode.LATEST:
             changers = changers[-1:]
+        ver_tid = self._in.ver_tid
+        pid = self._pid_of(rec.predicate)
         for k in changers:
-            v = chain[k]
-            if v.tid != rec.tid:
-                self._add_edge(
-                    Edge(v.tid, rec.tid, DepKind.WR, obj, v, predicate=rec.predicate)
-                )
+            vid = chain[k]
+            if ver_tid[vid] != rec.tid:
+                self._add_edge(ver_tid[vid], rec.tid, _KR, oid, vid, pid, False)
 
-    def _pread_anti_edges(self, rec: _PreadRec, obj: str) -> None:
-        idx = self._selected_index(rec, obj)
+    def _pread_anti_edges(self, rec: _PreadRec, oid: int) -> None:
+        idx = self._selected_index(rec, oid)
         if idx is None:
             return
-        chain = self._chain[obj]
+        chain = self._chains[oid]
+        ver_tid = self._in.ver_tid
+        pid = self._pid_of(rec.predicate)
         for k in range(idx + 1, len(chain)):
-            v = chain[k]
-            if v.tid != rec.tid and self._changes_at(obj, k, rec.predicate):
-                self._add_edge(
-                    Edge(rec.tid, v.tid, DepKind.RW, obj, v, predicate=rec.predicate)
-                )
+            vid = chain[k]
+            if ver_tid[vid] != rec.tid and self._changes_at(chain, k, rec.predicate):
+                self._add_edge(rec.tid, ver_tid[vid], _KA, oid, vid, pid, False)
 
     # ------------------------------------------------------------------
     # edge store and verdicts
     # ------------------------------------------------------------------
 
-    def _add_edge(self, edge: Edge) -> None:
-        key = (edge.src, edge.dst, edge.kind, edge.obj, edge.version, edge.predicate)
-        existing = self._edges.get(key)
+    def _add_edge(
+        self, src: int, dst: int, kcode: int, oid: int, vid: int, pid: int, cursor: bool
+    ) -> None:
+        key = (src, dst, kcode, oid, vid, pid)
+        edges = self._edges
+        existing = edges.get(key)
         if existing is None:
-            self._edges[key] = edge
+            edges[key] = cursor
             self._gen += 1
             if self._edge_counter is not None:
                 self._edge_counter.inc()
-            # Chain-dependent flavours are re-derived on object repair.
-            if edge.kind is DepKind.WW or edge.kind is DepKind.RW or edge.via_predicate:
-                self._edge_keys_by_obj.setdefault(edge.obj, set()).add(key)
-            self._feed_monitors(edge, _CycleMonitor.add)
-        elif edge.cursor and not existing.cursor:
-            self._edges[key] = edge
+            # Chain-dependent flavours are re-derived on object repair; the
+            # per-object key index exists only once a repair has happened.
+            if self._keyed_built and (kcode != _KR or pid):
+                by_obj = self._edge_keys_by_obj.get(oid)
+                if by_obj is None:
+                    self._edge_keys_by_obj[oid] = {key}
+                else:
+                    by_obj.add(key)
+            if self._deferring:
+                self._pending.append(key)
+            else:
+                self._feed_add(src, dst, kcode, pid)
+        elif cursor and not existing:
+            edges[key] = True
             self._gen += 1
 
-    def _feed_monitors(self, edge: Edge, op) -> None:
-        """Apply ``op`` (add/remove of one collapsed pair) to every cycle
-        monitor whose filter admits ``edge``."""
-        src, dst = edge.src, edge.dst
-        op(self._mon_full, src, dst)
-        if edge.kind is DepKind.WW:
-            op(self._mon_g0, src, dst)
-            op(self._mon_g1c, src, dst)
-            op(self._mon_item, src, dst)
-        elif edge.kind is DepKind.WR:
-            op(self._mon_g1c, src, dst)
-            op(self._mon_item, src, dst)
-        elif not edge.via_predicate:
-            op(self._mon_item, src, dst)
+    def _feed_add(self, u: int, v: int, kcode: int, pid: int) -> None:
+        """Feed one new collapsed pair to the frontier cycle monitor."""
+        lvl = self._frontier
+        if lvl == 0:
+            mon = self._mon_full
+        elif lvl == 1:
+            if kcode == _KA and pid:
+                return
+            mon = self._mon_item
+        elif lvl == 2:
+            if kcode == _KA:
+                return
+            mon = self._mon_g1c
+        elif lvl == 3:
+            if kcode != _KW:
+                return
+            mon = self._mon_g0
+        else:
+            return
+        mon.add(u, v)
+        if mon.has_cycle:
+            self._advance_frontier()
 
-    def _add_g1a(self, tid: int, version: Version) -> None:
-        if (tid, version) not in self._g1a:
-            self._g1a.add((tid, version))
+    def _feed_remove(self, u: int, v: int, kcode: int, pid: int) -> None:
+        # Only the frontier has live state; dormant monitors are rebuilt by
+        # replay when activated and latched monitors never read theirs.
+        lvl = self._frontier
+        if lvl == 0:
+            self._mon_full.remove(u, v)
+        elif lvl == 1:
+            if kcode != _KA or not pid:
+                self._mon_item.remove(u, v)
+        elif lvl == 2:
+            if kcode != _KA:
+                self._mon_g1c.remove(u, v)
+        elif lvl == 3:
+            if kcode == _KW:
+                self._mon_g0.remove(u, v)
+
+    def _advance_frontier(self) -> None:
+        """The frontier monitor latched: bring the next monitor in the
+        inclusion chain live by replaying the accumulated edge set once.
+        Until this moment its view was a subgraph of an acyclic graph, so
+        its answer was trivially False; afterwards it is fed per edge
+        (cascading further if the replay itself latches it)."""
+        while self._frontier < 4 and self._cascade[self._frontier].has_cycle:
+            self._frontier += 1
+            nxt = self._frontier
+            if nxt >= 4:
+                return
+            pairs: List[Tuple[int, int]] = []
+            for key in self._edges:
+                kcode = key[2]
+                if nxt == 1:
+                    if kcode == _KA and key[5]:
+                        continue
+                elif nxt == 2:
+                    if kcode == _KA:
+                        continue
+                elif kcode != _KW:
+                    continue
+                pairs.append((key[0], key[1]))
+            self._cascade[nxt].add_many(pairs)
+
+    def _flush_pending(self) -> None:
+        """Apply buffered (batch-mode) monitor insertions in bulk."""
+        pend = self._pending
+        if not pend:
+            return
+        self._pending = []
+        lvl = self._frontier
+        if lvl >= 4:
+            return
+        if lvl == 0:
+            pairs = [(k[0], k[1]) for k in pend]
+        elif lvl == 1:
+            pairs = [(k[0], k[1]) for k in pend if k[2] != _KA or not k[5]]
+        elif lvl == 2:
+            pairs = [(k[0], k[1]) for k in pend if k[2] != _KA]
+        else:
+            pairs = [(k[0], k[1]) for k in pend if k[2] == _KW]
+        mon = self._cascade[lvl]
+        mon.add_many(pairs)
+        if mon.has_cycle:
+            self._advance_frontier()
+
+    def _add_g1a(self, tid: int, vid: int) -> None:
+        if (tid, vid) not in self._g1a:
+            self._g1a.add((tid, vid))
             self._gen += 1
 
-    def _add_g1b(self, tid: int, version: Version) -> None:
-        if version in self._setup_versions:
+    def _add_g1b(self, tid: int, vid: int) -> None:
+        if vid in self._setup_versions:
             return  # setup versions are never intermediate
-        if (tid, version) not in self._g1b:
-            self._g1b.add((tid, version))
+        if (tid, vid) not in self._g1b:
+            self._g1b.add((tid, vid))
             self._gen += 1
 
-    def _is_intermediate(self, v: Version) -> bool:
-        if v.is_unborn or v not in self._writes:
-            return False
-        return self._final_seq.get((v.obj, v.tid)) != v.seq
+    def _is_intermediate(self, vid: int) -> bool:
+        return vid in self._intermediate
+
+    def _materialise(self, key: _IKey, cursor: bool) -> Edge:
+        src, dst, kcode, oid, vid, pid = key
+        return Edge(
+            src,
+            dst,
+            _KINDS[kcode],
+            self._in.objects[oid],
+            self._in.versions[vid],
+            predicate=self._preds[pid],
+            cursor=cursor,
+        )
 
     @property
     def edges(self) -> List[Edge]:
-        """The direct-conflict edges accumulated so far."""
-        return list(self._edges.values())
+        """The direct-conflict edges accumulated so far (materialised from
+        the interned store, in insertion order)."""
+        materialise = self._materialise
+        return [materialise(key, cursor) for key, cursor in self._edges.items()]
 
     @property
     def events_consumed(self) -> int:
@@ -793,10 +1273,45 @@ class IncrementalAnalysis:
         """Distinct DSG edges currently held (free to read)."""
         return len(self._edges)
 
+    # -- public read-side accessors (used by provenance) ----------------
+
+    def latest_version(self, obj: str) -> Optional[Version]:
+        """The most recently installed version of ``obj`` in the running
+        version order (``None`` while the object has no installed write) —
+        what a new transaction reading ``obj`` "now" would observe."""
+        oid = self._in.obj_id.get(obj)
+        if oid is None:
+            return None
+        chain = self._chains[oid]
+        if len(chain) < 2:  # only the unborn version
+            return None
+        return self._in.versions[chain[-1]]
+
+    def write_of(self, version: Version) -> Optional[Write]:
+        """The write event that created ``version`` (``None`` for setup or
+        unknown versions)."""
+        vid = self._in.version_id.get(version)
+        return None if vid is None else self._writes_ev.get(vid)
+
+    def reads_of_version(self, version: Version) -> Tuple[Read, ...]:
+        """The item reads that observed ``version``."""
+        vid = self._in.version_id.get(version)
+        if vid is None:
+            return ()
+        return tuple(self._reads_by_version.get(vid, ()))
+
+    def reads_of_tid(self, tid: int) -> Tuple[Read, ...]:
+        """The item reads performed by ``T_tid``."""
+        return tuple(ev for _vid, ev in self._reads_of_tid.get(tid, ()))
+
+    def predicates_read_by(self, tid: int) -> Tuple[Predicate, ...]:
+        """The predicates ``T_tid`` issued predicate reads for."""
+        return tuple(rec.predicate for rec in self._preads_of_tid.get(tid, ()))
+
     def _cycle_presence(self, keep: Callable[[Edge], bool], special=None) -> bool:
         """Whether the kept subgraph has a cycle (``special is None``) or a
         cycle through at least one ``special`` edge."""
-        kept = [e for e in self._edges.values() if keep(e)]
+        kept = [e for e in self.edges if keep(e)]
         adj = _g.adjacency(kept)
         comp = _g.component_index(adj)
         if special is None:
@@ -879,22 +1394,25 @@ class IncrementalAnalysis:
         analysis, see :meth:`check`)."""
         present = self.exhibits(phenomenon)
         witnesses: Tuple[Witness, ...] = ()
+        versions = self._in.versions
         if phenomenon is Phenomenon.G1A and present:
+            pairs = [(tid, versions[vid]) for tid, vid in self._g1a]
             witnesses = tuple(
                 Witness(
                     f"committed T{tid} observed {v}, written by aborted T{v.tid}",
                     tid=tid,
                 )
-                for tid, v in sorted(self._g1a, key=lambda p: (p[0], str(p[1])))
+                for tid, v in sorted(pairs, key=lambda p: (p[0], str(p[1])))
             )
         if phenomenon is Phenomenon.G1B and present:
+            pairs = [(tid, versions[vid]) for tid, vid in self._g1b]
             witnesses = tuple(
                 Witness(
                     f"committed T{tid} observed intermediate version "
                     f"{v.label(explicit_seq=True)}",
                     tid=tid,
                 )
-                for tid, v in sorted(self._g1b, key=lambda p: (p[0], str(p[1])))
+                for tid, v in sorted(pairs, key=lambda p: (p[0], str(p[1])))
             )
         return PhenomenonReport(phenomenon, present, witnesses)
 
@@ -942,9 +1460,14 @@ class IncrementalAnalysis:
         :class:`~repro.core.history.History`."""
         from .history import History
 
+        versions = self._in.versions
+        objects = self._in.objects
         return History(
             self.events,
-            {obj: tuple(chain[1:]) for obj, chain in self._chain.items()},
+            {
+                objects[oid]: tuple(versions[vid] for vid in chain[1:])
+                for oid, chain in enumerate(self._chains)
+            },
             validate=validate,
         )
 

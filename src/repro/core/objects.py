@@ -18,8 +18,9 @@ transaction :data:`INIT_TID`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
+from typing import Any, Dict, Optional
 
 __all__ = [
     "INIT_TID",
@@ -53,7 +54,7 @@ class VersionKind(Enum):
         return self.value
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Version:
     """An immutable version identity ``x_{i:m}``.
 
@@ -73,6 +74,11 @@ class Version:
     obj: str
     tid: int
     seq: int = 1
+    # Versions key every hot dict in the checker, so the identity hash is
+    # computed once per instance, not per probe.
+    _hash: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.obj:
@@ -82,6 +88,23 @@ class Version:
                 raise ValueError("the unborn version must have seq == 0")
         elif self.seq < 1:
             raise ValueError("application versions are numbered from 1")
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.obj, self.tid, self.seq))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # String hashes are salted per process: never ship a cached hash
+        # across a pickle boundary (check_many's worker pools).
+        return {"obj": self.obj, "tid": self.tid, "seq": self.seq}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, "_hash", None)
 
     @classmethod
     def unborn(cls, obj: str) -> "Version":

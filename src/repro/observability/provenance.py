@@ -119,21 +119,21 @@ def _supporting_events(
 
     for edge in cycle:
         if edge.version is not None:
-            write = analysis._writes.get(edge.version)
+            write = analysis.write_of(edge.version)
             if write is not None:
                 take(write)
-            for read in analysis._reads_by_version.get(edge.version, ()):
+            for read in analysis.reads_of_version(edge.version):
                 if read.tid in (edge.src, edge.dst):
                     take(read)
         if edge.kind is DepKind.RW and not edge.via_predicate:
             # The read the installer overwrote: src's reads of the object.
-            for read in analysis._reads_of_tid.get(edge.src, ()):
+            for read in analysis.reads_of_tid(edge.src):
                 if read.version.obj == edge.obj:
                     take(read)
         if edge.predicate is not None:
             reader = edge.src if edge.kind is DepKind.RW else edge.dst
-            for rec in analysis._preads_of_tid.get(reader, ()):
-                if rec.predicate is edge.predicate:
+            for pred in analysis.predicates_read_by(reader):
+                if pred is edge.predicate:
                     for i, ev in enumerate(analysis.events):
                         if (
                             isinstance(ev, PredicateRead)

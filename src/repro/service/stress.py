@@ -187,6 +187,7 @@ def run_stress(
     crash_after_commits: Optional[int] = None,
     restart_delay: int = 25,
     max_ticks: int = 2_000_000,
+    pipeline: bool = True,
     metrics: Optional[object] = None,
     tracer: Optional[object] = None,
 ) -> StressResult:
@@ -194,6 +195,15 @@ def run_stress(
 
     Determinism contract: equal arguments (including all seeds) produce a
     byte-for-byte identical :attr:`StressResult.history_text` and journals.
+
+    The driver is tick-synchronized: whenever every script is blocked, the
+    network's whole due message batch is delivered before any client gets
+    to run again.  ``pipeline=True`` delivers that batch in one
+    :meth:`~repro.service.network.SimulatedNetwork.drain_due` sweep;
+    ``pipeline=False`` steps it one message at a time.  Both process the
+    same messages in the same order with the same fault draws, so the two
+    modes produce byte-identical histories, journals and traces — the flag
+    only changes how much per-message driver overhead the run pays.
     """
     config = (
         scheduler
@@ -258,6 +268,7 @@ def run_stress(
         },
         "crash_after_commits": crash_after_commits,
         "restart_delay": restart_delay,
+        "pipeline": pipeline,
     }
     run_span = None
     if tracer is not None:
@@ -316,7 +327,16 @@ def run_stress(
         if ready:
             driver_rng.choice(ready).resume()
             continue
-        if not net.step():
+        # Every script is blocked: deliver the network's whole due batch
+        # before any client runs again (tick-synchronized; see docstring).
+        if pipeline:
+            delivered = net.drain_due()
+        else:
+            delivered = 1 if net.step() else 0
+            while delivered and net.has_due:
+                net.step()
+                delivered += 1
+        if not delivered:
             # Nothing in flight: jump to the earliest client wake-up (or
             # the server restart) instead of idling tick by tick.
             wakes = [

@@ -1,0 +1,167 @@
+"""Equivalence of the array-backed hot path with the legacy object path.
+
+The array core (interned ids, flat event logs, batched incremental
+ingestion) is a pure performance refactor: no verdict, witness, index or
+ordering is allowed to change.  These properties pin that down three ways:
+
+* ``History(array_core=True)`` builds exactly the same indexes and version
+  orders as ``History(array_core=False)`` (the legacy isinstance-scan
+  path kept for this suite);
+* full ``check`` reports over both paths agree on every phenomenon,
+  per-level verdict and witness set;
+* the incremental analysis's batch path (``add_all``) replays exactly like
+  the one-event-at-a-time path: same edges, same phenomena, same witness
+  cycles — including histories with predicate reads and aborted
+  transactions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.checker import check
+from repro.core.history import History
+from repro.core.incremental import IncrementalAnalysis
+from repro.core.levels import ANSI_CHAIN
+from repro.core.phenomena import Phenomenon
+from repro.observability.provenance import witness_cycle
+from repro.workloads.generator import synthetic_history
+
+#: Richer than test_properties' strategy on purpose: predicate reads and
+#: aborts on by default, since those paths carry the trickiest state
+#: (version sets, setup versions, G1a/G1b bookkeeping).
+history_params = st.fixed_dictionaries(
+    {
+        "n_txns": st.integers(min_value=1, max_value=25),
+        "n_objects": st.integers(min_value=1, max_value=8),
+        "ops_per_txn": st.integers(min_value=1, max_value=6),
+        "write_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "abort_fraction": st.floats(min_value=0.0, max_value=0.5),
+        "stale_read_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "predicate_fraction": st.floats(min_value=0.0, max_value=0.5),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+
+def both_paths(params):
+    h = synthetic_history(**params)
+    legacy = History(
+        h.events, default_level=h.default_level, validate=False, array_core=False
+    )
+    arrayed = History(
+        h.events, default_level=h.default_level, validate=False, array_core=True
+    )
+    return legacy, arrayed
+
+
+# ----------------------------------------------------------------------
+# History index equivalence
+# ----------------------------------------------------------------------
+
+
+@given(history_params)
+@settings(max_examples=60, deadline=None)
+def test_history_indexes_identical(params):
+    legacy, arrayed = both_paths(params)
+    assert arrayed.version_order == legacy.version_order
+    assert arrayed.tids == legacy.tids
+    assert arrayed.committed == legacy.committed
+    assert arrayed.aborted == legacy.aborted
+    assert arrayed.writes == legacy.writes
+    assert arrayed.reads == legacy.reads
+    assert arrayed.predicate_reads == legacy.predicate_reads
+    assert arrayed._all_objects == legacy._all_objects
+    assert arrayed.objects_by_relation == legacy.objects_by_relation
+    assert arrayed._event_positions == legacy._event_positions
+    assert arrayed.setup_versions == legacy.setup_versions
+    assert arrayed.committed_all == legacy.committed_all
+
+
+@given(history_params)
+@settings(max_examples=30, deadline=None)
+def test_check_reports_identical(params):
+    legacy, arrayed = both_paths(params)
+    r1 = check(legacy, extensions=True)
+    r2 = check(arrayed, extensions=True)
+    assert {
+        (str(item.phenomenon), item.present) for item in r1.phenomena()
+    } == {(str(item.phenomenon), item.present) for item in r2.phenomena()}
+    assert {
+        level: verdict.ok for level, verdict in r1.verdicts.items()
+    } == {level: verdict.ok for level, verdict in r2.verdicts.items()}
+    assert r1.strongest_level == r2.strongest_level
+
+
+# ----------------------------------------------------------------------
+# Incremental batch-path equivalence
+# ----------------------------------------------------------------------
+
+_CYCLE_PHENOMENA = (
+    Phenomenon.G0,
+    Phenomenon.G1C,
+    Phenomenon.G2_ITEM,
+    Phenomenon.G2,
+)
+
+#: The phenomena the incremental core maintains online (extension
+#: phenomena like G-single require materialising the full history).
+_INCREMENTAL_PHENOMENA = _CYCLE_PHENOMENA + (
+    Phenomenon.G1A,
+    Phenomenon.G1B,
+    Phenomenon.G1,
+)
+
+
+@given(history_params)
+@settings(max_examples=40, deadline=None)
+def test_batch_add_all_matches_per_event_add(params):
+    h = synthetic_history(**params)
+    one = IncrementalAnalysis(order_mode="commit")
+    for ev in h.events:
+        one.add(ev)
+    batch = IncrementalAnalysis(order_mode="commit").add_all(h.events)
+    assert set(batch.edges) == set(one.edges)
+    for ph in _INCREMENTAL_PHENOMENA:
+        assert batch.exhibits(ph) == one.exhibits(ph), str(ph)
+    assert batch.strongest_level() == one.strongest_level()
+    for level in ANSI_CHAIN:
+        assert batch.provides(level) == one.provides(level)
+
+
+@given(history_params)
+@settings(max_examples=30, deadline=None)
+def test_incremental_matches_batch_checker(params):
+    """The interned incremental core against the legacy object-path batch
+    checker: identical phenomena and level verdicts."""
+    h = synthetic_history(**params)
+    legacy = History(
+        h.events, default_level=h.default_level, validate=False, array_core=False
+    )
+    # order_mode="event" keys installs like the batch path's inferred
+    # version order; "commit" is a different (also valid) order and may
+    # legitimately disagree on cycle phenomena.
+    report = check(legacy)
+    inc = IncrementalAnalysis(order_mode="event").add_all(h.events)
+    for item in report.phenomena():
+        assert inc.exhibits(item.phenomenon) == item.present, str(item.phenomenon)
+    for level in ANSI_CHAIN:
+        assert inc.provides(level) == report.ok(level)
+
+
+@given(history_params)
+@settings(max_examples=25, deadline=None)
+def test_batch_witness_cycles_are_valid(params):
+    """Whenever the batch path latches a cycle phenomenon, its witness is a
+    real chained cycle drawn from the analysis's own edges."""
+    h = synthetic_history(**params)
+    inc = IncrementalAnalysis(order_mode="commit").add_all(h.events)
+    for ph in _CYCLE_PHENOMENA:
+        if not inc.exhibits(ph):
+            assert witness_cycle(inc, ph) is None
+            continue
+        cycle = witness_cycle(inc, ph)
+        assert cycle, f"{ph} latched but no witness cycle"
+        for edge, nxt in zip(cycle, cycle[1:] + cycle[:1]):
+            assert edge.dst == nxt.src
+        edge_set = set(inc.edges)
+        for edge in cycle:
+            assert edge in edge_set

@@ -1,0 +1,89 @@
+"""Pipelined delivery must not change any observable of a stress run.
+
+``run_stress(pipeline=True)`` drains the network's whole due message
+batch in one :meth:`SimulatedNetwork.drain_due` sweep; ``pipeline=False``
+delivers the same batch one :meth:`step` at a time.  Both drivers are
+tick-synchronized — the full batch lands before any client polls — so the
+message schedule and the fault RNG draw order are identical by
+construction.  These tests pin the consequence: per seed, pipelining on
+vs off produces byte-identical histories, journals, traces and counters.
+"""
+
+import pytest
+
+from repro.observability import Tracer
+from repro.service import NetworkConfig, run_stress
+
+FAULTY = NetworkConfig(drop=0.05, duplicate=0.05, min_delay=1, max_delay=4)
+
+
+def _pair(**overrides):
+    """One run with pipelining on and one with it off, same seed."""
+    kwargs = dict(
+        clients=3,
+        txns_per_client=10,
+        keys=6,
+        seed=13,
+        network=FAULTY,
+    )
+    kwargs.update(overrides)
+    on = run_stress(pipeline=True, **kwargs)
+    off = run_stress(pipeline=False, **kwargs)
+    return on, off
+
+
+def _strip_pipeline(config):
+    clean = dict(config)
+    clean.pop("pipeline")
+    return clean
+
+
+@pytest.mark.parametrize("seed", [0, 7, 13, 42])
+def test_histories_and_journals_identical(seed):
+    on, off = _pair(seed=seed)
+    assert on.history_text == off.history_text
+    assert on.journals == off.journals
+    assert on.journal_text() == off.journal_text()
+    assert on.certification == off.certification
+    assert on.network_counters == off.network_counters
+    assert on.server_counters == off.server_counters
+    assert on.committed == off.committed
+    assert on.ticks == off.ticks
+    assert _strip_pipeline(on.config) == _strip_pipeline(off.config)
+    assert on.config["pipeline"] is True and off.config["pipeline"] is False
+
+
+def test_identical_under_crash_and_restart():
+    on, off = _pair(
+        clients=4,
+        txns_per_client=25,
+        seed=7,
+        crash_after_commits=30,
+        restart_delay=25,
+    )
+    assert on.crashes == off.crashes == 1
+    assert on.restarts == off.restarts == 1
+    assert on.history_text == off.history_text
+    assert on.journals == off.journals
+    assert on.certification == off.certification
+    assert on.ticks == off.ticks
+
+
+def _normalized_records(result):
+    """Trace records with the one legitimate divergence — the run span's
+    recorded ``pipeline`` config flag — masked out."""
+    records = []
+    for record in result.tracer.records:
+        if record.get("name") == "stress.run":
+            record = dict(record)
+            record["attrs"] = _strip_pipeline(record["attrs"])
+        records.append(record)
+    return records
+
+
+def test_traces_identical():
+    kwargs = dict(clients=3, txns_per_client=10, keys=6, seed=5, network=FAULTY)
+    on = run_stress(pipeline=True, tracer=Tracer(), **kwargs)
+    off = run_stress(pipeline=False, tracer=Tracer(), **kwargs)
+    assert _normalized_records(on) == _normalized_records(off)
+    assert any(r.get("name") == "net.msg" for r in off.tracer.records)
