@@ -68,6 +68,20 @@ def distill(raw: dict) -> dict:
     }
 
 
+def split_guard_names(baseline: dict, wanted: List[str]) -> tuple:
+    """Split ``wanted`` benchmark names into ``(present, missing)`` against
+    the baseline's recorded benchmarks.
+
+    A freshly registered guard workload has no committed baseline entry
+    yet; callers skip it with a message naming the missing keys (and the
+    re-distill command) instead of dying on a ``KeyError``.
+    """
+    recorded = baseline.get("benchmarks", {})
+    present = [name for name in wanted if name in recorded]
+    missing = [name for name in wanted if name not in recorded]
+    return present, missing
+
+
 def compare(
     baseline: dict,
     current: dict,
@@ -75,7 +89,19 @@ def compare(
     tolerance: float = DEFAULT_TOLERANCE,
 ) -> List[str]:
     """Regression messages for every shared benchmark whose current time
-    exceeds the calibration-scaled baseline by more than ``tolerance``."""
+    exceeds the calibration-scaled baseline by more than ``tolerance``.
+
+    Benchmarks present on only one side are ignored (a new workload has no
+    baseline yet; a retired one has no current measurement).  A document
+    missing its top-level keys raises ``ValueError`` with the fix, never a
+    bare ``KeyError``.
+    """
+    for side, doc in (("baseline", baseline), ("current", current)):
+        if "calibration_s" not in doc:
+            raise ValueError(
+                f"{side} document has no 'calibration_s' — re-distill it "
+                "(python benchmarks/compare_bench.py distill ...)"
+            )
     scale = current["calibration_s"] / baseline["calibration_s"]
     if 0.6 < scale < 1.35:
         # Within the spin loop's run-to-run resolution on a shared host:
@@ -84,8 +110,8 @@ def compare(
         # hardware shows up as a far larger ratio.
         scale = 1.0
     regressions = []
-    for name, base_min in baseline["benchmarks"].items():
-        now = current["benchmarks"].get(name)
+    for name, base_min in baseline.get("benchmarks", {}).items():
+        now = current.get("benchmarks", {}).get(name)
         if now is None:
             continue
         allowed = base_min * scale * (1 + tolerance)
@@ -211,8 +237,19 @@ def main(argv=None) -> int:
         with open(args.current, encoding="utf-8") as handle:
             current = distill(json.load(handle))
     else:
-        current = measure_guard(list(baseline["benchmarks"]))
-    regressions = compare(baseline, current, tolerance=args.tolerance)
+        present, missing = split_guard_names(baseline, list(GUARD_BENCHMARKS))
+        if missing:
+            print(
+                "note: no baseline entry for "
+                + ", ".join(missing)
+                + " — skipping (re-distill to pin them)"
+            )
+        current = measure_guard(present)
+    try:
+        regressions = compare(baseline, current, tolerance=args.tolerance)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     for message in regressions:
         print(f"REGRESSION {message}")
     if not regressions:

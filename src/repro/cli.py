@@ -320,6 +320,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_observability_args(p_stress)
 
+    p_capacity = sub.add_parser(
+        "capacity",
+        help="open-loop offered-load sweep: saturation knee, SLO verdicts, "
+        "contention heatmap",
+    )
+    p_capacity.add_argument(
+        "--rates",
+        default="0.02,0.05,0.1,0.2",
+        help="comma-separated offered arrival rates (txns/tick) for the "
+        "ladder (default: %(default)s)",
+    )
+    p_capacity.add_argument(
+        "--horizon", type=int, default=1500,
+        help="ticks of offered load per rung (default: %(default)s)",
+    )
+    p_capacity.add_argument("--scheduler", default="locking")
+    p_capacity.add_argument(
+        "--level", default=None, help="declared isolation level for every "
+        "transaction (default: the scheduler's natural level)"
+    )
+    p_capacity.add_argument("--clients", type=int, default=8)
+    p_capacity.add_argument("--keys", type=int, default=8)
+    p_capacity.add_argument("--ops", type=int, default=2)
+    p_capacity.add_argument("--seed", type=int, default=0)
+    p_capacity.add_argument("--drop", type=float, default=0.0)
+    p_capacity.add_argument("--duplicate", type=float, default=0.0)
+    p_capacity.add_argument("--min-delay", type=int, default=1)
+    p_capacity.add_argument("--max-delay", type=int, default=2)
+    p_capacity.add_argument(
+        "--zipf", type=float, default=None, metavar="THETA",
+        help="Zipf-skew the key picks with this theta (default: uniform)",
+    )
+    p_capacity.add_argument(
+        "--max-active", type=int, default=0,
+        help="admission control: shed begins past this many active "
+        "transactions (0 = no shedding)",
+    )
+    p_capacity.add_argument("--retry-after", type=int, default=8)
+    p_capacity.add_argument(
+        "--certify-every", type=int, default=1,
+        help="batch commit certification in groups of this size",
+    )
+    p_capacity.add_argument(
+        "--on-uncertified",
+        choices=("ignore", "downgrade", "repair"),
+        default="ignore",
+        help="reaction to a failed live certification",
+    )
+    p_capacity.add_argument(
+        "--slo-p99", type=float, default=None, metavar="TICKS",
+        help="SLO: rolling p99 commit latency must stay <= TICKS",
+    )
+    p_capacity.add_argument(
+        "--slo-certified", type=float, default=None, metavar="FRACTION",
+        help="SLO: certified fraction in the window must stay >= FRACTION",
+    )
+    p_capacity.add_argument(
+        "--slo-queue", type=float, default=None, metavar="DEPTH",
+        help="SLO: arrival backlog must stay <= DEPTH",
+    )
+    p_capacity.add_argument("--window", type=int, default=500)
+    p_capacity.add_argument("--sample-every", type=int, default=100)
+    p_capacity.add_argument(
+        "--no-heatmap", dest="heatmap", action="store_false",
+        help="skip per-rung tracing (no contention heatmap; faster)",
+    )
+    p_capacity.add_argument(
+        "--format",
+        choices=("markdown", "json"),
+        default="markdown",
+        help="report rendering (default: markdown)",
+    )
+    p_capacity.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run a small fixed ladder twice and verify the capacity "
+        "report is byte-identical and well-formed",
+    )
+
     sub.add_parser(
         "corpus",
         help="self-test against the paper corpus; print the admission matrix",
@@ -392,6 +471,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
 
     if args.command == "stress":
         return _run_stress_cmd(args, out)
+
+    if args.command == "capacity":
+        return _run_capacity_cmd(args, out)
 
     if args.command == "check-many":
         return _run_check_many(args, out)
@@ -666,6 +748,153 @@ def _run_stress_cmd(args, out) -> int:
     _dump_profile(profiler, args.profile, out)
     _flush_observability(args, metrics, tracer, out)
     return 0 if result.all_certified else 1
+
+
+def _capacity_slos(args) -> tuple:
+    """The SLO tuple the ``--slo-*`` flags describe."""
+    from .observability import SLO
+
+    slos = []
+    if args.slo_p99 is not None:
+        slos.append(
+            SLO(name="p99-commit", kind="latency", threshold=args.slo_p99,
+                verb="txn", q=99.0)
+        )
+    if args.slo_certified is not None:
+        slos.append(
+            SLO(name="certified-fraction", kind="certified_fraction",
+                threshold=args.slo_certified)
+        )
+    if args.slo_queue is not None:
+        slos.append(
+            SLO(name="queue-depth", kind="queue_depth",
+                threshold=args.slo_queue)
+        )
+    return tuple(slos)
+
+
+def _capacity_report(args, kwargs):
+    """One sweep → (CapacityResult, RunReport with the capacity section)."""
+    from .observability.traceview import build_run_report
+    from .service import build_capacity_report, run_capacity
+
+    sweep = run_capacity(**kwargs)
+    knee = sweep.knee or sweep.rungs[-1]
+    report = build_run_report(
+        result=knee.stress,
+        config=sweep.config,
+        title=(
+            f"capacity sweep scheduler={kwargs['scheduler']} "
+            f"seed={kwargs['seed']}"
+        ),
+        capacity=build_capacity_report(sweep),
+    )
+    return sweep, report
+
+
+def _run_capacity_cmd(args, out) -> int:
+    """Offered-load capacity sweep; ``--selftest`` verifies the report is
+    deterministic and well-formed on a small fixed ladder."""
+    from .observability import SLO
+    from .service import AdmissionConfig, NetworkConfig
+
+    if args.selftest:
+        kwargs = dict(
+            rates=[0.03, 0.08, 0.16],
+            horizon=500,
+            seed=args.seed,
+            scheduler=args.scheduler,
+            clients=4,
+            keys=6,
+            ops_per_txn=2,
+            admission=AdmissionConfig(max_active=3, retry_after=8),
+            zipf_theta=0.9,
+            slos=_capacity_slos(args)
+            or (
+                SLO(name="p99-commit", kind="latency", threshold=400,
+                    verb="txn"),
+            ),
+            window=200,
+            sample_every=50,
+        )
+        first_sweep, first = _capacity_report(args, kwargs)
+        _second_sweep, second = _capacity_report(args, kwargs)
+        text = first.to_markdown()
+        reproducible = text == second.to_markdown()
+        committed = sum(r.committed for r in first_sweep.rungs)
+        shed = sum(r.shed for r in first_sweep.rungs)
+        sections_ok = all(
+            marker in text
+            for marker in ("## Capacity", "### SLO verdicts",
+                           "### Contention heatmap")
+        )
+        ok = reproducible and sections_ok and committed > 0 and shed > 0
+        print(
+            f"rungs                  : {len(first_sweep.rungs)}", file=out
+        )
+        print(f"committed (all rungs)  : {committed}", file=out)
+        print(f"shed (all rungs)       : {shed}", file=out)
+        knee = first_sweep.knee
+        print(
+            "saturation knee        : "
+            + (f"rate={knee.rate:g}/tick" if knee is not None else "none"),
+            file=out,
+        )
+        print(
+            f"reproducible           : {'yes' if reproducible else 'NO'}",
+            file=out,
+        )
+        print(f"selftest               : {'ok' if ok else 'FAILED'}", file=out)
+        return 0 if ok else 1
+
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError:
+        print(f"error: bad --rates {args.rates!r}", file=sys.stderr)
+        return 2
+    if not rates:
+        print("error: --rates named no offered loads", file=sys.stderr)
+        return 2
+    admission = None
+    if args.max_active or args.certify_every > 1 or args.on_uncertified != "ignore":
+        admission = AdmissionConfig(
+            max_active=args.max_active,
+            retry_after=args.retry_after,
+            certify_every=args.certify_every,
+            on_uncertified=args.on_uncertified,
+        )
+    kwargs = dict(
+        rates=rates,
+        horizon=args.horizon,
+        seed=args.seed,
+        scheduler=args.scheduler,
+        level=args.level,
+        clients=args.clients,
+        keys=args.keys,
+        ops_per_txn=args.ops,
+        network=NetworkConfig(
+            drop=args.drop,
+            duplicate=args.duplicate,
+            min_delay=args.min_delay,
+            max_delay=args.max_delay,
+        ),
+        admission=admission,
+        zipf_theta=args.zipf,
+        slos=_capacity_slos(args),
+        window=args.window,
+        sample_every=args.sample_every,
+        trace=args.heatmap,
+    )
+    try:
+        sweep, report = _capacity_report(args, kwargs)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        report.to_json() if args.format == "json" else report.to_markdown(),
+        file=out,
+    )
+    return 0 if sweep.all_slos_ok else 1
 
 
 def _run_report_cmd(args, out) -> int:

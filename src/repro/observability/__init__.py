@@ -41,6 +41,13 @@ from .provenance import (
     witness_cycle,
 )
 from .trace import JsonlSink, Span, Tracer, TraceRecords, read_trace, span_tree
+from .windows import (
+    SLO,
+    SLOStatus,
+    WindowedCounter,
+    WindowedTelemetry,
+    WindowedValues,
+)
 from .traceview import (
     RunReport,
     build_run_report,
@@ -71,6 +78,11 @@ __all__ = [
     "phenomenon_hook",
     "watching_analysis",
     "DEFAULT_WATCH",
+    "SLO",
+    "SLOStatus",
+    "WindowedCounter",
+    "WindowedTelemetry",
+    "WindowedValues",
     "RunReport",
     "build_run_report",
     "contention_summary",

@@ -180,6 +180,35 @@ class Histogram(_Instrument):
             return None
         return series.sum / series.count
 
+    def percentile(self, q: float, **labels: Any) -> Optional[float]:
+        """Estimate the ``q``-th percentile (``q`` in [0, 100]) from the
+        bucket counts by linear interpolation between bucket bounds.
+
+        The target rank is located in the cumulative bucket counts; the
+        estimate interpolates between the bucket's lower and upper bound
+        by the rank's position inside the bucket, clamped to the observed
+        ``min``/``max`` (so a single-sample histogram reports that sample
+        at every percentile, and the +Inf bucket reports ``max``).
+        Returns ``None`` for an empty (or unobserved) series.
+        """
+        if not (0 <= q <= 100):
+            raise ValueError("q must be in [0, 100]")
+        series = self._series.get(_label_key(labels))
+        if series is None or not series.count:
+            return None
+        rank = max(1, -(-series.count * q // 100))  # ceil(count*q/100)
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket_count in zip(self.buckets, series.bucket_counts):
+            if bucket_count:
+                if cumulative + bucket_count >= rank:
+                    fraction = (rank - cumulative) / bucket_count
+                    estimate = lower + (bound - lower) * fraction
+                    return min(max(estimate, series.min), series.max)
+                cumulative += bucket_count
+            lower = bound
+        return series.max  # rank lands in the +Inf bucket
+
 
 class MetricsRegistry:
     """A namespace of instruments plus the engine's logical clock.
@@ -276,10 +305,15 @@ class MetricsRegistry:
                 label_s = f"{{{label_s}}}" if label_s else ""
                 if isinstance(inst, Histogram):
                     mean = value.sum / value.count if value.count else 0.0
+                    labels = dict(key)
+                    quantiles = " ".join(
+                        f"p{q}={inst.percentile(q, **labels):g}"
+                        for q in (50, 95, 99)
+                    )
                     lines.append(
                         f"  {label_s or '(all)'}: count={value.count} "
                         f"sum={value.sum:g} min={value.min:g} "
-                        f"max={value.max:g} mean={mean:g}"
+                        f"max={value.max:g} mean={mean:g} {quantiles}"
                     )
                 else:
                     lines.append(f"  {label_s or '(all)'}: {value:g}")

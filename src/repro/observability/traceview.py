@@ -503,6 +503,10 @@ class RunReport:
     phenomena: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Optional[Dict[str, Any]] = None
     trace_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Capacity-sweep section (see :func:`repro.service.capacity.
+    #: build_capacity_report`): offered-load ladder, knee, SLO verdicts
+    #: and the contention heatmap.
+    capacity: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -514,6 +518,7 @@ class RunReport:
             "phenomena": self.phenomena,
             "metrics": self.metrics,
             "trace_stats": self.trace_stats,
+            "capacity": self.capacity,
         }
 
     def to_json(self) -> str:
@@ -529,6 +534,8 @@ class RunReport:
             lines += ["## Outcome", ""]
             lines += _kv_table(self.summary)
             lines.append("")
+        if self.capacity:
+            lines += _capacity_markdown(self.capacity)
         lines += ["## Logical latency by verb (ticks)", ""]
         if self.latencies:
             lines.append(
@@ -607,6 +614,79 @@ class RunReport:
         return "\n".join(lines).rstrip() + "\n"
 
 
+def _capacity_markdown(capacity: Dict[str, Any]) -> List[str]:
+    """Render the capacity section: knee, p99-vs-load ladder, SLO verdicts
+    and the object × rate contention heatmap."""
+    lines: List[str] = ["## Capacity", ""]
+    knee = capacity.get("knee")
+    if knee is not None:
+        lines.append(
+            f"Saturation knee at offered rate **{knee['rate']:g}/tick** "
+            f"({knee['throughput_per_kilotick']:g} commits/ktick, "
+            f"completion {knee['completion_ratio']:.0%}); rungs above it "
+            f"are past saturation."
+        )
+    else:
+        lines.append(
+            "No saturation knee: even the lowest offered rate overloads "
+            "the server."
+        )
+    lines.append("")
+    ladder = capacity.get("ladder", [])
+    if ladder:
+        lines.append(
+            "| offered rate | offered | committed | completion | "
+            "commits/ktick | p50 | p99 | shed | aborts | max queue | SLOs |"
+        )
+        lines.append("|---|---|---|---|---|---|---|---|---|---|---|")
+        for rung in ladder:
+            lines.append(
+                f"| {rung['rate']:g} | {rung['offered']} "
+                f"| {rung['committed']} | {rung['completion_ratio']:.0%} "
+                f"| {rung['throughput_per_kilotick']:g} "
+                f"| {_fmt_opt(rung['p50'])} | {_fmt_opt(rung['p99'])} "
+                f"| {rung['shed']} | {rung['aborted']} "
+                f"| {rung['max_queue_depth']} "
+                f"| {'ok' if rung['slos_ok'] else 'VIOLATED'} |"
+            )
+        lines.append("")
+    slo_names = [s["name"] for s in (ladder[0]["slos"] if ladder else [])]
+    if slo_names:
+        lines += ["### SLO verdicts", ""]
+        header = "| offered rate | " + " | ".join(slo_names) + " |"
+        lines.append(header)
+        lines.append("|---" * (len(slo_names) + 1) + "|")
+        for rung in ladder:
+            cells = []
+            for status in rung["slos"]:
+                if status["ok"]:
+                    cells.append("ok")
+                else:
+                    cells.append(f"violated@t={status['violated_at']}")
+            lines.append(
+                f"| {rung['rate']:g} | " + " | ".join(cells) + " |"
+            )
+        lines.append("")
+    heatmap = capacity.get("heatmap") or {}
+    if heatmap.get("objects"):
+        lines += ["### Contention heatmap (wait ticks by object × rate)", ""]
+        rates = heatmap["rates"]
+        lines.append(
+            "| object | " + " | ".join(f"{r:g}" for r in rates) + " |"
+        )
+        lines.append("|---" * (len(rates) + 1) + "|")
+        for obj, row in zip(heatmap["objects"], heatmap["wait_ticks"]):
+            lines.append(
+                f"| {obj} | " + " | ".join(_fmt(v) for v in row) + " |"
+            )
+        lines.append("")
+    return lines
+
+
+def _fmt_opt(value: Optional[float]) -> str:
+    return "-" if value is None else _fmt(value)
+
+
 def _flatten(mapping: Dict[str, Any], prefix: str = "") -> Dict[str, Any]:
     flat: Dict[str, Any] = {}
     for key, value in mapping.items():
@@ -632,6 +712,7 @@ def build_run_report(
     metrics: Optional[object] = None,
     config: Optional[Dict[str, Any]] = None,
     title: str = "stress run",
+    capacity: Optional[Dict[str, Any]] = None,
 ) -> RunReport:
     """Assemble a :class:`RunReport` from a trace and/or a stress result.
 
@@ -714,4 +795,5 @@ def build_run_report(
         phenomena=phenomena,
         metrics=snapshot,
         trace_stats=trace_stats,
+        capacity=capacity,
     )

@@ -14,8 +14,15 @@ Everything is deterministic: same seeds and configs, same history and same
 client journals, byte for byte.
 """
 
+from .capacity import (
+    CapacityResult,
+    CapacityRung,
+    build_capacity_report,
+    find_knee,
+    run_capacity,
+)
 from .client import Client, PendingCall
-from .config import NetworkConfig, RetryPolicy, SchedulerConfig
+from .config import AdmissionConfig, NetworkConfig, RetryPolicy, SchedulerConfig
 from .errors import (
     RequestTimeout,
     ServiceAborted,
@@ -27,6 +34,9 @@ from .server import Server
 from .stress import StressResult, run_stress
 
 __all__ = [
+    "AdmissionConfig",
+    "CapacityResult",
+    "CapacityRung",
     "Client",
     "NetworkConfig",
     "PendingCall",
@@ -39,5 +49,8 @@ __all__ = [
     "ServiceUnavailable",
     "SimulatedNetwork",
     "StressResult",
+    "build_capacity_report",
+    "find_knee",
+    "run_capacity",
     "run_stress",
 ]

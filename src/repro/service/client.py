@@ -38,7 +38,7 @@ class PendingCall:
 
     __slots__ = (
         "client", "kind", "payload", "rid", "attempts",
-        "deadline", "resume_at", "reply", "error", "span",
+        "deadline", "resume_at", "reply", "error", "span", "submitted_at",
     )
 
     def __init__(self, client: "Client", kind: str, payload: Dict[str, Any]):
@@ -47,6 +47,9 @@ class PendingCall:
         self.payload = payload
         self.rid = payload["rid"]
         self.attempts = 0
+        #: Tick the operation was first submitted — settle time minus this
+        #: is the operation's client-observed latency.
+        self.submitted_at = client.network.now
         self.deadline: Optional[int] = None
         self.resume_at: Optional[int] = None
         self.reply: Optional[Dict[str, Any]] = None
@@ -114,6 +117,30 @@ class PendingCall:
                     )
                 )
                 return self.settled
+            if error == "shed":
+                # Admission control turned the begin away: back off for the
+                # server-directed interval, not the client's own schedule.
+                client._shed_total += 1
+                client._count("service_client_shed_total",
+                              "shed replies observed by clients")
+                if self.span is not None:
+                    self.span.event(
+                        "shed", retry_after=reply.get("retry_after")
+                    )
+                if self.attempts >= client.policy.max_attempts:
+                    self.error = ServiceUnavailable(
+                        f"{self.kind} rid={self.rid}: shed after "
+                        f"{self.attempts} attempts"
+                    )
+                    return True
+                self.deadline = None
+                self.resume_at = now + int(
+                    reply.get("retry_after")
+                    or client.policy.backoff_before(self.attempts)
+                )
+                if self.span is not None:
+                    self.span.event("backoff", until=self.resume_at)
+                return self.settled
             if error == "stale":
                 continue  # echo of a superseded duplicate; keep waiting
             if error == "aborted":
@@ -180,6 +207,7 @@ class Client:
         self._retries_total = 0
         self._timeouts_total = 0
         self._busy_total = 0
+        self._shed_total = 0
         self._txn_span: Optional[object] = None
         self._trace_id: Optional[str] = None
         self._trace_seq = 0
@@ -238,6 +266,7 @@ class Client:
             "retries": self._retries_total,
             "timeouts": self._timeouts_total,
             "busy": self._busy_total,
+            "shed": self._shed_total,
         }
 
     # -- split-phase interface -------------------------------------------

@@ -15,7 +15,7 @@ from dataclasses import dataclass, replace
 
 from ..engine.factory import SchedulerConfig
 
-__all__ = ["NetworkConfig", "RetryPolicy", "SchedulerConfig"]
+__all__ = ["AdmissionConfig", "NetworkConfig", "RetryPolicy", "SchedulerConfig"]
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -55,6 +55,63 @@ class NetworkConfig:
 
     def with_seed(self, seed: int) -> "NetworkConfig":
         return replace(self, seed=seed)
+
+
+@dataclass(frozen=True, kw_only=True)
+class AdmissionConfig:
+    """Server-side admission control and certification backpressure.
+
+    With ``max_active`` set, a ``begin`` that would push the number of
+    concurrently active transactions past the bound is **load-shed**: the
+    server answers ``{"error": "shed", "retry_after": ticks}`` without
+    touching the engine, and the client backs off for the server-directed
+    interval before retrying the same idempotency token.  ``shed_probability``
+    makes the bound soft: above the bound each begin is shed with that
+    seeded probability (1.0 = hard bound); draws come from the server's own
+    admission RNG, so shedding replays identically per seed.
+
+    ``on_uncertified`` wires :mod:`repro.analysis.repair` into the serve
+    path: when a live certification fails (a committed transaction's
+    declared level was violated), the server either
+
+    * ``"ignore"`` — record the verdict only (the default);
+    * ``"downgrade"`` — downgrade *the session*: subsequent transactions
+      on the violating session are declared at the strongest level the
+      monitor still certifies (emitted as an ``admission.downgrade`` trace
+      event);
+    * ``"repair"`` — compute the abort-to-restore suggestion (which
+      committed transactions would have to abort, cascades included, for
+      the history to provide the declared level again) and emit it as an
+      ``admission.repair`` trace event plus
+      :attr:`~repro.service.server.Server.repair_suggestions`.
+    """
+
+    #: Maximum concurrently active transactions (0 disables shedding).
+    max_active: int = 0
+    #: Ticks the shed reply tells the client to stay away.
+    retry_after: int = 8
+    #: P(shed | over the bound); draws are seeded (see ``seed``).
+    shed_probability: float = 1.0
+    #: RNG seed for the soft-bound shed draws.
+    seed: int = 0
+    #: Reaction to a failed live certification; see class docstring.
+    on_uncertified: str = "ignore"
+    #: Certify commits in batches of this size instead of one by one —
+    #: commits awaiting a verdict are the *certification lag*.  1 keeps
+    #: today's certify-every-commit behaviour (replies carry the verdict).
+    certify_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_active < 0 or self.retry_after < 1:
+            raise ValueError("need max_active >= 0 and retry_after >= 1")
+        if not (0.0 <= self.shed_probability <= 1.0):
+            raise ValueError("shed_probability must be in [0, 1]")
+        if self.on_uncertified not in ("ignore", "downgrade", "repair"):
+            raise ValueError(
+                "on_uncertified must be 'ignore', 'downgrade' or 'repair'"
+            )
+        if self.certify_every < 1:
+            raise ValueError("certify_every must be >= 1")
 
 
 @dataclass(frozen=True, kw_only=True)

@@ -30,6 +30,7 @@ an unreliable boundary forces:
 
 from __future__ import annotations
 
+import random
 from typing import Any, Dict, List, Optional
 
 from ..core.events import Commit
@@ -39,6 +40,7 @@ from ..engine.factory import SchedulerConfig, create_scheduler
 from ..engine.simulator import _find_cycle
 from ..engine.transaction import TxnState
 from ..exceptions import InvalidOperation, TransactionAborted, WouldBlock
+from .config import AdmissionConfig
 from .network import SimulatedNetwork
 
 __all__ = ["Server"]
@@ -47,7 +49,10 @@ __all__ = ["Server"]
 class _Session:
     """Per-client-session server state (volatile — lost on crash)."""
 
-    __slots__ = ("txn", "replies", "last_rid", "first_tid", "pending_abort")
+    __slots__ = (
+        "txn", "replies", "last_rid", "first_tid", "pending_abort",
+        "downgraded", "level_override",
+    )
 
     def __init__(self) -> None:
         self.txn: Optional[TransactionHandle] = None
@@ -63,6 +68,11 @@ class _Session:
         #: Reason the session's transaction was killed out-of-band
         #: (deadlock victim), reported on its next request.
         self.pending_abort: Optional[str] = None
+        #: Set when admission control downgraded this session after a
+        #: failed certification; subsequent begins declare
+        #: ``level_override`` instead of the requested level.
+        self.downgraded = False
+        self.level_override: Optional[str] = None
 
 
 class Server:
@@ -78,6 +88,7 @@ class Server:
         monitor: Optional[object] = None,
         metrics: Optional[object] = None,
         tracer: Optional[object] = None,
+        admission: Optional[AdmissionConfig] = None,
     ) -> None:
         self.network = network
         self.config = (
@@ -89,17 +100,33 @@ class Server:
         self.monitor = monitor
         self.metrics = metrics
         self.tracer = tracer
+        self.admission = admission
+        #: Seeded RNG for soft-bound shed draws (admission control only;
+        #: never touched when admission is off, so plain runs replay
+        #: byte-identically with or without this attribute existing).
+        self._admission_rng = random.Random(
+            admission.seed if admission is not None else 0
+        )
         self.up = True
         self.crashes = 0
         self.restarts = 0
         self.commit_count = 0
         self.deadlock_victims = 0
-        self.counters = {"requests": 0, "dedup_hits": 0, "busy": 0}
+        self.counters = {"requests": 0, "dedup_hits": 0, "busy": 0, "shed": 0}
         self._sessions: Dict[str, _Session] = {}
         self._waits: Dict[str, frozenset] = {}  # session -> holder tids
         #: Declared level per tid (for certification) and live verdicts.
         self.declared: Dict[int, Optional[IsolationLevel]] = {}
         self.certified: Dict[int, bool] = {}
+        #: Committed tids awaiting a (batched) certification verdict.
+        self._pending_certify: List[int] = []
+        #: Session that began each tid (for downgrade-the-session).
+        self._tid_session: Dict[int, str] = {}
+        #: Abort-to-restore suggestions computed on failed certifications
+        #: (``on_uncertified="repair"``), newest last.
+        self.repair_suggestions: List[Dict[str, Any]] = []
+        #: Downgrade decisions (``on_uncertified="downgrade"``), newest last.
+        self.downgrades: List[Dict[str, Any]] = []
         self._committed_tids: set[int] = set()
         self.db: Optional[Database] = None
         self._boot(initial)
@@ -247,7 +274,9 @@ class Server:
             return {"error": "stale", "rid": rid}
         reply = self._execute(kind, request, sess, span)
         reply["rid"] = rid
-        if reply.get("error") != "busy":
+        if reply.get("error") not in ("busy", "shed"):
+            # Busy and shed replies are not cached: the operation never
+            # ran, so the retry must actually execute it.
             sess.replies[rid] = reply
             sess.last_rid = max(sess.last_rid, rid)
         return reply
@@ -263,6 +292,9 @@ class Server:
         if kind == "ping":
             return {"ok": True, "t": self.network.now}
         if kind == "begin":
+            shed = self._maybe_shed(request, sess)
+            if shed is not None:
+                return shed
             return self._do_begin(request, sess)
         if kind == "commit" and sess.txn is None:
             # A commit retry that crossed a crash: the outcome is in the
@@ -309,9 +341,17 @@ class Server:
                 self.commit_count += 1
                 self._committed_tids.add(txn.tid)
                 result = {"ok": True}
-                verdict = self._certify(txn.tid)
-                if verdict is not None:
-                    result["certified"] = verdict
+                self._pending_certify.append(txn.tid)
+                certify_every = (
+                    self.admission.certify_every
+                    if self.admission is not None
+                    else 1
+                )
+                if len(self._pending_certify) >= certify_every:
+                    verdicts = self.flush_certification()
+                    verdict = verdicts.get(txn.tid)
+                    if verdict is not None:
+                        result["certified"] = verdict
                 sess.txn = None
             elif kind == "abort":
                 txn.abort()
@@ -348,6 +388,52 @@ class Server:
         self._waits.pop(session_id, None)
         return result
 
+    def _active_count(self) -> int:
+        return sum(
+            1
+            for s in self._sessions.values()
+            if s.txn is not None and s.txn.state is TxnState.ACTIVE
+        )
+
+    def _maybe_shed(
+        self, request: Dict[str, Any], sess: _Session
+    ) -> Optional[Dict[str, Any]]:
+        """Admission control: shed this ``begin`` when the server is at its
+        concurrency bound (``None`` = admit).  Shed replies carry a
+        server-directed ``retry_after`` and are never dedup-cached."""
+        cfg = self.admission
+        if cfg is None or not cfg.max_active:
+            return None
+        if sess.txn is not None and sess.txn.state is TxnState.ACTIVE:
+            return None  # re-begin on an open session frees a slot anyway
+        active = self._active_count()
+        if active < cfg.max_active:
+            return None
+        if (
+            cfg.shed_probability < 1.0
+            and self._admission_rng.random() >= cfg.shed_probability
+        ):
+            return None
+        self.counters["shed"] += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service_admission_shed_total",
+                "begins shed by admission control (server at max_active)",
+            ).inc()
+        if self.tracer is not None:
+            self.tracer.event(
+                "admission.shed",
+                session=request["session"],
+                active=active,
+                max_active=cfg.max_active,
+                retry_after=cfg.retry_after,
+            )
+        return {
+            "error": "shed",
+            "retry_after": cfg.retry_after,
+            "active": active,
+        }
+
     def _do_begin(self, request: Dict[str, Any], sess: _Session) -> Dict[str, Any]:
         if sess.txn is not None and sess.txn.state is TxnState.ACTIVE:
             # A duplicate of a begin whose reply was lost would have hit the
@@ -356,13 +442,16 @@ class Server:
             sess.txn.abort()
         sess.pending_abort = None
         level = request.get("level")
-        if level is None and self.config.level is not None:
+        if sess.downgraded:
+            level = sess.level_override
+        elif level is None and self.config.level is not None:
             level = self.config.level
         txn = self.db.begin(level)
         sess.txn = txn
         if sess.first_tid is None:
             sess.first_tid = txn.tid
         self.declared[txn.tid] = self._declared_level(level)
+        self._tid_session[txn.tid] = request["session"]
         return {"ok": True, "tid": txn.tid}
 
     def _declared_level(self, level) -> Optional[IsolationLevel]:
@@ -395,7 +484,64 @@ class Server:
                 self.tracer.event(
                     "certification.failure", tid=tid, level=str(level)
                 )
+        if ok is False:
+            self._on_uncertified(tid, level)
         return ok
+
+    @property
+    def certification_lag(self) -> int:
+        """Committed transactions still awaiting a certification verdict
+        (only ever non-zero with ``AdmissionConfig.certify_every > 1``)."""
+        return len(self._pending_certify)
+
+    def flush_certification(self) -> Dict[int, Optional[bool]]:
+        """Certify every commit in the pending batch, in commit order.
+        Returns ``tid -> verdict`` for the flushed batch (verdicts also
+        land in :attr:`certified`)."""
+        verdicts: Dict[int, Optional[bool]] = {}
+        if not self._pending_certify:
+            return verdicts
+        pending, self._pending_certify = self._pending_certify, []
+        for tid in pending:
+            verdicts[tid] = self._certify(tid)
+        return verdicts
+
+    def _on_uncertified(self, tid: int, level: IsolationLevel) -> None:
+        """React to a failed live certification per
+        :attr:`AdmissionConfig.on_uncertified` (no-op for ``"ignore"``
+        or with admission control off)."""
+        action = self.admission.on_uncertified if self.admission else "ignore"
+        if action == "downgrade":
+            sid = self._tid_session.get(tid)
+            sess = self._sessions.get(sid) if sid is not None else None
+            strongest = self.monitor.strongest_level()
+            if sess is not None and not sess.downgraded:
+                sess.downgraded = True
+                sess.level_override = (
+                    str(strongest) if strongest is not None else None
+                )
+                record = {
+                    "tid": tid,
+                    "session": sid,
+                    "declared": str(level),
+                    "downgraded_to": sess.level_override,
+                }
+                self.downgrades.append(record)
+                if self.tracer is not None:
+                    self.tracer.event("admission.downgrade", **record)
+        elif action == "repair":
+            from ..analysis.repair import repair
+
+            result = repair(self.recorder.history(validate=False), level)
+            suggestion = {
+                "tid": tid,
+                "level": str(level),
+                "abort": sorted(result.aborted),
+                "rounds": result.rounds,
+            }
+            self.repair_suggestions.append(suggestion)
+            if self.tracer is not None:
+                self.tracer.event("admission.repair", **suggestion)
 
     # ------------------------------------------------------------------
     # deadlock resolution

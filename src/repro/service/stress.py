@@ -25,19 +25,27 @@ client-centric thesis needs end to end:
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.incremental import IncrementalAnalysis
 from ..core.levels import IsolationLevel
 from ..observability.provenance import watching_analysis
+from ..workloads.arrivals import ArrivalProcess, ZipfianKeys
 from .client import Client
-from .config import NetworkConfig, RetryPolicy, SchedulerConfig
+from .config import AdmissionConfig, NetworkConfig, RetryPolicy, SchedulerConfig
 from .errors import RequestTimeout, ServiceAborted, ServiceUnavailable
 from .network import SimulatedNetwork
 from .server import Server
 
 __all__ = ["StressResult", "run_stress"]
+
+
+def _rank_percentile(ordered: List[int], q: float) -> int:
+    """Nearest-rank percentile of a pre-sorted non-empty list."""
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil(n*q/100)
+    return ordered[min(int(rank), len(ordered)) - 1]
 
 
 @dataclass
@@ -70,10 +78,26 @@ class StressResult:
     #: Plain-dict summary of the run's configuration (fault schedule,
     #: retry policy, workload shape) — reproduced in run reports.
     config: Any = field(repr=False, default=None)
+    #: Client-observed whole-transaction commit latencies in ticks, in
+    #: completion order (deterministic per seed).
+    commit_latencies: Tuple[int, ...] = ()
+    #: Transactions the workload *offered*: scheduled arrivals in open-loop
+    #: mode, ``clients * txns_per_client`` in closed-loop mode.
+    offered: int = 0
+    #: The :class:`~repro.observability.windows.WindowedTelemetry` fed
+    #: during the run (when one was attached) — purely observational.
+    windows: Any = field(repr=False, default=None)
 
     @property
     def all_certified(self) -> bool:
         return all(ok for _lvl, ok in self.certification.values())
+
+    def latency_percentile(self, q: float) -> Optional[int]:
+        """Nearest-rank percentile of the commit latencies (None if no
+        transaction committed)."""
+        if not self.commit_latencies:
+            return None
+        return _rank_percentile(sorted(self.commit_latencies), q)
 
     def strongest_level(self):
         return self.monitor.strongest_level()
@@ -100,6 +124,21 @@ class StressResult:
             f"dedup cache hits       : {self.server_counters['dedup_hits']}",
             f"client retries/timeouts: {self.client_stats['retries']}"
             f"/{self.client_stats['timeouts']}",
+        ]
+        certified_n = sum(1 for _l, ok in self.certification.values() if ok)
+        shed = self.server_counters.get("shed", 0)
+        lines.append(
+            f"certified/aborted/shed : {certified_n}/{self.client_aborts}/{shed}"
+        )
+        if self.commit_latencies:
+            ordered = sorted(self.commit_latencies)
+            p50, p95, p99 = (
+                _rank_percentile(ordered, q) for q in (50, 95, 99)
+            )
+            lines.append(
+                f"commit latency p50/p95/p99 : {p50}/{p95}/{p99} ticks"
+            )
+        lines += [
             f"strongest level (live) : {self.strongest_level() or 'none'}",
             f"certification          : "
             + (
@@ -135,6 +174,98 @@ class _ScriptRun:
         return not self.done and (self.pending is None or self.pending.settled)
 
 
+class _TickWait:
+    """A pending-shaped wait for a future tick: the driver's poll/next_wake
+    protocol, with no message in flight.  Open-loop scripts yield one of
+    these to sleep until their next scheduled arrival."""
+
+    __slots__ = ("net", "tick")
+
+    def __init__(self, net: SimulatedNetwork, tick: int) -> None:
+        self.net = net
+        self.tick = tick
+
+    @property
+    def settled(self) -> bool:
+        return self.net.now >= self.tick
+
+    def poll(self) -> bool:
+        return self.settled
+
+    @property
+    def next_wake(self) -> Optional[int]:
+        return None if self.settled else self.tick
+
+
+def _op(client: Client, windows, kind: str, **fields: Any):
+    """One timed logical operation: ``co_call`` plus a per-verb latency
+    observation into the windowed telemetry (success path only — failed
+    operations surface as aborts, counted separately)."""
+    t0 = client.network.now
+    reply = yield from client.co_call(kind, **fields)
+    if windows is not None:
+        now = client.network.now
+        windows.observe_latency(kind, now - t0, now)
+    return reply
+
+
+def _pick_objs(
+    rng: random.Random, keys: int, ops: int, hot: Optional[ZipfianKeys]
+) -> List[int]:
+    """The transaction's key set: uniform without a hot-key sampler,
+    Zipf-skewed with one (both draw from the script's own RNG stream)."""
+    n = min(ops, keys)
+    if hot is not None:
+        return hot.sample_distinct(rng, n)
+    return rng.sample(range(keys), n)
+
+
+def _run_one_txn(
+    client: Client,
+    objs: List[int],
+    *,
+    level: Optional[str],
+    counters: Dict[str, int],
+    windows,
+    latencies: List[int],
+):
+    """One read-modify-write transaction over ``objs``; returns True on
+    commit, False on abort/timeout (the caller decides whether to retry)."""
+    net_now = client.network.now
+    try:
+        yield from _op(client, windows, "begin", level=level)
+        for obj in objs:
+            key = f"k{obj}"
+            reply = yield from _op(
+                client, windows, "read", obj=key, for_update=True
+            )
+            value = reply.get("value") or 0
+            yield from _op(client, windows, "write", obj=key, value=value + 1)
+        reply = yield from _op(client, windows, "commit")
+    except ServiceAborted:
+        counters["aborts"] += 1
+        if windows is not None:
+            windows.observe_abort(client.network.now)
+        return False
+    except (RequestTimeout, ServiceUnavailable):
+        # Outcome unknown (crashed server, exhausted busy-retries, or a
+        # shed begin the policy gave up on): walk away; the transaction is
+        # dead or will be undone at recovery, and the session's next begin
+        # discards it.
+        counters["aborts"] += 1
+        client.tid = None
+        if windows is not None:
+            windows.observe_abort(client.network.now)
+        return False
+    latency = client.network.now - net_now
+    latencies.append(latency)
+    if windows is not None:
+        now = client.network.now
+        windows.observe_latency("txn", latency, now)
+        windows.observe_commit(reply.get("certified"), now)
+    return True
+
+
 def _transfer_script(
     client: Client,
     rng: random.Random,
@@ -144,33 +275,61 @@ def _transfer_script(
     ops: int,
     level: Optional[str],
     counters: Dict[str, int],
+    windows=None,
+    latencies: Optional[List[int]] = None,
+    hot: Optional[ZipfianKeys] = None,
 ):
-    """The stress transaction mix: read-modify-write over a small hot key
+    """The closed-loop stress mix: read-modify-write over a small hot key
     space (``for_update`` reads, so locking engines do not drown in upgrade
     deadlocks), with client-side restart on aborts — a miniature of a real
     service's request handler."""
+    if latencies is None:
+        latencies = []
     committed = 0
     while committed < txns:
-        objs = rng.sample(range(keys), min(ops, keys))
-        try:
-            yield from client.co_call("begin", level=level)
-            for obj in objs:
-                key = f"k{obj}"
-                reply = yield from client.co_call(
-                    "read", obj=key, for_update=True
-                )
-                value = reply.get("value") or 0
-                yield from client.co_call("write", obj=key, value=value + 1)
-            yield from client.co_call("commit")
+        objs = _pick_objs(rng, keys, ops, hot)
+        ok = yield from _run_one_txn(
+            client, objs, level=level, counters=counters,
+            windows=windows, latencies=latencies,
+        )
+        if ok:
             committed += 1
-        except ServiceAborted:
-            counters["aborts"] += 1
-        except (RequestTimeout, ServiceUnavailable):
-            # Outcome unknown (crashed server or exhausted busy-retries):
-            # walk away; the transaction is dead or will be undone at
-            # recovery, and the session's next begin discards it.
-            counters["aborts"] += 1
-            client.tid = None
+
+
+def _open_loop_script(
+    client: Client,
+    rng: random.Random,
+    *,
+    schedule: List[int],
+    state: Dict[str, int],
+    keys: int,
+    ops: int,
+    level: Optional[str],
+    counters: Dict[str, int],
+    windows,
+    latencies: List[int],
+    hot: Optional[ZipfianKeys],
+):
+    """The open-loop worker: claim the next arrival off the shared
+    schedule, sleep until its tick (or start immediately if it is already
+    overdue — that backlog *is* the queue), serve it once, move on.  An
+    aborted/abandoned arrival is **not** retried: offered load is the
+    schedule's business, not the server's — which is exactly why queues
+    can grow and the saturation knee becomes visible."""
+    net = client.network
+    while True:
+        idx = state["next"]
+        if idx >= len(schedule):
+            return
+        state["next"] = idx + 1
+        tick = schedule[idx]
+        if net.now < tick:
+            yield _TickWait(net, tick)
+        objs = _pick_objs(rng, keys, ops, hot)
+        yield from _run_one_txn(
+            client, objs, level=level, counters=counters,
+            windows=windows, latencies=latencies,
+        )
 
 
 def run_stress(
@@ -190,11 +349,32 @@ def run_stress(
     pipeline: bool = True,
     metrics: Optional[object] = None,
     tracer: Optional[object] = None,
+    arrivals: Optional[ArrivalProcess] = None,
+    horizon: Optional[int] = None,
+    hot_keys: Optional[ZipfianKeys] = None,
+    admission: Optional[AdmissionConfig] = None,
+    windows: Optional[object] = None,
 ) -> StressResult:
     """Run one seeded stress workload; see the module docstring.
 
     Determinism contract: equal arguments (including all seeds) produce a
     byte-for-byte identical :attr:`StressResult.history_text` and journals.
+    Attaching ``windows`` (a :class:`~repro.observability.windows.
+    WindowedTelemetry`) is purely observational: it changes no byte of any
+    artifact.
+
+    With ``arrivals`` set the run is **open-loop**: transactions arrive on
+    the process's seeded schedule over ``[0, horizon)`` ticks regardless of
+    completions (``txns_per_client`` is ignored; the ``clients`` scripts
+    act as a worker pool claiming arrivals).  An arrival whose turn comes
+    late starts immediately — the backlog is the queue the windowed
+    telemetry gauges.  Closed-loop runs (the default) retry aborted
+    transactions until each client commits its quota; open-loop runs serve
+    each arrival exactly once.
+
+    ``admission`` enables server-side load shedding and certification
+    batching; ``hot_keys`` replaces uniform key picks with a seeded
+    Zipf-skewed sampler.
 
     The driver is tick-synchronized: whenever every script is blocked, the
     network's whole due message batch is delivered before any client gets
@@ -205,6 +385,8 @@ def run_stress(
     modes produce byte-identical histories, journals and traces — the flag
     only changes how much per-message driver overhead the run pays.
     """
+    if arrivals is not None and horizon is None:
+        raise ValueError("open-loop runs need horizon= (ticks of offered load)")
     config = (
         scheduler
         if isinstance(scheduler, SchedulerConfig)
@@ -243,6 +425,7 @@ def run_stress(
         monitor=monitor,
         metrics=metrics,
         tracer=tracer,
+        admission=admission,
     )
     declared = config.declared_level
     level_name = str(declared) if declared is not None else None
@@ -270,6 +453,28 @@ def run_stress(
         "restart_delay": restart_delay,
         "pipeline": pipeline,
     }
+    schedule: List[int] = []
+    if arrivals is not None:
+        schedule = arrivals.schedule(horizon=horizon, seed=seed * 8191 + 3)
+        config_summary["arrivals"] = {
+            "kind": type(arrivals).__name__,
+            "mean_rate": round(arrivals.mean_rate(horizon), 6),
+            "horizon": horizon,
+            "offered": len(schedule),
+        }
+    if hot_keys is not None:
+        config_summary["hot_keys"] = {
+            "keys": hot_keys.keys,
+            "theta": hot_keys.theta,
+        }
+    if admission is not None:
+        config_summary["admission"] = {
+            "max_active": admission.max_active,
+            "retry_after": admission.retry_after,
+            "shed_probability": admission.shed_probability,
+            "on_uncertified": admission.on_uncertified,
+            "certify_every": admission.certify_every,
+        }
     run_span = None
     if tracer is not None:
         # Stacked root: parentless events anywhere below (server crashes,
@@ -277,30 +482,71 @@ def run_stress(
         run_span = tracer.span("stress.run", **config_summary)
     driver_rng = random.Random(seed)
     counters = {"aborts": 0}
+    latencies: List[int] = []
+    arrival_state = {"next": 0}
     runs: List[_ScriptRun] = []
     for i in range(clients):
         client = Client(
             net, name=f"c{i}", policy=policy, metrics=metrics, tracer=tracer
         )
         script_rng = random.Random(seed * 1_000_003 + i + 1)
-        runs.append(
-            _ScriptRun(
+        if arrivals is not None:
+            script = _open_loop_script(
                 client,
-                _transfer_script(
-                    client,
-                    script_rng,
-                    txns=txns_per_client,
-                    keys=keys,
-                    ops=ops_per_txn,
-                    level=level_name,
-                    counters=counters,
-                ),
+                script_rng,
+                schedule=schedule,
+                state=arrival_state,
+                keys=keys,
+                ops=ops_per_txn,
+                level=level_name,
+                counters=counters,
+                windows=windows,
+                latencies=latencies,
+                hot=hot_keys,
             )
-        )
+        else:
+            script = _transfer_script(
+                client,
+                script_rng,
+                txns=txns_per_client,
+                keys=keys,
+                ops=ops_per_txn,
+                level=level_name,
+                counters=counters,
+                windows=windows,
+                latencies=latencies,
+                hot=hot_keys,
+            )
+        runs.append(_ScriptRun(client, script))
     restart_at: Optional[int] = None
     crashed_once = False
     start_tick = net.now
+    arrivals_seen = 0
+    sheds_seen = 0
     while True:
+        if windows is not None:
+            # Observation only: nothing below may influence the run.
+            now = net.now
+            while (
+                arrivals_seen < len(schedule)
+                and schedule[arrivals_seen] <= now
+            ):
+                windows.observe_arrival(schedule[arrivals_seen])
+                arrivals_seen += 1
+            shed_total = server.counters["shed"]
+            if shed_total > sheds_seen:
+                windows.sheds.inc(now, shed_total - sheds_seen)
+                sheds_seen = shed_total
+            backlog = (
+                bisect_right(schedule, now) - arrival_state["next"]
+                if schedule
+                else 0
+            )
+            windows.set_gauges(
+                queue_depth=max(backlog, 0),
+                certification_lag=server.certification_lag if server.up else 0,
+            )
+            windows.maybe_sample(now)
         if (
             crash_after_commits is not None
             and not crashed_once
@@ -349,6 +595,17 @@ def run_stress(
             net.advance(max(1, min(wakes) - net.now) if wakes else 1)
     if restart_at is not None:
         server.restart()
+    server.flush_certification()  # settle any batched verdicts
+    if windows is not None:
+        now = net.now
+        while arrivals_seen < len(schedule):
+            windows.observe_arrival(schedule[arrivals_seen])
+            arrivals_seen += 1
+        shed_total = server.counters["shed"]
+        if shed_total > sheds_seen:
+            windows.sheds.inc(now, shed_total - sheds_seen)
+        windows.set_gauges(queue_depth=0, certification_lag=0)
+        windows.sample(now)
     if tracer is not None:
         for run in runs:
             run.client.close_trace()
@@ -374,7 +631,7 @@ def run_stress(
         )
     from ..core.formatting import format_history
 
-    client_stats = {"retries": 0, "timeouts": 0, "busy": 0}
+    client_stats = {"retries": 0, "timeouts": 0, "busy": 0, "shed": 0}
     for run in runs:
         for k, v in run.client.stats.items():
             client_stats[k] += v
@@ -398,4 +655,9 @@ def run_stress(
         metrics=metrics,
         tracer=tracer,
         config=config_summary,
+        commit_latencies=tuple(latencies),
+        offered=(
+            len(schedule) if arrivals is not None else clients * txns_per_client
+        ),
+        windows=windows,
     )

@@ -1,6 +1,13 @@
 """Workloads: anomaly corpus, random generators, and the paper's scenarios."""
 
 from .anomalies import ALL_ANOMALIES
+from .arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    ZipfianKeys,
+)
 from .bank import (
     accounts,
     audit_program,
@@ -33,6 +40,11 @@ from .orders import (
 
 __all__ = [
     "ALL_ANOMALIES",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "ZipfianKeys",
     "accounts",
     "audit_program",
     "audit_violations",

@@ -1,0 +1,210 @@
+"""Open-loop arrival processes and hot-key samplers on the logical clock.
+
+A closed-loop driver (each client starts its next transaction only after
+the previous one finished) can never overload a server: completion
+throttles offered load, so queues stay flat and the saturation knee is
+invisible.  Capacity questions need an **open-loop** source — transactions
+*arrive* on their own schedule whether or not the system kept up — which is
+what these processes provide.
+
+Every process is a frozen config plus a pure function of ``(horizon,
+seed)``: :meth:`ArrivalProcess.schedule` returns the sorted integer ticks
+at which transactions arrive, byte-identical for equal arguments.  The
+sampler is non-homogeneous Poisson thinning: candidate arrivals are drawn
+at the process's :attr:`~ArrivalProcess.max_rate` from seeded exponential
+gaps, then kept with probability ``rate_at(t) / max_rate`` — so a single
+RNG stream serves constant, bursty and diurnal shapes alike.
+
+* :class:`PoissonArrivals` — constant mean rate;
+* :class:`BurstyArrivals` — a base rate with periodic seeded bursts (the
+  "flash crowd" shape: most of the time quiet, periodically several times
+  the base rate);
+* :class:`DiurnalArrivals` — a sinusoidal day curve between a trough and a
+  peak rate (millions of sessions don't arrive uniformly);
+* :class:`ZipfianKeys` — a seeded hot-key sampler (Zipf/zeta over a key
+  space) so contention concentrates the way production key popularity
+  does.
+
+>>> PoissonArrivals(rate=0.5).schedule(horizon=20, seed=1)
+[0, 4, 6, 7, 8, 10, 12, 15, 15, 15, 19]
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import List
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "ZipfianKeys",
+]
+
+
+@dataclass(frozen=True, kw_only=True)
+class ArrivalProcess:
+    """Base class: a (possibly time-varying) arrival-rate curve.
+
+    Subclasses define :meth:`rate_at` (arrivals per tick at tick ``t``)
+    and :attr:`max_rate` (an upper bound on it, the thinning envelope).
+    """
+
+    def rate_at(self, t: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def max_rate(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def schedule(self, *, horizon: int, seed: int) -> List[int]:
+        """Arrival ticks in ``[0, horizon)``, sorted, seeded, deterministic.
+
+        Thinning: exponential gaps at :attr:`max_rate`, each candidate
+        kept with probability ``rate_at(t) / max_rate``.  Ticks are the
+        floor of the continuous arrival times; several arrivals may share
+        a tick (that is real burstiness, not an artifact).
+        """
+        if horizon <= 0:
+            return []
+        envelope = self.max_rate
+        if envelope <= 0:
+            return []
+        rng = random.Random(seed)
+        ticks: List[int] = []
+        t = 0.0
+        while True:
+            t += rng.expovariate(envelope)
+            if t >= horizon:
+                return ticks
+            tick = int(t)
+            rate = self.rate_at(tick)
+            if rate >= envelope or rng.random() < rate / envelope:
+                ticks.append(tick)
+
+    def mean_rate(self, horizon: int) -> float:
+        """The average of :meth:`rate_at` over ``[0, horizon)``."""
+        if horizon <= 0:
+            return 0.0
+        return sum(self.rate_at(t) for t in range(horizon)) / horizon
+
+
+@dataclass(frozen=True, kw_only=True)
+class PoissonArrivals(ArrivalProcess):
+    """Constant-rate Poisson arrivals: ``rate`` expected arrivals per tick."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be >= 0")
+
+    def rate_at(self, t: int) -> float:
+        return self.rate
+
+    @property
+    def max_rate(self) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True, kw_only=True)
+class BurstyArrivals(ArrivalProcess):
+    """A base Poisson rate with periodic bursts.
+
+    Every ``period`` ticks, the first ``burst_length`` ticks run at
+    ``rate * burst_factor``; the rest of the period runs at ``rate``.
+    """
+
+    rate: float
+    burst_factor: float = 5.0
+    period: int = 200
+    burst_length: int = 20
+
+    def __post_init__(self) -> None:
+        if self.rate < 0 or self.burst_factor < 1.0:
+            raise ValueError("need rate >= 0 and burst_factor >= 1")
+        if self.period <= 0 or not (0 < self.burst_length <= self.period):
+            raise ValueError("need 0 < burst_length <= period")
+
+    def rate_at(self, t: int) -> float:
+        in_burst = (t % self.period) < self.burst_length
+        return self.rate * self.burst_factor if in_burst else self.rate
+
+    @property
+    def max_rate(self) -> float:
+        return self.rate * self.burst_factor
+
+
+@dataclass(frozen=True, kw_only=True)
+class DiurnalArrivals(ArrivalProcess):
+    """A sinusoidal day curve between ``trough`` and ``peak`` arrivals per
+    tick, with period ``day`` ticks (peak at ``day/4``, trough at
+    ``3*day/4``)."""
+
+    trough: float
+    peak: float
+    day: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.trough < 0 or self.peak < self.trough:
+            raise ValueError("need 0 <= trough <= peak")
+        if self.day <= 0:
+            raise ValueError("day must be > 0")
+
+    def rate_at(self, t: int) -> float:
+        mid = (self.peak + self.trough) / 2.0
+        amp = (self.peak - self.trough) / 2.0
+        return mid + amp * math.sin(2.0 * math.pi * (t % self.day) / self.day)
+
+    @property
+    def max_rate(self) -> float:
+        return self.peak
+
+
+class ZipfianKeys:
+    """A seeded Zipf-skewed sampler over ``keys`` object names.
+
+    Key ``i`` (0-based rank) is drawn with probability proportional to
+    ``1 / (i + 1) ** theta``; ``theta=0`` is uniform, ``theta≈1`` is the
+    classic web/YCSB skew where a handful of keys absorb most traffic.
+    The CDF is precomputed, so a draw is one RNG float plus a bisect.
+    """
+
+    def __init__(self, keys: int, *, theta: float = 0.99) -> None:
+        if keys <= 0:
+            raise ValueError("keys must be >= 1")
+        if theta < 0:
+            raise ValueError("theta must be >= 0")
+        self.keys = keys
+        self.theta = theta
+        weights = [1.0 / (i + 1) ** theta for i in range(keys)]
+        total = sum(weights)
+        cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cdf.append(acc / total)
+        self._cdf = cdf
+
+    def sample(self, rng: random.Random) -> int:
+        """One key index drawn from the caller's RNG stream."""
+        return bisect_left(self._cdf, rng.random())
+
+    def sample_distinct(self, rng: random.Random, n: int) -> List[int]:
+        """``n`` distinct key indices (hot keys first in expectation)."""
+        n = min(n, self.keys)
+        picked: List[int] = []
+        seen = set()
+        while len(picked) < n:
+            k = self.sample(rng)
+            if k not in seen:
+                seen.add(k)
+                picked.append(k)
+        return picked
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ZipfianKeys(keys={self.keys}, theta={self.theta})"

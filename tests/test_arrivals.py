@@ -1,0 +1,139 @@
+"""Open-loop arrival processes: determinism, thinning, rate shapes."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    ZipfianKeys,
+)
+
+
+class TestSchedule:
+    def test_deterministic_per_seed(self):
+        process = PoissonArrivals(rate=0.3)
+        a = process.schedule(horizon=500, seed=42)
+        b = process.schedule(horizon=500, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        process = PoissonArrivals(rate=0.3)
+        assert process.schedule(horizon=500, seed=1) != process.schedule(
+            horizon=500, seed=2
+        )
+
+    def test_sorted_and_in_horizon(self):
+        ticks = PoissonArrivals(rate=0.5).schedule(horizon=200, seed=7)
+        assert ticks == sorted(ticks)
+        assert all(0 <= t < 200 for t in ticks)
+
+    def test_mean_count_tracks_rate(self):
+        # 0.2/tick over 5000 ticks ≈ 1000 arrivals; thinning keeps the mean.
+        ticks = PoissonArrivals(rate=0.2).schedule(horizon=5000, seed=3)
+        assert 800 <= len(ticks) <= 1200
+
+    def test_zero_rate_and_zero_horizon(self):
+        assert PoissonArrivals(rate=0.0).schedule(horizon=100, seed=1) == []
+        assert PoissonArrivals(rate=1.0).schedule(horizon=0, seed=1) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=-0.1)
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ArrivalProcess().schedule(horizon=10, seed=0)
+
+
+class TestBursty:
+    def test_rate_shape(self):
+        p = BurstyArrivals(rate=0.1, burst_factor=4.0, period=100, burst_length=10)
+        assert p.rate_at(5) == pytest.approx(0.4)
+        assert p.rate_at(50) == pytest.approx(0.1)
+        assert p.rate_at(105) == pytest.approx(0.4)  # next period's burst
+        assert p.max_rate == pytest.approx(0.4)
+
+    def test_bursts_concentrate_arrivals(self):
+        p = BurstyArrivals(rate=0.05, burst_factor=8.0, period=200, burst_length=20)
+        ticks = p.schedule(horizon=4000, seed=9)
+        in_burst = sum(1 for t in ticks if (t % 200) < 20)
+        # Bursts cover 10% of the timeline; per-tick arrival density inside
+        # a burst should sit near 8x the quiet density, far above 2x.
+        burst_density = in_burst / (20 * 20)
+        quiet_density = (len(ticks) - in_burst) / (180 * 20)
+        assert burst_density > 2 * quiet_density
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(rate=0.1, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            BurstyArrivals(rate=0.1, period=10, burst_length=11)
+
+
+class TestDiurnal:
+    def test_bounds_and_period(self):
+        p = DiurnalArrivals(trough=0.1, peak=0.5, day=1000)
+        rates = [p.rate_at(t) for t in range(1000)]
+        assert min(rates) >= 0.1 - 1e-9
+        assert max(rates) <= 0.5 + 1e-9
+        assert p.rate_at(0) == pytest.approx(p.rate_at(1000))
+        assert p.max_rate == pytest.approx(0.5)
+
+    def test_peak_quarter_day(self):
+        p = DiurnalArrivals(trough=0.0, peak=1.0, day=1000)
+        assert p.rate_at(250) == pytest.approx(1.0)
+        assert p.rate_at(750) == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(trough=0.5, peak=0.1)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(trough=0.1, peak=0.5, day=0)
+
+    def test_mean_rate_between_bounds(self):
+        p = DiurnalArrivals(trough=0.2, peak=0.6, day=500)
+        assert 0.2 < p.mean_rate(500) < 0.6
+
+
+class TestZipfianKeys:
+    def test_skew_orders_keys(self):
+        hot = ZipfianKeys(20, theta=0.99)
+        rng = random.Random(5)
+        counts = [0] * 20
+        for _ in range(5000):
+            counts[hot.sample(rng)] += 1
+        assert counts[0] > counts[5] > counts[19]
+
+    def test_theta_zero_is_roughly_uniform(self):
+        hot = ZipfianKeys(4, theta=0.0)
+        rng = random.Random(5)
+        counts = [0] * 4
+        for _ in range(8000):
+            counts[hot.sample(rng)] += 1
+        assert max(counts) < 1.2 * min(counts)
+
+    def test_sample_distinct(self):
+        hot = ZipfianKeys(6, theta=0.9)
+        rng = random.Random(1)
+        picked = hot.sample_distinct(rng, 4)
+        assert len(picked) == len(set(picked)) == 4
+        assert all(0 <= k < 6 for k in picked)
+        # Asking for more than the key space caps at the key space.
+        assert sorted(hot.sample_distinct(rng, 99)) == list(range(6))
+
+    def test_deterministic_per_rng_seed(self):
+        hot = ZipfianKeys(8, theta=0.8)
+        rng_a, rng_b = random.Random(3), random.Random(3)
+        a = [hot.sample(rng_a) for _ in range(10)]
+        b = [hot.sample(rng_b) for _ in range(10)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianKeys(0)
+        with pytest.raises(ValueError):
+            ZipfianKeys(4, theta=-1.0)

@@ -449,3 +449,56 @@ class TestRunReportCommand:
         status, text = run_cli("report")
         assert status == 0
         assert "Overall: all artifacts reproduce" in text
+
+
+class TestCapacity:
+    def test_selftest_passes(self):
+        status, text = run_cli("capacity", "--selftest")
+        assert status == 0
+        assert "selftest               : ok" in text
+        assert "reproducible           : yes" in text
+
+    def test_sweep_markdown_report(self):
+        status, text = run_cli(
+            "capacity", "--rates", "0.03,0.1", "--horizon", "300",
+            "--clients", "3", "--keys", "4", "--max-active", "2",
+        )
+        assert status == 0
+        assert "## Capacity" in text
+        assert "### Contention heatmap" in text
+
+    def test_sweep_json_has_capacity_section(self):
+        import json
+
+        status, text = run_cli(
+            "capacity", "--rates", "0.05", "--horizon", "300",
+            "--clients", "3", "--keys", "4", "--format", "json",
+            "--no-heatmap",
+        )
+        assert status == 0
+        data = json.loads(text)
+        assert data["capacity"]["ladder"]
+        assert data["capacity"]["heatmap"]["objects"] == []
+
+    def test_violated_slo_exits_1(self):
+        status, text = run_cli(
+            "capacity", "--rates", "0.1", "--horizon", "300",
+            "--clients", "3", "--keys", "4", "--slo-p99", "1",
+        )
+        assert status == 1
+        assert "### SLO verdicts" in text
+        assert "violated" in text
+
+    def test_bad_rates_exit_2(self):
+        status, _ = run_cli("capacity", "--rates", "fast,faster")
+        assert status == 2
+        status, _ = run_cli("capacity", "--rates", ",")
+        assert status == 2
+
+    def test_sweeps_reproduce_for_equal_seeds(self):
+        args = (
+            "capacity", "--rates", "0.04,0.09", "--horizon", "300",
+            "--clients", "3", "--keys", "4", "--seed", "9",
+            "--zipf", "0.9", "--max-active", "2",
+        )
+        assert run_cli(*args) == run_cli(*args)

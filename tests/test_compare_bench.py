@@ -1,0 +1,66 @@
+"""The benchmark guard must skip with a message — never KeyError — when
+the committed baseline predates a registered workload (or is malformed)."""
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parents[1] / "benchmarks")
+)
+
+from compare_bench import compare, split_guard_names  # noqa: E402
+
+
+class TestSplitGuardNames:
+    def test_partitions_present_and_missing(self):
+        baseline = {"benchmarks": {"old[1000]": 0.1, "old[4000]": 0.4}}
+        present, missing = split_guard_names(
+            baseline, ["old[1000]", "new[1000]", "old[4000]"]
+        )
+        assert present == ["old[1000]", "old[4000]"]
+        assert missing == ["new[1000]"]
+
+    def test_baseline_without_benchmarks_key(self):
+        present, missing = split_guard_names({}, ["a", "b"])
+        assert present == []
+        assert missing == ["a", "b"]
+
+    def test_empty_wanted(self):
+        assert split_guard_names({"benchmarks": {"a": 1}}, []) == ([], [])
+
+
+class TestCompareHardening:
+    def _doc(self, benchmarks, calibration=1.0):
+        return {"calibration_s": calibration, "benchmarks": benchmarks}
+
+    def test_missing_calibration_raises_value_error_with_fix(self):
+        good = self._doc({"a": 0.1})
+        for bad in ({"benchmarks": {"a": 0.1}}, {}):
+            with pytest.raises(ValueError, match="re-distill"):
+                compare(bad, good)
+            with pytest.raises(ValueError, match="re-distill"):
+                compare(good, bad)
+
+    def test_one_sided_benchmarks_are_ignored_not_keyerrors(self):
+        baseline = self._doc({"shared": 0.1, "retired": 0.2})
+        current = self._doc({"shared": 0.1, "brand_new": 9.9})
+        assert compare(baseline, current) == []
+
+    def test_missing_benchmarks_key_is_empty_not_keyerror(self):
+        assert compare(self._doc({}), {"calibration_s": 1.0}) == []
+        assert compare({"calibration_s": 1.0}, self._doc({"a": 1.0})) == []
+
+    def test_regressions_still_detected(self):
+        baseline = self._doc({"a": 0.1})
+        current = self._doc({"a": 0.2})
+        messages = compare(baseline, current)
+        assert len(messages) == 1 and messages[0].startswith("a:")
+
+    def test_calibration_scaling_spares_slower_hardware(self):
+        # A 2x slower machine (outside the same-host jitter band) gets a
+        # 2x allowance: 0.21s against a 0.1s baseline passes.
+        baseline = self._doc({"a": 0.1}, calibration=1.0)
+        current = self._doc({"a": 0.21}, calibration=2.0)
+        assert compare(baseline, current) == []

@@ -13,7 +13,7 @@ import repro.checker.checker
 
 @pytest.mark.parametrize(
     "module_name",
-    ["repro.checker.checker", "repro.core.timeline"],
+    ["repro.checker.checker", "repro.core.timeline", "repro.workloads.arrivals"],
 )
 def test_module_doctests(module_name):
     # importlib avoids the package attribute shadowing the submodule

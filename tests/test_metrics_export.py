@@ -1,0 +1,138 @@
+"""Histogram percentile estimation and the metrics export formats
+(render_text quantiles, Prometheus exposition)."""
+
+import pytest
+
+from repro.observability import Histogram, MetricsRegistry
+
+
+class TestHistogramPercentile:
+    def _hist(self, values, buckets=(1, 2, 5, 10), **labels):
+        hist = Histogram("h", buckets=buckets)
+        for v in values:
+            hist.observe(v, **labels)
+        return hist
+
+    def test_empty_is_none(self):
+        assert Histogram("h").percentile(99) is None
+
+    def test_q_out_of_range(self):
+        hist = self._hist([1])
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_single_sample_reports_itself_everywhere(self):
+        hist = self._hist([3])
+        assert hist.percentile(0) == 3
+        assert hist.percentile(50) == 3
+        assert hist.percentile(100) == 3
+
+    def test_interpolates_inside_a_bucket(self):
+        # 100 samples of 4 all land in the (2, 5] bucket; p50's rank sits
+        # halfway through it, so the raw estimate is 2 + 3*0.5 = 3.5 —
+        # clamped up to the observed min of 4.
+        hist = self._hist([4] * 100)
+        assert hist.percentile(50) == 4
+        # With a spread inside the bucket the interpolation shows through.
+        hist = self._hist([3, 4, 5, 3, 4, 5, 3, 4, 5, 3])
+        p50 = hist.percentile(50)
+        assert 3 <= p50 <= 5
+
+    def test_clamped_to_observed_extremes(self):
+        hist = self._hist([4, 4, 4, 4])
+        for q in (0, 25, 99, 100):
+            assert 4 <= hist.percentile(q) <= 4
+
+    def test_rank_walks_cumulative_buckets(self):
+        # 10 samples at 1, 10 at 4: p50 is in the first bucket, p99 in
+        # the second.
+        hist = self._hist([1] * 10 + [4] * 10)
+        assert hist.percentile(50) == 1
+        assert 2 <= hist.percentile(99) <= 4
+
+    def test_overflow_bucket_reports_max(self):
+        hist = self._hist([100, 200])
+        assert hist.percentile(99) == 200
+
+    def test_labelled_series_are_independent(self):
+        hist = Histogram("h", buckets=(1, 10))
+        hist.observe(1, verb="read")
+        hist.observe(9, verb="write")
+        assert hist.percentile(99, verb="read") == 1
+        assert hist.percentile(99, verb="write") == 9
+        assert hist.percentile(99, verb="never") is None
+
+
+class TestRenderText:
+    def test_quantiles_shown_per_series(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("latency_ticks", "how long", buckets=(1, 5, 10))
+        for v in (1, 2, 3, 8):
+            hist.observe(v, verb="commit")
+        text = reg.render_text()
+        assert "latency_ticks (histogram)" in text
+        assert "{verb=commit}" in text
+        for marker in ("p50=", "p95=", "p99="):
+            assert marker in text
+        # The quantile numbers come from Histogram.percentile itself.
+        p99 = hist.percentile(99, verb="commit")
+        assert f"p99={p99:g}" in text
+
+
+class TestRenderPrometheus:
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help me").inc(path='a"b\\c\nd')
+        text = reg.render_prometheus()
+        assert r'path="a\"b\\c\nd"' in text
+        assert "\nd" not in text.replace(r"\n", "")  # no raw newline leaks
+
+    def test_deterministic_ordering(self):
+        # Instruments registered out of order, series observed out of
+        # order: the exposition is sorted by name, then label key.
+        reg = MetricsRegistry()
+        reg.counter("zzz_total").inc()
+        reg.counter("aaa_total").inc(verb="write")
+        reg.counter("aaa_total").inc(verb="read")
+        text = reg.render_prometheus()
+        assert text.index("aaa_total") < text.index("zzz_total")
+        assert text.index('verb="read"') < text.index('verb="write"')
+        # Byte-for-byte stable across renders.
+        assert text == reg.render_prometheus()
+
+    def test_help_and_type_lines(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", "queue depth").set(3)
+        text = reg.render_prometheus()
+        assert "# HELP depth queue depth" in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 3" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", "", buckets=(1, 5, 10))
+        for v in (1, 2, 3, 8, 100):
+            hist.observe(v)
+        lines = reg.render_prometheus().splitlines()
+        bucket_counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.startswith("h_bucket")
+        ]
+        assert bucket_counts == [1, 3, 4, 5]
+        assert bucket_counts == sorted(bucket_counts)  # cumulativity
+        le_values = [
+            line.split('le="', 1)[1].split('"', 1)[0]
+            for line in lines
+            if line.startswith("h_bucket")
+        ]
+        assert le_values == ["1", "5", "10", "+Inf"]
+        assert "h_count 5" in lines
+        assert any(line.startswith("h_sum") for line in lines)
+
+    def test_unobserved_instruments_are_omitted(self):
+        reg = MetricsRegistry()
+        reg.counter("silent_total", "never fired")
+        assert reg.render_prometheus() == ""

@@ -1,0 +1,182 @@
+"""Windowed telemetry: sliding counters/values, SLO latching, sampling."""
+
+import pytest
+
+from repro.observability import (
+    SLO,
+    SLOStatus,
+    WindowedCounter,
+    WindowedTelemetry,
+    WindowedValues,
+)
+
+
+class TestWindowedCounter:
+    def test_counts_inside_window_only(self):
+        c = WindowedCounter(10)
+        c.inc(0)
+        c.inc(5)
+        c.inc(12)
+        # Window is (now - 10, now]: the tick-0 event has aged out at 12.
+        assert c.count(12) == 2
+        assert c.total == 3
+
+    def test_rate(self):
+        c = WindowedCounter(100)
+        for t in range(0, 50, 5):
+            c.inc(t)
+        assert c.rate(50) == pytest.approx(10 / 100)
+
+    def test_amount_and_pruning(self):
+        c = WindowedCounter(4)
+        c.inc(0, 7)
+        assert c.count(0) == 7
+        assert c.count(100) == 0
+        assert c.total == 7
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            WindowedCounter(0)
+
+
+class TestWindowedValues:
+    def test_percentile_nearest_rank(self):
+        w = WindowedValues(100)
+        for i, v in enumerate([10, 20, 30, 40]):
+            w.observe(i, v)
+        assert w.percentile(50, 3) == 20
+        assert w.percentile(99, 3) == 40
+        assert w.percentile(0, 3) == 10
+
+    def test_empty_window_is_none(self):
+        w = WindowedValues(10)
+        assert w.percentile(99, 0) is None
+        assert w.stats(0) == {"count": 0}
+        w.observe(0, 5.0)
+        assert w.percentile(99, 100) is None  # aged out
+
+    def test_stats_fields(self):
+        w = WindowedValues(100)
+        for i, v in enumerate([1, 2, 3, 4, 5]):
+            w.observe(i, v)
+        s = w.stats(4)
+        assert s["count"] == 5
+        assert s["p50"] == 3
+        assert s["max"] == 5
+        assert s["mean"] == pytest.approx(3.0)
+
+    def test_lifetime_totals_survive_pruning(self):
+        w = WindowedValues(2)
+        w.observe(0, 10.0)
+        w.observe(50, 20.0)
+        assert w.count(50) == 1
+        assert w.total_count == 2
+        assert w.total_sum == pytest.approx(30.0)
+
+
+class TestSLO:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="throughput", threshold=1)
+
+    def test_q_range(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="latency", threshold=1, q=150)
+
+    def test_describe(self):
+        slo = SLO(name="p99", kind="latency", threshold=40, verb="commit")
+        assert slo.describe() == "p99 commit latency <= 40"
+        slo = SLO(name="cert", kind="certified_fraction", threshold=0.9)
+        assert slo.describe() == "certified fraction >= 0.9"
+
+    def test_latch_on_violation(self):
+        status = SLOStatus(SLO(name="q", kind="queue_depth", threshold=5))
+        status.observe(3, now=10)
+        assert status.ok
+        status.observe(9, now=20)
+        assert not status.ok and status.violated_at == 20
+        # Recovery does not unlatch; worst and last keep tracking.
+        status.observe(1, now=30)
+        assert not status.ok and status.violated_at == 20
+        assert status.worst == 9 and status.last == 1
+        assert status.evaluations == 3
+
+    def test_lower_bound_direction(self):
+        status = SLOStatus(
+            SLO(name="cert", kind="certified_fraction", threshold=0.9)
+        )
+        status.observe(0.95, now=1)
+        assert status.ok
+        status.observe(0.5, now=2)
+        assert not status.ok and status.worst == 0.5
+
+    def test_none_values_are_skipped(self):
+        status = SLOStatus(SLO(name="p99", kind="latency", threshold=10))
+        status.observe(None, now=5)
+        assert status.ok and status.evaluations == 0
+
+    def test_to_dict(self):
+        status = SLOStatus(SLO(name="q", kind="queue_depth", threshold=5))
+        status.observe(7, now=4)
+        d = status.to_dict()
+        assert d["name"] == "q" and d["ok"] is False
+        assert d["violated_at"] == 4 and d["worst"] == 7
+
+
+class TestWindowedTelemetry:
+    def _fed(self, slos=()):
+        tel = WindowedTelemetry(window=100, sample_every=50, slos=slos)
+        for t in range(0, 100, 10):
+            tel.observe_arrival(t)
+            tel.observe_latency("txn", 5 + t // 10, t)
+            tel.observe_commit(True, t)
+        return tel
+
+    def test_rolling_and_certified_fraction(self):
+        tel = self._fed()
+        rolling = tel.rolling("txn", 90)
+        assert rolling["count"] == 10
+        assert tel.certified_fraction(90) == 1.0
+        tel.observe_commit(False, 95)
+        assert tel.certified_fraction(95) == pytest.approx(10 / 11)
+        assert tel.rolling("unseen", 90) == {"count": 0}
+
+    def test_gauges_track_maxima(self):
+        tel = WindowedTelemetry(window=10)
+        tel.set_gauges(queue_depth=3, certification_lag=1)
+        tel.set_gauges(queue_depth=9)
+        tel.set_gauges(queue_depth=2, certification_lag=4)
+        assert tel.queue_depth == 2 and tel.max_queue_depth == 9
+        assert tel.certification_lag == 4 and tel.max_certification_lag == 4
+
+    def test_maybe_sample_cadence(self):
+        tel = WindowedTelemetry(window=100, sample_every=50)
+        for t in range(0, 160, 10):
+            tel.maybe_sample(t)
+        assert [row["t"] for row in tel.timeline] == [0, 50, 100, 150]
+
+    def test_sample_rows_and_slo_evaluation(self):
+        slo = SLO(name="p99", kind="latency", threshold=8, verb="txn")
+        tel = self._fed(slos=(slo,))
+        row = tel.sample(90)
+        assert row["t"] == 90
+        assert row["arrival_rate"] == pytest.approx(10 / 100)
+        assert "txn_p99" in row and row["certified_fraction"] == 1.0
+        # p99 of latencies 5..14 is 14 > 8: the SLO latched.
+        assert not tel.all_slos_ok
+        assert tel.slo_status[0].violated_at == 90
+
+    def test_snapshot_shape(self):
+        tel = self._fed()
+        tel.observe_shed(95)
+        tel.observe_abort(95)
+        snap = tel.snapshot(95)
+        assert snap["commits_total"] == 10
+        assert snap["sheds_total"] == 1
+        assert snap["aborts_total"] == 1
+        assert "txn" in snap["rolling"]
+        assert snap["slos"] == []
+
+    def test_sample_every_validation(self):
+        with pytest.raises(ValueError):
+            WindowedTelemetry(sample_every=0)
