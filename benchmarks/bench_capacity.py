@@ -24,7 +24,7 @@ import pytest
 
 from repro.engine import connect
 from repro.observability import SLO, WindowedTelemetry
-from repro.service import AdmissionConfig, run_capacity, run_stress
+from repro.service import AdmissionConfig, StressConfig, run_capacity, run_stress
 from repro.workloads import PoissonArrivals
 
 _KEYS = 8
@@ -46,8 +46,8 @@ def _run_direct(txns: int) -> float:
     return best
 
 
-def _open_loop_kwargs() -> dict:
-    return dict(
+def _open_loop_config(windows=None) -> StressConfig:
+    return StressConfig(
         scheduler="locking",
         clients=4,
         keys=_KEYS,
@@ -56,6 +56,7 @@ def _open_loop_kwargs() -> dict:
         arrivals=PoissonArrivals(rate=_RATE),
         horizon=_HORIZON,
         admission=AdmissionConfig(max_active=8, retry_after=8),
+        windows=windows,
     )
 
 
@@ -65,7 +66,7 @@ def _run_open_loop(windows_factory=None) -> tuple:
     for _round in range(3):
         windows = windows_factory() if windows_factory is not None else None
         start = time.perf_counter()
-        result = run_stress(windows=windows, **_open_loop_kwargs())
+        result = run_stress(_open_loop_config(windows=windows))
         best = min(best, time.perf_counter() - start)
         committed = result.committed
     return best, committed

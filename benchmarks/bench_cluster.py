@@ -1,0 +1,88 @@
+"""Cluster guard: sharding must not tax the degenerate case, and the
+scaling table must stay honest.
+
+Two pins:
+
+* **single-shard overhead** — a ``ClusterConfig(shards=1)`` run is
+  byte-identical to the plain single-``Server`` run (the equivalence
+  suite pins the bytes); here we pin the *cost*: the routing facade, the
+  shard map lookups and the cluster bookkeeping must stay within a small
+  multiple of the plain service run on the same seeded workload.
+* **shard-count scaling table** — one seeded cross-shard stress run per
+  shard count, the regenerated table recording commits, 2PC decisions,
+  retransmits and the certification verdict.  Every row must end fully
+  certified: sharding costs messages, never isolation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.service import (
+    ClusterConfig,
+    NetworkConfig,
+    StressConfig,
+    run_stress,
+)
+
+_BASE = StressConfig(
+    scheduler="locking",
+    clients=4,
+    txns_per_client=15,
+    keys=8,
+    ops_per_txn=2,
+    seed=17,
+    network=NetworkConfig(min_delay=1, max_delay=3),
+)
+
+
+def _best_of(config: StressConfig, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = run_stress(config)
+        best = min(best, time.perf_counter() - start)
+        assert result.all_certified
+    return best
+
+
+@pytest.mark.benchguard
+def test_single_shard_overhead_bounded():
+    plain = _best_of(_BASE)
+    sharded = _best_of(replace(_BASE, cluster=ClusterConfig(shards=1)))
+    # The cluster path adds per-request routing (one CRC-32 + map lookup),
+    # event-tick bookkeeping and the facade indirection — pin it to a
+    # small multiple of the plain service, with an absolute floor so
+    # timer noise on a fast run can't flake the guard.
+    assert sharded < max(plain * 3, plain + 0.05), (
+        f"shards=1 run {sharded * 1000:.1f} ms vs single-server "
+        f"{plain * 1000:.1f} ms"
+    )
+
+
+def test_shard_scaling_table(record_table):
+    rows = [
+        f"{'shards':>6} {'commits':>7} {'2pc-commit':>10} {'2pc-abort':>9} "
+        f"{'retrans':>7} {'ticks':>6} {'certified':>9}"
+    ]
+    for shards in (1, 2, 3, 4):
+        result = run_stress(
+            replace(_BASE, cluster=ClusterConfig(shards=shards))
+        )
+        assert result.committed == 60
+        assert result.all_certified, f"shards={shards}: certification failed"
+        coord = result.cluster.coordinator
+        assert coord.pending == 0
+        if shards > 1:
+            # The workload genuinely crosses shards.
+            assert coord.decisions["commit"] > 0
+        rows.append(
+            f"{shards:6d} {result.committed:7d} "
+            f"{coord.decisions['commit']:10d} {coord.decisions['abort']:9d} "
+            f"{coord.retransmits:7d} {result.ticks:6d} "
+            f"{'yes' if result.all_certified else 'NO':>9}"
+        )
+    record_table("cluster_scaling", "\n".join(rows))

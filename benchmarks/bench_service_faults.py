@@ -29,6 +29,7 @@ from repro.service import (
     RetryPolicy,
     Server,
     SimulatedNetwork,
+    StressConfig,
     run_stress,
 )
 
@@ -101,12 +102,14 @@ def test_fault_schedule_table(record_table):
     ]
     for name, cfg in _SCHEDULES:
         result = run_stress(
-            clients=3,
-            txns_per_client=10,
-            seed=17,
-            network=cfg,
-            retry=RetryPolicy(timeout=12),
-            crash_after_commits=10,
+            StressConfig(
+                clients=3,
+                txns_per_client=10,
+                seed=17,
+                network=cfg,
+                retry=RetryPolicy(timeout=12),
+                crash_after_commits=10,
+            )
         )
         assert result.committed == 30
         assert result.all_certified, f"{name}: certification failed"

@@ -23,7 +23,14 @@ import pytest
 
 from repro.engine import connect
 from repro.observability import Tracer
-from repro.service import Client, NetworkConfig, Server, SimulatedNetwork, run_stress
+from repro.service import (
+    Client,
+    NetworkConfig,
+    Server,
+    SimulatedNetwork,
+    StressConfig,
+    run_stress,
+)
 
 _TXNS = 200
 _KEYS = 8
@@ -79,7 +86,7 @@ def test_disabled_tracer_service_overhead_at_baseline():
 
 
 def test_traced_run_table(record_table):
-    kwargs = dict(
+    config = StressConfig(
         clients=3,
         txns_per_client=10,
         keys=_KEYS,
@@ -89,13 +96,13 @@ def test_traced_run_table(record_table):
         ),
         crash_after_commits=10,
     )
-    first = run_stress(tracer=Tracer(), **kwargs)
-    second = run_stress(tracer=Tracer(), **kwargs)
+    first = run_stress(config, tracer=Tracer())
+    second = run_stress(config, tracer=Tracer())
     assert first.committed == 30 and first.all_certified
     lines_a = [json.dumps(r, sort_keys=True) for r in first.tracer.records]
     lines_b = [json.dumps(r, sort_keys=True) for r in second.tracer.records]
     assert lines_a == lines_b, "traces must replay byte-identically"
-    untraced = run_stress(**kwargs)
+    untraced = run_stress(config)
     assert untraced.history_text == first.history_text
     assert untraced.journals == first.journals, (
         "tracing must not change the execution"

@@ -26,8 +26,15 @@ layer (``repro.service``) and watch every commit get live-certified::
     t.write("x", t.read("x") + 1)
     t.commit()
 
-    result = repro.run_stress(seed=7, crash_after_commits=30)
+    result = repro.run_stress(repro.StressConfig(seed=7, crash_after_commits=30))
     assert result.all_certified
+
+Scale the service out: a sharded cluster with cross-shard two-phase
+commit and global certification is one config away
+(``repro.connect_cluster`` opens it interactively)::
+
+    sharded = repro.StressConfig(cluster=repro.ClusterConfig(shards=3))
+    assert repro.run_stress(sharded).all_certified
 """
 
 from .core import (
@@ -66,11 +73,15 @@ from .engine import (
 )
 from .service import (
     Client,
+    ClusterConfig,
     NetworkConfig,
     RetryPolicy,
     Server,
+    ShardMap,
     SimulatedNetwork,
+    StressConfig,
     StressResult,
+    connect_cluster,
     run_stress,
 )
 from .observability import MetricsRegistry, Tracer
@@ -120,11 +131,15 @@ __all__ = [
     "connect",
     "create_scheduler",
     "Client",
+    "ClusterConfig",
     "NetworkConfig",
     "RetryPolicy",
     "Server",
+    "ShardMap",
     "SimulatedNetwork",
+    "StressConfig",
     "StressResult",
+    "connect_cluster",
     "run_stress",
     "MetricsRegistry",
     "Tracer",

@@ -320,6 +320,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_observability_args(p_stress)
 
+    p_cluster = sub.add_parser(
+        "cluster-stress",
+        help="seeded stress run over a sharded cluster with cross-shard "
+        "2PC and global certification",
+    )
+    add_stress_args(p_cluster)
+    p_cluster.add_argument(
+        "--shards", type=int, default=3,
+        help="shard servers in the cluster (default: %(default)s)",
+    )
+    p_cluster.add_argument(
+        "--slots", type=int, default=16,
+        help="hash slots in the shard map (default: %(default)s)",
+    )
+    p_cluster.add_argument(
+        "--crash-shard", default=None, metavar="SHARD:N",
+        help="crash shard SHARD right after its N-th prepare (the "
+        "between-prepare-and-commit WAL-recovery fault)",
+    )
+    p_cluster.add_argument(
+        "--shard-restart-delay", type=int, default=30,
+        help="ticks until a fault-schedule-crashed shard restarts",
+    )
+    p_cluster.add_argument(
+        "--partition-coordinator", type=int, default=None, metavar="N",
+        help="partition the coordinator from every shard once it has sent "
+        "N prepares (mid-prepare), healing after --heal-after ticks",
+    )
+    p_cluster.add_argument(
+        "--heal-after", type=int, default=40,
+        help="ticks until the coordinator partition heals",
+    )
+    p_cluster.add_argument(
+        "--retry-every", type=int, default=25,
+        help="coordinator retransmit period for unacked 2PC messages",
+    )
+    p_cluster.add_argument(
+        "--journal",
+        action="store_true",
+        help="also print the client-observed journals",
+    )
+    p_cluster.add_argument(
+        "--history",
+        action="store_true",
+        help="also print the merged cross-shard history",
+    )
+    p_cluster.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the cross-shard fault matrix twice (shard crash between "
+        "prepare and commit, coordinator partitioned mid-prepare) and "
+        "verify byte-for-byte determinism plus the shards=1 equivalence",
+    )
+    add_observability_args(p_cluster)
+
     p_capacity = sub.add_parser(
         "capacity",
         help="open-loop offered-load sweep: saturation knee, SLO verdicts, "
@@ -471,6 +526,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
 
     if args.command == "stress":
         return _run_stress_cmd(args, out)
+
+    if args.command == "cluster-stress":
+        return _run_cluster_stress_cmd(args, out)
 
     if args.command == "capacity":
         return _run_capacity_cmd(args, out)
@@ -639,11 +697,11 @@ def _flush_observability(args, metrics, tracer, out) -> None:
 def _run_serve(args, out) -> int:
     """Scripted client/server demo; ``--selftest`` runs the seeded
     fault+crash exchange and verifies determinism + certification."""
-    from .service import NetworkConfig, run_stress
+    from .service import NetworkConfig, StressConfig, run_stress
 
     metrics, tracer = _observability_sinks(args)
     if args.selftest:
-        kwargs = dict(
+        cfg = StressConfig(
             scheduler=args.scheduler,
             clients=3,
             txns_per_client=10,
@@ -653,8 +711,8 @@ def _run_serve(args, out) -> int:
             ),
             crash_after_commits=10,
         )
-        first = run_stress(metrics=metrics, tracer=tracer, **kwargs)
-        second = run_stress(**kwargs)
+        first = run_stress(cfg, metrics=metrics, tracer=tracer)
+        second = run_stress(cfg)
         reproducible = (
             first.history_text == second.history_text
             and first.journals == second.journals
@@ -701,11 +759,11 @@ def _run_serve(args, out) -> int:
     return 0
 
 
-def _stress_kwargs(args) -> dict:
-    """The ``run_stress`` arguments the shared stress CLI options map to."""
-    from .service import NetworkConfig
+def _stress_config(args, *, cluster=None):
+    """The :class:`StressConfig` the shared stress CLI options map to."""
+    from .service import NetworkConfig, StressConfig
 
-    return dict(
+    return StressConfig(
         scheduler=args.scheduler,
         level=args.level,
         clients=args.clients,
@@ -722,6 +780,7 @@ def _stress_kwargs(args) -> dict:
         crash_after_commits=args.crash_after,
         restart_delay=args.restart_delay,
         pipeline=args.pipeline,
+        cluster=cluster,
     )
 
 
@@ -732,7 +791,9 @@ def _run_stress_cmd(args, out) -> int:
     metrics, tracer = _observability_sinks(args)
     profiler = _maybe_profile(args.profile)
     try:
-        result = run_stress(metrics=metrics, tracer=tracer, **_stress_kwargs(args))
+        result = run_stress(
+            _stress_config(args), metrics=metrics, tracer=tracer
+        )
     except (KeyError, ValueError) as exc:
         if profiler is not None:
             profiler.disable()
@@ -746,6 +807,155 @@ def _run_stress_cmd(args, out) -> int:
         print("\nhistory:", file=out)
         print(result.history_text, file=out)
     _dump_profile(profiler, args.profile, out)
+    _flush_observability(args, metrics, tracer, out)
+    return 0 if result.all_certified else 1
+
+
+def _cluster_config(args):
+    """The :class:`ClusterConfig` the cluster CLI options map to."""
+    from .service import ClusterConfig
+
+    crash = None
+    if args.crash_shard:
+        shard, _, nth = args.crash_shard.partition(":")
+        try:
+            crash = (int(shard), int(nth) if nth else 1)
+        except ValueError:
+            raise ValueError(f"bad --crash-shard {args.crash_shard!r}; "
+                             "expected SHARD or SHARD:N") from None
+    return ClusterConfig(
+        shards=args.shards,
+        slots=args.slots,
+        crash_shard_after_prepares=crash,
+        shard_restart_delay=args.shard_restart_delay,
+        partition_coordinator_after_prepares=args.partition_coordinator,
+        heal_after=args.heal_after,
+        retry_every=args.retry_every,
+    )
+
+
+def _cluster_selftest(args, metrics, tracer, out) -> int:
+    """Fault-matrix + equivalence selftest for the sharded cluster: the
+    faulty cross-shard run replays byte for byte, and a one-shard cluster
+    is byte-identical to the plain single-server service."""
+    from dataclasses import replace
+
+    from .service import ClusterConfig, NetworkConfig, StressConfig, run_stress
+
+    faulty = StressConfig(
+        scheduler="locking",
+        clients=4,
+        txns_per_client=8,
+        keys=8,
+        ops_per_txn=2,
+        seed=args.seed,
+        network=NetworkConfig(
+            drop=0.05, duplicate=0.05, min_delay=1, max_delay=4
+        ),
+        cluster=ClusterConfig(
+            shards=3,
+            crash_shard_after_prepares=(1, 1),
+            partition_coordinator_after_prepares=6,
+            heal_after=40,
+        ),
+    )
+    first = run_stress(faulty, metrics=metrics, tracer=tracer)
+    second = run_stress(faulty)
+    reproducible = (
+        first.history_text == second.history_text
+        and first.journals == second.journals
+    )
+    coord = first.cluster.coordinator
+    matrix_ok = (
+        first.cluster.crashes >= 1
+        and first.cluster.restarts >= 1
+        and coord.retransmits >= 1
+        and coord.decisions["commit"] >= 1
+    )
+
+    single = StressConfig(
+        scheduler=args.scheduler,
+        clients=3,
+        txns_per_client=8,
+        seed=args.seed,
+        network=NetworkConfig(
+            drop=0.05, duplicate=0.05, min_delay=1, max_delay=4
+        ),
+    )
+    solo = run_stress(single)
+    one = run_stress(replace(single, cluster=ClusterConfig(shards=1)))
+    equivalent = (
+        one.history_text == solo.history_text
+        and one.journals == solo.journals
+    )
+
+    ok = (
+        reproducible and matrix_ok and equivalent and first.all_certified
+    )
+    print(first.summary(), file=out)
+    print(
+        "2pc decisions          : "
+        f"commit={coord.decisions['commit']} "
+        f"abort={coord.decisions['abort']} "
+        f"retransmits={coord.retransmits}",
+        file=out,
+    )
+    print(
+        f"fault matrix           : {'exercised' if matrix_ok else 'NOT HIT'}",
+        file=out,
+    )
+    print(
+        f"reproducible           : {'yes' if reproducible else 'NO'}",
+        file=out,
+    )
+    print(
+        "shards=1 == single     : "
+        f"{'byte-identical' if equivalent else 'DIVERGED'}",
+        file=out,
+    )
+    print(f"selftest               : {'ok' if ok else 'FAILED'}", file=out)
+    _flush_observability(args, metrics, tracer, out)
+    return 0 if ok else 1
+
+
+def _run_cluster_stress_cmd(args, out) -> int:
+    """Seeded stress over a sharded cluster; ``--selftest`` runs the
+    cross-shard fault matrix and the shards=1 equivalence check."""
+    from .service import run_stress
+
+    metrics, tracer = _observability_sinks(args)
+    if args.selftest:
+        return _cluster_selftest(args, metrics, tracer, out)
+    try:
+        result = run_stress(
+            _stress_config(args, cluster=_cluster_config(args)),
+            metrics=metrics,
+            tracer=tracer,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary(), file=out)
+    cluster = result.cluster
+    coord = cluster.coordinator
+    print(
+        f"shards                 : {args.shards} "
+        f"(map v{cluster.shard_map.version})",
+        file=out,
+    )
+    print(
+        "2pc decisions          : "
+        f"commit={coord.decisions['commit']} "
+        f"abort={coord.decisions['abort']} "
+        f"retransmits={coord.retransmits}",
+        file=out,
+    )
+    if args.journal:
+        print("\nclient journals:", file=out)
+        print(result.journal_text(), file=out)
+    if args.history:
+        print("\nhistory:", file=out)
+        print(result.history_text, file=out)
     _flush_observability(args, metrics, tracer, out)
     return 0 if result.all_certified else 1
 
@@ -930,7 +1140,7 @@ def _run_report_cmd(args, out) -> int:
         registry = MetricsRegistry()
         try:
             result = run_stress(
-                metrics=registry, tracer=tracer, **_stress_kwargs(args)
+                _stress_config(args), metrics=registry, tracer=tracer
             )
         except (KeyError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -145,7 +145,12 @@ class Database:
     family and let :class:`~repro.engine.factory.SchedulerConfig` build it.
     """
 
-    def __init__(self, scheduler: Scheduler | str):
+    def __init__(
+        self,
+        scheduler: Scheduler | str,
+        *,
+        tid_allocator: Optional[Callable[[], int]] = None,
+    ):
         if isinstance(scheduler, str):
             from .factory import create_scheduler
 
@@ -163,6 +168,10 @@ class Database:
                 )
         self.scheduler = scheduler
         self._next_tid = 1
+        #: Optional shared tid source (a sharded cluster hands every member
+        #: database the same allocator so tids are globally unique and
+        #: globally ordered; ``None`` keeps the private counter).
+        self._tid_allocator = tid_allocator
         self._obj_counters: Dict[str, int] = {}
         self._loaded = False
 
@@ -177,7 +186,13 @@ class Database:
     # ------------------------------------------------------------------
 
     @classmethod
-    def recover(cls, scheduler: Scheduler | str, recorder) -> "Database":
+    def recover(
+        cls,
+        scheduler: Scheduler | str,
+        recorder,
+        *,
+        tid_allocator: Optional[Callable[[], int]] = None,
+    ) -> "Database":
         """Rebuild a database from a durable :class:`HistoryRecorder` log.
 
         Models a crash/restart: the store, lock tables and sessions are
@@ -205,7 +220,7 @@ class Database:
             state[obj] = (version, value, dead)
         scheduler.recorder = recorder
         scheduler.restore(state)
-        db = cls(scheduler)
+        db = cls(scheduler, tid_allocator=tid_allocator)
         db._loaded = bool(recorder.events)
         for ev in recorder.events:
             if isinstance(ev, Begin):
@@ -216,13 +231,27 @@ class Database:
 
     # ------------------------------------------------------------------
 
-    def begin(self, level: Optional[IsolationLevel | str] = None) -> TransactionHandle:
+    def begin(
+        self,
+        level: Optional[IsolationLevel | str] = None,
+        *,
+        tid: Optional[int] = None,
+    ) -> TransactionHandle:
         """Start a transaction, optionally declaring its isolation level
-        (recorded as a ``Begin`` event for mixed-system checking)."""
+        (recorded as a ``Begin`` event for mixed-system checking).
+
+        ``tid`` joins an already-allocated global transaction id instead of
+        allocating a fresh one — the sharded service layer uses this when a
+        cross-shard transaction lazily begins on a secondary shard."""
         if isinstance(level, str):
             level = IsolationLevel.from_string(level)
-        txn = Transaction(self._next_tid, level=level)
-        self._next_tid += 1
+        if tid is None:
+            if self._tid_allocator is not None:
+                tid = self._tid_allocator()
+            else:
+                tid = self._next_tid
+                self._next_tid += 1
+        txn = Transaction(tid, level=level)
         self.scheduler.recorder.begin(txn.tid, level)
         self.scheduler.on_begin(txn)
         return TransactionHandle(self, txn)

@@ -291,6 +291,14 @@ class LockingScheduler(Scheduler):
         for obj, (version, value, dead) in sorted(state.items()):
             self._cells[obj] = [_CellEntry(version, value, dead)]
 
+    def redo(self, writes) -> None:
+        """Prepared-transaction redo: the recovered committed values must
+        also become the in-place cell tops, as :meth:`restore` does."""
+        writes = list(writes)
+        super().redo(writes)
+        for version, value, dead in writes:
+            self._cells[version.obj] = [_CellEntry(version, value, dead)]
+
     def abort(self, txn: Transaction) -> None:
         if txn.state is not TxnState.ACTIVE:
             return

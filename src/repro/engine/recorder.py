@@ -38,6 +38,12 @@ class HistoryRecorder:
         self.events: List[Event] = []
         self._install: Dict[str, List[tuple]] = {}
         self._install_counter = 0
+        #: Offset added to every install key.  Normally 0; a sharded cluster
+        #: bumps the destination recorder's base when an object migrates in,
+        #: so the object's future install keys sort after every key its old
+        #: shard ever issued (per-object version order stays monotone even
+        #: though keys come from different recorders' index spaces).
+        self.position_base = 0
         self.monitor = monitor
         # Per-event-type bound counters, populated by instrument(); None
         # keeps every emission at exactly one extra `is not None` check.
@@ -136,6 +142,7 @@ class HistoryRecorder:
         for obj in sorted(finals):
             self._install_counter += 1
             key = self._install_counter if positions is None else positions[obj]
+            key += self.position_base
             keys[obj] = key
             self._install.setdefault(obj, []).append((key, finals[obj]))
         self.events.append(Commit(tid))

@@ -24,7 +24,7 @@ when the scheduler kills the transaction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Iterable, Tuple
 
 from ..core.predicates import Predicate
 from .recorder import HistoryRecorder
@@ -158,6 +158,16 @@ class Scheduler:
             (version, value, dead)
             for _obj, (version, value, dead) in sorted(state.items())
         )
+
+    def redo(self, writes: Iterable[Tuple[Any, Any, bool]]) -> None:
+        """Crash-recovery redo of one *prepared* transaction's writes.
+
+        The two-phase-commit service layer snapshots a participant's write
+        set at prepare time; when the commit decision arrives after a crash
+        has destroyed the live transaction, the saved ``(version, value,
+        dead)`` triples are re-installed here (the events are already in the
+        recorder log — the caller records the Commit itself)."""
+        self.store.install(writes)
 
     # -- introspection ---------------------------------------------------
 

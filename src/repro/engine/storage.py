@@ -94,6 +94,11 @@ class MultiVersionStore:
     def chain(self, obj: str) -> Tuple[StoredVersion, ...]:
         return tuple(self._chains.get(obj, ()))
 
+    def objects(self) -> Tuple[str, ...]:
+        """Every object ever registered/installed, in insertion order
+        (shard migration enumerates the source store through this)."""
+        return tuple(self._chains)
+
     def latest(self, obj: str) -> Optional[StoredVersion]:
         """The latest committed version of ``obj`` (dead versions
         included — callers check ``.dead``); ``None`` if never written."""

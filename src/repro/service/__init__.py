@@ -22,7 +22,17 @@ from .capacity import (
     run_capacity,
 )
 from .client import Client, PendingCall
-from .config import AdmissionConfig, NetworkConfig, RetryPolicy, SchedulerConfig
+from .cluster import Cluster, ClusterClient, ShardServer, connect_cluster
+from .config import (
+    AdmissionConfig,
+    ClusterConfig,
+    MapChange,
+    NetworkConfig,
+    RetryPolicy,
+    SchedulerConfig,
+    StressConfig,
+)
+from .coordinator import Coordinator
 from .errors import (
     RequestTimeout,
     ServiceAborted,
@@ -31,6 +41,7 @@ from .errors import (
 )
 from .network import SimulatedNetwork
 from .server import Server
+from .shardmap import ShardMap
 from .stress import StressResult, run_stress
 
 __all__ = [
@@ -38,6 +49,11 @@ __all__ = [
     "CapacityResult",
     "CapacityRung",
     "Client",
+    "Cluster",
+    "ClusterClient",
+    "ClusterConfig",
+    "Coordinator",
+    "MapChange",
     "NetworkConfig",
     "PendingCall",
     "RequestTimeout",
@@ -47,9 +63,13 @@ __all__ = [
     "ServiceAborted",
     "ServiceError",
     "ServiceUnavailable",
+    "ShardMap",
+    "ShardServer",
     "SimulatedNetwork",
+    "StressConfig",
     "StressResult",
     "build_capacity_report",
+    "connect_cluster",
     "find_knee",
     "run_capacity",
     "run_stress",

@@ -25,14 +25,20 @@ byte-identical capacity report (the capacity tests pin this).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..observability.trace import Tracer
 from ..observability.traceview import contention_summary
 from ..observability.windows import SLO, WindowedTelemetry
 from ..workloads.arrivals import PoissonArrivals, ZipfianKeys
-from .config import AdmissionConfig, NetworkConfig, RetryPolicy, SchedulerConfig
+from .config import (
+    AdmissionConfig,
+    NetworkConfig,
+    RetryPolicy,
+    SchedulerConfig,
+    StressConfig,
+)
 from .stress import StressResult, run_stress
 
 __all__ = [
@@ -149,6 +155,7 @@ def run_capacity(
     rates: Sequence[float],
     horizon: int = 1500,
     seed: int = 0,
+    template: Optional[StressConfig] = None,
     scheduler: SchedulerConfig | str = "locking",
     level: Optional[str] = None,
     clients: int = 8,
@@ -170,10 +177,30 @@ def run_capacity(
     the same ``seed`` — so the sweep as a whole is deterministic per seed.
     ``trace=False`` skips the per-rung tracer (no contention heatmap, much
     lighter).
+
+    ``template`` names the run shape as a :class:`~repro.service.config.
+    StressConfig` (cluster mode included); the sweep replaces only the
+    per-rung fields (``arrivals``, ``horizon``, ``seed``, ``windows``) on
+    it.  Without a template the remaining keyword arguments build one.
     """
     if not rates:
         raise ValueError("rates must name at least one offered load")
     hot = ZipfianKeys(keys, theta=zipf_theta) if zipf_theta is not None else None
+    base = template or StressConfig(
+        scheduler=scheduler,
+        level=level,
+        clients=clients,
+        keys=keys,
+        ops_per_txn=ops_per_txn,
+        network=network,
+        retry=retry,
+        admission=admission,
+        hot_keys=hot,
+        # StressConfig requires a horizon alongside arrivals; both are
+        # replaced per rung below.
+        arrivals=None,
+        horizon=None,
+    )
     rungs: List[CapacityRung] = []
     for rate in rates:
         tracer = Tracer() if trace else None
@@ -181,19 +208,13 @@ def run_capacity(
             window=window, sample_every=sample_every, slos=slos
         )
         result = run_stress(
-            scheduler=scheduler,
-            level=level,
-            clients=clients,
-            keys=keys,
-            ops_per_txn=ops_per_txn,
-            seed=seed,
-            network=network,
-            retry=retry,
-            arrivals=PoissonArrivals(rate=rate),
-            horizon=horizon,
-            hot_keys=hot,
-            admission=admission,
-            windows=windows,
+            replace(
+                base,
+                seed=seed,
+                arrivals=PoissonArrivals(rate=rate),
+                horizon=horizon,
+                windows=windows,
+            ),
             tracer=tracer,
         )
         rungs.append(
@@ -218,27 +239,34 @@ def run_capacity(
         )
     config = {
         "scheduler": (
-            scheduler.scheduler
-            if isinstance(scheduler, SchedulerConfig)
-            else scheduler
+            base.scheduler.scheduler
+            if isinstance(base.scheduler, SchedulerConfig)
+            else base.scheduler
         ),
-        "level": level,
-        "clients": clients,
-        "keys": keys,
-        "ops_per_txn": ops_per_txn,
+        "level": str(base.level) if base.level is not None else None,
+        "clients": base.clients,
+        "keys": base.keys,
+        "ops_per_txn": base.ops_per_txn,
         "rates": list(rates),
         "horizon": horizon,
         "seed": seed,
-        "zipf_theta": zipf_theta,
+        "zipf_theta": (
+            base.hot_keys.theta if base.hot_keys is not None else None
+        ),
         "window": window,
         "sample_every": sample_every,
     }
-    if admission is not None:
+    if base.cluster is not None:
+        config["cluster"] = {
+            "shards": base.cluster.shards,
+            "slots": base.cluster.slots,
+        }
+    if base.admission is not None:
         config["admission"] = {
-            "max_active": admission.max_active,
-            "retry_after": admission.retry_after,
-            "certify_every": admission.certify_every,
-            "on_uncertified": admission.on_uncertified,
+            "max_active": base.admission.max_active,
+            "retry_after": base.admission.retry_after,
+            "certify_every": base.admission.certify_every,
+            "on_uncertified": base.admission.on_uncertified,
         }
     return CapacityResult(
         seed=seed, horizon=horizon, rungs=rungs, config=config

@@ -37,7 +37,7 @@ class PendingCall:
     """One logical operation in flight: request, retries, final outcome."""
 
     __slots__ = (
-        "client", "kind", "payload", "rid", "attempts",
+        "client", "kind", "payload", "rid", "attempts", "dest",
         "deadline", "resume_at", "reply", "error", "span", "submitted_at",
     )
 
@@ -46,6 +46,9 @@ class PendingCall:
         self.kind = kind
         self.payload = payload
         self.rid = payload["rid"]
+        #: Destination endpoint; routed clients (cluster) re-resolve it on
+        #: retries so a request never chases a retired shard forever.
+        self.dest = client._route(kind, payload)
         self.attempts = 0
         #: Tick the operation was first submitted — settle time minus this
         #: is the operation's client-observed latency.
@@ -79,7 +82,7 @@ class PendingCall:
         if self.span is not None:
             self.span.event("send", attempt=self.attempts)
         net = self.client.network
-        net.send(self.client.name, self.client.server, dict(self.payload))
+        net.send(self.client.name, self.dest, dict(self.payload))
         self.deadline = net.now + self.client.policy.timeout
         self.resume_at = None
 
@@ -143,6 +146,14 @@ class PendingCall:
                 return self.settled
             if error == "stale":
                 continue  # echo of a superseded duplicate; keep waiting
+            if error == "moved":
+                # Shard-map change beat this request to the wire: re-route
+                # against the refreshed map and resend the same idempotency
+                # token to the new owner.
+                if self.span is not None:
+                    self.span.event("moved", owner=reply.get("owner"))
+                client._on_moved(self, reply)
+                return self.settled
             if error == "aborted":
                 self.error = ServiceAborted(reply.get("reason", "aborted"))
                 client._on_abort_reply()
@@ -164,6 +175,10 @@ class PendingCall:
             if self.settled:
                 return True
         if self.resume_at is not None and now >= self.resume_at:
+            # Re-resolve the destination first: a retry that raced a
+            # shard-map change must consult the fresh map, not hammer the
+            # stale shard (plain clients keep their fixed server).
+            self.client._refresh_destination(self)
             self._send()
         return self.settled
 
@@ -233,6 +248,35 @@ class Client:
     def _on_abort_reply(self) -> None:
         self.tid = None
         self._end_txn_span("aborted")
+
+    # -- routing ---------------------------------------------------------
+
+    def _route(self, kind: str, payload: Dict[str, Any]) -> str:
+        """Destination endpoint for one operation.  The plain client talks
+        to its fixed server; cluster clients override this to consult the
+        shard map (keyed operations), pick the 2PC coordinator (cross-shard
+        commits), and so on."""
+        return self.server
+
+    def _refresh_destination(self, pending: "PendingCall") -> None:
+        """Hook before every retry send: re-resolve ``pending.dest``.
+
+        The fix for stale-shard retry loops lives in the cluster client's
+        override — a commit retry that raced a shard-map change re-consults
+        the map instead of retrying the retired endpoint forever.  The
+        plain client's destination never moves."""
+
+    def _on_moved(self, pending: "PendingCall", reply: Dict[str, Any]) -> None:
+        """A ``moved`` reply: ownership of the key changed under us.
+        Re-route and resend the same idempotency token immediately."""
+        if pending.attempts >= self.policy.max_attempts:
+            pending.error = ServiceUnavailable(
+                f"{pending.kind} rid={pending.rid}: still moved after "
+                f"{pending.attempts} attempts"
+            )
+            return
+        pending.dest = self._route(pending.kind, pending.payload)
+        pending._send()
 
     # -- trace context ---------------------------------------------------
 

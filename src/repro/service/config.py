@@ -12,10 +12,19 @@ equal configs and seeds replay bit-identically.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any, Optional, Tuple
 
 from ..engine.factory import SchedulerConfig
 
-__all__ = ["AdmissionConfig", "NetworkConfig", "RetryPolicy", "SchedulerConfig"]
+__all__ = [
+    "AdmissionConfig",
+    "ClusterConfig",
+    "MapChange",
+    "NetworkConfig",
+    "RetryPolicy",
+    "SchedulerConfig",
+    "StressConfig",
+]
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -153,3 +162,189 @@ class RetryPolicy:
         return tuple(
             self.backoff_before(n) for n in range(1, self.max_attempts)
         )
+
+
+@dataclass(frozen=True, kw_only=True)
+class MapChange:
+    """One scheduled shard-map reconfiguration, triggered when the
+    cluster-wide committed-transaction count reaches ``after_commits``
+    (commit counts are deterministic per seed, so the schedule replays
+    byte-for-byte).
+
+    ``kind="migrate"`` moves one hash slot — and the committed state of
+    every key in it — from its current owner to ``to_shard``.
+    ``kind="replace"`` retires shard ``shard``'s endpoint and brings up a
+    replacement endpoint recovered from the same durable recorder log (the
+    regression case for clients retrying a commit against the old name).
+    Either change waits until the affected source shard is quiescent (no
+    active or prepared transactions), then applies atomically between
+    delivery sweeps.
+    """
+
+    #: Apply once the cluster-wide commit count reaches this.
+    after_commits: int
+    #: ``"migrate"`` or ``"replace"``.
+    kind: str
+    #: Hash slot to move (``migrate`` only).
+    slot: Optional[int] = None
+    #: Destination shard index (``migrate`` only).
+    to_shard: Optional[int] = None
+    #: Shard index whose endpoint is replaced (``replace`` only).
+    shard: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.after_commits < 0:
+            raise ValueError("after_commits must be >= 0")
+        if self.kind == "migrate":
+            if self.slot is None or self.to_shard is None:
+                raise ValueError("migrate changes need slot= and to_shard=")
+        elif self.kind == "replace":
+            if self.shard is None:
+                raise ValueError("replace changes need shard=")
+        else:
+            raise ValueError("kind must be 'migrate' or 'replace'")
+
+
+@dataclass(frozen=True, kw_only=True)
+class ClusterConfig:
+    """Shape and fault schedule of a sharded cluster (mirrors
+    :class:`~repro.engine.factory.SchedulerConfig` / :class:`NetworkConfig`:
+    frozen, keyword-only, fully deterministic).
+
+    A cluster is ``shards`` deterministic servers, each owning the hash
+    slots the versioned :class:`~repro.service.shardmap.ShardMap` assigns
+    it, plus a two-phase-commit coordinator endpoint for cross-shard
+    transactions.  ``map_changes`` schedules mid-run reconfigurations;
+    the ``*_after_prepares`` knobs schedule the cross-shard fault matrix
+    (a shard crash between prepare and commit, the coordinator partitioned
+    mid-prepare) at deterministic points in the 2PC message flow.
+    """
+
+    #: Number of shard servers.
+    shards: int = 2
+    #: Hash slots in the shard map (keys hash to slots, slots to shards).
+    slots: int = 16
+    #: Scheduled reconfigurations, applied in order.
+    map_changes: Tuple[MapChange, ...] = ()
+    #: Coordinator retransmit period for unacked prepare/decide messages
+    #: (the 2PC timeout; logical ticks).
+    retry_every: int = 25
+    #: Crash shard ``(index, n)`` right after it executes its ``n``-th
+    #: prepare — between prepare and commit, the WAL-recovery fault case.
+    crash_shard_after_prepares: Optional[Tuple[int, int]] = None
+    #: Ticks until a fault-schedule-crashed shard restarts.
+    shard_restart_delay: int = 30
+    #: Partition the coordinator away from every shard once it has sent
+    #: this many prepares (mid-prepare), healing after ``heal_after``.
+    partition_coordinator_after_prepares: Optional[int] = None
+    #: Ticks until the coordinator partition heals.
+    heal_after: int = 40
+    #: Coordinator endpoint name.
+    coordinator: str = "coord"
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.slots < self.shards:
+            raise ValueError("need at least one slot per shard")
+        if self.retry_every < 1:
+            raise ValueError("retry_every must be >= 1")
+        if self.shard_restart_delay < 1 or self.heal_after < 1:
+            raise ValueError("restart/heal delays must be >= 1")
+        try:
+            changes = tuple(self.map_changes)
+        except TypeError:
+            raise TypeError(
+                "map_changes must be a tuple of MapChange entries"
+            ) from None
+        if any(not isinstance(c, MapChange) for c in changes):
+            raise TypeError("map_changes must be a tuple of MapChange entries")
+        object.__setattr__(self, "map_changes", changes)
+        for change in changes:
+            if change.kind == "migrate":
+                if not (0 <= change.slot < self.slots):
+                    raise ValueError(f"migrate slot {change.slot} out of range")
+                if not (0 <= change.to_shard < self.shards):
+                    raise ValueError(
+                        f"migrate to_shard {change.to_shard} out of range"
+                    )
+            elif not (0 <= change.shard < self.shards):
+                raise ValueError(f"replace shard {change.shard} out of range")
+        if self.crash_shard_after_prepares is not None:
+            shard, count = self.crash_shard_after_prepares
+            if not (0 <= shard < self.shards) or count < 1:
+                raise ValueError(
+                    "crash_shard_after_prepares is (shard index, nth prepare)"
+                )
+        if (
+            self.partition_coordinator_after_prepares is not None
+            and self.partition_coordinator_after_prepares < 1
+        ):
+            raise ValueError(
+                "partition_coordinator_after_prepares must be >= 1"
+            )
+
+    def shard_names(self) -> Tuple[str, ...]:
+        return tuple(f"shard{i}" for i in range(self.shards))
+
+
+@dataclass(frozen=True, kw_only=True)
+class StressConfig:
+    """Everything that shapes one :func:`~repro.service.stress.run_stress`
+    run, as a single frozen config (the former kwarg pile).
+
+    Two runs built from equal configs replay byte-for-byte.  The loose
+    keyword arguments ``run_stress`` used to take are still accepted as a
+    thin deprecation shim; new code builds a ``StressConfig`` and passes it
+    to :func:`~repro.service.stress.run_stress`,
+    :func:`~repro.service.capacity.run_capacity` or the CLI.
+    """
+
+    #: Engine under the server(s): a family name or full config.
+    scheduler: Any = "locking"
+    #: Declared isolation level for every transaction (None = natural).
+    level: Optional[Any] = None
+    #: Concurrent client sessions (the worker pool in open-loop mode).
+    clients: int = 4
+    #: Closed-loop commit quota per client (ignored in open-loop mode).
+    txns_per_client: int = 25
+    #: Size of the hot key space (``k0 .. k{keys-1}``).
+    keys: int = 8
+    #: Read-modify-write pairs per transaction.
+    ops_per_txn: int = 2
+    #: Master seed (driver, scripts, network fault schedule).
+    seed: int = 0
+    #: Simulated-network fault schedule (None = default, re-seeded).
+    network: Optional[NetworkConfig] = None
+    #: Client retry/backoff policy (None = default).
+    retry: Optional[RetryPolicy] = None
+    #: Crash the server (shard 0 in cluster mode) after N commits.
+    crash_after_commits: Optional[int] = None
+    #: Ticks until the crashed server restarts.
+    restart_delay: int = 25
+    #: Hard budget on the run's logical ticks.
+    max_ticks: int = 2_000_000
+    #: Deliver due message batches in one sweep (byte-identical either way).
+    pipeline: bool = True
+    #: Open-loop arrival process (None = closed loop).
+    arrivals: Optional[Any] = None
+    #: Offered-load horizon in ticks (open loop only).
+    horizon: Optional[int] = None
+    #: Zipf-skewed key sampler (None = uniform picks).
+    hot_keys: Optional[Any] = None
+    #: Server-side admission control / certification batching.
+    admission: Optional[AdmissionConfig] = None
+    #: A WindowedTelemetry to feed (purely observational).
+    windows: Optional[Any] = None
+    #: Run against a sharded cluster instead of one server.
+    cluster: Optional[ClusterConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.clients < 1 or self.txns_per_client < 0:
+            raise ValueError("need clients >= 1 and txns_per_client >= 0")
+        if self.keys < 1 or self.ops_per_txn < 1:
+            raise ValueError("need keys >= 1 and ops_per_txn >= 1")
+        if self.arrivals is not None and self.horizon is None:
+            raise ValueError(
+                "open-loop runs need horizon= (ticks of offered load)"
+            )

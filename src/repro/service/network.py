@@ -211,6 +211,23 @@ class SimulatedNetwork:
             self._count("duplicated")
             self._schedule(src, dst, payload, duplicate=True)
 
+    def timer(self, dst: str, payload: Dict[str, Any], *, delay: int) -> None:
+        """Schedule a fault-free self-delivery: ``payload`` reaches ``dst``
+        (as a message from itself) exactly ``delay`` ticks from now.
+
+        Timers draw nothing from the fault RNG — no drop, duplicate or
+        delay decisions — so arming one never perturbs the seeded fault
+        schedule of real traffic.  The cluster's 2PC coordinator uses
+        timers for retransmission deadlines; being self-addressed they
+        survive partitions (an endpoint is always in its own group)."""
+        if delay < 1:
+            raise ValueError("timer delay must be >= 1 tick")
+        self._seq += 1
+        heapq.heappush(
+            self._queue,
+            (self.now + delay, self._seq, dst, dst, payload, None),
+        )
+
     def _sync_clock(self) -> None:
         """Keep an attached registry's logical clock on the network tick
         clock, so engine durations (lock wait/hold) are in ticks."""

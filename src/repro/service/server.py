@@ -31,7 +31,7 @@ an unreliable boundary forces:
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, FrozenSet, List, Optional
 
 from ..core.events import Commit
 from ..core.levels import IsolationLevel
@@ -78,6 +78,10 @@ class _Session:
 class Server:
     """A database server on the simulated network."""
 
+    #: Request kinds exempt from the stale-rid guard (idempotent verbs on
+    #: a session that multiplexes transactions; see ShardServer).
+    _replayable_kinds: FrozenSet[str] = frozenset()
+
     def __init__(
         self,
         network: SimulatedNetwork,
@@ -89,6 +93,8 @@ class Server:
         metrics: Optional[object] = None,
         tracer: Optional[object] = None,
         admission: Optional[AdmissionConfig] = None,
+        tid_allocator: Optional[object] = None,
+        recover_from: Optional[object] = None,
     ) -> None:
         self.network = network
         self.config = (
@@ -128,19 +134,38 @@ class Server:
         #: Downgrade decisions (``on_uncertified="downgrade"``), newest last.
         self.downgrades: List[Dict[str, Any]] = []
         self._committed_tids: set[int] = set()
+        #: Optional shared tid source (a cluster hands every shard the same
+        #: allocator so tids are globally unique); ``None`` = private counter.
+        self._tid_allocator = tid_allocator
         self.db: Optional[Database] = None
-        self._boot(initial)
+        self._boot(initial, recover_from)
         #: The durable WAL: survives crashes, feeds recovery.
         self.recorder = self.db.scheduler.recorder
         network.register_handler(name, self.handle)
 
-    def _boot(self, initial: Optional[Dict[str, Any]]) -> None:
+    def _boot(
+        self,
+        initial: Optional[Dict[str, Any]],
+        recover_from: Optional[object] = None,
+    ) -> None:
         scheduler = create_scheduler(self.config)
         if self.metrics is not None or self.tracer is not None:
             scheduler.instrument(metrics=self.metrics, tracer=self.tracer)
+        if recover_from is not None:
+            # Replacement boot: recover from an existing durable log (a
+            # retired server's WAL).  Any online monitor is already attached
+            # to that recorder — re-attaching would replay the log into it a
+            # second time, so the monitor is left alone here.
+            self.db = Database.recover(
+                scheduler, recover_from, tid_allocator=self._tid_allocator
+            )
+            self._committed_tids = {
+                ev.tid for ev in recover_from.events if isinstance(ev, Commit)
+            }
+            return
         if self.monitor is not None:
             scheduler.recorder.attach_monitor(self.monitor)
-        self.db = Database(scheduler)
+        self.db = Database(scheduler, tid_allocator=self._tid_allocator)
         if initial:
             self.db.load(initial)
             self._committed_tids.add(0)
@@ -189,7 +214,9 @@ class Server:
         scheduler = create_scheduler(self.config)
         if self.metrics is not None or self.tracer is not None:
             scheduler.instrument(metrics=self.metrics, tracer=self.tracer)
-        self.db = Database.recover(scheduler, self.recorder)
+        self.db = Database.recover(
+            scheduler, self.recorder, tid_allocator=self._tid_allocator
+        )
         self._committed_tids = {
             ev.tid for ev in self.recorder.events if isinstance(ev, Commit)
         }
@@ -265,18 +292,21 @@ class Server:
             if span is not None:
                 span.set(outcome="dedup-hit")
             return cached
-        if rid <= sess.last_rid:
+        if rid <= sess.last_rid and kind not in self._replayable_kinds:
             # A late duplicate of a request that already got its final
-            # reply (cache since pruned): never re-execute it.
+            # reply (cache since pruned): never re-execute it.  Replayable
+            # kinds (a cluster's 2PC verbs, idempotent by construction) are
+            # exempt: their session multiplexes concurrent transactions, so
+            # rids do not arrive in order and "old" is not "answered".
             self.counters["dedup_hits"] += 1
             if span is not None:
                 span.set(outcome="stale")
             return {"error": "stale", "rid": rid}
         reply = self._execute(kind, request, sess, span)
         reply["rid"] = rid
-        if reply.get("error") not in ("busy", "shed"):
-            # Busy and shed replies are not cached: the operation never
-            # ran, so the retry must actually execute it.
+        if reply.get("error") not in ("busy", "shed", "moved"):
+            # Busy, shed and moved replies are not cached: the operation
+            # never ran, so the retry must actually execute it.
             sess.replies[rid] = reply
             sess.last_rid = max(sess.last_rid, rid)
         return reply

@@ -25,6 +25,7 @@ client-centric thesis needs end to end:
 from __future__ import annotations
 
 import random
+import warnings
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -32,14 +33,19 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.incremental import IncrementalAnalysis
 from ..core.levels import IsolationLevel
 from ..observability.provenance import watching_analysis
-from ..workloads.arrivals import ArrivalProcess, ZipfianKeys
+from ..workloads.arrivals import ZipfianKeys
 from .client import Client
-from .config import AdmissionConfig, NetworkConfig, RetryPolicy, SchedulerConfig
+from .cluster import Cluster
+from .config import NetworkConfig, RetryPolicy, SchedulerConfig, StressConfig
 from .errors import RequestTimeout, ServiceAborted, ServiceUnavailable
 from .network import SimulatedNetwork
 from .server import Server
 
 __all__ = ["StressResult", "run_stress"]
+
+#: The legacy-kwargs deprecation notice fires at most once per process
+#: (tests reset this to re-arm it).
+_LEGACY_KWARGS_WARNED = False
 
 
 def _rank_percentile(ordered: List[int], q: float) -> int:
@@ -87,6 +93,9 @@ class StressResult:
     #: The :class:`~repro.observability.windows.WindowedTelemetry` fed
     #: during the run (when one was attached) — purely observational.
     windows: Any = field(repr=False, default=None)
+    #: The :class:`~repro.service.cluster.Cluster` the run drove (cluster
+    #: mode only; ``None`` for single-server runs).
+    cluster: Any = field(repr=False, default=None)
 
     @property
     def all_certified(self) -> bool:
@@ -333,31 +342,24 @@ def _open_loop_script(
 
 
 def run_stress(
+    config: Optional[StressConfig] = None,
     *,
-    scheduler: SchedulerConfig | str = "locking",
-    level: Optional[IsolationLevel | str] = None,
-    clients: int = 4,
-    txns_per_client: int = 25,
-    keys: int = 8,
-    ops_per_txn: int = 2,
-    seed: int = 0,
-    network: Optional[NetworkConfig] = None,
-    retry: Optional[RetryPolicy] = None,
-    crash_after_commits: Optional[int] = None,
-    restart_delay: int = 25,
-    max_ticks: int = 2_000_000,
-    pipeline: bool = True,
     metrics: Optional[object] = None,
     tracer: Optional[object] = None,
-    arrivals: Optional[ArrivalProcess] = None,
-    horizon: Optional[int] = None,
-    hot_keys: Optional[ZipfianKeys] = None,
-    admission: Optional[AdmissionConfig] = None,
-    windows: Optional[object] = None,
+    **legacy: Any,
 ) -> StressResult:
     """Run one seeded stress workload; see the module docstring.
 
-    Determinism contract: equal arguments (including all seeds) produce a
+    The run's shape is a :class:`~repro.service.config.StressConfig`
+    (``run_stress(StressConfig(clients=8, seed=3))``); ``metrics`` and
+    ``tracer`` stay separate because they are live observability objects,
+    not config values.  The loose keyword arguments this function
+    historically took (``run_stress(clients=8, seed=3)``) are still
+    accepted as a thin deprecation shim — they are packed into a
+    ``StressConfig`` verbatim, with a once-per-process
+    :class:`DeprecationWarning`.
+
+    Determinism contract: equal configs (including all seeds) produce a
     byte-for-byte identical :attr:`StressResult.history_text` and journals.
     Attaching ``windows`` (a :class:`~repro.observability.windows.
     WindowedTelemetry`) is purely observational: it changes no byte of any
@@ -372,9 +374,14 @@ def run_stress(
     transactions until each client commits its quota; open-loop runs serve
     each arrival exactly once.
 
-    ``admission`` enables server-side load shedding and certification
-    batching; ``hot_keys`` replaces uniform key picks with a seeded
-    Zipf-skewed sampler.
+    With ``cluster`` set (a :class:`~repro.service.config.ClusterConfig`)
+    the same workload runs against a sharded :class:`~repro.service.
+    cluster.Cluster` instead of one server: clients route against the
+    shard map, cross-shard transactions commit through 2PC, certification
+    is global, and the cluster's own fault schedule (shard crashes,
+    coordinator partitions, shard-map changes) runs alongside the
+    workload.  A ``shards=1`` cluster produces byte-identical histories,
+    journals and certification to the plain single-server run.
 
     The driver is tick-synchronized: whenever every script is blocked, the
     network's whole due message batch is delivered before any client gets
@@ -385,8 +392,42 @@ def run_stress(
     modes produce byte-identical histories, journals and traces — the flag
     only changes how much per-message driver overhead the run pays.
     """
-    if arrivals is not None and horizon is None:
-        raise ValueError("open-loop runs need horizon= (ticks of offered load)")
+    if legacy:
+        if config is not None:
+            raise TypeError(
+                "pass either a StressConfig or legacy keyword arguments, "
+                f"not both (got both config= and {sorted(legacy)})"
+            )
+        global _LEGACY_KWARGS_WARNED
+        if not _LEGACY_KWARGS_WARNED:
+            _LEGACY_KWARGS_WARNED = True
+            warnings.warn(
+                "run_stress(scheduler=..., clients=..., ...) keyword "
+                "arguments are deprecated; build a StressConfig and pass "
+                "run_stress(StressConfig(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        config = StressConfig(**legacy)
+    cfg = config or StressConfig()
+    scheduler = cfg.scheduler
+    level = cfg.level
+    clients = cfg.clients
+    txns_per_client = cfg.txns_per_client
+    keys = cfg.keys
+    ops_per_txn = cfg.ops_per_txn
+    seed = cfg.seed
+    network = cfg.network
+    retry = cfg.retry
+    crash_after_commits = cfg.crash_after_commits
+    restart_delay = cfg.restart_delay
+    max_ticks = cfg.max_ticks
+    pipeline = cfg.pipeline
+    arrivals = cfg.arrivals
+    horizon = cfg.horizon
+    hot_keys = cfg.hot_keys
+    admission = cfg.admission
+    windows = cfg.windows
     config = (
         scheduler
         if isinstance(scheduler, SchedulerConfig)
@@ -418,15 +459,32 @@ def run_stress(
         if tracer is not None
         else IncrementalAnalysis(order_mode="commit")
     )
-    server = Server(
-        net,
-        config,
-        initial={f"k{i}": 0 for i in range(keys)},
-        monitor=monitor,
-        metrics=metrics,
-        tracer=tracer,
-        admission=admission,
-    )
+    cluster: Optional[Cluster] = None
+    initial = {f"k{i}": 0 for i in range(keys)}
+    if cfg.cluster is not None:
+        cluster = Cluster(
+            net,
+            config,
+            config=cfg.cluster,
+            initial=initial,
+            monitor=monitor,
+            metrics=metrics,
+            tracer=tracer,
+            admission=admission,
+        )
+        server = cluster  # the facade mirrors the single-Server surface
+        if crash_after_commits is not None:
+            cluster.schedule_crash(crash_after_commits, restart_delay)
+    else:
+        server = Server(
+            net,
+            config,
+            initial=initial,
+            monitor=monitor,
+            metrics=metrics,
+            tracer=tracer,
+            admission=admission,
+        )
     declared = config.declared_level
     level_name = str(declared) if declared is not None else None
     config_summary = {
@@ -453,6 +511,17 @@ def run_stress(
         "restart_delay": restart_delay,
         "pipeline": pipeline,
     }
+    if cfg.cluster is not None:
+        config_summary["cluster"] = {
+            "shards": cfg.cluster.shards,
+            "slots": cfg.cluster.slots,
+            "map_changes": len(cfg.cluster.map_changes),
+            "retry_every": cfg.cluster.retry_every,
+            "crash_shard_after_prepares": cfg.cluster.crash_shard_after_prepares,
+            "partition_coordinator_after_prepares": (
+                cfg.cluster.partition_coordinator_after_prepares
+            ),
+        }
     schedule: List[int] = []
     if arrivals is not None:
         schedule = arrivals.schedule(horizon=horizon, seed=seed * 8191 + 3)
@@ -486,9 +555,13 @@ def run_stress(
     arrival_state = {"next": 0}
     runs: List[_ScriptRun] = []
     for i in range(clients):
-        client = Client(
-            net, name=f"c{i}", policy=policy, metrics=metrics, tracer=tracer
-        )
+        if cluster is not None:
+            client = cluster.client(f"c{i}", policy=policy)
+        else:
+            client = Client(
+                net, name=f"c{i}", policy=policy, metrics=metrics,
+                tracer=tracer,
+            )
         script_rng = random.Random(seed * 1_000_003 + i + 1)
         if arrivals is not None:
             script = _open_loop_script(
@@ -547,17 +620,23 @@ def run_stress(
                 certification_lag=server.certification_lag if server.up else 0,
             )
             windows.maybe_sample(now)
-        if (
-            crash_after_commits is not None
-            and not crashed_once
-            and server.commit_count >= crash_after_commits
-        ):
-            server.crash()
-            crashed_once = True
-            restart_at = net.now + restart_delay
-        if restart_at is not None and net.now >= restart_at:
-            server.restart()
-            restart_at = None
+        if cluster is not None:
+            # The cluster owns its whole deterministic fault schedule
+            # (stress crash included) — one tick per driver iteration, in
+            # the same loop position as the single-server crash block.
+            cluster.tick()
+        else:
+            if (
+                crash_after_commits is not None
+                and not crashed_once
+                and server.commit_count >= crash_after_commits
+            ):
+                server.crash()
+                crashed_once = True
+                restart_at = net.now + restart_delay
+            if restart_at is not None and net.now >= restart_at:
+                server.restart()
+                restart_at = None
         active = [r for r in runs if not r.done]
         if not active:
             break
@@ -590,10 +669,15 @@ def run_stress(
                 for r in active
                 if r.pending is not None and r.pending.next_wake is not None
             ]
-            if restart_at is not None:
+            if cluster is not None:
+                if cluster.next_wake is not None:
+                    wakes.append(cluster.next_wake)
+            elif restart_at is not None:
                 wakes.append(restart_at)
             net.advance(max(1, min(wakes) - net.now) if wakes else 1)
-    if restart_at is not None:
+    if cluster is not None:
+        cluster.settle()
+    elif restart_at is not None:
         server.restart()
     server.flush_certification()  # settle any batched verdicts
     if windows is not None:
@@ -623,8 +707,9 @@ def run_stress(
     # so re-verify every commit against the finished monitor.
     certification: Dict[int, Tuple[Optional[IsolationLevel], bool]] = {}
     history = server.history()
+    declared_map = server.declared
     for tid in sorted(history.committed - {0}):
-        lvl = server.declared.get(tid)
+        lvl = declared_map.get(tid)
         certification[tid] = (
             lvl,
             monitor.provides(lvl) if lvl is not None else True,
@@ -660,4 +745,5 @@ def run_stress(
             len(schedule) if arrivals is not None else clients * txns_per_client
         ),
         windows=windows,
+        cluster=cluster,
     )

@@ -1,0 +1,101 @@
+"""A one-shard cluster IS the single server, byte for byte.
+
+The cluster facade routes every key to the same shard when ``shards=1``:
+same tid allocation, same message schedule, same deadlock victims, same
+crash/recovery behaviour — so per seed the history text, the
+client-observed journals and the certification table must equal the plain
+single-``Server`` run exactly.  This pins the whole routing/2PC layer as
+a zero-cost refactor for the degenerate case, the same contract the
+array-core equivalence suite pins for the checker."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service import ClusterConfig, NetworkConfig, StressConfig, run_stress
+
+FAULTY = NetworkConfig(drop=0.05, duplicate=0.05, min_delay=1, max_delay=4)
+CLEAN = NetworkConfig(drop=0.0, duplicate=0.0, min_delay=1, max_delay=2)
+
+
+def both(config: StressConfig):
+    solo = run_stress(config)
+    one = run_stress(replace(config, cluster=ClusterConfig(shards=1)))
+    return solo, one
+
+
+def assert_equivalent(solo, one):
+    assert one.history_text == solo.history_text
+    assert one.journals == solo.journals
+    assert one.certification == solo.certification
+    assert one.committed == solo.committed
+    assert one.server_counters == solo.server_counters
+
+
+class TestSeedSweep:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_faulty_network(self, seed):
+        solo, one = both(
+            StressConfig(
+                clients=4, txns_per_client=10, seed=seed, network=FAULTY
+            )
+        )
+        assert_equivalent(solo, one)
+
+    @pytest.mark.parametrize("seed", (0, 3))
+    def test_crash_and_restart(self, seed):
+        solo, one = both(
+            StressConfig(
+                clients=4,
+                txns_per_client=10,
+                seed=seed,
+                network=FAULTY,
+                crash_after_commits=12,
+            )
+        )
+        assert solo.crashes == 1
+        assert_equivalent(solo, one)
+
+    def test_clean_network(self):
+        solo, one = both(
+            StressConfig(clients=3, txns_per_client=8, seed=1, network=CLEAN)
+        )
+        assert_equivalent(solo, one)
+
+    def test_admission_and_arrivals(self):
+        from repro.service import AdmissionConfig
+        from repro.workloads.arrivals import PoissonArrivals
+
+        solo, one = both(
+            StressConfig(
+                clients=4,
+                seed=2,
+                network=CLEAN,
+                arrivals=PoissonArrivals(rate=0.1),
+                horizon=400,
+                admission=AdmissionConfig(max_active=3, retry_after=8),
+            )
+        )
+        assert_equivalent(solo, one)
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        clients=st.integers(min_value=1, max_value=5),
+        keys=st.integers(min_value=2, max_value=10),
+        crash=st.booleans(),
+    )
+    def test_shards1_equals_single_server(self, seed, clients, keys, crash):
+        config = StressConfig(
+            clients=clients,
+            txns_per_client=6,
+            keys=keys,
+            seed=seed,
+            network=FAULTY,
+            crash_after_commits=8 if crash else None,
+        )
+        solo, one = both(config)
+        assert_equivalent(solo, one)
