@@ -10,7 +10,6 @@ but not PL-3.
 
 from __future__ import annotations
 
-import pytest
 
 import repro
 from repro.core.levels import IsolationLevel as L

@@ -10,7 +10,6 @@ extraction over the micro-corpus.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import parse_history
 from repro.core.conflicts import DepKind, all_dependencies

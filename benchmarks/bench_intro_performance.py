@@ -16,9 +16,7 @@ SERIALIZABLE costs strictly more than READ COMMITTED on at least one axis.
 
 from __future__ import annotations
 
-import pytest
 
-import repro
 from repro.core.levels import IsolationLevel as L
 from repro.engine import (
     Database,

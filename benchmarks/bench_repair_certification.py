@@ -14,7 +14,6 @@ version; this bench measures it and asserts its contract:
 
 from __future__ import annotations
 
-import pytest
 
 import repro
 from repro.analysis.repair import repair

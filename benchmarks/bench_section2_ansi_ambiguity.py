@@ -19,7 +19,6 @@ corpus, asserting each reading's characteristic failure:
 
 from __future__ import annotations
 
-import pytest
 
 import repro
 from repro.baseline import (

@@ -71,12 +71,14 @@ from .engine import (
     connect,
     create_scheduler,
 )
+from .analysis import OpCheckResult, check_operations
 from .service import (
     Client,
     ClusterConfig,
     NetworkConfig,
     RetryPolicy,
     Server,
+    SessionGuarantees,
     ShardMap,
     SimulatedNetwork,
     StressConfig,
@@ -133,12 +135,15 @@ __all__ = [
     "Client",
     "ClusterConfig",
     "NetworkConfig",
+    "OpCheckResult",
     "RetryPolicy",
     "Server",
+    "SessionGuarantees",
     "ShardMap",
     "SimulatedNetwork",
     "StressConfig",
     "StressResult",
+    "check_operations",
     "connect_cluster",
     "run_stress",
     "MetricsRegistry",

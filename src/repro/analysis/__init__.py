@@ -1,5 +1,6 @@
 """Analyses built on top of the checker and engine."""
 
+from .opcheck import Op, OpCheckResult, check_operations
 from .permissiveness import PermissivenessResult, compare
 from .spectrum import (
     AblationResult,
@@ -12,6 +13,9 @@ from .report_gen import generate_report
 from .stats import HistoryStats, history_stats
 
 __all__ = [
+    "Op",
+    "OpCheckResult",
+    "check_operations",
     "PermissivenessResult",
     "compare",
     "AblationResult",

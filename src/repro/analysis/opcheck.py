@@ -1,0 +1,323 @@
+"""Operation-interval checking: client-observed strict serializability.
+
+This is the *other* end of the telescope from the DSG machinery.  The
+Adya checker certifies isolation levels from the server's history — every
+version, every dependency edge.  An operation checker in the porcupine /
+Wing & Gong tradition sees only what the *clients* saw: each transaction
+reduced to an operation with an invocation tick, a response tick, and the
+values it observed and installed.  The question it answers is black-box
+strict serializability: **is there a single serial order of the
+operations, consistent with real time, under which every read returns the
+latest installed write?**
+
+The two checkers must agree on strict-serializable executions — a run the
+DSG analysis certifies at PL-3 under a commit order that respects real
+time admits a witness order here, and a run this checker passes cannot
+contain a proscribed PL-3 phenomenon among its observed values.  They
+*diverge*, explainably, on weaker levels: a PL-2 run with a lagging
+replica serves stale values that no serial order can produce, so this
+checker fails with a stale-read witness while the DSG checker (correctly)
+still certifies PL-2 — the paper's point that isolation levels are
+properties of histories, not of client-visible value sequences.
+
+The search is the classic one, adapted to transactions:
+
+* **membership partitioning** — operations split into components by
+  shared objects (union-find); disjoint components serialize
+  independently, so each is searched on its own;
+* **windowing** — within a component, a *cut* falls wherever every
+  earlier operation responded before every later one invoked; the search
+  carries the set of reachable states across cuts instead of one frontier
+  over the whole run;
+* **memoized DFS** (Wing & Gong) — within a window, extend the serial
+  order by any operation whose real-time predecessors are all applied and
+  whose reads match the current state; memoize on (applied set, state).
+
+Operations with *unknown* outcome (the client never saw the commit reply)
+are optional: the search may apply them anywhere after their invocation
+or never — exactly the freedom a crashed server leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = ["Op", "OpCheckResult", "check_operations"]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One transaction as a client-observed operation interval."""
+
+    op_id: int
+    session: str
+    tid: Optional[int]
+    #: Logical tick the transaction's first request was submitted.
+    invoked: int
+    #: Logical tick the commit reply arrived; ``None`` = outcome unknown
+    #: (the client timed out waiting for the commit decision).
+    responded: Optional[int]
+    #: Values observed, in program order: ``((obj, value), ...)``.
+    reads: Tuple[Tuple[str, Any], ...] = ()
+    #: Values installed at commit: ``((obj, value), ...)``.
+    writes: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def objects(self) -> FrozenSet[str]:
+        return frozenset(o for o, _v in self.reads) | frozenset(
+            o for o, _v in self.writes
+        )
+
+    def __repr__(self) -> str:
+        resp = self.responded if self.responded is not None else "?"
+        return (
+            f"<Op {self.op_id} {self.session}/T{self.tid} "
+            f"[{self.invoked},{resp}] r={list(self.reads)} "
+            f"w={list(self.writes)}>"
+        )
+
+
+@dataclass
+class OpCheckResult:
+    """Verdict of one :func:`check_operations` run."""
+
+    #: Whether a real-time-respecting serial witness order exists.
+    ok: bool
+    ops: int
+    components: int
+    windows: int
+    states_explored: int
+    #: One entry per component that admitted no witness: the stuck
+    #: frontier's stale-read explanations.
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Human-readable verdict, witnesses included on failure."""
+        if self.ok:
+            return (
+                f"strict-serializable: {self.ops} operations, "
+                f"{self.components} component(s), {self.windows} window(s), "
+                f"{self.states_explored} states explored"
+            )
+        lines = [
+            f"NOT strict-serializable: {len(self.failures)} component(s) "
+            f"admit no witness order ({self.states_explored} states explored)"
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  component of {failure['component_size']} ops stuck with "
+                f"{failure['applied']} applied:"
+            )
+            for w in failure["witnesses"]:
+                lines.append(
+                    f"    stale read: {w['session']}/T{w['tid']} read "
+                    f"{w['obj']}={w['observed']!r} but every reachable "
+                    f"state has {w['obj']}={w['expected']!r}"
+                )
+        return "\n".join(lines)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[Any, Any] = {}
+
+    def find(self, x: Any) -> Any:
+        parent = self.parent
+        root = parent.setdefault(x, x)
+        while root != parent[root]:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: Any, b: Any) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _components(ops: List[Op]) -> List[List[Op]]:
+    """Partition by shared objects (ops on disjoint data commute)."""
+    uf = _UnionFind()
+    for op in ops:
+        objs = sorted(op.objects)
+        uf.find(("op", op.op_id))
+        for obj in objs:
+            uf.union(("op", op.op_id), ("obj", obj))
+    groups: Dict[Any, List[Op]] = {}
+    for op in ops:
+        groups.setdefault(uf.find(("op", op.op_id)), []).append(op)
+    return [sorted(g, key=lambda o: (o.invoked, o.op_id)) for g in groups.values()]
+
+
+def _windows(component: List[Op]) -> List[List[Op]]:
+    """Cut wherever no interval spans: every earlier op responded strictly
+    before every later op invoked (unknown outcomes never close, so they
+    stay in their component's final window)."""
+    windows: List[List[Op]] = []
+    current: List[Op] = []
+    frontier = -1  # max response tick seen so far (unknown = +inf)
+    for op in component:
+        if current and frontier >= 0 and frontier < op.invoked:
+            windows.append(current)
+            current = []
+        current.append(op)
+        if op.responded is None:
+            frontier = -2  # sticks: no further cuts in this component
+        elif frontier != -2:
+            frontier = max(frontier, op.responded)
+    if current:
+        windows.append(current)
+    return windows
+
+
+def _precedes(a: Op, b: Op) -> bool:
+    """Real-time order: ``a`` finished before ``b`` started."""
+    return a.responded is not None and a.responded < b.invoked
+
+
+class _Budget:
+    __slots__ = ("states", "limit")
+
+    def __init__(self, limit: int) -> None:
+        self.states = 0
+        self.limit = limit
+
+    def spend(self) -> None:
+        self.states += 1
+        if self.states > self.limit:
+            raise RuntimeError(
+                f"operation check exceeded {self.limit} explored states; "
+                "raise max_states or reduce the run"
+            )
+
+
+def _linearize_window(
+    window: List[Op],
+    start_states: List[Tuple[Tuple[str, Any], ...]],
+    budget: _Budget,
+) -> Tuple[List[Tuple[Tuple[str, Any], ...]], Dict[str, Any]]:
+    """All object states reachable by serializing the window's operations
+    from any of ``start_states``, plus (when none) the best-progress
+    failure witnesses.
+
+    An op is *eligible* once every op real-time-preceding it is applied;
+    it is *appliable* when additionally every read matches the state.
+    Unknown-outcome ops are optional: they may stay unapplied (a crashed
+    server may never have committed them), and by construction of
+    :func:`_windows` they only occur in their component's final window.
+    """
+    ops = window
+    preds: List[int] = [0] * len(ops)  # bitmask of real-time predecessors
+    for i, a in enumerate(ops):
+        for j, b in enumerate(ops):
+            if i != j and _precedes(a, b):
+                preds[j] |= 1 << i
+    must_mask = 0
+    for i, op in enumerate(ops):
+        if op.responded is not None:
+            must_mask |= 1 << i
+    seen: set = set()
+    best_applied = -1
+    best_witnesses: List[Dict[str, Any]] = []
+    stack: List[Tuple[int, Tuple[Tuple[str, Any], ...]]] = [
+        (0, state) for state in start_states
+    ]
+    results: set = set()
+    while stack:
+        mask, state = stack.pop()
+        key = (mask, state)
+        if key in seen:
+            continue
+        seen.add(key)
+        budget.spend()
+        complete = (mask & must_mask) == must_mask
+        if complete:
+            # All known ops applied; optional unknowns may still follow,
+            # and each distinct choice is itself a reachable end state.
+            results.add(state)
+        stuck_witnesses: List[Dict[str, Any]] = []
+        lookup = dict(state)
+        for i, op in enumerate(ops):
+            bit = 1 << i
+            if mask & bit or (preds[i] & ~mask):
+                continue
+            mismatch = None
+            for obj, value in op.reads:
+                if lookup.get(obj) != value:
+                    mismatch = (obj, value, lookup.get(obj))
+                    break
+            if mismatch is not None:
+                if op.responded is not None:
+                    obj, observed, expected = mismatch
+                    stuck_witnesses.append({
+                        "op_id": op.op_id,
+                        "session": op.session,
+                        "tid": op.tid,
+                        "obj": obj,
+                        "observed": observed,
+                        "expected": expected,
+                    })
+                continue
+            new_state = state
+            if op.writes:
+                merged = dict(state)
+                merged.update(op.writes)
+                new_state = tuple(sorted(merged.items()))
+            stack.append((mask | bit, new_state))
+        applied = bin(mask & must_mask).count("1")
+        if not complete and applied > best_applied and stuck_witnesses:
+            best_applied = applied
+            best_witnesses = stuck_witnesses
+    failure = {
+        "applied": max(best_applied, 0),
+        "witnesses": best_witnesses,
+    }
+    return list(results), failure
+
+
+def check_operations(
+    ops,
+    *,
+    initial: Optional[Dict[str, Any]] = None,
+    max_states: int = 2_000_000,
+) -> OpCheckResult:
+    """Check a set of :class:`Op` records for strict serializability.
+
+    ``initial`` maps objects to their pre-run values (objects absent from
+    it start as ``None``).  ``max_states`` bounds the search; exceeding it
+    raises rather than returning an unverified verdict.
+    """
+    ops = list(ops)
+    # A read-only op whose outcome is unknown is trivially serializable by
+    # omission (its reads were never observed by anyone).
+    ops = [
+        op for op in ops
+        if not (op.responded is None and not op.writes)
+    ]
+    budget = _Budget(max_states)
+    components = _components(ops)
+    window_count = 0
+    failures: List[Dict[str, Any]] = []
+    base = dict(initial or {})
+    for component in components:
+        objs = sorted({o for op in component for o in op.objects})
+        state0 = tuple(sorted((o, base.get(o)) for o in objs))
+        states: List[Tuple[Tuple[str, Any], ...]] = [state0]
+        windows = _windows(component)
+        window_count += len(windows)
+        for window in windows:
+            states, failure = _linearize_window(window, states, budget)
+            if not states:
+                failure["component_size"] = len(component)
+                failures.append(failure)
+                break
+    return OpCheckResult(
+        ok=not failures,
+        ops=len(ops),
+        components=len(components),
+        windows=window_count,
+        states_explored=budget.states,
+        failures=failures,
+    )

@@ -18,13 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Tuple
 
-from ..baseline import (
-    AnsiAnalysis,
-    AnsiPhenomenon,
-    PreventativeAnalysis,
-    ansi_strict_satisfies,
-    preventative_satisfies,
-)
+from ..baseline import ansi_strict_satisfies, preventative_satisfies
 from ..checker import check
 from ..core.canonical import ALL_CANONICAL, H1, H2, H1_PRIME, H2_PRIME, H_PHANTOM, H_SERIAL, H_WCYCLE
 from ..core.dsg import DSG

@@ -357,6 +357,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="coordinator retransmit period for unacked 2PC messages",
     )
     p_cluster.add_argument(
+        "--replicas", type=int, default=0,
+        help="backup replicas per shard, fed from the primary's "
+        "replication log with seeded lag (default: %(default)s)",
+    )
+    p_cluster.add_argument(
+        "--read-preference", default="primary",
+        choices=("primary", "replica", "nearest"),
+        help="where replica-eligible reads route (default: %(default)s)",
+    )
+    p_cluster.add_argument(
+        "--session-guarantees", default=None, metavar="SPEC",
+        help="comma-separated session guarantees for replica reads: "
+        "ryw/read-your-writes, mr/monotonic-reads, causal, plus "
+        "wait|redirect for the lag reaction; 'none' (the default) reads "
+        "stale-by-choice and records violation witnesses instead",
+    )
+    p_cluster.add_argument(
+        "--read-only-fraction", type=float, default=0.0,
+        help="fraction of transactions that are read-only probes, the "
+        "ones eligible for replica routing (default: %(default)s)",
+    )
+    p_cluster.add_argument(
+        "--replication-every", type=int, default=4,
+        help="primary replication pump period in ticks "
+        "(default: %(default)s)",
+    )
+    p_cluster.add_argument(
+        "--replication-lag", default="1:4", metavar="MIN:MAX",
+        help="seeded per-batch replication delay range "
+        "(default: %(default)s)",
+    )
+    p_cluster.add_argument(
         "--journal",
         action="store_true",
         help="also print the client-observed journals",
@@ -370,8 +402,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--selftest",
         action="store_true",
         help="run the cross-shard fault matrix twice (shard crash between "
-        "prepare and commit, coordinator partitioned mid-prepare) and "
-        "verify byte-for-byte determinism plus the shards=1 equivalence",
+        "prepare and commit, coordinator partitioned mid-prepare) plus "
+        "the replica-lag matrix (backup crash mid-catch-up, partitioned "
+        "primary with stale replica reads, promote-backup via ShardMap) "
+        "and verify byte-for-byte determinism, the shards=1 equivalence, "
+        "and opcheck/DSG agreement",
     )
     add_observability_args(p_cluster)
 
@@ -761,8 +796,10 @@ def _run_serve(args, out) -> int:
 
 def _stress_config(args, *, cluster=None):
     """The :class:`StressConfig` the shared stress CLI options map to."""
-    from .service import NetworkConfig, StressConfig
+    from .service import NetworkConfig, SessionGuarantees, StressConfig
 
+    spec = getattr(args, "session_guarantees", None)
+    guarantees = SessionGuarantees.parse(spec) if spec is not None else None
     return StressConfig(
         scheduler=args.scheduler,
         level=args.level,
@@ -781,6 +818,9 @@ def _stress_config(args, *, cluster=None):
         restart_delay=args.restart_delay,
         pipeline=args.pipeline,
         cluster=cluster,
+        read_preference=getattr(args, "read_preference", "primary"),
+        session_guarantees=guarantees,
+        read_only_fraction=getattr(args, "read_only_fraction", 0.0),
     )
 
 
@@ -823,6 +863,12 @@ def _cluster_config(args):
         except ValueError:
             raise ValueError(f"bad --crash-shard {args.crash_shard!r}; "
                              "expected SHARD or SHARD:N") from None
+    lo, _, hi = args.replication_lag.partition(":")
+    try:
+        lag = (int(lo), int(hi) if hi else int(lo))
+    except ValueError:
+        raise ValueError(f"bad --replication-lag {args.replication_lag!r}; "
+                         "expected MIN:MAX") from None
     return ClusterConfig(
         shards=args.shards,
         slots=args.slots,
@@ -831,6 +877,9 @@ def _cluster_config(args):
         partition_coordinator_after_prepares=args.partition_coordinator,
         heal_after=args.heal_after,
         retry_every=args.retry_every,
+        replicas=args.replicas,
+        replication_every=args.replication_every,
+        replication_lag=lag,
     )
 
 
@@ -889,8 +938,11 @@ def _cluster_selftest(args, metrics, tracer, out) -> int:
         and one.journals == solo.journals
     )
 
+    replica_ok, replica_lines = _replica_selftest(args)
+
     ok = (
         reproducible and matrix_ok and equivalent and first.all_certified
+        and replica_ok
     )
     print(first.summary(), file=out)
     print(
@@ -913,9 +965,129 @@ def _cluster_selftest(args, metrics, tracer, out) -> int:
         f"{'byte-identical' if equivalent else 'DIVERGED'}",
         file=out,
     )
+    for line in replica_lines:
+        print(line, file=out)
     print(f"selftest               : {'ok' if ok else 'FAILED'}", file=out)
     _flush_observability(args, metrics, tracer, out)
     return 0 if ok else 1
+
+
+def _replica_selftest(args):
+    """The replica-lag fault matrix: backup crash mid-catch-up, a
+    partitioned primary serving stale replica reads, and promote-backup
+    via a ShardMap change — each seeded, each replayed byte for byte."""
+    from .service import (
+        ClusterConfig,
+        MapChange,
+        NetworkConfig,
+        SessionGuarantees,
+        StressConfig,
+        run_stress,
+    )
+
+    net = NetworkConfig(drop=0.05, duplicate=0.05, min_delay=1, max_delay=4)
+
+    # Backup crash mid-catch-up, guarantees enforced (causal, redirect):
+    # the fault fires, the run replays byte for byte, and no session
+    # guarantee is ever violated.  Declared PL-2: causal sessions still
+    # permit globally stale (lagging-snapshot) reads, which cap the
+    # natural level below PL-3 on many seeds.
+    crash_cfg = StressConfig(
+        scheduler="locking", level="PL-2", clients=4, txns_per_client=10,
+        keys=8, ops_per_txn=2, seed=args.seed, network=net,
+        cluster=ClusterConfig(
+            shards=2, replicas=2,
+            crash_replica_after_applies=(0, 0, 10),
+            replica_restart_delay=25,
+        ),
+        read_preference="replica",
+        session_guarantees=SessionGuarantees(causal=True),
+        read_only_fraction=0.5,
+    )
+    c1 = run_stress(crash_cfg)
+    c2 = run_stress(crash_cfg)
+    backup = c1.cluster.replica_of(0, 0)
+    crash_ok = (
+        c1.history_text == c2.history_text
+        and c1.journals == c2.journals
+        and c1.ops == c2.ops
+        and backup is not None
+        and backup.crashes >= 1
+        and backup.restarts >= 1
+        and not c1.session_violations
+        and c1.all_certified
+    )
+
+    # Partitioned primary with stale-by-choice replica reads (guarantees
+    # off, slow replication): the DSG checker still certifies every
+    # commit at its declared PL-2 while the client-side record
+    # accumulates violation witnesses — the explained divergence.
+    stale_cfg = StressConfig(
+        scheduler="locking", level="PL-2", clients=4, txns_per_client=10,
+        keys=4, ops_per_txn=2, seed=args.seed, network=net,
+        cluster=ClusterConfig(
+            shards=2, replicas=2,
+            replication_every=12, replication_lag=(4, 10),
+            partition_primary_after_commits=(1, 5), heal_after=60,
+        ),
+        read_preference="replica",
+        read_only_fraction=0.5,
+    )
+    s1 = run_stress(stale_cfg)
+    s2 = run_stress(stale_cfg)
+    stale_verdict = s1.opcheck()
+    stale_ok = (
+        s1.history_text == s2.history_text
+        and s1.ops == s2.ops
+        and s1.cluster.network.counters["lost_partition"] >= 1
+        and len(s1.session_violations) >= 1
+        and s1.all_certified
+        # Any opcheck divergence must come with stale-read witnesses —
+        # the *explained* divergence (passing is legitimate too: session
+        # floors are per-shard offsets, coarser than per-object values).
+        and (stale_verdict.ok
+             or all(f["witnesses"] for f in stale_verdict.failures))
+    )
+
+    # Promote a backup to primary via a scheduled ShardMap change; all
+    # reads at the primaries, so opcheck and the DSG must agree on
+    # strict serializability.
+    promote_cfg = StressConfig(
+        scheduler="locking", clients=4, txns_per_client=10, keys=8,
+        ops_per_txn=2, seed=args.seed, network=net,
+        cluster=ClusterConfig(
+            shards=2, replicas=2,
+            map_changes=(
+                MapChange(kind="promote", after_commits=8, shard=0,
+                          replica=1),
+            ),
+        ),
+    )
+    p1 = run_stress(promote_cfg)
+    p2 = run_stress(promote_cfg)
+    promote_verdict = p1.opcheck()
+    promote_ok = (
+        p1.history_text == p2.history_text
+        and p1.journals == p2.journals
+        and p1.cluster.shards[0].name == "shard0.r2"
+        and promote_verdict.ok
+        and p1.all_certified
+    )
+
+    lines = [
+        "backup crash+catch-up  : "
+        + ("replayed, 0 violations" if crash_ok else "FAILED"),
+        "partitioned primary    : "
+        + (
+            f"{len(s1.session_violations)} stale witnesses, "
+            + ("opcheck diverged (explained)" if not stale_verdict.ok
+               else "opcheck agreed")
+            if stale_ok else "FAILED"
+        ),
+        "promote via shard map  : "
+        + ("opcheck+DSG agree" if promote_ok else "FAILED"),
+    ]
+    return crash_ok and stale_ok and promote_ok, lines
 
 
 def _run_cluster_stress_cmd(args, out) -> int:
@@ -950,6 +1122,29 @@ def _run_cluster_stress_cmd(args, out) -> int:
         f"retransmits={coord.retransmits}",
         file=out,
     )
+    if args.replicas:
+        counters = cluster.counters
+        print(
+            f"replication            : replicas={args.replicas}/shard "
+            f"serves={counters['replica_serves']} "
+            f"lagging={counters['replica_lagging']} "
+            f"applied={counters['replica_applied']}",
+            file=out,
+        )
+        print(
+            "session violations     : "
+            f"{len(result.session_violations)} witnessed",
+            file=out,
+        )
+        verdict = result.opcheck()
+        print(
+            "opcheck                : "
+            f"{'strict-serializable' if verdict.ok else 'DIVERGED'} "
+            f"({verdict.states_explored} states)",
+            file=out,
+        )
+        if not verdict.ok:
+            print(verdict.explain(), file=out)
     if args.journal:
         print("\nclient journals:", file=out)
         print(result.journal_text(), file=out)

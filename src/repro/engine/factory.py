@@ -24,7 +24,7 @@ but is deprecated; see :class:`~repro.engine.database.Database`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional
 
 from ..core.levels import IsolationLevel
 from .scheduler import Scheduler

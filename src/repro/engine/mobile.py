@@ -38,11 +38,15 @@ from ..core.history import History
 from ..core.objects import Version
 from ..core.predicates import Predicate, VersionSet
 from ..exceptions import InvalidOperation
+from ..service.replication import SessionVector
 from .recorder import HistoryRecorder
 from .storage import MultiVersionStore
 from .transaction import BufferedWrite, Transaction, TxnState
 
 __all__ = ["MobileCluster", "MobileClient", "MobileTxn", "SyncResult"]
+
+#: The session-vector key for the (single) server a mobile client talks to.
+SERVER = "server"
 
 
 @dataclass
@@ -110,13 +114,37 @@ class MobileTxn:
 
 
 class MobileClient:
-    """One disconnected client: a local tentative log over a server base."""
+    """One disconnected client: a local tentative log over a server base.
+
+    The server base is tracked through the same :class:`SessionVector`
+    the replicated cluster uses for session guarantees: the vector's
+    ``SERVER`` entry is the commit offset of the client's last contact.
+    A *connected* client refreshes the watermark on every ``begin`` (each
+    transaction starts from current server state); after
+    :meth:`disconnect` the watermark freezes, so the client is exactly a
+    replica with unbounded lag serving stale-by-choice reads — the
+    replication layer's weak-session mode — until :meth:`sync`
+    reconnects, observes the fresh offset, and certifies the tentative
+    log against everything that committed past the old watermark.
+    """
 
     def __init__(self, cluster: "MobileCluster", client_id: int):
         self.cluster = cluster
         self.client_id = client_id
+        # Creation is the client's first server contact.
+        self.session = SessionVector({SERVER: cluster.store.commit_seq})
+        self.connected = True
         self._tentative: List[_Tentative] = []
         self._running: Dict[int, _Tentative] = {}
+
+    def session_vector(self) -> SessionVector:
+        """Snapshot of the client's watermark vector (cf. ClusterClient)."""
+        return self.session.copy()
+
+    def disconnect(self) -> None:
+        """Freeze the server watermark: later transactions run against
+        the state as of the last contact, however stale it grows."""
+        self.connected = False
 
     # ------------------------------------------------------------------
     # transaction lifecycle
@@ -124,8 +152,10 @@ class MobileClient:
 
     def begin(self) -> MobileTxn:
         txn = self.cluster._new_txn()
+        if self.connected:
+            self.session.observe(SERVER, self.cluster.store.commit_seq)
         self._running[txn.tid] = _Tentative(
-            txn, self.cluster.store.commit_seq, set(), set(), set()
+            txn, self.session.get(SERVER), set(), set(), set()
         )
         return MobileTxn(self, txn)
 
@@ -238,7 +268,12 @@ class MobileClient:
 
     def sync(self) -> SyncResult:
         """Reconnect: certify tentative transactions in order, cascading
-        aborts to dependents of failures; returns what happened."""
+        aborts to dependents of failures; returns what happened.
+
+        Reconnecting also advances the session watermark to the server's
+        current commit offset, so post-sync transactions read fresh state
+        (read-your-writes across the sync is automatic: certified writes
+        are part of that offset)."""
         result = SyncResult()
         aborted: Set[int] = set()
         for entry in self._tentative:
@@ -257,6 +292,8 @@ class MobileClient:
             txn.state = TxnState.COMMITTED
             result.committed.append(txn.tid)
         self._tentative.clear()
+        self.connected = True
+        self.session.observe(SERVER, self.cluster.store.commit_seq)
         return result
 
     def _conflicts(self, entry: _Tentative) -> bool:

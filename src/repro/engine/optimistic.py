@@ -19,7 +19,7 @@ site: start/commit timestamps come from the store's commit sequence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Set, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..core.objects import Version
 from ..core.predicates import Predicate, VersionSet

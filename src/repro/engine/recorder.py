@@ -45,6 +45,12 @@ class HistoryRecorder:
         #: though keys come from different recorders' index spaces).
         self.position_base = 0
         self.monitor = monitor
+        #: Replication log: one ``(event, finals, keys)`` entry per event
+        #: (``finals``/``keys`` are None except for commits, where they
+        #: carry the installed versions and their base-adjusted install
+        #: keys).  None until :meth:`enable_replication` — unreplicated
+        #: recorders pay nothing.
+        self.repl_log: Optional[List[tuple]] = None
         # Per-event-type bound counters, populated by instrument(); None
         # keeps every emission at exactly one extra `is not None` check.
         self._ev_counters: Optional[Dict[str, object]] = None
@@ -89,6 +95,62 @@ class HistoryRecorder:
         self.monitor = monitor
 
     # ------------------------------------------------------------------
+    # replication log
+    # ------------------------------------------------------------------
+
+    def enable_replication(self) -> None:
+        """Start keeping a shippable replication log, backfilled for
+        everything already recorded (commits regain their install keys
+        from the install order, the same reconstruction
+        :meth:`attach_monitor` replays with)."""
+        if self.repl_log is not None:
+            return
+        keyed: Dict[int, Dict[str, tuple]] = {}
+        for obj, entries in self._install.items():
+            for key, version in entries:
+                keyed.setdefault(version.tid, {})[obj] = (key, version)
+        log: List[tuple] = []
+        for ev in self.events:
+            if isinstance(ev, Commit):
+                slot = keyed.get(ev.tid, {})
+                log.append((
+                    ev,
+                    {obj: v for obj, (_k, v) in slot.items()},
+                    {obj: k for obj, (k, _v) in slot.items()},
+                ))
+            else:
+                log.append((ev, None, None))
+        self.repl_log = log
+
+    def apply_entry(self, entry: tuple) -> None:
+        """Append one shipped replication-log entry: the event verbatim,
+        and for commits the installed versions under the *primary's*
+        install keys, so a backup's install order is a prefix-exact copy
+        of the primary's (a promoted backup keeps issuing keys that sort
+        consistently after :meth:`rebase`)."""
+        ev, finals, keys = entry
+        self.events.append(ev)
+        if finals is not None:
+            for obj in sorted(finals):
+                self._install.setdefault(obj, []).append(
+                    (keys[obj], finals[obj])
+                )
+        if self.repl_log is not None:
+            self.repl_log.append(entry)
+        if self.monitor is not None:
+            if finals is not None:
+                self.monitor.add(ev, finals=dict(finals), positions=dict(keys))
+            else:
+                self.monitor.add(ev)
+
+    def rebase(self, counter: int, base: int) -> None:
+        """Rebase the install-key space onto another recorder's (used at
+        backup promotion: the promoted log must hand out future keys that
+        sort after every key the retired primary ever issued)."""
+        self._install_counter = max(self._install_counter, counter)
+        self.position_base = max(self.position_base, base)
+
+    # ------------------------------------------------------------------
     # event emission
     # ------------------------------------------------------------------
 
@@ -96,6 +158,8 @@ class HistoryRecorder:
         self.events.append(Begin(tid, level))
         if self._ev_counters is not None:
             self._ev_counters["begin"].inc()
+        if self.repl_log is not None:
+            self.repl_log.append((self.events[-1], None, None))
         if self.monitor is not None:
             self.monitor.add(self.events[-1])
 
@@ -103,6 +167,8 @@ class HistoryRecorder:
         self.events.append(Read(tid, version, value=value, cursor=cursor))
         if self._ev_counters is not None:
             self._ev_counters["read"].inc()
+        if self.repl_log is not None:
+            self.repl_log.append((self.events[-1], None, None))
         if self.monitor is not None:
             self.monitor.add(self.events[-1])
 
@@ -110,6 +176,8 @@ class HistoryRecorder:
         self.events.append(Write(tid, version, value=value, dead=dead))
         if self._ev_counters is not None:
             self._ev_counters["write"].inc()
+        if self.repl_log is not None:
+            self.repl_log.append((self.events[-1], None, None))
         if self.monitor is not None:
             self.monitor.add(self.events[-1])
 
@@ -119,6 +187,8 @@ class HistoryRecorder:
         self.events.append(PredicateRead(tid, predicate, vset))
         if self._ev_counters is not None:
             self._ev_counters["predicate_read"].inc()
+        if self.repl_log is not None:
+            self.repl_log.append((self.events[-1], None, None))
         if self.monitor is not None:
             self.monitor.add(self.events[-1])
 
@@ -148,6 +218,8 @@ class HistoryRecorder:
         self.events.append(Commit(tid))
         if self._ev_counters is not None:
             self._ev_counters["commit"].inc()
+        if self.repl_log is not None:
+            self.repl_log.append((self.events[-1], dict(finals), dict(keys)))
         if self.monitor is not None:
             self.monitor.add(self.events[-1], finals=dict(finals), positions=keys)
 
@@ -163,6 +235,8 @@ class HistoryRecorder:
         self.events.append(Abort(tid))
         if self._ev_counters is not None:
             self._ev_counters["abort"].inc()
+        if self.repl_log is not None:
+            self.repl_log.append((self.events[-1], None, None))
         if self.monitor is not None:
             self.monitor.add(self.events[-1])
 

@@ -26,7 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core import graph as _g
 from ..core.conflicts import DepKind, Edge
-from ..core.events import PredicateRead, Read
+from ..core.events import PredicateRead
 from ..core.incremental import IncrementalAnalysis
 from ..core.phenomena import Phenomenon
 

@@ -29,7 +29,7 @@ journals or traces (pinned by the capacity tests).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 __all__ = [

@@ -30,6 +30,7 @@ from .config import (
     NetworkConfig,
     RetryPolicy,
     SchedulerConfig,
+    SessionGuarantees,
     StressConfig,
 )
 from .coordinator import Coordinator
@@ -40,6 +41,7 @@ from .errors import (
     ServiceUnavailable,
 )
 from .network import SimulatedNetwork
+from .replication import ReplicaServer, SessionVector
 from .server import Server
 from .shardmap import ShardMap
 from .stress import StressResult, run_stress
@@ -56,6 +58,7 @@ __all__ = [
     "MapChange",
     "NetworkConfig",
     "PendingCall",
+    "ReplicaServer",
     "RequestTimeout",
     "RetryPolicy",
     "SchedulerConfig",
@@ -63,6 +66,8 @@ __all__ = [
     "ServiceAborted",
     "ServiceError",
     "ServiceUnavailable",
+    "SessionGuarantees",
+    "SessionVector",
     "ShardMap",
     "ShardServer",
     "SimulatedNetwork",

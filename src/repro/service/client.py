@@ -24,7 +24,7 @@ seeds, same journal, byte for byte.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional
 
 from .config import RetryPolicy
 from .errors import RequestTimeout, ServiceAborted, ServiceUnavailable
@@ -154,6 +154,18 @@ class PendingCall:
                     self.span.event("moved", owner=reply.get("owner"))
                 client._on_moved(self, reply)
                 return self.settled
+            if error == "lagging":
+                # A replica behind this session's watermark: the session's
+                # guarantee policy decides — wait for catch-up, or redirect
+                # to the primary (cluster clients override the hook).
+                if self.span is not None:
+                    self.span.event(
+                        "lagging",
+                        applied=reply.get("applied"),
+                        required=reply.get("required"),
+                    )
+                client._on_lagging(self, reply)
+                return self.settled
             if error == "aborted":
                 self.error = ServiceAborted(reply.get("reason", "aborted"))
                 client._on_abort_reply()
@@ -278,6 +290,18 @@ class Client:
         pending.dest = self._route(pending.kind, pending.payload)
         pending._send()
 
+    def _on_lagging(self, pending: "PendingCall", reply: Dict[str, Any]) -> None:
+        """A ``lagging`` reply (replica behind the session watermark).
+        The plain client never routes to replicas; treat it as transient
+        and back off.  The cluster client overrides this with the
+        session-guarantee policy (wait vs redirect-to-primary)."""
+        pending._backoff_or_fail(
+            ServiceUnavailable(
+                f"{pending.kind} rid={pending.rid}: replica still lagging "
+                f"after {pending.attempts} attempts"
+            )
+        )
+
     # -- trace context ---------------------------------------------------
 
     def _begin_trace(self) -> None:
@@ -370,9 +394,14 @@ class Client:
         args = {
             k: v
             for k, v in pending.payload.items()
-            # "trace" is context plumbing, not a logical argument — the
-            # journal must be byte-identical with and without a tracer.
-            if k not in ("kind", "session", "rid", "acked", "tid", "trace")
+            # "trace" is context plumbing, not a logical argument (the
+            # journal must be byte-identical with and without a tracer);
+            # watermark floors and routing pins are replication plumbing
+            # likewise.
+            if k not in (
+                "kind", "session", "rid", "acked", "tid", "trace",
+                "min_offset", "_route", "_pin",
+            )
         }
         arg_text = ",".join(f"{k}={v}" for k, v in sorted(args.items()))
         try:

@@ -43,6 +43,7 @@ Key design points:
 
 from __future__ import annotations
 
+import random
 import zlib
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -53,21 +54,20 @@ from ..engine.factory import SchedulerConfig
 from ..engine.simulator import _find_cycle
 from ..engine.transaction import TxnState
 from .client import Client
-from .config import AdmissionConfig, ClusterConfig, NetworkConfig
+from .config import (
+    AdmissionConfig,
+    ClusterConfig,
+    NetworkConfig,
+    SessionGuarantees,
+)
 from .coordinator import Coordinator
+from .errors import ServiceUnavailable
 from .network import SimulatedNetwork
+from .replication import ReplicaServer, SessionVector, route_key as _route_key
 from .server import Server
 from .shardmap import ShardMap
 
 __all__ = ["Cluster", "ClusterClient", "ShardServer", "connect_cluster"]
-
-
-def _route_key(obj: str) -> str:
-    """The string a keyed operation routes by: the relation for namespaced
-    objects (``"emp:3"`` → ``"emp"``), the object itself for bare keys.
-    Routing by relation keeps inserts and their objects on one shard."""
-    rel, sep, _ = obj.partition(":")
-    return rel if sep else obj
 
 
 class _TxnMeta:
@@ -272,9 +272,65 @@ class ShardServer(Server):
             ticks.append(self.network.now)
 
     def handle(self, request, src):
+        kind = request.get("kind")
+        if kind in ("repl-pump", "repl-ack"):
+            if self.up:
+                self._handle_replication(kind, request)
+            return None
         reply = super().handle(request, src)
         self._note_event_ticks()
         return reply
+
+    # ------------------------------------------------------------------
+    # primary-side replication (log shipping)
+    # ------------------------------------------------------------------
+
+    def _handle_replication(self, kind, request) -> None:
+        cluster = self._cluster
+        if kind == "repl-ack":
+            acked = cluster._repl_acked[self.index]
+            j = request["replica"]
+            acked[j] = max(acked[j], request["applied"])
+            return
+        # "repl-pump": ship the unacknowledged WAL suffix to each backup
+        # with a seeded lag draw, then re-arm the pump.  Timer-based and
+        # fault-free, so replication never perturbs the client traffic's
+        # fault schedule; the periodic re-ship doubles as retransmission
+        # for batches lost to a backup crash or a partition.
+        cfg = cluster.config
+        log = self.recorder.repl_log or []
+        rng = cluster._repl_rngs[self.index]
+        lag_min, lag_max = cfg.replication_lag
+        for j in range(cfg.replicas):
+            replica = cluster.replica_of(self.index, j)
+            if replica is None:
+                continue
+            acked = cluster._repl_acked[self.index][j]
+            if acked >= len(log):
+                continue
+            lag = rng.randint(lag_min, lag_max)
+            self.network.timer(
+                replica.name,
+                {
+                    "kind": "repl",
+                    "primary": self.name,
+                    "from": acked,
+                    "entries": log[acked:],
+                },
+                delay=lag,
+                src=self.name,
+            )
+        self.network.timer(
+            self.name, {"kind": "repl-pump"}, delay=cfg.replication_every
+        )
+
+    def restart(self) -> None:
+        if self.up:
+            return
+        super().restart()
+        # The pump timer chain died with the crash (self-timers are
+        # flushed); re-arm it so the backups keep catching up.
+        self._cluster._arm_replication(self)
 
     # ------------------------------------------------------------------
     # request execution
@@ -316,6 +372,17 @@ class ShardServer(Server):
             and not reply.get("recovered")
         ):
             cluster._note_commit(txn_before.tid)
+        if cluster.config.replicas and reply.get("ok"):
+            # Watermark provenance for session guarantees: reads carry the
+            # primary's current offset (the freshest possible state of this
+            # shard), commits the post-commit offset every participant's
+            # durable log reached.
+            offset = len(self.recorder.events)
+            if kind == "read":
+                reply["shard"] = self.index
+                reply["offset"] = offset
+            elif kind == "commit":
+                reply["offsets"] = {self.index: offset}
         return reply
 
     def _do_begin(self, request, sess):
@@ -429,7 +496,10 @@ class ShardServer(Server):
             span.set(tid=gid, outcome=outcome)
         if outcome == "commit":
             if gid in self._committed_tids:
-                return {"ok": True}
+                reply = {"ok": True}
+                if cluster.config.replicas:
+                    reply["offset"] = len(self.recorder.events)
+                return reply
             snap = self._prepared.get(gid)
             if snap is None:
                 return {
@@ -459,6 +529,8 @@ class ShardServer(Server):
             reply = {"ok": True}
             if recovered:
                 reply["recovered"] = True
+            if cluster.config.replicas:
+                reply["offset"] = len(self.recorder.events)
             return reply
         # outcome == "abort"
         snap = self._prepared.pop(gid, None)
@@ -554,16 +626,100 @@ class ClusterClient(Client):
     ``commit``/``abort`` directly to the single shard the transaction
     touched, or to the 2PC coordinator when it spans several.  Every retry
     re-resolves its destination against the *current* map and shard
-    endpoints, so a request never chases a retired shard."""
+    endpoints, so a request never chases a retired shard.
 
-    def __init__(self, cluster: "Cluster", **kwargs) -> None:
+    With ``read_preference`` other than ``"primary"`` (and a replicated
+    cluster), plain reads go to backups — ``"nearest"`` sticks each session
+    to one hashed endpoint, ``"replica"`` spreads reads round the group —
+    and the session tracks Bayou-style watermark vectors of ``(shard,
+    applied-offset)``: commits raise the *write* vector, reads the *read*
+    vector, both the *causal* one.  When ``guarantees`` enforces a session
+    level, replica reads carry the vector floor (``min_offset``) and a
+    lagging backup either redirects the read to the primary or makes it
+    wait for catch-up (:attr:`SessionGuarantees.on_lag`); when nothing is
+    enforced the session reads stale by choice and every guarantee the
+    stale read *would* have violated is recorded in :attr:`violations`
+    with a witness."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        *,
+        read_preference: str = "primary",
+        guarantees: Optional[SessionGuarantees] = None,
+        **kwargs,
+    ) -> None:
+        if read_preference not in ("primary", "replica", "nearest"):
+            raise ValueError(
+                "read_preference must be primary, replica or nearest, "
+                f"not {read_preference!r}"
+            )
         self._cluster = cluster
         self._txn_shards: Set[int] = set()
+        self.read_preference = read_preference
+        self.guarantees = guarantees
+        #: Session watermarks: offsets this session's writes reached,
+        #: offsets its reads observed, and the union (causal).
+        self._write_vec = SessionVector()
+        self._read_vec = SessionVector()
+        self._causal_vec = SessionVector()
+        #: Witnessed session-guarantee violations (stale-by-choice reads).
+        self.violations: List[Dict[str, Any]] = []
+        #: Objects written by the current transaction — their reads must go
+        #: to the primary (backups never see uncommitted writes).
+        self._txn_writes: Set[str] = set()
+        #: Attempt count of the retry being re-routed (rotates replicas).
+        self._route_attempt = 0
         super().__init__(cluster.network, server="", **kwargs)
 
     @property
     def home_shard(self) -> int:
         return self._cluster.home_shard(self.name)
+
+    # -- watermarks ----------------------------------------------------
+
+    def session_vector(self) -> SessionVector:
+        """The session's causal watermark (a copy)."""
+        return self._causal_vec.copy()
+
+    def _floor_for(self, idx: int) -> int:
+        """The applied-offset floor the enforced guarantees impose on a
+        replica read at shard ``idx``."""
+        g = self.guarantees
+        if g is None:
+            return 0
+        floor = 0
+        if g.read_your_writes:
+            floor = max(floor, self._write_vec.get(idx))
+        if g.monotonic_reads:
+            floor = max(floor, self._read_vec.get(idx))
+        if g.causal:
+            floor = max(floor, self._causal_vec.get(idx))
+        return floor
+
+    # -- routing -------------------------------------------------------
+
+    def _pick_replica(self, idx: int) -> str:
+        """Deterministic replica choice for a plain read at shard ``idx``:
+        ``nearest`` hashes the session to one sticky endpoint (primary
+        included as a slot), ``replica`` rotates by rid; retries rotate
+        onward and eventually fall back to the primary, so one crashed
+        backup never wedges a session."""
+        cluster = self._cluster
+        k = cluster.config.replicas
+        h = zlib.crc32(self.name.encode("utf-8"))
+        attempt = self._route_attempt
+        if self.read_preference == "nearest":
+            slot = h % (k + 1) if attempt < 2 else k
+        else:  # "replica"
+            slot = (h + self._rid + attempt) % (k + 1) if attempt else (
+                (h + self._rid) % k
+            )
+        if slot < k:
+            replica = cluster.replica_of(idx, slot)
+            if replica is not None:
+                return replica.name
+        return cluster.endpoint(idx)
 
     def _route(self, kind: str, payload: Dict[str, Any]) -> str:
         cluster = self._cluster
@@ -571,6 +727,7 @@ class ClusterClient(Client):
             home = self.home_shard
             if kind == "begin":
                 self._txn_shards = {home}
+                self._txn_writes = set()
             return cluster.endpoint(home)
         if kind in ("commit", "abort"):
             if len(self._txn_shards) == 1:
@@ -579,7 +736,29 @@ class ClusterClient(Client):
         key = payload.get("obj") or payload.get("relation")
         if key is None:
             return cluster.endpoint(self.home_shard)
+        if kind in ("write", "delete"):
+            self._txn_writes.add(payload["obj"])
         idx = cluster.owner_index(_route_key(key))
+        pinned = payload.get("_pin")
+        if pinned is not None:
+            return pinned  # waiting out a lagging replica: same endpoint
+        if (
+            kind == "read"
+            and cluster.config.replicas
+            and self.read_preference != "primary"
+            and not payload.get("for_update")
+            and payload.get("_route") != "primary"
+            and payload.get("obj") not in self._txn_writes
+        ):
+            dest = self._pick_replica(idx)
+            if dest != cluster.endpoint(idx):
+                floor = self._floor_for(idx)
+                if floor:
+                    payload["min_offset"] = floor
+                else:
+                    payload.pop("min_offset", None)
+                return dest
+        payload.pop("min_offset", None)
         self._txn_shards.add(idx)
         return cluster.endpoint(idx)
 
@@ -587,7 +766,74 @@ class ClusterClient(Client):
         # The stale-shard fix: retries re-resolve against the live map and
         # the shards' *current* endpoints (a replaced shard keeps its index
         # but changes its name), instead of hammering the retired endpoint.
+        # Replica-served reads additionally rotate their backup choice with
+        # the attempt count.
+        self._route_attempt = pending.attempts
         pending.dest = self._route(pending.kind, pending.payload)
+        self._route_attempt = 0
+
+    def _on_lagging(self, pending, reply: Dict[str, Any]) -> None:
+        """Session-guarantee policy for a behind-the-watermark replica:
+        redirect the read to the primary (default, and always when the
+        replica has never seen the object), or pin the destination and
+        wait for catch-up (``on_lag="wait"``)."""
+        g = self.guarantees
+        mode = g.on_lag if g is not None and g.enforced else "redirect"
+        if mode == "redirect" or reply.get("missing"):
+            if pending.attempts >= self.policy.max_attempts:
+                pending.error = ServiceUnavailable(
+                    f"{pending.kind} rid={pending.rid}: replica lagging "
+                    f"after {pending.attempts} attempts"
+                )
+                return
+            pending.payload["_route"] = "primary"
+            pending.payload.pop("min_offset", None)
+            pending.dest = self._route(pending.kind, pending.payload)
+            pending._send()
+            return
+        pending.payload["_pin"] = pending.dest
+        pending._backoff_or_fail(
+            ServiceUnavailable(
+                f"{pending.kind} rid={pending.rid}: replica still lagging "
+                f"after {pending.attempts} attempts"
+            )
+        )
+
+    # -- watermark maintenance & violation witnessing --------------------
+
+    def _finish(self, pending) -> Dict[str, Any]:
+        reply = super()._finish(pending)
+        if pending.kind == "read" and "offset" in reply:
+            shard = reply["shard"]
+            offset = reply["offset"]
+            tick = self.network.now
+            checks = (
+                ("read-your-writes", self._write_vec),
+                ("monotonic-reads", self._read_vec),
+                ("causal", self._causal_vec),
+            )
+            for kind, vec in checks:
+                required = vec.get(shard)
+                if offset < required:
+                    self.violations.append({
+                        "kind": kind,
+                        "session": self.name,
+                        "shard": shard,
+                        "obj": pending.payload.get("obj"),
+                        "tid": pending.payload.get("tid"),
+                        "required": required,
+                        "got": offset,
+                        "tick": tick,
+                    })
+            self._read_vec.observe(shard, offset)
+            self._causal_vec.observe(shard, offset)
+        elif pending.kind == "commit" and reply.get("offsets"):
+            for shard, offset in reply["offsets"].items():
+                self._write_vec.observe(shard, offset)
+                self._causal_vec.observe(shard, offset)
+        elif pending.kind == "insert" and "obj" in reply:
+            self._txn_writes.add(reply["obj"])
+        return reply
 
 
 class Cluster:
@@ -655,6 +901,52 @@ class Cluster:
             for shard in self.shards:
                 self.certifier.attach(shard)
                 shard.monitor = monitor  # base _certify consults it
+        # -- replication (primary/backup log shipping) -------------------
+        k = self.config.replicas
+        #: Backups by (shard, ordinal); a slot goes None on promotion.
+        self.replicas: List[List[Optional[ReplicaServer]]] = [
+            [
+                ReplicaServer(
+                    self, i, j, network,
+                    name=self.config.replica_names(i)[j],
+                )
+                for j in range(k)
+            ]
+            for i in range(n)
+        ]
+        #: Every backup ever created (promoted ones included) — the merged
+        #: history walks this for replica-served reads.
+        self._all_replicas: List[ReplicaServer] = [
+            r for group in self.replicas for r in group
+        ]
+        #: Per-shard highest offset each backup acknowledged.
+        self._repl_acked: List[List[int]] = [[0] * k for _ in range(n)]
+        #: Per-shard replication-lag RNGs, seeded off the network seed —
+        #: independent of the fault RNG, so replicated and unreplicated
+        #: runs share the client traffic's exact fault schedule.
+        self._repl_rngs: List[random.Random] = [
+            random.Random(
+                zlib.crc32(f"repl:{i}:{network.config.seed}".encode())
+            )
+            for i in range(n)
+        ]
+        #: Per-shard shared read-reply caches (at-most-once across the
+        #: whole replica group: a retry landing on a different backup —
+        #: or the new primary after a promote — still dedups).
+        self._replica_replies: List[Dict[str, dict]] = [{} for _ in range(n)]
+        self._replica_restart_at: Dict[Tuple[int, int], int] = {}
+        self._replica_crash_fired = False
+        self._primary_partition_fired = False
+        if k:
+            for shard in self.shards:
+                self._arm_replication(shard)
+            if self.certifier is not None:
+                for replica in self._all_replicas:
+                    # Direct assignment, not attach_monitor: the recorder is
+                    # empty here and replays would double-feed after restore.
+                    replica.reads.monitor = _ShardFeed(
+                        self.certifier, replica.shard_index
+                    )
         self.coordinator = Coordinator(self, name=self.config.coordinator)
         #: Cross-shard certification verdicts (coordinator-path commits).
         self._certified: Dict[int, bool] = {}
@@ -696,11 +988,64 @@ class Cluster:
         meta = self.state.meta.get(gid)
         return tuple(meta.participants) if meta is not None else ()
 
-    def client(self, name: str, *, policy=None) -> ClusterClient:
+    def client(
+        self,
+        name: str,
+        *,
+        policy=None,
+        read_preference: str = "primary",
+        guarantees: Optional[SessionGuarantees] = None,
+    ) -> ClusterClient:
         return ClusterClient(
             self, name=name, policy=policy,
             metrics=self.metrics, tracer=self.tracer,
+            read_preference=read_preference, guarantees=guarantees,
         )
+
+    # ------------------------------------------------------------------
+    # replication management
+    # ------------------------------------------------------------------
+
+    def _arm_replication(self, shard: ShardServer) -> None:
+        """Start (or re-start, after a primary crash) the shard's pump
+        timer chain; idempotent per arm-point because each pump re-arms
+        exactly one successor."""
+        if not self.config.replicas:
+            return
+        shard.recorder.enable_replication()
+        self.network.timer(
+            shard.name, {"kind": "repl-pump"},
+            delay=self.config.replication_every,
+        )
+
+    def replica_of(self, index: int, ordinal: int) -> Optional[ReplicaServer]:
+        """The backup at (shard, ordinal), or None once promoted away."""
+        group = self.replicas[index]
+        return group[ordinal] if ordinal < len(group) else None
+
+    def _note_replica_apply(self, replica: ReplicaServer) -> None:
+        """Fault-schedule hook: fire the configured backup crash once the
+        designated replica has applied its nth entry (crash mid-catch-up:
+        the rest of the shipped batch is lost with the process)."""
+        trigger = self.config.crash_replica_after_applies
+        if trigger is None or self._replica_crash_fired:
+            return
+        shard, ordinal, count = trigger
+        if (
+            replica.shard_index == shard
+            and replica.ordinal == ordinal
+            and replica.counters["applied"] >= count
+        ):
+            self._replica_crash_fired = True
+            replica.crash()
+            if self.tracer is not None:
+                self.tracer.event(
+                    "replica.crash", shard=shard, replica=ordinal,
+                    applied=replica.applied,
+                )
+            self._replica_restart_at[(shard, ordinal)] = (
+                self.network.now + self.config.replica_restart_delay
+            )
 
     # ------------------------------------------------------------------
     # commit bookkeeping / certification
@@ -859,9 +1204,27 @@ class Cluster:
         for idx in [i for i, at in self._restart_at.items() if now >= at]:
             del self._restart_at[idx]
             self.shards[idx].restart()
+        for key in [
+            k for k, at in self._replica_restart_at.items() if now >= at
+        ]:
+            del self._replica_restart_at[key]
+            replica = self.replica_of(*key)
+            if replica is not None:
+                replica.restart()
         if self._heal_at is not None and now >= self._heal_at:
             self._heal_at = None
             self.network.heal()
+        if (
+            self.config.partition_primary_after_commits is not None
+            and not self._primary_partition_fired
+        ):
+            shard_idx, commits = self.config.partition_primary_after_commits
+            if self.commit_count >= commits:
+                # Isolate the primary alone: its backups keep serving reads
+                # at whatever offset they reached — the stale-replica case.
+                self._primary_partition_fired = True
+                self.network.set_partition((self.shards[shard_idx].name,))
+                self._heal_at = now + self.config.heal_after
         if self._stress_crash is not None and not self._stress_crash_fired:
             after, delay = self._stress_crash
             if self.commit_count >= after and self.shards[0].up:
@@ -911,6 +1274,11 @@ class Cluster:
         for idx in sorted(self._restart_at):
             self.shards[idx].restart()
         self._restart_at.clear()
+        for key in sorted(self._replica_restart_at):
+            replica = self.replica_of(*key)
+            if replica is not None:
+                replica.restart()
+        self._replica_restart_at.clear()
         if self._heal_at is not None:
             self._heal_at = None
             self.network.heal()
@@ -942,6 +1310,8 @@ class Cluster:
     def _apply_map_change(self, change) -> bool:
         if change.kind == "migrate":
             return self._migrate_slot(change.slot, change.to_shard)
+        if change.kind == "promote":
+            return self._promote(change.shard, change.replica)
         return self._replace_shard(change.shard)
 
     def _migrate_slot(self, slot: int, to_shard: int) -> bool:
@@ -1024,6 +1394,59 @@ class Cluster:
             )
         return True
 
+    def _promote(self, index: int, ordinal: int) -> bool:
+        """Promote a backup to primary: drain the old primary's remaining
+        log suffix into the backup in-process (a controlled failover hands
+        over, it does not lose the tail), retire the old endpoint, and
+        stand up a fresh :class:`ShardServer` *on the backup's durable WAL
+        copy* under the backup's name — clients re-route via the map, the
+        surviving backups keep catching up from the new primary."""
+        old = self.shards[index]
+        backup = self.replica_of(index, ordinal)
+        if (
+            backup is None
+            or not backup.up
+            or not self._quiescent(old, allow_prepared=True)
+        ):
+            return False
+        for entry in (old.recorder.repl_log or [])[backup.applied:]:
+            backup.apply(entry)
+        self.network.down(old.name)
+        self.network.flush(old.name)
+        old.up = False
+        self._retired.append(old)
+        self._replacements += 1
+        # Future install keys from the promoted log must sort after every
+        # key the retired primary ever issued.
+        backup.wal.rebase(
+            old.recorder._install_counter, old.recorder.position_base
+        )
+        backup.retire()
+        self.replicas[index][ordinal] = None
+        new = ShardServer(
+            self, index, self.network, self.scheduler_config,
+            name=backup.name, initial=None, recover_from=backup.wal,
+        )
+        new.monitor = self.analysis
+        if self.certifier is not None:
+            # Direct assignment, NOT attach_monitor: the primary's copies of
+            # these events already fed the certifier — a replay would feed
+            # every event twice.
+            backup.wal.monitor = _ShardFeed(self.certifier, index)
+        self.shards[index] = new
+        version = self.shard_map.replace(old.name, backup.name)
+        self._arm_replication(new)
+        if self.tracer is not None:
+            self.tracer.event(
+                "cluster.promote",
+                shard=index,
+                replica=ordinal,
+                old=old.name,
+                new=backup.name,
+                map_version=version,
+            )
+        return True
+
     # ------------------------------------------------------------------
     # aggregated facade (the single-Server surface, cluster-wide)
     # ------------------------------------------------------------------
@@ -1062,6 +1485,11 @@ class Cluster:
         for shard in list(self._retired) + list(self.shards):
             for key, value in shard.counters.items():
                 out[key] = out.get(key, 0) + value
+        if self.config.replicas:
+            for key in ("serves", "lagging", "applied", "dedup_hits"):
+                out[f"replica_{key}"] = sum(
+                    r.counters[key] for r in self._all_replicas
+                )
         return out
 
     @property
@@ -1115,7 +1543,12 @@ class Cluster:
         the true install order even across migrations.  With one shard
         this is exactly the shard's own history, byte for byte.
         """
-        if len(self.shards) == 1:
+        replica_reads = [
+            (r.read_ticks[li], len(self.shards) + fi, li, ev)
+            for fi, r in enumerate(self._all_replicas)
+            for li, ev in enumerate(r.reads.events)
+        ]
+        if len(self.shards) == 1 and not replica_reads:
             return self.shards[0].recorder.history(validate=validate)
         entries = []
         for shard in self.shards:
@@ -1123,6 +1556,10 @@ class Cluster:
             for li, ev in enumerate(shard.recorder.events):
                 tick = ticks[li] if li < len(ticks) else self.network.now
                 entries.append((tick, shard.index, li, ev))
+        # Replica-served reads merge with their true version provenance at
+        # the tick they were served — the lagging-snapshot observations the
+        # global analysis certifies PL-SI / session levels over.
+        entries.extend(replica_reads)
         entries.sort(key=lambda e: (e[0], e[1], e[2]))
         final_kind: Dict[int, type] = {}
         final_key: Dict[int, Tuple[int, int, int]] = {}

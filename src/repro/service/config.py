@@ -23,6 +23,7 @@ __all__ = [
     "NetworkConfig",
     "RetryPolicy",
     "SchedulerConfig",
+    "SessionGuarantees",
     "StressConfig",
 ]
 
@@ -176,21 +177,27 @@ class MapChange:
     ``kind="replace"`` retires shard ``shard``'s endpoint and brings up a
     replacement endpoint recovered from the same durable recorder log (the
     regression case for clients retrying a commit against the old name).
-    Either change waits until the affected source shard is quiescent (no
-    active or prepared transactions), then applies atomically between
-    delivery sweeps.
+    ``kind="promote"`` drains the replication stream of shard ``shard``,
+    retires its primary and promotes backup ``replica`` (0-based ordinal)
+    to primary under the backup's own endpoint name — the planned-failover
+    reconfiguration of a replicated shard.  Every change waits until the
+    affected source shard is quiescent (no active or prepared
+    transactions), then applies atomically between delivery sweeps.
     """
 
     #: Apply once the cluster-wide commit count reaches this.
     after_commits: int
-    #: ``"migrate"`` or ``"replace"``.
+    #: ``"migrate"``, ``"replace"`` or ``"promote"``.
     kind: str
     #: Hash slot to move (``migrate`` only).
     slot: Optional[int] = None
     #: Destination shard index (``migrate`` only).
     to_shard: Optional[int] = None
-    #: Shard index whose endpoint is replaced (``replace`` only).
+    #: Shard index whose endpoint is replaced/promoted
+    #: (``replace``/``promote``).
     shard: Optional[int] = None
+    #: Backup ordinal to promote (``promote`` only).
+    replica: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.after_commits < 0:
@@ -201,8 +208,76 @@ class MapChange:
         elif self.kind == "replace":
             if self.shard is None:
                 raise ValueError("replace changes need shard=")
+        elif self.kind == "promote":
+            if self.shard is None or self.replica is None:
+                raise ValueError("promote changes need shard= and replica=")
         else:
-            raise ValueError("kind must be 'migrate' or 'replace'")
+            raise ValueError("kind must be 'migrate', 'replace' or 'promote'")
+
+
+@dataclass(frozen=True, kw_only=True)
+class SessionGuarantees:
+    """Bayou-style per-session guarantees for replica-served reads.
+
+    A session tracks a vector of per-shard *watermarks* — replication-log
+    offsets of the primary WAL.  Commit replies raise the session's write
+    watermark for every participant shard; replica read replies raise the
+    read watermark.  A guarantee turns a watermark into a floor the next
+    replica read must satisfy:
+
+    * ``read_your_writes`` — reads must reflect the session's own
+      committed writes (floor = write watermark);
+    * ``monotonic_reads`` — reads never observe state older than a state
+      the session already observed (floor = read watermark);
+    * ``causal`` — both, plus every offset the session has learned from
+      any reply (floor = the merged session vector), the per-shard
+      approximation of causal consistency.
+
+    ``on_lag`` picks what happens when the chosen replica is behind the
+    floor: ``"redirect"`` re-routes that read to the shard primary (fresh
+    by construction), ``"wait"`` backs off and retries the same replica
+    until it catches up.  With every guarantee off the session reads
+    stale-by-choice: no floor is sent, and the client instead *records* a
+    violation witness whenever a reply would have broken a guarantee.
+    """
+
+    read_your_writes: bool = False
+    monotonic_reads: bool = False
+    causal: bool = False
+    #: ``"redirect"`` or ``"wait"`` — reaction to a lagging replica.
+    on_lag: str = "redirect"
+
+    def __post_init__(self) -> None:
+        if self.on_lag not in ("redirect", "wait"):
+            raise ValueError("on_lag must be 'redirect' or 'wait'")
+
+    @property
+    def enforced(self) -> bool:
+        """Whether any guarantee is switched on."""
+        return self.read_your_writes or self.monotonic_reads or self.causal
+
+    @classmethod
+    def parse(cls, text: str) -> "SessionGuarantees":
+        """Build from a CLI-style spec: comma-separated guarantee names
+        (``ryw``/``read-your-writes``, ``mr``/``monotonic-reads``,
+        ``causal``), optionally ``wait`` or ``redirect``; ``none`` or an
+        empty string disables everything."""
+        kwargs: dict = {}
+        for raw in text.split(","):
+            token = raw.strip().lower().replace("_", "-")
+            if token in ("", "none", "off"):
+                continue
+            elif token in ("ryw", "read-your-writes"):
+                kwargs["read_your_writes"] = True
+            elif token in ("mr", "monotonic-reads"):
+                kwargs["monotonic_reads"] = True
+            elif token == "causal":
+                kwargs["causal"] = True
+            elif token in ("wait", "redirect"):
+                kwargs["on_lag"] = token
+            else:
+                raise ValueError(f"unknown session guarantee {raw.strip()!r}")
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -241,6 +316,25 @@ class ClusterConfig:
     heal_after: int = 40
     #: Coordinator endpoint name.
     coordinator: str = "coord"
+    #: Backups per shard (0 = unreplicated; the primary then ships no
+    #: replication log and the run is byte-identical to the plain path).
+    replicas: int = 0
+    #: Replication pump period: every this many ticks a primary ships its
+    #: unacknowledged WAL suffix to each backup (logical ticks).
+    replication_every: int = 4
+    #: Seeded shipping-delay bounds per replication batch (inclusive
+    #: ticks) — the lag distribution replica reads observe.
+    replication_lag: Tuple[int, int] = (1, 4)
+    #: Crash backup ``(shard, replica, n)`` once it has applied ``n`` log
+    #: entries — the backup-crash-mid-catch-up fault case; it restarts
+    #: from its durable log after ``replica_restart_delay``.
+    crash_replica_after_applies: Optional[Tuple[int, int, int]] = None
+    #: Ticks until a fault-schedule-crashed backup restarts.
+    replica_restart_delay: int = 30
+    #: Partition shard ``(index)``'s primary from everything once the
+    #: cluster-wide commit count reaches ``(commits)`` — backups keep
+    #: serving (stale) reads; heals after ``heal_after``.
+    partition_primary_after_commits: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -270,6 +364,12 @@ class ClusterConfig:
                     )
             elif not (0 <= change.shard < self.shards):
                 raise ValueError(f"replace shard {change.shard} out of range")
+            elif change.kind == "promote" and not (
+                0 <= change.replica < self.replicas
+            ):
+                raise ValueError(
+                    f"promote replica {change.replica} out of range"
+                )
         if self.crash_shard_after_prepares is not None:
             shard, count = self.crash_shard_after_prepares
             if not (0 <= shard < self.shards) or count < 1:
@@ -283,9 +383,41 @@ class ClusterConfig:
             raise ValueError(
                 "partition_coordinator_after_prepares must be >= 1"
             )
+        if self.replicas < 0:
+            raise ValueError("replicas must be >= 0")
+        if self.replication_every < 1:
+            raise ValueError("replication_every must be >= 1")
+        lag_min, lag_max = self.replication_lag
+        if lag_min < 1 or lag_max < lag_min:
+            raise ValueError("need 1 <= replication_lag[0] <= [1]")
+        if self.crash_replica_after_applies is not None:
+            shard, replica, count = self.crash_replica_after_applies
+            if (
+                not (0 <= shard < self.shards)
+                or not (0 <= replica < self.replicas)
+                or count < 1
+            ):
+                raise ValueError(
+                    "crash_replica_after_applies is (shard, replica, "
+                    "nth applied log entry)"
+                )
+        if self.replica_restart_delay < 1:
+            raise ValueError("replica_restart_delay must be >= 1")
+        if self.partition_primary_after_commits is not None:
+            shard, commits = self.partition_primary_after_commits
+            if not (0 <= shard < self.shards) or commits < 0:
+                raise ValueError(
+                    "partition_primary_after_commits is (shard, commits)"
+                )
 
     def shard_names(self) -> Tuple[str, ...]:
         return tuple(f"shard{i}" for i in range(self.shards))
+
+    def replica_names(self, shard: int) -> Tuple[str, ...]:
+        """Endpoint names of shard ``shard``'s backups."""
+        return tuple(
+            f"shard{shard}.r{j + 1}" for j in range(self.replicas)
+        )
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -338,6 +470,16 @@ class StressConfig:
     windows: Optional[Any] = None
     #: Run against a sharded cluster instead of one server.
     cluster: Optional[ClusterConfig] = None
+    #: Where plain (non-locking) reads go in a replicated cluster:
+    #: ``"primary"``, ``"replica"`` (rotate over backups) or ``"nearest"``
+    #: (one deterministic session-pinned endpoint, primary included).
+    read_preference: str = "primary"
+    #: Per-session guarantees for replica reads (None = stale-by-choice).
+    session_guarantees: Optional[SessionGuarantees] = None
+    #: Fraction of transactions that are pure read-only (no writes, plain
+    #: reads that honour ``read_preference``); 0.0 draws nothing and keeps
+    #: unreplicated runs byte-identical to earlier releases.
+    read_only_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.clients < 1 or self.txns_per_client < 0:
@@ -348,3 +490,9 @@ class StressConfig:
             raise ValueError(
                 "open-loop runs need horizon= (ticks of offered load)"
             )
+        if self.read_preference not in ("primary", "replica", "nearest"):
+            raise ValueError(
+                "read_preference must be 'primary', 'replica' or 'nearest'"
+            )
+        if not (0.0 <= self.read_only_fraction <= 1.0):
+            raise ValueError("read_only_fraction must be in [0, 1]")

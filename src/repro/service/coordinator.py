@@ -38,7 +38,7 @@ pinned in tests.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 __all__ = ["Coordinator"]
 
@@ -49,7 +49,7 @@ class _TwoPC:
     __slots__ = (
         "gid", "verb", "client_src", "client_rid", "trace", "participants",
         "phase", "prepared", "refused", "reason", "decision", "stamp",
-        "decide_acks", "rids", "prepare_span", "decide_span",
+        "decide_acks", "rids", "prepare_span", "decide_span", "offsets",
     )
 
     def __init__(
@@ -74,6 +74,9 @@ class _TwoPC:
         self.decision: Optional[str] = None
         self.stamp: Optional[int] = None
         self.decide_acks: set[int] = set()
+        #: Post-commit replication-log offsets per participant (replicated
+        #: clusters: the client folds these into its session write vector).
+        self.offsets: Dict[int, int] = {}
         #: Idempotency token per (phase, participant) — retransmits reuse it.
         self.rids: Dict[Tuple[str, int], int] = {}
         self.prepare_span: Optional[object] = None
@@ -288,6 +291,8 @@ class Coordinator:
         elif phase == "decide" and st.phase == "decide":
             if reply.get("ok"):
                 st.decide_acks.add(idx)
+                if reply.get("offset") is not None:
+                    st.offsets[idx] = reply["offset"]
                 if len(st.decide_acks) == len(st.participants):
                     self._finish(st)
 
@@ -297,6 +302,8 @@ class Coordinator:
             certified = self.cluster.certify(st.gid)
             if certified is not None:
                 reply["certified"] = certified
+            if st.offsets:
+                reply["offsets"] = dict(st.offsets)
         else:
             self.cluster.state.aborted.add(st.gid)
             if st.verb == "abort":

@@ -110,7 +110,8 @@ class SimulatedNetwork:
             else:
                 keep.append(m)
         if lost:
-            self._queue = keep
+            # In place: delivery sweeps may hold a reference to the list.
+            self._queue[:] = keep
             heapq.heapify(self._queue)
             self._count("lost_down", lost)
         return lost
@@ -211,21 +212,29 @@ class SimulatedNetwork:
             self._count("duplicated")
             self._schedule(src, dst, payload, duplicate=True)
 
-    def timer(self, dst: str, payload: Dict[str, Any], *, delay: int) -> None:
-        """Schedule a fault-free self-delivery: ``payload`` reaches ``dst``
-        (as a message from itself) exactly ``delay`` ticks from now.
+    def timer(
+        self, dst: str, payload: Dict[str, Any], *, delay: int,
+        src: Optional[str] = None,
+    ) -> None:
+        """Schedule a fault-free delivery: ``payload`` reaches ``dst``
+        exactly ``delay`` ticks from now, from ``src`` (itself when
+        unset).
 
         Timers draw nothing from the fault RNG — no drop, duplicate or
         delay decisions — so arming one never perturbs the seeded fault
         schedule of real traffic.  The cluster's 2PC coordinator uses
         timers for retransmission deadlines; being self-addressed they
-        survive partitions (an endpoint is always in its own group)."""
+        survive partitions (an endpoint is always in its own group).
+        The replication stream passes ``src=`` explicitly — a primary's
+        batch to a backup is lossless and seeded-lag by construction, but
+        still respects crashes and partitions because delivery checks
+        both real endpoints."""
         if delay < 1:
             raise ValueError("timer delay must be >= 1 tick")
         self._seq += 1
         heapq.heappush(
             self._queue,
-            (self.now + delay, self._seq, dst, dst, payload, None),
+            (self.now + delay, self._seq, src or dst, dst, payload, None),
         )
 
     def _sync_clock(self) -> None:
@@ -285,11 +294,13 @@ class SimulatedNetwork:
         backlog to the server instead of bouncing through the driver loop
         once per message.
         """
-        queue = self._queue
-        if not queue:
+        if not self._queue:
             return 0
         count = 0
-        while queue and (count == 0 or queue[0][0] <= self.now):
+        # Read ``self._queue`` afresh each iteration: a crash triggered
+        # inside a delivery (``flush``) rebinds the queue list, and a
+        # stale local alias would spin on the dropped snapshot forever.
+        while self._queue and (count == 0 or self._queue[0][0] <= self.now):
             self.step()
             count += 1
         return count

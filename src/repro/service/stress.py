@@ -30,6 +30,7 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..analysis.opcheck import Op, check_operations
 from ..core.incremental import IncrementalAnalysis
 from ..core.levels import IsolationLevel
 from ..observability.provenance import watching_analysis
@@ -96,10 +97,24 @@ class StressResult:
     #: The :class:`~repro.service.cluster.Cluster` the run drove (cluster
     #: mode only; ``None`` for single-server runs).
     cluster: Any = field(repr=False, default=None)
+    #: Client-observed operation intervals (one :class:`~repro.analysis.
+    #: opcheck.Op` per transaction that committed or whose commit outcome
+    #: stayed unknown) — the :meth:`opcheck` input.
+    ops: Tuple[Op, ...] = ()
+    #: Witnessed session-guarantee violations across all clients
+    #: (stale-by-choice replica reads; empty when guarantees are enforced).
+    session_violations: Tuple[Dict[str, Any], ...] = ()
 
     @property
     def all_certified(self) -> bool:
         return all(ok for _lvl, ok in self.certification.values())
+
+    def opcheck(self, **kwargs):
+        """Run the operation-interval checker over the run's client-observed
+        transactions; see :func:`repro.analysis.opcheck.check_operations`."""
+        keys = (self.config or {}).get("keys", 0)
+        kwargs.setdefault("initial", {f"k{i}": 0 for i in range(keys)})
+        return check_operations(self.ops, **kwargs)
 
     def latency_percentile(self, q: float) -> Optional[int]:
         """Nearest-rank percentile of the commit latencies (None if no
@@ -237,19 +252,42 @@ def _run_one_txn(
     counters: Dict[str, int],
     windows,
     latencies: List[int],
+    read_only: bool = False,
+    ops_out: Optional[List[Op]] = None,
 ):
-    """One read-modify-write transaction over ``objs``; returns True on
-    commit, False on abort/timeout (the caller decides whether to retry)."""
+    """One transaction over ``objs`` — read-modify-write by default, plain
+    reads with ``read_only`` (the replica-servable mix) — returning True on
+    commit, False on abort/timeout (the caller decides whether to retry).
+
+    With ``ops_out`` set, the transaction is also recorded as a
+    client-observed operation interval (:class:`~repro.analysis.opcheck.
+    Op`): committed transactions with their response tick, commit-timeout
+    transactions as unknown-outcome ops, definite aborts not at all.
+    """
     net_now = client.network.now
+    reads: List[Tuple[str, Any]] = []
+    writes: List[Tuple[str, Any]] = []
+    tid: Optional[int] = None
+    committing = False
     try:
         yield from _op(client, windows, "begin", level=level)
+        tid = client.tid
         for obj in objs:
             key = f"k{obj}"
-            reply = yield from _op(
-                client, windows, "read", obj=key, for_update=True
-            )
-            value = reply.get("value") or 0
-            yield from _op(client, windows, "write", obj=key, value=value + 1)
+            if read_only:
+                reply = yield from _op(client, windows, "read", obj=key)
+                reads.append((key, reply.get("value") or 0))
+            else:
+                reply = yield from _op(
+                    client, windows, "read", obj=key, for_update=True
+                )
+                value = reply.get("value") or 0
+                reads.append((key, value))
+                yield from _op(
+                    client, windows, "write", obj=key, value=value + 1
+                )
+                writes.append((key, value + 1))
+        committing = True
         reply = yield from _op(client, windows, "commit")
     except ServiceAborted:
         counters["aborts"] += 1
@@ -263,11 +301,23 @@ def _run_one_txn(
         # discards it.
         counters["aborts"] += 1
         client.tid = None
+        if ops_out is not None and committing and writes:
+            # The commit decision itself is in doubt: the op may or may not
+            # have taken effect — exactly what an unknown-outcome Op models.
+            ops_out.append(Op(
+                len(ops_out), client.name, tid, net_now, None,
+                tuple(reads), tuple(writes),
+            ))
         if windows is not None:
             windows.observe_abort(client.network.now)
         return False
     latency = client.network.now - net_now
     latencies.append(latency)
+    if ops_out is not None:
+        ops_out.append(Op(
+            len(ops_out), client.name, tid, net_now, client.network.now,
+            tuple(reads), tuple(writes),
+        ))
     if windows is not None:
         now = client.network.now
         windows.observe_latency("txn", latency, now)
@@ -287,19 +337,28 @@ def _transfer_script(
     windows=None,
     latencies: Optional[List[int]] = None,
     hot: Optional[ZipfianKeys] = None,
+    read_only_fraction: float = 0.0,
+    ops_out: Optional[List[Op]] = None,
 ):
     """The closed-loop stress mix: read-modify-write over a small hot key
     space (``for_update`` reads, so locking engines do not drown in upgrade
     deadlocks), with client-side restart on aborts — a miniature of a real
-    service's request handler."""
+    service's request handler.  ``read_only_fraction`` of transactions are
+    plain-read-only instead — the replica-servable share of the mix (the
+    draw is skipped entirely at 0.0, keeping the RNG stream byte-identical
+    to pre-replication runs)."""
     if latencies is None:
         latencies = []
     committed = 0
     while committed < txns:
+        read_only = (
+            bool(read_only_fraction) and rng.random() < read_only_fraction
+        )
         objs = _pick_objs(rng, keys, ops, hot)
         ok = yield from _run_one_txn(
             client, objs, level=level, counters=counters,
             windows=windows, latencies=latencies,
+            read_only=read_only, ops_out=ops_out,
         )
         if ok:
             committed += 1
@@ -318,6 +377,8 @@ def _open_loop_script(
     windows,
     latencies: List[int],
     hot: Optional[ZipfianKeys],
+    read_only_fraction: float = 0.0,
+    ops_out: Optional[List[Op]] = None,
 ):
     """The open-loop worker: claim the next arrival off the shared
     schedule, sleep until its tick (or start immediately if it is already
@@ -334,10 +395,14 @@ def _open_loop_script(
         tick = schedule[idx]
         if net.now < tick:
             yield _TickWait(net, tick)
+        read_only = (
+            bool(read_only_fraction) and rng.random() < read_only_fraction
+        )
         objs = _pick_objs(rng, keys, ops, hot)
         yield from _run_one_txn(
             client, objs, level=level, counters=counters,
             windows=windows, latencies=latencies,
+            read_only=read_only, ops_out=ops_out,
         )
 
 
@@ -522,6 +587,26 @@ def run_stress(
                 cfg.cluster.partition_coordinator_after_prepares
             ),
         }
+        if cfg.cluster.replicas:
+            config_summary["cluster"]["replicas"] = cfg.cluster.replicas
+            config_summary["cluster"]["replication_every"] = (
+                cfg.cluster.replication_every
+            )
+            config_summary["cluster"]["replication_lag"] = list(
+                cfg.cluster.replication_lag
+            )
+            config_summary["read_preference"] = cfg.read_preference
+            config_summary["session_guarantees"] = (
+                {
+                    "read_your_writes": cfg.session_guarantees.read_your_writes,
+                    "monotonic_reads": cfg.session_guarantees.monotonic_reads,
+                    "causal": cfg.session_guarantees.causal,
+                    "on_lag": cfg.session_guarantees.on_lag,
+                }
+                if cfg.session_guarantees is not None
+                else None
+            )
+            config_summary["read_only_fraction"] = cfg.read_only_fraction
     schedule: List[int] = []
     if arrivals is not None:
         schedule = arrivals.schedule(horizon=horizon, seed=seed * 8191 + 3)
@@ -552,11 +637,16 @@ def run_stress(
     driver_rng = random.Random(seed)
     counters = {"aborts": 0}
     latencies: List[int] = []
+    ops_log: List[Op] = []
     arrival_state = {"next": 0}
     runs: List[_ScriptRun] = []
     for i in range(clients):
         if cluster is not None:
-            client = cluster.client(f"c{i}", policy=policy)
+            client = cluster.client(
+                f"c{i}", policy=policy,
+                read_preference=cfg.read_preference,
+                guarantees=cfg.session_guarantees,
+            )
         else:
             client = Client(
                 net, name=f"c{i}", policy=policy, metrics=metrics,
@@ -576,6 +666,8 @@ def run_stress(
                 windows=windows,
                 latencies=latencies,
                 hot=hot_keys,
+                read_only_fraction=cfg.read_only_fraction,
+                ops_out=ops_log,
             )
         else:
             script = _transfer_script(
@@ -589,6 +681,8 @@ def run_stress(
                 windows=windows,
                 latencies=latencies,
                 hot=hot_keys,
+                read_only_fraction=cfg.read_only_fraction,
+                ops_out=ops_log,
             )
         runs.append(_ScriptRun(client, script))
     restart_at: Optional[int] = None
@@ -720,6 +814,14 @@ def run_stress(
     for run in runs:
         for k, v in run.client.stats.items():
             client_stats[k] += v
+    session_violations = tuple(sorted(
+        (
+            v
+            for run in runs
+            for v in getattr(run.client, "violations", ())
+        ),
+        key=lambda v: (v["tick"], v["session"], v["kind"]),
+    ))
     return StressResult(
         history_text=format_history(history),
         journals={
@@ -746,4 +848,6 @@ def run_stress(
         ),
         windows=windows,
         cluster=cluster,
+        ops=tuple(ops_log),
+        session_violations=session_violations,
     )

@@ -26,7 +26,6 @@ from ..core.history import History
 from ..core.levels import IsolationLevel
 from ..core.predicates import FieldPredicate, Predicate
 from ..engine.programs import (
-    Compute,
     Conditional,
     Delete,
     DeleteWhere,

@@ -1,6 +1,5 @@
 """Tests for the permissiveness analysis (repro.analysis.permissiveness)."""
 
-import pytest
 
 from repro.analysis import compare
 from repro.core.levels import IsolationLevel as L

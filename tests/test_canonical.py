@@ -1,10 +1,9 @@
 """Integration tests: every in-text claim the paper makes about its example
 histories, machine-checked (repro.core.canonical)."""
 
-import pytest
 
 import repro
-from repro.core import DSG, Analysis, parse_history
+from repro.core import DSG, Analysis
 from repro.core.canonical import (
     H1,
     H2,

@@ -4,7 +4,6 @@ import io
 import subprocess
 import sys
 
-import pytest
 
 from repro.cli import main
 

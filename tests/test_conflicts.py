@@ -1,7 +1,6 @@
 """Tests for direct-conflict extraction, one class per Figure 2 row
 (repro.core.conflicts)."""
 
-import pytest
 
 from repro.core import parse_history
 from repro.core.conflicts import (
@@ -12,7 +11,6 @@ from repro.core.conflicts import (
     read_dependencies,
     write_dependencies,
 )
-from repro.core.objects import Version
 
 
 def edges(found):

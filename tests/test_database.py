@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.predicates import FieldPredicate
-from repro.engine import Database, LockingScheduler, SnapshotIsolationScheduler
-from repro.exceptions import InvalidOperation, TransactionAborted, WriteConflict
+from repro.engine import Database, SnapshotIsolationScheduler
+from repro.exceptions import InvalidOperation, WriteConflict
 
 
 def make_db():

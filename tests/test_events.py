@@ -63,7 +63,6 @@ class TestInvariants:
 class TestMatchedVersions:
     def test_matched_respects_kind_guards(self):
         from repro.core import parse_history
-        from repro.core.objects import VersionKind
 
         h = parse_history(
             "w1(x1) w2(y2, dead) r3(P: x1*, y2, zinit) c1 c2 c3"

@@ -26,12 +26,8 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, List, Sequence, Tuple
 
-import pytest
 
-import repro
 from repro.baseline import (
-    AnsiAnalysis,
-    AnsiPhenomenon,
     PreventativeAnalysis,
     ansi_strict_satisfies,
     preventative_satisfies,

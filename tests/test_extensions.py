@@ -1,6 +1,5 @@
 """Tests for the extension-level phenomena (repro.core.extensions)."""
 
-import pytest
 
 from repro.core import Analysis, parse_history
 from repro.core.phenomena import Phenomenon as G

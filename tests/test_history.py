@@ -3,11 +3,10 @@
 import pytest
 
 from repro.core import parse_history
-from repro.core.events import Commit, Read, Write
+from repro.core.events import Write
 from repro.core.history import History
 from repro.core.objects import Version, VersionKind
-from repro.core.predicates import MembershipPredicate
-from repro.exceptions import MalformedHistoryError, VersionOrderError
+from repro.exceptions import MalformedHistoryError
 
 
 def v(obj, tid, seq=1):

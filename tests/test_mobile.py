@@ -1,6 +1,5 @@
 """Tests for the mobile tentative-commit system (repro.engine.mobile)."""
 
-import pytest
 
 import repro
 from repro.baseline import PreventativeAnalysis, PreventativePhenomenon as P
@@ -196,3 +195,86 @@ class TestPredicates:
         b.sync()
         result = a.sync()
         assert result.aborted == [ta.tid]
+
+
+class TestSessionVectorUnification:
+    """The disconnected-operation model rides the replication layer's
+    session vectors: a mobile client is a replica with unbounded lag.
+
+    The client's server watermark is a :class:`SessionVector` keyed by
+    ``SERVER``; connected clients refresh it every ``begin``, a
+    :meth:`~repro.engine.mobile.MobileClient.disconnect` freezes it (the
+    stale-by-choice replica read), and :meth:`sync` reconnects and
+    advances it past the client's own certified commits
+    (read-your-writes across the sync)."""
+
+    def test_connected_begin_tracks_commit_seq(self):
+        cluster = cluster_with()
+        client = cluster.client(0)
+        client.begin().tentative_commit()
+        assert client.session_vector().get("server") == cluster.store.commit_seq
+
+    def test_disconnect_freezes_the_watermark(self):
+        cluster = cluster_with()
+        a, b = cluster.client(0), cluster.client(1)
+        a.disconnect()
+        frozen = a.session_vector().get("server")
+        # b commits while a is away; a's view must not advance.
+        tb = b.begin()
+        tb.write("x", 99)
+        tb.tentative_commit()
+        b.sync()
+        ta = a.begin()
+        assert ta.read("x") == 5  # stale by choice, like a lagging replica
+        assert a.session_vector().get("server") == frozen
+
+    def test_connected_client_sees_fresh_state(self):
+        cluster = cluster_with()
+        a, b = cluster.client(0), cluster.client(1)
+        tb = b.begin()
+        tb.write("x", 99)
+        tb.tentative_commit()
+        b.sync()
+        ta = a.begin()  # connected: watermark refreshes at begin
+        assert ta.read("x") == 99
+
+    def test_sync_reconnects_and_advances(self):
+        cluster = cluster_with()
+        a = cluster.client(0)
+        a.disconnect()
+        t = a.begin()
+        t.write("x", 7)
+        t.tentative_commit()
+        result = a.sync()
+        assert result.committed == [t.tid]
+        assert a.connected
+        assert a.session_vector().get("server") == cluster.store.commit_seq
+        # Read-your-writes across the sync: the next transaction reads
+        # the certified write.
+        assert a.begin().read("x") == 7
+
+    def test_disconnected_h1_prime_still_serializable(self):
+        """SEC3-MOBILE as a replica-lag run: a frozen-watermark client
+        racks up P1 violations against tentative data, yet the certified
+        history is PL-3 — the paper's Section 3 argument, expressed
+        through the same watermark machinery as the cluster replicas."""
+        cluster = cluster_with()
+        a, b = cluster.client(0), cluster.client(1)
+        a.disconnect()
+        t1 = a.begin()
+        t1.write("x", t1.read("x") + 1)
+        t1.tentative_commit()
+        t2 = a.begin()
+        t2.write("y", t2.read("x") * 2)  # reads uncommitted tentative data
+        t2.tentative_commit()
+        tb = b.begin()
+        tb.write("x", 100)  # overwrites a's server-read base
+        tb.tentative_commit()
+        b.sync()
+        result = a.sync()
+        # Backward validation caught the overwritten base and cascaded.
+        assert result.aborted == [t1.tid, t2.tid]
+        assert result.cascaded == [t2.tid]
+        history = cluster.history()
+        report = repro.check(history, levels=[L.PL_3])
+        assert report.verdicts[L.PL_3].ok

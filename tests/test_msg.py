@@ -1,6 +1,5 @@
 """Tests for mixed systems: MSG and mixing-correctness (repro.core.msg)."""
 
-import pytest
 
 from repro.core import parse_history
 from repro.core.conflicts import DepKind

@@ -3,7 +3,7 @@
 import pytest
 
 import repro
-from repro.checker.naming import name_anomalies, name_cycle
+from repro.checker.naming import name_cycle
 from repro.core.phenomena import Analysis
 from repro.workloads import anomalies as corpus
 

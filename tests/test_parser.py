@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import parse_history
-from repro.core.events import Abort, Begin, Commit, PredicateRead, Read, Write
+from repro.core.events import Abort, Begin, PredicateRead
 from repro.core.levels import IsolationLevel
 from repro.core.objects import Version
 from repro.core.parser import parse_version

@@ -1,6 +1,5 @@
 """Tests for phenomena detection G0–G2 (repro.core.phenomena)."""
 
-import pytest
 
 from repro.core import Analysis, parse_history
 from repro.core.phenomena import Phenomenon as G

@@ -7,7 +7,6 @@ from repro.core.predicates import (
     FieldPredicate,
     FunctionPredicate,
     MembershipPredicate,
-    Predicate,
     VersionSet,
 )
 from repro.exceptions import PredicateError

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on the core formalism."""
 
-import random
 
 from hypothesis import given, settings, strategies as st
 
@@ -9,7 +8,6 @@ from repro.baseline.preventative import PreventativeAnalysis, preventative_satis
 from repro.core import DSG, Analysis, format_history, parse_history
 from repro.core.conflicts import DepKind, all_dependencies
 from repro.core.levels import ANSI_CHAIN, IsolationLevel as L, satisfies
-from repro.core.objects import Version
 from repro.workloads.generator import synthetic_history
 
 # ----------------------------------------------------------------------

@@ -4,7 +4,6 @@ arbitrary seeded workloads."""
 
 from hypothesis import given, settings, strategies as st
 
-import repro
 from repro.baseline.preventative import PreventativeAnalysis, preventative_satisfies
 from repro.core.levels import ANSI_CHAIN, IsolationLevel as L, satisfies
 from repro.core.msg import mixing_correct

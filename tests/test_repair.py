@@ -3,7 +3,7 @@
 import pytest
 
 import repro
-from repro.analysis.repair import RepairResult, abort_transactions, repair
+from repro.analysis.repair import abort_transactions, repair
 from repro.core import parse_history
 from repro.core.levels import IsolationLevel as L
 from repro.workloads import anomalies as corpus

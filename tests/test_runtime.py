@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import parse_history
-from repro.core.events import Commit, Read, Write
 from repro.core.levels import IsolationLevel as L
 from repro.core.objects import Version
 from repro.core.parser import parse_events

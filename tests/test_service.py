@@ -244,6 +244,36 @@ class TestNetwork:
         assert sorted(order) == list(range(20))
         assert order != list(range(20))
 
+    def test_flush_during_drain_terminates(self):
+        # A crash triggered *inside* a delivery sweep flushes the queue
+        # while drain_due is iterating it.  The sweep must keep reading
+        # the live queue (flush rebuilds it) or it spins forever on the
+        # dropped snapshot — the replica-crash-mid-catch-up livelock.
+        net = SimulatedNetwork()
+        net.register_inbox("victim")
+
+        def crash_victim(payload, src):
+            net.down("victim")
+            net.flush("victim")
+            return None
+
+        net.register_handler("killer", crash_victim)
+        # Two messages due the same tick: one to the victim (flushed
+        # mid-sweep), one that triggers the flush.
+        net.send("a", "killer", {"go": True})
+        net.send("a", "victim", {"i": 1})
+        # A self-rearming timer keeps the queue non-empty forever, like
+        # the replication pump.
+        def rearm(payload, src):
+            net.timer("pump", {"tick": True}, delay=2)
+            return None
+
+        net.register_handler("pump", rearm)
+        net.timer("pump", {"tick": True}, delay=1)
+        for _ in range(10):
+            assert net.drain_due() >= 1
+        assert net.counters["lost_down"] >= 1
+
 
 # ---------------------------------------------------------------------------
 # client/server basics

@@ -1,10 +1,7 @@
 """Tests for programs and the deterministic simulator
 (repro.engine.programs, repro.engine.simulator)."""
 
-import pytest
 
-import repro
-from repro.core.levels import IsolationLevel as L
 from repro.core.predicates import FieldPredicate
 from repro.engine import (
     Compute,

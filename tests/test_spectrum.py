@@ -1,16 +1,13 @@
 """Tests for the spectrum/ablation analyses (repro.analysis.spectrum)."""
 
-import pytest
 
 from repro.analysis import (
     contention_spectrum,
     predicate_mode_ablation,
 )
-from repro.core.levels import IsolationLevel as L
 from repro.core.parser import parse_history
 from repro.core.phenomena import Phenomenon as G
 from repro.engine import LockingScheduler, ReadCommittedMVScheduler
-from repro.workloads import WorkloadConfig
 from repro.workloads.anomalies import ALL_ANOMALIES
 from repro.core.canonical import ALL_CANONICAL
 

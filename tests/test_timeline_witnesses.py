@@ -1,6 +1,5 @@
 """Tests for timeline rendering and multi-witness cycle enumeration."""
 
-import pytest
 
 from repro.core import DSG, parse_history
 from repro.core.conflicts import DepKind
