@@ -1,0 +1,109 @@
+"""Cluster observability guard: watching the cluster must stay cheap.
+
+Two pins, mirroring ``bench_observability.py`` for the single-server
+path:
+
+* **instrumentation-off cluster throughput** — the observability plane
+  is guarded ``is not None`` everywhere (replication shipping, 2PC
+  decisions, replica reads, the windows gauges), so a bare replicated
+  cluster run must stay at the ``bench_cluster`` baseline: within a
+  small multiple of the same workload with ``shards=1``.
+* **traced overhead** — the fully instrumented run (metrics registry +
+  tracer + flight recorder, the ``repro dossier`` configuration) must
+  stay within 1.5× of the bare run on the same seeds.  Span emission on
+  every shipped batch, applied batch and 2PC phase is O(1) dict
+  appends; the flight recorder's rings are bounded deques.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.observability import FlightRecorder, MetricsRegistry, Tracer
+from repro.service import (
+    ClusterConfig,
+    NetworkConfig,
+    StressConfig,
+    run_stress,
+)
+
+_REPLICATED = StressConfig(
+    scheduler="locking",
+    clients=4,
+    txns_per_client=15,
+    keys=8,
+    ops_per_txn=2,
+    seed=17,
+    network=NetworkConfig(min_delay=1, max_delay=3),
+    cluster=ClusterConfig(
+        shards=2, replicas=2, replication_every=12, replication_lag=(4, 10)
+    ),
+    read_preference="replica",
+    read_only_fraction=0.5,
+)
+
+
+def _best_of(config: StressConfig, rounds: int = 3, **sinks) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run_stress(config, **{k: v() for k, v in sinks.items()})
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchguard
+def test_replication_off_instrumentation_costs_nothing():
+    single = _best_of(
+        replace(
+            _REPLICATED,
+            cluster=ClusterConfig(shards=1),
+            read_preference="primary",
+            read_only_fraction=0.0,
+        )
+    )
+    replicated = _best_of(_REPLICATED)
+    # Replication ships batches and serves replica reads, but with every
+    # sink None the telemetry hooks must not add to that: pin the whole
+    # replicated run to a small multiple of the single-shard run, with an
+    # absolute floor against timer noise.
+    assert replicated < max(single * 4, single + 0.05), (
+        f"replicated bare run {replicated * 1000:.1f} ms vs single-shard "
+        f"{single * 1000:.1f} ms"
+    )
+
+
+@pytest.mark.benchguard
+def test_traced_cluster_overhead_bounded():
+    bare = _best_of(_REPLICATED)
+    traced = _best_of(
+        _REPLICATED,
+        metrics=MetricsRegistry,
+        tracer=Tracer,
+        flight=FlightRecorder,
+    )
+    assert traced < max(bare * 1.5, bare + 0.05), (
+        f"traced cluster run {traced * 1000:.1f} ms vs bare "
+        f"{bare * 1000:.1f} ms (> 1.5x)"
+    )
+
+
+def test_observability_table(record_table):
+    rows = [f"{'mode':>22} {'ms':>8} {'spans':>7} {'dossiers':>8}"]
+    bare = _best_of(_REPLICATED)
+    rows.append(f"{'bare':>22} {bare * 1000:8.1f} {0:7d} {0:8d}")
+    tracer, flight = Tracer(), FlightRecorder()
+    start = time.perf_counter()
+    result = run_stress(
+        _REPLICATED, metrics=MetricsRegistry(), tracer=tracer, flight=flight
+    )
+    traced = time.perf_counter() - start
+    spans = sum(1 for r in tracer.records if r["kind"] == "span")
+    rows.append(
+        f"{'metrics+trace+flight':>22} {traced * 1000:8.1f} "
+        f"{spans:7d} {len(result.dossiers()):8d}"
+    )
+    record_table("cluster_observability", "\n".join(rows))

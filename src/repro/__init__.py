@@ -86,7 +86,7 @@ from .service import (
     connect_cluster,
     run_stress,
 )
-from .observability import MetricsRegistry, Tracer
+from .observability import FlightRecorder, MetricsRegistry, Tracer
 from .exceptions import (
     HistoryError,
     MalformedHistoryError,
@@ -146,6 +146,7 @@ __all__ = [
     "check_operations",
     "connect_cluster",
     "run_stress",
+    "FlightRecorder",
     "MetricsRegistry",
     "Tracer",
     "HistoryError",

@@ -138,6 +138,49 @@ def _sec55() -> Tuple[bool, List[str]]:
     ]
 
 
+def _svc_flight() -> Tuple[bool, List[str]]:
+    """The anomaly flight recorder: a replicated run that latches a
+    phenomenon yields deterministic dossiers whose trace slices cover
+    the witness cycle — the observability plane's acceptance claim, in
+    miniature (full version: ``repro dossier --selftest``)."""
+    from ..observability import FlightRecorder, Tracer, dossier_json
+    from ..service import ClusterConfig, NetworkConfig, StressConfig, run_stress
+
+    config = StressConfig(
+        scheduler="locking", level="PL-2", clients=4, txns_per_client=10,
+        keys=6, ops_per_txn=4, seed=7,
+        network=NetworkConfig(drop=0.05, duplicate=0.05, min_delay=1, max_delay=4),
+        cluster=ClusterConfig(
+            shards=2, replicas=2, replication_every=12, replication_lag=(4, 10),
+            partition_primary_after_commits=(1, 5), heal_after=60,
+        ),
+        read_preference="replica", read_only_fraction=0.5,
+    )
+
+    def dossiers():
+        result = run_stress(config, tracer=Tracer(), flight=FlightRecorder())
+        return [dossier_json(d) for d in result.dossiers()], result
+
+    first, result = dossiers()
+    second, _ = dossiers()
+    covered = all(
+        set(d["witness_tids"]) <= {
+            tid
+            for record in d["trace_slice"]
+            for tid in [(record.get("attrs") or {}).get("tid"),
+                        *((record.get("attrs") or {}).get("tids") or ())]
+            if tid is not None
+        }
+        for d in result.dossiers()
+    )
+    ok = bool(first) and first == second and covered
+    return ok, [
+        "replicated stale-read run (2 shards x 2 replicas, faulted network):",
+        f"  dossiers latched: {len(first)}; byte-identical rerun: {first == second}; "
+        f"witness spans covered: {covered}",
+    ]
+
+
 SECTIONS: List[Section] = [
     ("FIG3 — DSG of H_serial", _fig3),
     ("FIG4 — the G0 write cycle", _fig4),
@@ -146,6 +189,7 @@ SECTIONS: List[Section] = [
     ("SEC2 — the ANSI ambiguity", _sec2),
     ("SEC3 — preventative restrictiveness", _sec3),
     ("SEC55 — mixed levels", _sec55),
+    ("SVC — anomaly flight recorder", _svc_flight),
 ]
 
 

@@ -489,6 +489,90 @@ def build_parser() -> argparse.ArgumentParser:
         "report is byte-identical and well-formed",
     )
 
+    def add_dossier_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scheduler", default="locking")
+        p.add_argument(
+            "--level", default="PL-2",
+            help="declared isolation level (default: %(default)s)",
+        )
+        p.add_argument("--clients", type=int, default=4)
+        p.add_argument("--txns", type=int, default=10)
+        p.add_argument("--keys", type=int, default=6)
+        p.add_argument("--ops", type=int, default=4)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--shards", type=int, default=2)
+        p.add_argument(
+            "--replicas", type=int, default=2,
+            help="backup replicas per shard (default: %(default)s); with "
+            "--read-preference replica and no session guarantees the "
+            "stale reads latch phenomena for the recorder to dossier",
+        )
+        p.add_argument(
+            "--read-preference", default="replica",
+            choices=("primary", "replica", "nearest"),
+        )
+        p.add_argument("--read-only-fraction", type=float, default=0.5)
+        p.add_argument("--replication-every", type=int, default=12)
+        p.add_argument("--replication-lag", default="4:10", metavar="MIN:MAX")
+        p.add_argument("--drop", type=float, default=0.05)
+        p.add_argument("--duplicate", type=float, default=0.05)
+        p.add_argument("--min-delay", type=int, default=1)
+        p.add_argument("--max-delay", type=int, default=4)
+
+    p_dossier = sub.add_parser(
+        "dossier",
+        help="run a seeded replicated cluster workload under the anomaly "
+        "flight recorder and render the dossiers it captures (witness "
+        "cycle + trace slice + replica/2PC state per latched anomaly)",
+    )
+    add_dossier_workload_args(p_dossier)
+    p_dossier.add_argument(
+        "--capacity", type=int, default=256,
+        help="flight-ring capacity per shard lane (default: %(default)s)",
+    )
+    p_dossier.add_argument(
+        "--opcheck",
+        action="store_true",
+        help="also run the operation-interval checker post-run and capture "
+        "a stale-read dossier when it fails",
+    )
+    p_dossier.add_argument(
+        "--out", "-o", metavar="FILE",
+        help="write the dossiers as one canonical JSON array to FILE",
+    )
+    p_dossier.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout rendering (default: %(default)s)",
+    )
+    p_dossier.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the seeded workload twice and verify the dossiers are "
+        "byte-identical, cover every witness transaction's spans, and "
+        "leave the run's artifacts untouched",
+    )
+
+    p_creport = sub.add_parser(
+        "cluster-report",
+        help="run a seeded replicated cluster workload and emit the "
+        "unified run report with its Cluster section (per-shard latency, "
+        "replication lag, 2PC in-doubt durations, session violations)",
+    )
+    add_dossier_workload_args(p_creport)
+    p_creport.add_argument(
+        "--format",
+        choices=("markdown", "json"),
+        default="markdown",
+        help="report rendering (default: %(default)s)",
+    )
+    p_creport.add_argument(
+        "--chrome-out", metavar="FILE",
+        help="also write the trace as Chrome trace-event JSON with "
+        "per-shard/per-replica Perfetto tracks",
+    )
+
     sub.add_parser(
         "corpus",
         help="self-test against the paper corpus; print the admission matrix",
@@ -567,6 +651,12 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
 
     if args.command == "capacity":
         return _run_capacity_cmd(args, out)
+
+    if args.command == "dossier":
+        return _run_dossier_cmd(args, out)
+
+    if args.command == "cluster-report":
+        return _run_cluster_report_cmd(args, out)
 
     if args.command == "check-many":
         return _run_check_many(args, out)
@@ -1300,6 +1390,157 @@ def _run_capacity_cmd(args, out) -> int:
         file=out,
     )
     return 0 if sweep.all_slos_ok else 1
+
+
+def _dossier_workload_config(args):
+    """The seeded replicated-cluster workload the ``dossier`` and
+    ``cluster-report`` commands run: stale-by-choice replica reads under
+    faults, which reliably latches phenomena for the recorder."""
+    from .service import ClusterConfig, NetworkConfig, StressConfig
+
+    lo, _, hi = args.replication_lag.partition(":")
+    return StressConfig(
+        scheduler=args.scheduler,
+        level=args.level,
+        clients=args.clients,
+        txns_per_client=args.txns,
+        keys=args.keys,
+        ops_per_txn=args.ops,
+        seed=args.seed,
+        network=NetworkConfig(
+            drop=args.drop,
+            duplicate=args.duplicate,
+            min_delay=args.min_delay,
+            max_delay=args.max_delay,
+        ),
+        cluster=ClusterConfig(
+            shards=args.shards,
+            replicas=args.replicas,
+            replication_every=args.replication_every,
+            replication_lag=(int(lo), int(hi or lo)),
+            partition_primary_after_commits=(1, 5) if args.replicas else None,
+            heal_after=60,
+        ),
+        read_preference=args.read_preference if args.replicas else "primary",
+        read_only_fraction=args.read_only_fraction,
+    )
+
+
+def _run_dossier_workload(args):
+    """One instrumented run of the dossier workload; returns the result
+    (its ``flight`` holds the recorder)."""
+    from .observability import FlightRecorder, MetricsRegistry, Tracer
+    from .service import run_stress
+
+    return run_stress(
+        _dossier_workload_config(args),
+        metrics=MetricsRegistry(),
+        tracer=Tracer(),
+        flight=FlightRecorder(capacity=getattr(args, "capacity", 256)),
+    )
+
+
+def _dossier_witness_covered(dossier) -> bool:
+    """Every witness transaction has spans in the dossier's trace slice."""
+    seen = set()
+    for record in dossier["trace_slice"]:
+        attrs = record.get("attrs") or {}
+        if attrs.get("tid") is not None:
+            seen.add(attrs["tid"])
+        seen.update(attrs.get("tids") or ())
+    return set(dossier["witness_tids"]) <= seen
+
+
+def _run_dossier_cmd(args, out) -> int:
+    """Run the dossier workload and render what the recorder captured."""
+    import json
+
+    from .observability import dossier_json, render_dossier
+    from .service import run_stress
+
+    if args.selftest:
+        first = _run_dossier_workload(args)
+        if args.opcheck:
+            first.flight.opcheck_dossier(first)
+        second = _run_dossier_workload(args)
+        if args.opcheck:
+            second.flight.opcheck_dossier(second)
+        bare = run_stress(_dossier_workload_config(args))
+        a = [dossier_json(d) for d in first.dossiers()]
+        b = [dossier_json(d) for d in second.dossiers()]
+        reproducible = a == b
+        covered = all(
+            _dossier_witness_covered(d) for d in first.dossiers()
+        )
+        unobserved = (
+            bare.history_text == first.history_text
+            and bare.journals == first.journals
+            and bare.certification == first.certification
+        )
+        captured = len(a) > 0
+        ok = reproducible and covered and unobserved and captured
+        print(f"dossiers captured      : {len(a)}", file=out)
+        print(
+            f"byte-identical reruns  : {'yes' if reproducible else 'NO'}",
+            file=out,
+        )
+        print(
+            f"witness spans covered  : {'yes' if covered else 'NO'}",
+            file=out,
+        )
+        print(
+            f"artifacts undisturbed  : {'yes' if unobserved else 'NO'}",
+            file=out,
+        )
+        print(f"selftest               : {'ok' if ok else 'FAILED'}", file=out)
+        return 0 if ok else 1
+
+    result = _run_dossier_workload(args)
+    if args.opcheck:
+        result.flight.opcheck_dossier(result)
+    dossiers = result.dossiers()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(dossiers, sort_keys=True, indent=2) + "\n"
+            )
+        print(
+            f"wrote {len(dossiers)} dossier(s) to {args.out}", file=out
+        )
+    if args.format == "json":
+        for dossier in dossiers:
+            print(dossier_json(dossier), file=out)
+    else:
+        if not dossiers:
+            print("no anomaly latched; no dossier captured.", file=out)
+        for i, dossier in enumerate(dossiers):
+            if i:
+                print("", file=out)
+            print(render_dossier(dossier), file=out)
+    return 0 if dossiers else 1
+
+
+def _run_cluster_report_cmd(args, out) -> int:
+    """Run the dossier workload and emit the unified run report (Cluster
+    section included); optionally export per-shard Perfetto tracks."""
+    from .observability import build_run_report, write_chrome_trace
+
+    result = _run_dossier_workload(args)
+    report = build_run_report(result=result, title="cluster run")
+    if args.format == "json":
+        print(report.to_json(), file=out)
+    else:
+        print(report.to_markdown(), file=out)
+    if args.chrome_out:
+        data = write_chrome_trace(
+            result.tracer.records, args.chrome_out, cluster_tracks=True
+        )
+        print(
+            f"wrote {len(data['traceEvents'])} Chrome trace events "
+            f"(per-shard tracks) to {args.chrome_out}",
+            file=out,
+        )
+    return 0
 
 
 def _run_report_cmd(args, out) -> int:

@@ -15,6 +15,10 @@ catalogue and record schemas):
 * provenance — :func:`phenomenon_hook`/:func:`watching_analysis` wire a
   tracer into the engine's online monitor so a latched phenomenon records
   the witness cycle's edges and the raw events behind them.
+* :class:`FlightRecorder` — bounded per-shard rings of recent trace
+  records; a latched phenomenon, SLO violation, or failed operation
+  check dumps an anomaly **dossier** (witness cycle + trace slice +
+  replica/2PC state) as one deterministic JSON artifact.
 
 Quick start::
 
@@ -32,6 +36,7 @@ Quick start::
     print(tracer.events("phenomenon"))  # provenance of latched phenomena
 """
 
+from .flight import FlightRecorder, dossier_json, render_dossier, trace_slice
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .provenance import (
     DEFAULT_WATCH,
@@ -51,12 +56,16 @@ from .windows import (
 from .traceview import (
     RunReport,
     build_run_report,
+    cluster_summary,
     contention_summary,
     contention_table,
     critical_path,
+    cross_shard_critical_path,
     from_chrome_trace,
     latency_table,
+    replication_lag_timeline,
     to_chrome_trace,
+    twopc_summary,
     verb_latencies,
     waterfall,
     write_chrome_trace,
@@ -83,11 +92,19 @@ __all__ = [
     "WindowedCounter",
     "WindowedTelemetry",
     "WindowedValues",
+    "FlightRecorder",
+    "trace_slice",
+    "dossier_json",
+    "render_dossier",
     "RunReport",
     "build_run_report",
+    "cluster_summary",
+    "replication_lag_timeline",
+    "twopc_summary",
     "contention_summary",
     "contention_table",
     "critical_path",
+    "cross_shard_critical_path",
     "from_chrome_trace",
     "latency_table",
     "to_chrome_trace",

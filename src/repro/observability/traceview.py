@@ -44,12 +44,16 @@ __all__ = [
     "verb_latencies",
     "latency_table",
     "critical_path",
+    "cross_shard_critical_path",
     "waterfall",
     "contention_summary",
     "contention_table",
     "to_chrome_trace",
     "write_chrome_trace",
     "from_chrome_trace",
+    "replication_lag_timeline",
+    "twopc_summary",
+    "cluster_summary",
     "RunReport",
     "build_run_report",
 ]
@@ -164,6 +168,80 @@ def critical_path(node: Dict[str, Any]) -> List[Dict[str, Any]]:
         if nxt is None:
             return hops
         current = nxt
+
+
+def cross_shard_critical_path(
+    records: Iterable[Dict[str, Any]], gid: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """The critical path of one global (cross-shard) commit, phase by phase.
+
+    :func:`critical_path` alone descends into the *latest finisher* at
+    every level, which for a 2PC commit is the reply leg back to the
+    client — correct, but it skips the interesting part.  This variant
+    pins the descent to the two-phase structure: the client request hop,
+    then the ``2pc.prepare`` fan-out chased into its slowest participant
+    leg (``net.msg`` → ``server.handle`` on that shard), then the
+    ``2pc.decide`` fan-out chased the same way.  The request hop's
+    ``self`` is the tail after the decide fan-out finished — the reply
+    delivery the plain critical path would have followed.
+
+    ``gid`` selects the global transaction; default is the first prepared
+    one in the trace.  Returns ``[]`` when the trace has no 2PC spans.
+    """
+    records = list(records)
+    nodes: Dict[Any, Dict[str, Any]] = {}
+
+    def index(node: Dict[str, Any]) -> None:
+        rid = node["record"].get("id")
+        if rid is not None:
+            nodes[rid] = node
+        for child in node["children"]:
+            index(child)
+
+    for root in span_tree(records):
+        index(root)
+    prepares = [
+        n
+        for n in nodes.values()
+        if n["record"]["name"] == "2pc.prepare"
+        and (gid is None or n["record"].get("attrs", {}).get("tid") == gid)
+    ]
+    if not prepares:
+        return []
+    prepare = min(prepares, key=lambda n: n["record"]["seq"])
+    gid = prepare["record"].get("attrs", {}).get("tid")
+    decide = next(
+        (
+            n
+            for n in sorted(nodes.values(), key=lambda n: n["record"]["seq"])
+            if n["record"]["name"] == "2pc.decide"
+            and n["record"].get("attrs", {}).get("tid") == gid
+        ),
+        None,
+    )
+    hops: List[Dict[str, Any]] = []
+    parent = nodes.get(prepare["record"].get("parent"))
+    if parent is not None:
+        record = parent["record"]
+        fanout_end = (
+            decide["record"]["end"] if decide is not None
+            else prepare["record"]["end"]
+        )
+        hops.append(
+            {
+                "name": record["name"],
+                "id": record["id"],
+                "start": record["start"],
+                "end": record["end"],
+                "duration": record["end"] - record["start"],
+                "self": max(0.0, record["end"] - fanout_end),
+                "attrs": record.get("attrs", {}),
+            }
+        )
+    hops += critical_path(prepare)
+    if decide is not None:
+        hops += critical_path(decide)
+    return hops
 
 
 # ---------------------------------------------------------------------------
@@ -352,26 +430,60 @@ def contention_table(
 _TICK_US = 1000.0
 
 
-def to_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+def to_chrome_trace(
+    records: Iterable[Dict[str, Any]], *, cluster_tracks: bool = False
+) -> Dict[str, Any]:
     """Convert trace records to Chrome trace-event JSON (Perfetto-loadable).
 
     Spans become ``ph: "X"`` complete events, point events become
     ``ph: "i"`` instants; each trace id gets its own named lane (thread).
     The original record fields ride along under ``args._repro`` so
     :func:`from_chrome_trace` round-trips exactly.
-    """
-    lanes: Dict[str, int] = {}
 
-    def lane(attrs: Dict[str, Any]) -> int:
+    With ``cluster_tracks=True`` the lanes reorganize for cluster traces:
+    every shard becomes its own Perfetto *process* (records carrying a
+    ``shard`` attribute — ``server.handle`` on that shard, its
+    ``repl.ship``/``repl.apply`` batches), with one ``primary`` thread
+    and one thread per replica ordinal; everything shard-less (clients,
+    coordinator 2PC spans, the run span) stays in the ``cluster`` process
+    on per-trace threads.  The ``args._repro`` stash is identical in both
+    layouts, so :func:`from_chrome_trace` round-trips either.
+    """
+    lanes: Dict[Any, int] = {}
+    processes: Dict[str, int] = {}
+
+    def flat_lane(attrs: Dict[str, Any]) -> tuple:
         label = str(attrs.get("trace_id") or attrs.get("scheduler") or "run")
         if label not in lanes:
             lanes[label] = len(lanes) + 1
-        return lanes[label]
+        return 1, lanes[label]
 
+    def cluster_lane(attrs: Dict[str, Any]) -> tuple:
+        shard = attrs.get("shard")
+        if isinstance(shard, int):
+            group = f"shard {shard}"
+            replica = attrs.get("replica")
+            thread = (
+                f"replica {replica}" if isinstance(replica, int) else "primary"
+            )
+        else:
+            group = "cluster"
+            thread = str(
+                attrs.get("trace_id") or attrs.get("scheduler") or "run"
+            )
+        if group not in processes:
+            processes[group] = len(processes) + 1
+        key = (group, thread)
+        if key not in lanes:
+            lanes[key] = len(lanes) + 1
+        return processes[group], lanes[key]
+
+    lane = cluster_lane if cluster_tracks else flat_lane
     events: List[Dict[str, Any]] = []
     for r in sorted(records, key=lambda r: r["seq"]):
         attrs = r.get("attrs", {})
         args = dict(attrs)
+        pid, tid = lane(attrs)
         if r["kind"] == "span":
             args["_repro"] = {
                 "kind": "span",
@@ -386,8 +498,8 @@ def to_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                     "name": r["name"],
                     "cat": "span",
                     "ph": "X",
-                    "pid": 1,
-                    "tid": lane(attrs),
+                    "pid": pid,
+                    "tid": tid,
                     "ts": r["start"] * _TICK_US,
                     "dur": (r["end"] - r["start"]) * _TICK_US,
                     "args": args,
@@ -407,30 +519,50 @@ def to_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                     "cat": "event",
                     "ph": "i",
                     "s": "t",
-                    "pid": 1,
-                    "tid": lane(attrs),
+                    "pid": pid,
+                    "tid": tid,
                     "ts": r["time"] * _TICK_US,
                     "args": args,
                 }
             )
-    meta = [
-        {
-            "name": "thread_name",
-            "ph": "M",
-            "pid": 1,
-            "tid": tid,
-            "args": {"name": label},
-        }
-        for label, tid in lanes.items()
-    ]
+    if cluster_tracks:
+        meta = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": group},
+            }
+            for group, pid in processes.items()
+        ] + [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": processes[group],
+                "tid": tid,
+                "args": {"name": thread},
+            }
+            for (group, thread), tid in lanes.items()
+        ]
+    else:
+        meta = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": label},
+            }
+            for label, tid in lanes.items()
+        ]
     return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(
-    records: Iterable[Dict[str, Any]], path: str
+    records: Iterable[Dict[str, Any]], path: str, **kwargs: Any
 ) -> Dict[str, Any]:
     """Write :func:`to_chrome_trace` output to ``path``; returns the dict."""
-    data = to_chrome_trace(records)
+    data = to_chrome_trace(records, **kwargs)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, sort_keys=True)
         handle.write("\n")
@@ -484,6 +616,185 @@ def from_chrome_trace(data: Dict[str, Any]) -> TraceRecords:
 
 
 # ---------------------------------------------------------------------------
+# cluster analytics
+# ---------------------------------------------------------------------------
+
+
+def replication_lag_timeline(
+    records: Iterable[Dict[str, Any]],
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Replication lag over time, per ``"shard:replica"`` stream.
+
+    Every ``repl.ship`` span is one sample: at ``time`` (the ship tick) the
+    replica was ``lag`` entries behind its primary and a batch of ``count``
+    entries left from log offset ``offset``.  Samples come back in ship
+    order, so plotting ``time`` against ``lag`` is the replication-lag
+    timeline the Perfetto tracks show.
+    """
+    timeline: Dict[str, List[Dict[str, Any]]] = {}
+    for r in sorted(records, key=lambda r: r["seq"]):
+        if r.get("kind") != "span" or r.get("name") != "repl.ship":
+            continue
+        attrs = r.get("attrs", {})
+        key = f"{attrs.get('shard')}:{attrs.get('replica')}"
+        timeline.setdefault(key, []).append(
+            {
+                "time": r["start"],
+                "lag": attrs.get("lag", 0),
+                "offset": attrs.get("offset"),
+                "count": attrs.get("count"),
+                "fate": attrs.get("fate"),
+            }
+        )
+    return {key: timeline[key] for key in sorted(timeline)}
+
+
+def twopc_summary(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Cross-shard 2PC outcomes and in-doubt durations from the trace.
+
+    Pairs each global transaction's ``2pc.prepare`` span (first attempt)
+    with its ``2pc.decide`` span; the **in-doubt duration** is prepare
+    start to decide end — the window in which a coordinator crash would
+    leave participants blocked on the outcome.  Returns outcome counts,
+    duration percentiles and the per-transaction table (decide-less
+    transactions report ``in_doubt=None``: still pending at trace end).
+    """
+    prepares: Dict[Any, Dict[str, Any]] = {}
+    decides: Dict[Any, Dict[str, Any]] = {}
+    for r in sorted(records, key=lambda r: r["seq"]):
+        if r.get("kind") != "span":
+            continue
+        tid = r.get("attrs", {}).get("tid")
+        if r["name"] == "2pc.prepare":
+            prepares.setdefault(tid, r)
+        elif r["name"] == "2pc.decide":
+            decides.setdefault(tid, r)
+    transactions: List[Dict[str, Any]] = []
+    durations: List[float] = []
+    outcomes: Dict[str, int] = {}
+    for tid in sorted(prepares):
+        prepare = prepares[tid]
+        decide = decides.get(tid)
+        outcome = (
+            decide["attrs"].get("outcome") if decide is not None else None
+        )
+        in_doubt = (
+            decide["end"] - prepare["start"] if decide is not None else None
+        )
+        if in_doubt is not None:
+            durations.append(in_doubt)
+        outcomes[str(outcome)] = outcomes.get(str(outcome), 0) + 1
+        transactions.append(
+            {
+                "tid": tid,
+                "outcome": outcome,
+                "prepared_at": prepare["start"],
+                "decided_at": decide["end"] if decide is not None else None,
+                "in_doubt": in_doubt,
+                "participants": prepare["attrs"].get("participants"),
+            }
+        )
+    summary: Dict[str, Any] = {
+        "transactions": len(transactions),
+        "outcomes": outcomes,
+        "per_txn": transactions,
+    }
+    if durations:
+        summary["in_doubt_ticks"] = {
+            "count": len(durations),
+            "p50": percentile(durations, 50),
+            "p95": percentile(durations, 95),
+            "max": max(durations),
+        }
+    return summary
+
+
+def cluster_summary(
+    records: Iterable[Dict[str, Any]],
+    *,
+    result: Optional[object] = None,
+) -> Optional[Dict[str, Any]]:
+    """The :class:`RunReport` "Cluster" section: per-shard request latency
+    and outcomes, replication-lag percentiles per replica stream,
+    cross-shard 2PC in-doubt durations, and the session-guarantee
+    violation tally.  ``None`` when the trace carries no cluster signal
+    (no shard-attributed spans and no cluster on the result)."""
+    records = list(records)
+    shards: Dict[int, Dict[str, Any]] = {}
+    for r in records:
+        if r.get("kind") != "span" or r.get("name") != "server.handle":
+            continue
+        attrs = r.get("attrs", {})
+        shard = attrs.get("shard")
+        if not isinstance(shard, int):
+            continue
+        row = shards.setdefault(
+            shard, {"requests": 0, "busy": 0, "durations": []}
+        )
+        row["requests"] += 1
+        if attrs.get("outcome") == "busy":
+            row["busy"] += 1
+        row["durations"].append(r["end"] - r["start"])
+    shard_rows: List[Dict[str, Any]] = []
+    for shard in sorted(shards):
+        row = shards[shard]
+        durations = row.pop("durations")
+        shard_rows.append(
+            {
+                "shard": shard,
+                **row,
+                "p50": percentile(durations, 50) if durations else None,
+                "p95": percentile(durations, 95) if durations else None,
+            }
+        )
+    cluster = getattr(result, "cluster", None) if result is not None else None
+    if cluster is not None:
+        by_index = {row["shard"]: row for row in shard_rows}
+        for shard in cluster.shards:
+            row = by_index.get(shard.index)
+            if row is None:
+                row = {"shard": shard.index}
+                shard_rows.append(row)
+            row["commits"] = shard.commit_count
+            row["certification_lag"] = shard.certification_lag
+            row["up"] = shard.up
+        shard_rows.sort(key=lambda row: row["shard"])
+    lag_rows: List[Dict[str, Any]] = []
+    for key, samples in replication_lag_timeline(records).items():
+        lags = [s["lag"] for s in samples]
+        lag_rows.append(
+            {
+                "stream": key,
+                "batches": len(samples),
+                "p50": percentile(lags, 50),
+                "p95": percentile(lags, 95),
+                "max": max(lags),
+                "final_offset": samples[-1]["offset"],
+            }
+        )
+    two_pc = twopc_summary(records)
+    violations: Dict[str, int] = {}
+    witnessed = (
+        getattr(result, "session_violations", ()) if result is not None else ()
+    ) or [
+        r.get("attrs", {})
+        for r in records
+        if r.get("kind") == "event" and r.get("name") == "session.violation"
+    ]
+    for violation in witnessed:
+        kind = str(violation.get("kind"))
+        violations[kind] = violations.get(kind, 0) + 1
+    if not (shard_rows or lag_rows or two_pc["transactions"] or violations):
+        return None
+    return {
+        "shards": shard_rows,
+        "replication": lag_rows,
+        "two_pc": two_pc,
+        "session_violations": violations,
+    }
+
+
+# ---------------------------------------------------------------------------
 # unified run report
 # ---------------------------------------------------------------------------
 
@@ -507,6 +818,10 @@ class RunReport:
     #: build_capacity_report`): offered-load ladder, knee, SLO verdicts
     #: and the contention heatmap.
     capacity: Optional[Dict[str, Any]] = None
+    #: Cluster section (see :func:`cluster_summary`): per-shard latency
+    #: and outcomes, replication-lag percentiles, 2PC in-doubt durations
+    #: and session-guarantee violations.  ``None`` for single-server runs.
+    cluster: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -519,6 +834,7 @@ class RunReport:
             "metrics": self.metrics,
             "trace_stats": self.trace_stats,
             "capacity": self.capacity,
+            "cluster": self.cluster,
         }
 
     def to_json(self) -> str:
@@ -536,6 +852,8 @@ class RunReport:
             lines.append("")
         if self.capacity:
             lines += _capacity_markdown(self.capacity)
+        if self.cluster:
+            lines += _cluster_markdown(self.cluster)
         lines += ["## Logical latency by verb (ticks)", ""]
         if self.latencies:
             lines.append(
@@ -612,6 +930,92 @@ class RunReport:
             lines += _kv_table(self.trace_stats)
             lines.append("")
         return "\n".join(lines).rstrip() + "\n"
+
+
+def _cluster_markdown(cluster: Dict[str, Any]) -> List[str]:
+    """Render the Cluster section: per-shard table, replication lag,
+    2PC in-doubt durations, session-guarantee violations."""
+    lines: List[str] = ["## Cluster", ""]
+    shard_rows = cluster.get("shards") or []
+    if shard_rows:
+        lines.append(
+            "| shard | requests | p50 | p95 | busy | commits "
+            "| certification lag | up |"
+        )
+        lines.append("|---|---|---|---|---|---|---|---|")
+        for row in shard_rows:
+            lines.append(
+                f"| {row['shard']} | {row.get('requests', 0)} "
+                f"| {_fmt_opt(row.get('p50'))} | {_fmt_opt(row.get('p95'))} "
+                f"| {row.get('busy', 0)} | {_fmt_opt(row.get('commits'))} "
+                f"| {_fmt_opt(row.get('certification_lag'))} "
+                f"| {row.get('up', '-')} |"
+            )
+        lines.append("")
+    lag_rows = cluster.get("replication") or []
+    if lag_rows:
+        lines += ["### Replication lag (entries behind primary, per batch)", ""]
+        lines.append("| stream | batches | p50 | p95 | max | final offset |")
+        lines.append("|---|---|---|---|---|---|")
+        for row in lag_rows:
+            lines.append(
+                f"| {row['stream']} | {row['batches']} | {_fmt(row['p50'])} "
+                f"| {_fmt(row['p95'])} | {_fmt(row['max'])} "
+                f"| {_fmt_opt(row['final_offset'])} |"
+            )
+        lines.append("")
+    two_pc = cluster.get("two_pc") or {}
+    if two_pc.get("transactions"):
+        lines += ["### Cross-shard 2PC", ""]
+        outcomes = ", ".join(
+            f"{k}={v}" for k, v in sorted(two_pc["outcomes"].items())
+        )
+        lines.append(
+            f"{two_pc['transactions']} global transactions ({outcomes})."
+        )
+        in_doubt = two_pc.get("in_doubt_ticks")
+        if in_doubt:
+            lines.append(
+                f"In-doubt duration (prepare start to decide end, ticks): "
+                f"p50 {_fmt(in_doubt['p50'])}, p95 {_fmt(in_doubt['p95'])}, "
+                f"max {_fmt(in_doubt['max'])}."
+            )
+        lines.append("")
+        longest = sorted(
+            (t for t in two_pc.get("per_txn", []) if t["in_doubt"] is not None),
+            key=lambda t: (-t["in_doubt"], t["tid"]),
+        )[:10]
+        pending = [
+            t for t in two_pc.get("per_txn", []) if t["in_doubt"] is None
+        ]
+        if longest:
+            lines.append("| gid | outcome | prepared at | in-doubt ticks |")
+            lines.append("|---|---|---|---|")
+            for txn in longest:
+                lines.append(
+                    f"| {txn['tid']} | {txn['outcome']} "
+                    f"| {_fmt(txn['prepared_at'])} "
+                    f"| {_fmt(txn['in_doubt'])} |"
+                )
+            lines.append("")
+        if pending:
+            lines.append(
+                "Still in doubt at trace end: "
+                + ", ".join(str(t["tid"]) for t in pending)
+                + "."
+            )
+            lines.append("")
+    violations = cluster.get("session_violations") or {}
+    lines += ["### Session-guarantee violations", ""]
+    if violations:
+        lines.append("| kind | count |")
+        lines.append("|---|---|")
+        for kind in sorted(violations):
+            lines.append(f"| {kind} | {violations[kind]} |")
+    else:
+        lines.append("none witnessed.")
+    lines.append("")
+    return lines
 
 
 def _capacity_markdown(capacity: Dict[str, Any]) -> List[str]:
@@ -796,4 +1200,5 @@ def build_run_report(
         metrics=snapshot,
         trace_stats=trace_stats,
         capacity=capacity,
+        cluster=cluster_summary(records, result=result),
     )

@@ -148,6 +148,7 @@ _SLO_KINDS = {
     "certified_fraction": ">=",  # certified commits / commits in window
     "queue_depth": "<=",  # current backlog gauge
     "certification_lag": "<=",  # current certification-lag gauge
+    "in_doubt": "<=",  # cross-shard transactions mid-2PC (cluster runs)
 }
 
 
@@ -269,6 +270,14 @@ class WindowedTelemetry:
         self.max_queue_depth = 0
         self.certification_lag = 0
         self.max_certification_lag = 0
+        #: Cluster gauges (fed only by cluster runs; ``None`` keeps every
+        #: single-server artifact — timeline rows, snapshots — unchanged).
+        self.in_doubt: Optional[int] = None
+        self.max_in_doubt = 0
+        self.shard_certification_lag: Optional[Dict[int, int]] = None
+        self.max_shard_certification_lag: Dict[int, int] = {}
+        self.shard_queue_depth: Optional[Dict[int, int]] = None
+        self.max_shard_queue_depth: Dict[int, int] = {}
         self.slo_status: List[SLOStatus] = [SLOStatus(s) for s in slos]
         self.timeline: List[Dict[str, Any]] = []
         self._next_sample = 0
@@ -310,6 +319,34 @@ class WindowedTelemetry:
                 self.max_certification_lag, certification_lag
             )
 
+    def set_cluster_gauges(
+        self,
+        *,
+        in_doubt: Optional[int] = None,
+        shard_certification_lag: Optional[Dict[int, int]] = None,
+        shard_queue_depth: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Cluster-run gauges: in-flight 2PC count and per-shard backlog
+        dicts (shard index → value).  Feeding any of these switches the
+        timeline rows and snapshot into cluster mode; single-server runs
+        never call this, so their artifacts are byte-identical to before
+        this method existed."""
+        if in_doubt is not None:
+            self.in_doubt = in_doubt
+            self.max_in_doubt = max(self.max_in_doubt, in_doubt)
+        if shard_certification_lag is not None:
+            self.shard_certification_lag = dict(shard_certification_lag)
+            for shard, lag in shard_certification_lag.items():
+                self.max_shard_certification_lag[shard] = max(
+                    self.max_shard_certification_lag.get(shard, 0), lag
+                )
+        if shard_queue_depth is not None:
+            self.shard_queue_depth = dict(shard_queue_depth)
+            for shard, depth in shard_queue_depth.items():
+                self.max_shard_queue_depth[shard] = max(
+                    self.max_shard_queue_depth.get(shard, 0), depth
+                )
+
     # -- rolling views --------------------------------------------------
 
     def rolling(self, verb: str, now: int) -> Dict[str, float]:
@@ -334,6 +371,8 @@ class WindowedTelemetry:
             return self.certified_fraction(now)
         if slo.kind == "queue_depth":
             return float(self.queue_depth)
+        if slo.kind == "in_doubt":
+            return float(self.in_doubt) if self.in_doubt is not None else None
         return float(self.certification_lag)  # certification_lag
 
     def sample(self, now: int) -> Dict[str, Any]:
@@ -346,6 +385,12 @@ class WindowedTelemetry:
             "certification_lag": self.certification_lag,
             "shed": self.sheds.count(now),
         }
+        if self.in_doubt is not None:
+            row["in_doubt"] = self.in_doubt
+        if self.shard_certification_lag is not None:
+            row["shard_certification_lag"] = dict(self.shard_certification_lag)
+        if self.shard_queue_depth is not None:
+            row["shard_queue_depth"] = dict(self.shard_queue_depth)
         txn = self.rolling("txn", now)
         if txn["count"]:
             row["txn_p50"] = txn["p50"]
@@ -386,6 +431,18 @@ class WindowedTelemetry:
             "sheds_total": self.sheds.total,
             "max_queue_depth": self.max_queue_depth,
             "max_certification_lag": self.max_certification_lag,
+            **(
+                {
+                    "max_in_doubt": self.max_in_doubt,
+                    "max_shard_certification_lag": dict(
+                        self.max_shard_certification_lag
+                    ),
+                    "max_shard_queue_depth": dict(self.max_shard_queue_depth),
+                }
+                if self.in_doubt is not None
+                or self.shard_certification_lag is not None
+                else {}
+            ),
             "rolling": {
                 verb: self.rolling(verb, now) for verb in sorted(self.latencies)
             },

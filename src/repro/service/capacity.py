@@ -69,6 +69,9 @@ class CapacityRung:
     p99: Optional[int]
     max_queue_depth: int
     max_certification_lag: int
+    #: Worst concurrently in-doubt 2PC transactions (cluster templates
+    #: only; ``None`` on single-server sweeps).
+    max_in_doubt: Optional[int] = None
     slos: List[Dict[str, Any]] = field(default_factory=list)
     contention: List[Dict[str, Any]] = field(default_factory=list)
     #: The underlying stress result (full artifacts, not serialised).
@@ -103,6 +106,11 @@ class CapacityRung:
             "p99": self.p99,
             "max_queue_depth": self.max_queue_depth,
             "max_certification_lag": self.max_certification_lag,
+            **(
+                {"max_in_doubt": self.max_in_doubt}
+                if self.max_in_doubt is not None
+                else {}
+            ),
             "slos_ok": self.slos_ok,
             "slos": self.slos,
         }
@@ -230,6 +238,9 @@ def run_capacity(
                 p99=result.latency_percentile(99),
                 max_queue_depth=windows.max_queue_depth,
                 max_certification_lag=windows.max_certification_lag,
+                max_in_doubt=(
+                    windows.max_in_doubt if windows.in_doubt is not None else None
+                ),
                 slos=windows.slo_report(),
                 contention=contention_summary(tracer.records)
                 if tracer is not None

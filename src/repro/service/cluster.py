@@ -291,6 +291,7 @@ class ShardServer(Server):
             acked = cluster._repl_acked[self.index]
             j = request["replica"]
             acked[j] = max(acked[j], request["applied"])
+            self._note_repl_lag(j, acked[j])
             return
         # "repl-pump": ship the unacknowledged WAL suffix to each backup
         # with a seeded lag draw, then re-arm the pump.  Timer-based and
@@ -309,20 +310,49 @@ class ShardServer(Server):
             if acked >= len(log):
                 continue
             lag = rng.randint(lag_min, lag_max)
+            entries = log[acked:]
+            span = None
+            if self.tracer is not None:
+                span = self.tracer.span(
+                    "repl.ship",
+                    stack=False,
+                    shard=self.index,
+                    replica=j,
+                    src=self.name,
+                    dst=replica.name,
+                    offset=acked,
+                    count=len(entries),
+                    lag=lag,
+                    tids=sorted({entry[0].tid for entry in entries}),
+                )
+            self._note_repl_lag(j, acked)
             self.network.timer(
                 replica.name,
                 {
                     "kind": "repl",
                     "primary": self.name,
                     "from": acked,
-                    "entries": log[acked:],
+                    "entries": entries,
                 },
                 delay=lag,
                 src=self.name,
+                span=span,
             )
         self.network.timer(
             self.name, {"kind": "repl-pump"}, delay=cfg.replication_every
         )
+
+    def _note_repl_lag(self, ordinal: int, acked: int) -> None:
+        """Keep the per-(shard, replica) replication-lag gauge on the
+        backup's acknowledged distance behind this primary's durable log
+        (observation only)."""
+        if self.metrics is None:
+            return
+        log = self.recorder.repl_log or ()
+        self.metrics.gauge(
+            "service_replication_lag",
+            "log entries a backup trails its primary by (acked)",
+        ).set(max(len(log) - acked, 0), shard=self.index, replica=ordinal)
 
     def restart(self) -> None:
         if self.up:
@@ -825,6 +855,22 @@ class ClusterClient(Client):
                         "got": offset,
                         "tick": tick,
                     })
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "service_session_violations",
+                            "witnessed session-guarantee violations",
+                        ).inc(kind=kind, shard=shard)
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "session.violation",
+                            kind=kind,
+                            session=self.name,
+                            shard=shard,
+                            obj=pending.payload.get("obj"),
+                            tid=pending.payload.get("tid"),
+                            required=required,
+                            got=offset,
+                        )
             self._read_vec.observe(shard, offset)
             self._causal_vec.observe(shard, offset)
         elif pending.kind == "commit" and reply.get("offsets"):
@@ -1507,6 +1553,41 @@ class Cluster:
     @property
     def certification_lag(self) -> int:
         return sum(s.certification_lag for s in self.shards)
+
+    # -- observability snapshots (read-only; never touch cluster state) --
+
+    def shard_certification_lags(self) -> Dict[int, int]:
+        """Per-shard batched-certification backlog (shard index → lag)."""
+        return {s.index: s.certification_lag for s in self.shards}
+
+    def shard_queue_depths(self) -> Dict[int, int]:
+        """Per-shard count of queued network messages addressed to the
+        shard's current endpoint (in-flight load, not yet delivered)."""
+        by_name = {s.name: s.index for s in self.shards}
+        depths = {s.index: 0 for s in self.shards}
+        for message in self.network._queue:
+            idx = by_name.get(message[3])
+            if idx is not None:
+                depths[idx] += 1
+        return depths
+
+    def replica_lags(self) -> Dict[Tuple[int, int], int]:
+        """(shard, replica ordinal) → log entries the backup trails its
+        primary by, measured against live applied offsets (promoted-away
+        slots are omitted)."""
+        lags: Dict[Tuple[int, int], int] = {}
+        for shard in self.shards:
+            log_len = len(shard.recorder.repl_log or ())
+            for j in range(self.config.replicas):
+                replica = self.replica_of(shard.index, j)
+                if replica is not None:
+                    lags[(shard.index, j)] = max(log_len - replica.applied, 0)
+        return lags
+
+    @property
+    def in_doubt(self) -> int:
+        """Cross-shard transactions whose 2PC is still in flight."""
+        return self.coordinator.pending
 
     def flush_certification(self) -> Dict[int, Optional[bool]]:
         verdicts: Dict[int, Optional[bool]] = {}

@@ -50,6 +50,7 @@ class _TwoPC:
         "gid", "verb", "client_src", "client_rid", "trace", "participants",
         "phase", "prepared", "refused", "reason", "decision", "stamp",
         "decide_acks", "rids", "prepare_span", "decide_span", "offsets",
+        "opened_at",
     )
 
     def __init__(
@@ -81,6 +82,9 @@ class _TwoPC:
         self.rids: Dict[Tuple[str, int], int] = {}
         self.prepare_span: Optional[object] = None
         self.decide_span: Optional[object] = None
+        #: Network tick the coordinator first saw the transaction — the
+        #: in-doubt window for observability is ``finish_tick - opened_at``.
+        self.opened_at: int = 0
 
 
 class Coordinator:
@@ -91,6 +95,7 @@ class Coordinator:
         self.name = name
         self.network = cluster.network
         self.tracer = cluster.tracer
+        self.metrics = cluster.metrics
         #: Total prepare messages sent (retransmits included) — the hook the
         #: deterministic fault schedule triggers on.
         self.prepares_sent = 0
@@ -161,14 +166,17 @@ class Coordinator:
             gid, verb, src, rid, payload.get("trace"),
             tuple(sorted(meta.participants)),
         )
+        st.opened_at = self.network.now
         self._pending[gid] = st
+        self._note_in_doubt()
         if self.tracer is not None and st.trace is not None:
             st.prepare_span = self.tracer.span(
-                "txn.prepare" if verb == "commit" else "txn.abort",
+                "2pc.prepare",
                 stack=False,
                 parent=st.trace.get("span"),
                 trace_id=st.trace.get("id"),
                 tid=gid,
+                verb=verb,
                 participants=[self.cluster.endpoint(i) for i in st.participants],
             )
         if verb == "commit":
@@ -225,6 +233,10 @@ class Coordinator:
         st.decision = outcome
         st.reason = reason
         self.decisions[outcome] += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service_2pc_decisions_total", "2PC decisions by outcome"
+            ).inc(outcome=outcome)
         if outcome == "commit":
             st.stamp = self.cluster.state.stamp(st.gid)
         if st.prepare_span is not None and st.verb == "commit":
@@ -235,7 +247,7 @@ class Coordinator:
             st.prepare_span = None
         if self.tracer is not None and st.trace is not None:
             st.decide_span = self.tracer.span(
-                "txn.commit",
+                "2pc.decide",
                 stack=False,
                 parent=st.trace.get("span"),
                 trace_id=st.trace.get("id"),
@@ -322,6 +334,14 @@ class Coordinator:
         if st.prepare_span is not None:  # client abort without decide span
             st.prepare_span.end(outcome=st.decision)
         del self._pending[st.gid]
+        self._note_in_doubt()
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "service_2pc_in_doubt_ticks",
+                "ticks from first client request to final 2PC settlement",
+            ).observe(
+                self.network.now - st.opened_at, outcome=st.decision or "?"
+            )
         for rid in st.rids.values():
             self._inflight.pop(rid, None)
             self._settled_rids.add(rid)
@@ -342,6 +362,11 @@ class Coordinator:
         if st is None:
             return  # resolved; let the timer chain die
         self.retransmits += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service_2pc_retransmits_total",
+                "2PC prepare/decide retransmission rounds",
+            ).inc(phase=st.phase)
         if st.phase == "prepare":
             self._send_prepares(st)
         else:
@@ -350,6 +375,15 @@ class Coordinator:
             self.name, {"kind": "timer", "gid": st.gid},
             delay=self.cluster.config.retry_every,
         )
+
+    def _note_in_doubt(self) -> None:
+        """Keep the in-doubt gauge on the live pending count (observation
+        only — never touches protocol state)."""
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "service_2pc_in_doubt",
+                "cross-shard transactions with 2PC still in flight",
+            ).set(len(self._pending))
 
     @property
     def pending(self) -> int:

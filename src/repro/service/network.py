@@ -214,7 +214,7 @@ class SimulatedNetwork:
 
     def timer(
         self, dst: str, payload: Dict[str, Any], *, delay: int,
-        src: Optional[str] = None,
+        src: Optional[str] = None, span: Optional[object] = None,
     ) -> None:
         """Schedule a fault-free delivery: ``payload`` reaches ``dst``
         exactly ``delay`` ticks from now, from ``src`` (itself when
@@ -228,13 +228,15 @@ class SimulatedNetwork:
         The replication stream passes ``src=`` explicitly — a primary's
         batch to a backup is lossless and seeded-lag by construction, but
         still respects crashes and partitions because delivery checks
-        both real endpoints."""
+        both real endpoints.  ``span`` rides in the message's span slot
+        and is closed with the delivery ``fate`` exactly like a traced
+        ``net.msg`` (the replication stream's ``repl.ship`` spans)."""
         if delay < 1:
             raise ValueError("timer delay must be >= 1 tick")
         self._seq += 1
         heapq.heappush(
             self._queue,
-            (self.now + delay, self._seq, src or dst, dst, payload, None),
+            (self.now + delay, self._seq, src or dst, dst, payload, span),
         )
 
     def _sync_clock(self) -> None:

@@ -227,15 +227,21 @@ class ReplicaServer:
         primary advances (or rewinds) its view of us."""
         start = payload["from"]
         entries = payload["entries"]
+        from_offset = self.applied
+        applied_tids: List[int] = []
         for pos, entry in enumerate(entries, start=start):
             if pos < self.applied:
                 continue
             if pos > self.applied:
                 break  # gap: a lost earlier batch; the pump re-ships
             self.apply(entry)
+            applied_tids.append(entry[0].tid)
             self.cluster._note_replica_apply(self)
             if not self.up:
-                return  # crashed mid-catch-up: no ack, state is durable
+                # Crashed mid-catch-up: no ack, state is durable.
+                self._trace_apply(from_offset, applied_tids)
+                return
+        self._trace_apply(from_offset, applied_tids)
         self.network.timer(
             payload["primary"],
             {
@@ -248,6 +254,34 @@ class ReplicaServer:
             src=self.name,
         )
 
+    def _trace_apply(self, from_offset: int, tids: List[int]) -> None:
+        """Observation only: a ``repl.apply`` span per batch that advanced
+        this backup, plus the per-(shard, replica) applied counter."""
+        if not tids:
+            return  # pure duplicate re-ship: nothing advanced
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.span(
+                "repl.apply",
+                stack=False,
+                shard=self.shard_index,
+                replica=self.ordinal,
+                offset=from_offset,
+                applied=self.applied,
+                count=self.applied - from_offset,
+                tids=sorted(set(tids)),
+            ).end()
+        metrics = self.cluster.metrics
+        if metrics is not None:
+            metrics.counter(
+                "service_replication_applied_total",
+                "replication-log entries applied at backups",
+            ).inc(
+                self.applied - from_offset,
+                shard=self.shard_index,
+                replica=self.ordinal,
+            )
+
     # ------------------------------------------------------------------
     # serving reads
     # ------------------------------------------------------------------
@@ -255,6 +289,7 @@ class ReplicaServer:
     def _on_read(self, payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
         session = payload["session"]
         rid = payload["rid"]
+        ctx = payload.get("trace")
         cache = self.cluster._replica_replies[self.shard_index]
         sess = cache.setdefault(session, {"replies": {}, "acked": -1})
         acked = payload.get("acked")
@@ -264,19 +299,26 @@ class ReplicaServer:
                 del sess["replies"][old]
         cached = sess["replies"].get(rid)
         if cached is not None:
+            # Duplicate delivery: re-send the cached reply carrying the
+            # *original* request's trace context (``setdefault``, exactly
+            # like ``Server.handle``), so the retransmitted reply's
+            # ``net.msg`` span still parents under the request that first
+            # produced it.
             self.counters["dedup_hits"] += 1
+            if ctx is not None:
+                cached.setdefault("trace", ctx)
             return cached
         if rid <= sess["acked"]:
-            return {"error": "stale", "rid": rid}
+            return self._reply(ctx, {"error": "stale", "rid": rid})
         obj = payload["obj"]
         owner = self.cluster.shard_map.owner(route_key(obj))
         if owner != self.cluster.endpoint(self.shard_index):
-            return {
+            return self._reply(ctx, {
                 "error": "moved",
                 "owner": owner,
                 "map_version": self.cluster.shard_map.version,
                 "rid": rid,
-            }
+            })
         floor = payload.get("min_offset")
         stored = self._values.get(obj)
         if stored is None or (floor is not None and self.applied < floor):
@@ -285,19 +327,28 @@ class ReplicaServer:
             # catch-up, redirect to the primary, or (weak levels) it never
             # sent a floor and reads stale by choice.
             self.counters["lagging"] += 1
-            return {
+            return self._reply(ctx, {
                 "error": "lagging",
                 "rid": rid,
                 "applied": self.applied,
                 "required": floor if stored is not None else self.applied + 1,
                 "missing": stored is None,
-            }
+            })
         version, value, dead = stored
         tid = payload.get("tid")
         if tid is not None:
             self.reads.read(tid, version, value=value)
             self.read_ticks.append(self.network.now)
         self.counters["serves"] += 1
+        metrics = self.cluster.metrics
+        if metrics is not None:
+            primary = self.cluster.shards[self.shard_index]
+            behind = len(primary.recorder.repl_log or ()) - self.applied
+            if behind > 0:
+                metrics.counter(
+                    "service_stale_reads",
+                    "replica reads served behind the primary's durable log",
+                ).inc(shard=self.shard_index, replica=self.ordinal)
         reply = {
             "ok": True,
             "rid": rid,
@@ -306,6 +357,16 @@ class ReplicaServer:
             "offset": self.applied,
         }
         sess["replies"][rid] = reply
+        return self._reply(ctx, reply)
+
+    @staticmethod
+    def _reply(
+        ctx: Optional[Dict[str, Any]], reply: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Echo the request's trace context on a freshly built reply (so
+        the reply's ``net.msg`` span parents under the request span)."""
+        if ctx is not None:
+            reply.setdefault("trace", ctx)
         return reply
 
     def __repr__(self) -> str:

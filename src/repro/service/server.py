@@ -253,6 +253,11 @@ class Server:
         }
         if ctx:
             attrs["trace_id"] = ctx.get("id")
+        # Shard servers (cluster mode) carry their shard index so the span
+        # lands on the right per-shard track/ring; plain servers add nothing.
+        shard = getattr(self, "index", None)
+        if shard is not None:
+            attrs["shard"] = shard
         obj = request.get("obj") or request.get("relation")
         if obj is not None:
             attrs["obj"] = obj

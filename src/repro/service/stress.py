@@ -104,10 +104,18 @@ class StressResult:
     #: Witnessed session-guarantee violations across all clients
     #: (stale-by-choice replica reads; empty when guarantees are enforced).
     session_violations: Tuple[Dict[str, Any], ...] = ()
+    #: The :class:`~repro.observability.flight.FlightRecorder` attached to
+    #: the run (``None`` unless ``run_stress(..., flight=...)``).
+    flight: Any = field(repr=False, default=None)
 
     @property
     def all_certified(self) -> bool:
         return all(ok for _lvl, ok in self.certification.values())
+
+    def dossiers(self):
+        """Anomaly dossiers the flight recorder captured during the run
+        (empty when no recorder was attached or nothing latched)."""
+        return self.flight.dossiers() if self.flight is not None else []
 
     def opcheck(self, **kwargs):
         """Run the operation-interval checker over the run's client-observed
@@ -411,6 +419,7 @@ def run_stress(
     *,
     metrics: Optional[object] = None,
     tracer: Optional[object] = None,
+    flight: Optional[object] = None,
     **legacy: Any,
 ) -> StressResult:
     """Run one seeded stress workload; see the module docstring.
@@ -519,8 +528,21 @@ def run_stress(
         # onto the network's logical tick counter so identical seeds yield
         # byte-identical span timestamps.
         tracer.use_clock(lambda: float(net.now))
+    if flight is not None:
+        if tracer is None:
+            raise ValueError(
+                "run_stress(flight=...) requires tracer=: the flight "
+                "recorder rings buffer the tracer's records"
+            )
+        flight.attach(tracer)
     monitor = (
-        watching_analysis(tracer, order_mode="commit")
+        watching_analysis(
+            tracer,
+            order_mode="commit",
+            on_phenomenon=(
+                flight.on_phenomenon if flight is not None else None
+            ),
+        )
         if tracer is not None
         else IncrementalAnalysis(order_mode="commit")
     )
@@ -549,6 +571,14 @@ def run_stress(
             metrics=metrics,
             tracer=tracer,
             admission=admission,
+        )
+    if flight is not None:
+        flight.bind(
+            network=net,
+            cluster=cluster,
+            server=server if cluster is None else None,
+            windows=windows,
+            seed=seed,
         )
     declared = config.declared_level
     level_name = str(declared) if declared is not None else None
@@ -713,7 +743,17 @@ def run_stress(
                 queue_depth=max(backlog, 0),
                 certification_lag=server.certification_lag if server.up else 0,
             )
+            if cluster is not None and len(cluster.shards) > 1:
+                windows.set_cluster_gauges(
+                    in_doubt=cluster.in_doubt,
+                    shard_certification_lag=(
+                        cluster.shard_certification_lags()
+                    ),
+                    shard_queue_depth=cluster.shard_queue_depths(),
+                )
             windows.maybe_sample(now)
+            if flight is not None:
+                flight.check_slos(now)
         if cluster is not None:
             # The cluster owns its whole deterministic fault schedule
             # (stress crash included) — one tick per driver iteration, in
@@ -783,7 +823,15 @@ def run_stress(
         if shed_total > sheds_seen:
             windows.sheds.inc(now, shed_total - sheds_seen)
         windows.set_gauges(queue_depth=0, certification_lag=0)
+        if cluster is not None and len(cluster.shards) > 1:
+            windows.set_cluster_gauges(
+                in_doubt=cluster.in_doubt,
+                shard_certification_lag=cluster.shard_certification_lags(),
+                shard_queue_depth=cluster.shard_queue_depths(),
+            )
         windows.sample(now)
+        if flight is not None:
+            flight.check_slos(now)
     if tracer is not None:
         for run in runs:
             run.client.close_trace()
@@ -850,4 +898,5 @@ def run_stress(
         cluster=cluster,
         ops=tuple(ops_log),
         session_violations=session_violations,
+        flight=flight,
     )
